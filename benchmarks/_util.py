@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark measures wall-clock via pytest-benchmark *and* records the
+paper-relevant operation counts (the evaluation currency of Section 5.2)
+into ``benchmarks/results/summary.csv`` plus the benchmark's
+``extra_info`` so the numbers survive into ``--benchmark-json`` output.
+EXPERIMENTS.md is written from these rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+SUMMARY_PATH = os.path.join(RESULTS_DIR, "summary.csv")
+_FIELDS = ["experiment", "case", "metric", "value"]
+
+
+def record(benchmark, experiment: str, case: str, metrics: Dict[str, float]) -> None:
+    """Attach metrics to the benchmark and append them to the summary CSV."""
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    fresh = not os.path.exists(SUMMARY_PATH)
+    with open(SUMMARY_PATH, "a", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        if fresh:
+            writer.writeheader()
+        for key, value in metrics.items():
+            writer.writerow(
+                {
+                    "experiment": experiment,
+                    "case": case,
+                    "metric": key,
+                    "value": value,
+                }
+            )
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

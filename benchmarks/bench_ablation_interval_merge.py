@@ -1,0 +1,76 @@
+"""E13 (ablation) — interval merging & subsumption in the CDS.
+
+Proposition 3.1's amortized O(log W) insertion relies on merging
+overlapping intervals (each interval pays for its own eventual
+absorption).  With merging off (NaiveIntervalList) the stored list grows
+unboundedly and every ``next`` walks it: same answers, asymptotically
+worse work.
+"""
+
+import pytest
+
+from repro.core.engine import join
+from repro.datasets.instances import appendix_j_path, example_2_1
+from repro.storage.interval_list import IntervalList, NaiveIntervalList
+
+from benchmarks._util import once, record
+
+
+@pytest.mark.parametrize("n", [2_000])
+@pytest.mark.parametrize("merged", [True, False])
+def test_microbench_insert_next(benchmark, n, merged):
+    """n overlapping inserts + n next() calls on both implementations."""
+
+    def run():
+        il = IntervalList() if merged else NaiveIntervalList()
+        for i in range(n):
+            il.insert(i, i + 10)
+        total = 0
+        for i in range(0, n, 7):
+            value = il.next(i)
+            total += 0 if value is None else 1
+        return len(il)
+
+    stored = once(benchmark, run)
+    record(
+        benchmark,
+        "E13_interval_merge",
+        f"micro/{'merged' if merged else 'naive'}/n={n}",
+        {"stored_intervals": stored},
+    )
+    if merged:
+        assert stored == 1  # everything coalesced
+    else:
+        assert stored == n
+
+
+@pytest.mark.parametrize("merged", [True, False])
+def test_join_level(benchmark, merged):
+    inst = example_2_1(150)
+    result = once(
+        benchmark,
+        lambda: join(inst.query, gao=inst.gao, merge_intervals=merged),
+    )
+    assert len(result) == inst.output_size
+    record(
+        benchmark,
+        "E13_interval_merge",
+        f"example21/{'merged' if merged else 'naive'}",
+        {"work": result.counters.total_work()},
+    )
+
+
+@pytest.mark.parametrize("merged", [True, False])
+def test_join_level_appendixJ(benchmark, merged):
+    inst = appendix_j_path(4, 10)
+    result = once(
+        benchmark,
+        lambda: join(inst.query, gao=inst.gao, merge_intervals=merged),
+    )
+    assert result.rows == []
+    record(
+        benchmark,
+        "E13_interval_merge",
+        f"appendixJ/{'merged' if merged else 'naive'}",
+        {"work": result.counters.total_work()},
+    )

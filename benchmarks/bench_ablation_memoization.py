@@ -1,0 +1,77 @@
+"""E12 (ablation) — Example 4.1: lazy chain-inference memoization.
+
+Algorithm 4 memoizes every inferred gap at the chain node that will be
+asked again; Example 4.1 shows this turns a Θ(n³) coverage proof into
+O(n²).  We drive the CDS with exactly that constraint workload and flip
+``memoize``; the growth-rate separation (and unchanged answers) is the
+claim.  A join-level run on the Appendix J family shows the same knob
+end-to-end.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cds import ConstraintTree
+from repro.core.constraints import Constraint
+from repro.core.engine import join
+from repro.core.probe_acyclic import ChainProbeStrategy
+from repro.datasets.instances import appendix_j_path, example_4_1_constraints
+
+from benchmarks._util import once, record
+
+
+def _coverage_ops(n, memoize):
+    cds = ConstraintTree(3)
+    for prefix, lo, hi in example_4_1_constraints(n):
+        cds.insert(Constraint(prefix, lo, hi))
+    cds.counters.reset()
+    probe = ChainProbeStrategy(cds, memoize=memoize)
+    assert probe.get_probe_point() is None
+    return cds.counters.interval_ops
+
+
+@pytest.mark.parametrize("n", [8, 16])
+@pytest.mark.parametrize("memoize", [True, False])
+def test_example_4_1(benchmark, n, memoize):
+    ops = once(benchmark, lambda: _coverage_ops(n, memoize))
+    record(
+        benchmark,
+        "E12_memoization",
+        f"ex41/{'on' if memoize else 'off'}/n={n}",
+        {"interval_ops": ops},
+    )
+
+
+def test_growth_separation(benchmark):
+    exponents = {}
+    for memoize in (True, False):
+        small = _coverage_ops(8, memoize)
+        large = _coverage_ops(24, memoize)
+        exponents[memoize] = math.log(large / small) / math.log(24 / 8)
+    record(
+        benchmark,
+        "E12_memoization",
+        "exponents",
+        {
+            "memoized_exponent": round(exponents[True], 3),
+            "bruteforce_exponent": round(exponents[False], 3),
+        },
+    )
+    once(benchmark, lambda: None)
+    assert exponents[True] < exponents[False] - 0.5
+
+
+@pytest.mark.parametrize("memoize", [True, False])
+def test_join_level(benchmark, memoize):
+    inst = appendix_j_path(5, 16)
+    result = once(
+        benchmark, lambda: join(inst.query, gao=inst.gao, memoize=memoize)
+    )
+    assert result.rows == []
+    record(
+        benchmark,
+        "E12_memoization",
+        f"appendixJ/{'on' if memoize else 'off'}",
+        {"work": result.counters.total_work()},
+    )

@@ -1,0 +1,123 @@
+"""E3 — Appendix J: worst-case-optimal algorithms are ω(|C|) here.
+
+The chunked 5-path family hides an O(m·M) certificate; Minesweeper's work
+grows linearly in M while Yannakakis pays Θ(N) = Θ(m·M²) and LFTJ / NPRR
+enumerate the dangling chunk prefixes.  The recorded gap must widen as M
+doubles (who-wins + growth shape of the paper's claim).
+"""
+
+import pytest
+
+from repro.baselines.generic_join import generic_join
+from repro.baselines.leapfrog import leapfrog_triejoin
+from repro.baselines.yannakakis import yannakakis_join
+from repro.core.engine import join
+from repro.datasets.instances import appendix_j_path
+from repro.util.counters import OpCounters
+
+from benchmarks._util import once, record
+
+BLOCKS = [8, 16, 32]
+
+
+def _instance(block):
+    return appendix_j_path(5, block)
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_minesweeper(benchmark, block):
+    inst = _instance(block)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    record(
+        benchmark,
+        "E3_appendixJ",
+        f"minesweeper/M={block}",
+        {"work": result.counters.total_work(), "N": inst.query.total_tuples()},
+    )
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_leapfrog(benchmark, block):
+    inst = _instance(block)
+    prepared = inst.query.with_gao(inst.gao)
+    counters = OpCounters()
+    rows = once(benchmark, lambda: leapfrog_triejoin(prepared, counters))
+    assert rows == []
+    record(
+        benchmark,
+        "E3_appendixJ",
+        f"leapfrog/M={block}",
+        {"work": counters.total_work()},
+    )
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_generic_join(benchmark, block):
+    inst = _instance(block)
+    prepared = inst.query.with_gao(inst.gao)
+    counters = OpCounters()
+    rows = once(benchmark, lambda: generic_join(prepared, counters))
+    assert rows == []
+    record(
+        benchmark,
+        "E3_appendixJ",
+        f"nprr/M={block}",
+        {"work": counters.total_work()},
+    )
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_yannakakis(benchmark, block):
+    inst = _instance(block)
+    counters = OpCounters()
+    rows = once(benchmark, lambda: yannakakis_join(inst.query, inst.gao, counters))
+    assert rows == []
+    record(
+        benchmark,
+        "E3_appendixJ",
+        f"yannakakis/M={block}",
+        {"work": counters.total_work()},
+    )
+
+
+def test_gap_widens():
+    """The headline claim: baseline/Minesweeper work ratio grows with M."""
+    ratios = []
+    for block in (8, 32):
+        inst = _instance(block)
+        ms = join(inst.query, gao=inst.gao).counters.total_work()
+        lf = OpCounters()
+        leapfrog_triejoin(inst.query.with_gao(inst.gao), lf)
+        ratios.append(lf.total_work() / ms)
+    assert ratios[1] > 3 * ratios[0]
+
+
+@pytest.mark.parametrize("block", [16, 32])
+def test_best_of_baselines_still_loses(benchmark, block):
+    """§4.4's parallel remark: even a perfect oracle running all three
+    worst-case-optimal algorithms in parallel (charged only the cheapest
+    one's work) stays ω(|C|) and behind Minesweeper at scale."""
+    inst = _instance(block)
+    ms = join(inst.query, gao=inst.gao).counters.total_work()
+
+    def best_of_baselines():
+        prepared = inst.query.with_gao(inst.gao)
+        lf = OpCounters()
+        leapfrog_triejoin(prepared, lf)
+        np_counters = OpCounters()
+        generic_join(prepared, np_counters)
+        ya = OpCounters()
+        yannakakis_join(inst.query, inst.gao, ya)
+        return min(
+            lf.total_work(), np_counters.total_work(), ya.total_work()
+        )
+
+    best = once(benchmark, best_of_baselines)
+    record(
+        benchmark,
+        "E3_appendixJ",
+        f"best_of_baselines/M={block}",
+        {"best_baseline_work": best, "minesweeper_work": ms},
+    )
+    assert best > 1.2 * ms

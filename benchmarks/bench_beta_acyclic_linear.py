@@ -1,0 +1,54 @@
+"""E2 — Theorem 2.7: Õ(|C| + Z) on beta-acyclic queries with a NEO GAO.
+
+Sweeps the Example 2.1 family (output-heavy) and the Appendix J path
+family (certificate-heavy, empty output) and records probe counts against
+the analytic |C| + Z; the ratio must stay bounded as the scale grows.
+"""
+
+import pytest
+
+from repro.core.engine import join
+from repro.datasets.instances import appendix_j_path, example_2_1
+
+from benchmarks._util import once, record
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_output_dominated(benchmark, n):
+    inst = example_2_1(n)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    z = len(result)
+    probes = result.counters.probes
+    record(
+        benchmark,
+        "E2_beta_acyclic",
+        f"example21/n={n}",
+        {
+            "certificate": inst.certificate_size,
+            "output": z,
+            "probes": probes,
+            "probes_over_C_plus_Z": round(probes / (inst.certificate_size + z), 3),
+        },
+    )
+    assert probes <= 4 * (inst.certificate_size + z) + 16
+
+
+@pytest.mark.parametrize("block", [8, 16, 32])
+def test_certificate_dominated(benchmark, block):
+    inst = appendix_j_path(5, block)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    probes = result.counters.probes
+    record(
+        benchmark,
+        "E2_beta_acyclic",
+        f"appendixJ/m=5,M={block}",
+        {
+            "certificate": inst.certificate_size,
+            "N": inst.query.total_tuples(),
+            "probes": probes,
+            "probes_over_C": round(probes / inst.certificate_size, 3),
+        },
+    )
+    # Linear in |C| = m·M, with the 2^r, m constants of Theorem 3.2.
+    assert probes <= 40 * inst.certificate_size

@@ -1,0 +1,70 @@
+"""E10 — Proposition 2.8 / Appendix F.3: beta-cyclic queries stay hard.
+
+On the 4-cycle query with parity-interleaved instances (the simulated
+3SUM-hardness embedding, DESIGN.md §2), Minesweeper's work per unit of
+certificate *grows* with scale — the measured counterpart of "no
+O(|C|^{4/3-ε} + Z) algorithm exists".  The beta-*acyclic* Appendix J
+family at growing scale is the contrast: its work/|C| stays flat
+(Theorem 2.7).
+"""
+
+import math
+
+import pytest
+
+from repro.core.engine import join
+from repro.datasets.instances import appendix_j_path, beta_cyclic_cycle
+
+from benchmarks._util import once, record
+
+SIZES = [6, 12, 24]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_four_cycle(benchmark, n):
+    inst = beta_cyclic_cycle(4, n)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    record(
+        benchmark,
+        "E10_beta_cyclic",
+        f"cycle4/n={n}",
+        {
+            "certificate_scale": inst.certificate_size,
+            "work": result.counters.total_work(),
+            "work_per_C": round(
+                result.counters.total_work() / inst.certificate_size, 2
+            ),
+        },
+    )
+
+
+def test_exponent_and_contrast(benchmark):
+    """work ~ |C|^e with e > 1 for the cycle; e ≈ 1 for Appendix J."""
+
+    def cycle_point(n):
+        inst = beta_cyclic_cycle(4, n)
+        res = join(inst.query, gao=inst.gao)
+        return inst.certificate_size, res.counters.total_work()
+
+    def acyclic_point(block):
+        inst = appendix_j_path(5, block)
+        res = join(inst.query, gao=inst.gao)
+        return inst.certificate_size, res.counters.total_work()
+
+    (c1, w1), (c2, w2) = cycle_point(6), cycle_point(24)
+    cycle_exponent = math.log(w2 / w1) / math.log(c2 / c1)
+    (a1, v1), (a2, v2) = acyclic_point(8), acyclic_point(32)
+    acyclic_exponent = math.log(v2 / v1) / math.log(a2 / a1)
+    record(
+        benchmark,
+        "E10_beta_cyclic",
+        "exponents",
+        {
+            "cyclic_exponent": round(cycle_exponent, 3),
+            "acyclic_exponent": round(acyclic_exponent, 3),
+        },
+    )
+    once(benchmark, lambda: None)
+    assert cycle_exponent > 1.05  # superlinear in |C|
+    assert acyclic_exponent < 1.05  # Theorem 2.7 linearity

@@ -1,0 +1,54 @@
+"""E11 — Proposition 2.6: a certificate of size <= r·N always exists.
+
+Sweeps random instances of several query shapes, builds the constructive
+certificate, and records |C_built| / (r·N); the bound must never be
+exceeded, and the construction itself is benchmarked.
+"""
+
+import random
+
+import pytest
+
+from repro.certificates.builder import build_certificate, certificate_upper_bound
+from repro.core.query import Query
+from repro.storage.relation import Relation
+
+from benchmarks._util import once, record
+
+SHAPES = {
+    "chain": [("R", ["A", "B"]), ("S", ["B", "C"]), ("T", ["C", "D"])],
+    "star": [("R", ["A", "B"]), ("S", ["A", "C"]), ("T", ["A", "D"])],
+    "triangle": [("R", ["A", "B"]), ("S", ["B", "C"]), ("T", ["A", "C"])],
+}
+
+
+def _random_query(shape, n, seed):
+    rng = random.Random(seed)
+    rels = []
+    for name, attrs in SHAPES[shape]:
+        rows = {
+            tuple(rng.randint(0, 3 * n) for _ in attrs) for _ in range(n)
+        }
+        rels.append(Relation(name, attrs, rows))
+    query = Query(rels)
+    return query.with_gao(query.choose_gao()[0])
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@pytest.mark.parametrize("n", [50, 200])
+def test_bound_holds(benchmark, shape, n):
+    prepared = _random_query(shape, n, seed=n)
+    cert = once(benchmark, lambda: build_certificate(prepared))
+    bound = certificate_upper_bound(prepared)
+    record(
+        benchmark,
+        "E11_certificate_bound",
+        f"{shape}/n={n}",
+        {
+            "rN_bound": bound,
+            "built_size": len(cert),
+            "fraction_of_bound": round(len(cert) / bound, 3),
+        },
+    )
+    assert len(cert) <= bound
+    assert cert.satisfied_by(prepared)

@@ -1,0 +1,63 @@
+"""E4 — Examples B.1/B.2: constant-size certificates on growing inputs.
+
+Minesweeper's probe count stays flat as N grows 100x (B.1, empty output)
+or tracks Z alone (B.2); Yannakakis scans all of N.  This is the
+"sublinear in the input" behaviour worst-case analysis cannot express.
+"""
+
+import pytest
+
+from repro.baselines.yannakakis import yannakakis_join
+from repro.core.engine import join
+from repro.datasets.instances import (
+    constant_certificate_empty,
+    constant_certificate_large_output,
+)
+from repro.util.counters import OpCounters
+
+from benchmarks._util import once, record
+
+SIZES = [100, 1_000, 10_000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_b1_minesweeper(benchmark, n):
+    inst = constant_certificate_empty(n)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    record(
+        benchmark,
+        "E4_constant_certificate",
+        f"B1/minesweeper/n={n}",
+        {"probes": result.counters.probes, "findgap": result.counters.findgap},
+    )
+    assert result.counters.probes <= 5  # flat, independent of n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_b1_yannakakis(benchmark, n):
+    inst = constant_certificate_empty(n)
+    counters = OpCounters()
+    rows = once(benchmark, lambda: yannakakis_join(inst.query, inst.gao, counters))
+    assert rows == []
+    record(
+        benchmark,
+        "E4_constant_certificate",
+        f"B1/yannakakis/n={n}",
+        {"comparisons": counters.comparisons},
+    )
+    assert counters.comparisons >= 2 * n  # full scans
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_b2_output_bound(benchmark, n):
+    inst = constant_certificate_large_output(n)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert len(result) == n
+    record(
+        benchmark,
+        "E4_constant_certificate",
+        f"B2/minesweeper/n={n}",
+        {"probes": result.counters.probes, "Z": n},
+    )
+    assert result.counters.probes <= 2 * n + 8  # |C| = 1: all work is output

@@ -1,0 +1,56 @@
+"""E1 — Figure 2: input size N versus certificate size |C|.
+
+The paper's only measured table: for the star / 3-path / tree queries over
+three graph datasets, |C| (counted as FindGap operations) is orders of
+magnitude below N.  SNAP graphs are substituted with synthetic power-law /
+uniform graphs at three size classes (DESIGN.md §2); the reported quantity
+is the N/|C| ratio, whose shape (≫ 1, growing with graph size at fixed
+sampling rate) is the claim under reproduction.
+"""
+
+import pytest
+
+from repro.core.engine import join
+from repro.datasets.graphs import power_law_graph, uniform_graph
+from repro.datasets.workloads import (
+    input_size,
+    star_query,
+    three_path_query,
+    tree_query,
+)
+
+from benchmarks._util import once, record
+
+GRAPHS = {
+    "epinions-like": power_law_graph(2_000, 10_000, seed=11),
+    "livejournal-like": power_law_graph(6_000, 40_000, seed=12),
+    "orkut-like": uniform_graph(6_000, 60_000, seed=13),
+}
+QUERIES = {
+    "star": star_query,
+    "3-path": three_path_query,
+    "tree": tree_query,
+}
+PROBABILITY = 0.002  # the paper uses 0.001 on graphs 100-1000x larger
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_fig2(benchmark, query_name, graph_name):
+    edges = GRAPHS[graph_name]
+    query = QUERIES[query_name](edges, probability=PROBABILITY, seed=99)
+    result = once(benchmark, lambda: join(query))
+    n = input_size(query)
+    cert = result.certificate_estimate
+    record(
+        benchmark,
+        "E1_fig2",
+        f"{query_name}/{graph_name}",
+        {
+            "N": n,
+            "certificate_findgap": cert,
+            "ratio_N_over_C": round(n / max(cert, 1), 2),
+            "output": len(result),
+        },
+    )
+    assert cert < n / 3  # the Figure-2 shape: |C| ≪ N

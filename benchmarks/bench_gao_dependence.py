@@ -1,0 +1,53 @@
+"""E5 — Examples B.3/B.4: the GAO changes |C| from Θ(N²·ish) to Θ(N).
+
+Same data, two attribute orders.  Under (A, B, C) the optimal certificate
+needs same-relation equalities and is quadratic in n; under the nested
+elimination order (C, A, B) it is linear, and Minesweeper's measured work
+follows suit.  ``choose_gao`` must pick the cheap order by itself.
+"""
+
+import pytest
+
+from repro.core.engine import join
+from repro.datasets.instances import interleaved_parity
+
+from benchmarks._util import once, record
+
+SIZES = [4, 8, 16]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("gao_name,gao", [("ABC", ["A", "B", "C"]), ("CAB", ["C", "A", "B"])])
+def test_gao_flip(benchmark, n, gao_name, gao):
+    inst = interleaved_parity(n, gao)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    record(
+        benchmark,
+        "E5_gao_dependence",
+        f"{gao_name}/n={n}",
+        {
+            "analytic_certificate": inst.certificate_size,
+            "work": result.counters.total_work(),
+            "probes": result.counters.probes,
+        },
+    )
+
+
+@pytest.mark.parametrize("n", [12])
+def test_neo_wins(benchmark, n):
+    bad = interleaved_parity(n, ["A", "B", "C"])
+    good = interleaved_parity(n, ["C", "A", "B"])
+    work_bad = join(bad.query, gao=bad.gao).counters.total_work()
+    result = once(benchmark, lambda: join(good.query, gao=good.gao))
+    work_good = result.counters.total_work()
+    record(
+        benchmark,
+        "E5_gao_dependence",
+        f"gap/n={n}",
+        {"work_ABC": work_bad, "work_CAB": work_good,
+         "speedup": round(work_bad / work_good, 2)},
+    )
+    assert work_good * 4 < work_bad
+    gao, kind = good.query.choose_gao()
+    assert kind == "neo" and gao[0] == "C"

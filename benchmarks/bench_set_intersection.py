@@ -1,0 +1,88 @@
+"""E8 — Appendix H: adaptive set intersection (Theorem H.4).
+
+Three regimes: disjoint blocks (|C| = O(m), Minesweeper's work flat while
+inputs grow 100x), perfect interleave (|C| = Θ(N), everyone linear), and
+sparse planted overlap (work ∝ overlap, not N).  The merge baseline is
+Θ(N) in every regime.
+"""
+
+import pytest
+
+from repro.core.intersection import (
+    intersect_sorted,
+    intersection_certificate_size,
+    merge_intersection,
+)
+from repro.datasets.instances import (
+    intersection_blocks,
+    intersection_interleaved,
+    intersection_with_overlap,
+)
+from repro.util.counters import OpCounters
+
+from benchmarks._util import once, record
+
+
+@pytest.mark.parametrize("block", [1_000, 100_000])
+def test_disjoint_blocks_minesweeper(benchmark, block):
+    sets = intersection_blocks(2, block)
+    counters = OpCounters()
+    out = once(benchmark, lambda: intersect_sorted(sets, counters))
+    assert out == []
+    record(
+        benchmark,
+        "E8_intersection",
+        f"blocks/minesweeper/n={block}",
+        {"N": 2 * block, "probes": counters.probes},
+    )
+    assert counters.probes <= 4
+
+
+@pytest.mark.parametrize("block", [1_000, 100_000])
+def test_disjoint_blocks_merge(benchmark, block):
+    sets = intersection_blocks(2, block)
+    counters = OpCounters()
+    once(benchmark, lambda: merge_intersection(sets, counters))
+    record(
+        benchmark,
+        "E8_intersection",
+        f"blocks/merge/n={block}",
+        {"N": 2 * block, "comparisons": counters.comparisons},
+    )
+    assert counters.comparisons >= block / 2
+
+
+@pytest.mark.parametrize("n", [2_000, 20_000])
+def test_interleaved(benchmark, n):
+    sets = intersection_interleaved(n)
+    counters = OpCounters()
+    out = once(benchmark, lambda: intersect_sorted(sets, counters))
+    assert out == []
+    cert = intersection_certificate_size(sets)
+    record(
+        benchmark,
+        "E8_intersection",
+        f"interleaved/n={n}",
+        {"N": 2 * n, "certificate": cert, "probes": counters.probes},
+    )
+    # Certificate is Θ(N) here: no algorithm can shortcut; probes ~ n.
+    assert counters.probes >= n / 2
+
+
+@pytest.mark.parametrize("overlap", [10, 100])
+def test_sparse_overlap(benchmark, overlap):
+    sets = intersection_with_overlap(50_000, overlap, seed=4)
+    counters = OpCounters()
+    out = once(benchmark, lambda: intersect_sorted(sets, counters))
+    assert len(out) == overlap
+    record(
+        benchmark,
+        "E8_intersection",
+        f"overlap/k={overlap}",
+        {
+            "N": sum(len(s) for s in sets),
+            "Z": overlap,
+            "probes": counters.probes,
+        },
+    )
+    assert counters.probes <= 6 * overlap + 10

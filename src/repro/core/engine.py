@@ -1,0 +1,76 @@
+"""High-level entry points: one-call joins with automatic GAO selection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.minesweeper import Minesweeper
+from repro.core.query import PreparedQuery, Query
+from repro.util.counters import OpCounters
+
+
+class JoinResult:
+    """Output tuples plus the instrumentation gathered while computing them."""
+
+    def __init__(
+        self,
+        rows: List[Tuple[int, ...]],
+        gao: Sequence[str],
+        strategy: str,
+        counters: OpCounters,
+    ) -> None:
+        self.rows = rows
+        self.gao = tuple(gao)
+        self.strategy = strategy
+        self.counters = counters
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def certificate_estimate(self) -> int:
+        """The Figure-2 proxy: number of FindGap operations performed."""
+        return self.counters.findgap
+
+    def stats(self) -> Dict[str, int]:
+        return self.counters.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinResult({len(self.rows)} rows, gao={list(self.gao)}, "
+            f"strategy={self.strategy}, findgap={self.counters.findgap})"
+        )
+
+
+def join(
+    query: Query,
+    gao: Optional[Sequence[str]] = None,
+    strategy: str = "auto",
+    memoize: bool = True,
+    merge_intervals: bool = True,
+    counters: Optional[OpCounters] = None,
+) -> JoinResult:
+    """Evaluate a natural join with Minesweeper.
+
+    When ``gao`` is omitted it is chosen per the paper: a nested elimination
+    order for beta-acyclic queries (Theorem 2.7), otherwise a min-fill
+    low-elimination-width order (Theorem 5.1).
+    """
+    if gao is None:
+        gao, _ = query.choose_gao()
+    prepared = (
+        query
+        if isinstance(query, PreparedQuery) and tuple(gao) == query.gao
+        else query.with_gao(gao, counters=counters)
+    )
+    engine = Minesweeper(
+        prepared,
+        strategy=strategy,
+        memoize=memoize,
+        merge_intervals=merge_intervals,
+    )
+    rows = engine.run()
+    return JoinResult(rows, prepared.gao, engine.strategy, prepared.counters)

@@ -1,0 +1,117 @@
+"""EXPLAIN for Minesweeper: what the engine will do and why.
+
+``explain(query)`` reports the structural analysis the engine performs —
+acyclicity class, chosen GAO and whether it is a nested elimination
+order, elimination width, the Theorem-2.7/5.1 runtime regime, and the
+AGM bound — optionally with a dry run measuring the certificate
+estimate.  Rendered by ``format_explanation`` (used by the CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.query import Query
+from repro.hypergraph.acyclicity import is_alpha_acyclic, is_beta_acyclic
+from repro.hypergraph.agm import agm_bound, fractional_cover_number
+from repro.hypergraph.elimination import (
+    elimination_width,
+    is_nested_elimination_order,
+)
+
+
+@dataclass
+class Explanation:
+    """The structural facts behind an engine configuration."""
+
+    atoms: List[str]
+    n_attributes: int
+    input_size: int
+    alpha_acyclic: bool
+    beta_acyclic: bool
+    gao: List[str]
+    gao_kind: str
+    gao_is_neo: bool
+    elimination_width: int
+    strategy: str
+    runtime_regime: str
+    fractional_cover: float
+    agm_output_bound: float
+    certificate_estimate: Optional[int] = None
+    output_size: Optional[int] = None
+
+
+def explain(
+    query: Query,
+    gao: Optional[Sequence[str]] = None,
+    dry_run: bool = False,
+) -> Explanation:
+    """Analyze ``query`` (and optionally measure it with a real run)."""
+    hypergraph = query.hypergraph()
+    if gao is None:
+        gao, kind = query.choose_gao()
+    else:
+        gao = list(gao)
+        if not query.with_gao(gao):
+            raise ValueError("invalid GAO")
+        kind = "user"
+    neo = is_nested_elimination_order(hypergraph, gao)
+    width = elimination_width(hypergraph, gao)
+    strategy = "chain" if neo else "general"
+    if neo:
+        regime = "Õ(|C| + Z)  (Theorem 2.7: beta-acyclic + NEO)"
+    else:
+        regime = (
+            f"Õ(|C|^{width + 1} + Z)  "
+            f"(Theorem 5.1: elimination width {width})"
+        )
+    result = Explanation(
+        atoms=[f"{r.name}({','.join(r.attributes)})" for r in query.relations],
+        n_attributes=len(query.attributes()),
+        input_size=query.total_tuples(),
+        alpha_acyclic=is_alpha_acyclic(hypergraph),
+        beta_acyclic=is_beta_acyclic(hypergraph),
+        gao=list(gao),
+        gao_kind=kind,
+        gao_is_neo=neo,
+        elimination_width=width,
+        strategy=strategy,
+        runtime_regime=regime,
+        fractional_cover=round(fractional_cover_number(hypergraph), 4),
+        agm_output_bound=round(agm_bound(query), 2),
+    )
+    if dry_run:
+        from repro.core.engine import join
+
+        run = join(query, gao=gao)
+        result.certificate_estimate = run.certificate_estimate
+        result.output_size = len(run)
+    return result
+
+
+def format_explanation(explanation: Explanation) -> str:
+    """Render an :class:`Explanation` as an aligned text report."""
+    lines = [
+        "query            : " + " ⋈ ".join(explanation.atoms),
+        f"attributes (n)   : {explanation.n_attributes}",
+        f"input size (N)   : {explanation.input_size}",
+        f"alpha-acyclic    : {explanation.alpha_acyclic}",
+        f"beta-acyclic     : {explanation.beta_acyclic}",
+        f"GAO              : {','.join(explanation.gao)} "
+        f"({explanation.gao_kind})",
+        f"nested elim order: {explanation.gao_is_neo}",
+        f"elimination width: {explanation.elimination_width}",
+        f"probe strategy   : {explanation.strategy}",
+        f"runtime regime   : {explanation.runtime_regime}",
+        f"fractional cover : {explanation.fractional_cover}",
+        f"AGM output bound : {explanation.agm_output_bound}",
+    ]
+    if explanation.certificate_estimate is not None:
+        lines.append(
+            f"|C| estimate     : {explanation.certificate_estimate} "
+            "(measured, FindGap count)"
+        )
+    if explanation.output_size is not None:
+        lines.append(f"output size (Z)  : {explanation.output_size}")
+    return "\n".join(lines)

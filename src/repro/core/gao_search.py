@@ -1,0 +1,124 @@
+"""GAO optimization — the paper's §7 "Indexing and Certificates" direction.
+
+The certificate size depends on the GAO, and the paper observes (Ex. B.6)
+that the best order is data-dependent: no structural rule can always find
+it.  This module provides the pragmatic tool the paper gestures at:
+*measure* the certificate estimate (FindGap count) of candidate GAOs by
+running the engine, and keep the cheapest.
+
+Candidate generation is structural-first: all nested elimination orders
+that the nest-point peeling can produce (beta-acyclic queries), the
+min-fill order, plus exhaustive permutations when n is small or random
+samples otherwise.  ``search_gao`` is exact-output (every candidate run
+computes the true join); ``estimate_certificate`` exposes the per-order
+measurement on its own.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.engine import join
+from repro.core.query import Query
+from repro.hypergraph.acyclicity import nest_points
+from repro.hypergraph.elimination import min_fill_order
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def estimate_certificate(query: Query, gao: Sequence[str]) -> int:
+    """FindGap count of a Minesweeper run under ``gao`` (Figure 2's |C|)."""
+    return join(query, gao=gao).certificate_estimate
+
+
+def all_nested_elimination_orders(
+    hypergraph: Hypergraph, limit: int = 32
+) -> List[List[str]]:
+    """Up to ``limit`` distinct NEOs, by branching over nest points.
+
+    The nest-point peeling of Proposition A.6 usually has several valid
+    choices at each step; different choices yield different NEOs with
+    possibly very different certificate sizes (Example B.7).
+    """
+    results: List[List[str]] = []
+
+    def peel(current: Hypergraph, suffix: List[str]) -> None:
+        if len(results) >= limit:
+            return
+        if not current.vertices:
+            results.append(list(reversed(suffix)))
+            return
+        for v in nest_points(current):
+            peel(current.remove_vertex(v), suffix + [v])
+            if len(results) >= limit:
+                return
+
+    peel(hypergraph, [])
+    # dedupe while keeping order
+    seen = set()
+    unique = []
+    for order in results:
+        key = tuple(order)
+        if key not in seen:
+            seen.add(key)
+            unique.append(order)
+    return unique
+
+
+@dataclass
+class GaoSearchResult:
+    """Best order found plus the full scoreboard."""
+
+    best_gao: List[str]
+    best_estimate: int
+    scoreboard: List[Tuple[Tuple[str, ...], int]]
+
+    def __repr__(self) -> str:
+        return (
+            f"GaoSearchResult(best={list(self.best_gao)}, "
+            f"estimate={self.best_estimate}, "
+            f"candidates={len(self.scoreboard)})"
+        )
+
+
+def search_gao(
+    query: Query,
+    exhaustive_below: int = 6,
+    samples: int = 12,
+    neo_limit: int = 16,
+    seed: int = 0,
+) -> GaoSearchResult:
+    """Find the GAO minimizing the measured certificate estimate.
+
+    Candidates: every permutation when n < ``exhaustive_below``; otherwise
+    all NEOs (up to ``neo_limit``), the min-fill order, and ``samples``
+    random permutations.  Each candidate costs one full engine run.
+    """
+    attributes = query.attributes()
+    n = len(attributes)
+    hypergraph = query.hypergraph()
+    candidates: List[Tuple[str, ...]] = []
+    if n < exhaustive_below:
+        candidates = [tuple(p) for p in itertools.permutations(attributes)]
+    else:
+        for order in all_nested_elimination_orders(hypergraph, neo_limit):
+            candidates.append(tuple(order))
+        candidates.append(tuple(min_fill_order(hypergraph)))
+        rng = random.Random(seed)
+        for _ in range(samples):
+            perm = attributes[:]
+            rng.shuffle(perm)
+            candidates.append(tuple(perm))
+    seen = set()
+    scoreboard: List[Tuple[Tuple[str, ...], int]] = []
+    for candidate in candidates:
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        estimate = estimate_certificate(query, list(candidate))
+        scoreboard.append((candidate, estimate))
+    scoreboard.sort(key=lambda item: item[1])
+    best, best_estimate = scoreboard[0]
+    return GaoSearchResult(list(best), best_estimate, scoreboard)

@@ -1,0 +1,214 @@
+"""The Minesweeper outer algorithm (paper Algorithm 2).
+
+The loop: ask the CDS for an *active* tuple t (one no known gap covers);
+probe every relation around t with ``FindGap`` along all 2^p low/high index
+chains; if t's projection is present in every relation, emit t and rule out
+exactly t; otherwise insert every discovered gap as a constraint.  At least
+one discovered gap always covers t (the charging argument in the proof of
+Theorem 3.2), so the algorithm makes progress and terminates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cds import ConstraintTree
+from repro.core.constraints import Constraint, WILDCARD
+from repro.core.probe_acyclic import ChainProbeStrategy
+from repro.core.probe_general import GeneralProbeStrategy
+from repro.core.query import PreparedQuery
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+LOW, HIGH = 0, 1  # the paper's  l / h  exploration symbols
+
+
+class MinesweeperError(RuntimeError):
+    """Raised when the engine detects it has stopped making progress."""
+
+
+class Minesweeper:
+    """Evaluate a prepared natural-join query with the Minesweeper algorithm.
+
+    Parameters
+    ----------
+    query:
+        A :class:`PreparedQuery` (relations indexed consistently with its
+        GAO).
+    strategy:
+        ``"auto"`` (chain when the GAO is a nested elimination order, else
+        general / shadow-chain), or explicitly ``"chain"`` / ``"general"``.
+    memoize:
+        Pass False to disable Algorithm 4/7 gap-inference memoization
+        (ablation E12).
+    merge_intervals:
+        Pass False to store CDS intervals unmerged (ablation E13).
+    """
+
+    def __init__(
+        self,
+        query: PreparedQuery,
+        strategy: str = "auto",
+        memoize: bool = True,
+        merge_intervals: bool = True,
+        max_probes: Optional[int] = None,
+    ) -> None:
+        self.query = query
+        self.counters: OpCounters = query.counters
+        self.cds = ConstraintTree(
+            query.n, counters=self.counters, merge_intervals=merge_intervals
+        )
+        if strategy == "auto":
+            strategy = "chain" if query.is_neo_gao() else "general"
+        if strategy == "chain":
+            self.probe = ChainProbeStrategy(self.cds, memoize=memoize)
+        elif strategy == "general":
+            self.probe = GeneralProbeStrategy(self.cds, memoize=memoize)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        #: Optional observer called as
+        #: ``gap_hook(relation, gao_position, chain, target, lo_idx, hi_idx)``
+        #: for every FindGap the exploration performs (used by the
+        #: certificate recorder, Proposition 2.5).
+        self.gap_hook = None
+        if max_probes is None:
+            # Generous safety valve: Theorem 3.2 bounds non-output probes by
+            # O(2^r |C|) and |C| <= r N; outputs are unbounded a priori and
+            # are credited separately inside run().
+            r = query.max_arity()
+            m = len(query.relations)
+            n = query.total_tuples()
+            max_probes = 1000 + 64 * (2**r) * max(r, 1) * m * (n + 1)
+        self.max_probes = max_probes
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[Tuple[int, ...]]:
+        """Compute the join; returns output tuples in GAO order."""
+        return list(self.iterate())
+
+    def iterate(self):
+        """Yield output tuples as they are discovered (GAO order).
+
+        Because Minesweeper's work is certificate-bound rather than
+        input-bound, early termination (``itertools.islice`` for top-k)
+        stops the engine after work proportional to the part of the
+        certificate it actually consumed — the Fagin-style use case the
+        paper relates to in §6.3.
+        """
+        counters = self.counters
+        relations = self.query.relations
+        positions = self.query.gao_positions
+        n = self.query.n
+        budget = self.max_probes
+        while True:
+            t = self.probe.get_probe_point()
+            if t is None:
+                return
+            counters.probes += 1
+            if counters.probes - counters.output_tuples > budget:
+                raise MinesweeperError(
+                    f"probe budget {budget} exhausted at t={t}; "
+                    "the CDS is not making progress"
+                )
+            explorations = [
+                self._explore(rel, positions[rel.name], t)
+                for rel in relations
+            ]
+            if all(member for member, _ in explorations):
+                counters.output_tuples += 1
+                self.cds.insert(
+                    Constraint(t[: n - 1], t[n - 1] - 1, t[n - 1] + 1)
+                )
+                yield t
+            else:
+                inserted_covering = False
+                for _, constraints in explorations:
+                    for constraint in constraints:
+                        self.cds.insert(constraint)
+                        if not inserted_covering and constraint.satisfied_by(t):
+                            inserted_covering = True
+                if not inserted_covering:
+                    raise MinesweeperError(
+                        f"no discovered gap covers probe point {t}; "
+                        "exploration bug"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _explore(
+        self,
+        relation: Relation,
+        gao_positions: Sequence[int],
+        t: Tuple[int, ...],
+    ) -> Tuple[bool, List[Constraint]]:
+        """Probe ``relation`` around t (Algorithm 2 lines 4-10 and 15-21).
+
+        Returns ``(is_member, constraints)`` where ``is_member`` says t's
+        projection is a tuple of the relation, and ``constraints`` lists
+        the (non-empty) gaps found along every in-range {l,h}-index chain.
+        """
+        index = relation.index
+        k = relation.arity
+        # Index chains: v-vector in {LOW,HIGH}^p -> the 1-based index tuple
+        # (i^{v1}, ..., i^{v1..vp}), or None when some coordinate fell out
+        # of range.  Value chains mirror them with the addressed values.
+        idx_chains: Dict[Tuple[int, ...], Optional[Tuple[int, ...]]] = {(): ()}
+        val_chains: Dict[Tuple[int, ...], Tuple[int, ...]] = {(): ()}
+        gaps: Dict[Tuple[int, ...], Tuple[int, int]] = {}
+        member = True
+        for p in range(k):
+            target = t[gao_positions[p]]
+            for v in itertools.product((LOW, HIGH), repeat=p):
+                chain = idx_chains.get(v)
+                if chain is None:
+                    idx_chains[v + (LOW,)] = None
+                    idx_chains[v + (HIGH,)] = None
+                    continue
+                lo_idx, hi_idx = index.find_gap(chain, target)
+                gaps[v] = (lo_idx, hi_idx)
+                fan = index.fanout(chain)
+                if self.gap_hook is not None:
+                    self.gap_hook(
+                        relation, gao_positions[p], chain, target,
+                        lo_idx, hi_idx,
+                    )
+                for symbol, coord in ((LOW, lo_idx), (HIGH, hi_idx)):
+                    if 1 <= coord <= fan:
+                        idx_chains[v + (symbol,)] = chain + (coord,)
+                        val_chains[v + (symbol,)] = val_chains[v] + (
+                            index.value(chain + (coord,)),  # type: ignore[arg-type]
+                        )
+                    else:
+                        idx_chains[v + (symbol,)] = None
+            all_high = (HIGH,) * p
+            if member:
+                gap = gaps.get(all_high)
+                if gap is None or gap[0] != gap[1]:
+                    member = False
+        constraints: List[Constraint] = []
+        for p in range(k):
+            interval_gao_position = gao_positions[p]
+            for v in itertools.product((LOW, HIGH), repeat=p):
+                chain = idx_chains.get(v)
+                if chain is None or v not in gaps:
+                    continue
+                lo_idx, hi_idx = gaps[v]
+                if lo_idx == hi_idx:
+                    continue  # target value present: the gap is empty
+                low = index.value(chain + (lo_idx,))
+                high = index.value(chain + (hi_idx,))
+                prefix: List = [WILDCARD] * interval_gao_position
+                for j, value in enumerate(val_chains[v]):
+                    prefix[gao_positions[j]] = value
+                constraints.append(Constraint(prefix, low, high))
+        return member, constraints
+
+
+def minesweeper_join(
+    query: PreparedQuery, **kwargs
+) -> List[Tuple[int, ...]]:
+    """Run Minesweeper on a prepared query and return its output tuples."""
+    return Minesweeper(query, **kwargs).run()

@@ -1,0 +1,116 @@
+"""getProbePoint for beta-acyclic queries (paper Algorithms 3 and 4).
+
+When the GAO is a *nested elimination order*, the principal filter
+G(t1..ti) — the CDS nodes whose patterns generalize the prefix built so
+far and that hold intervals — is a **chain** (Proposition 4.2).  Algorithm 4
+(``nextChainVal``) then finds the next value free of every interval along
+the chain in amortized O(2^n log W) time, memoizing each inferred gap at
+the node that will be asked again (the Example 4.1 trick that turns the
+Θ(N^3) brute force into O(N^2)).
+
+``memoize=False`` disables the inference inserts (Algorithm 4 line 13) for
+the E12 ablation; the search stays correct but loses the amortization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.cds import CDSNode, ConstraintTree
+from repro.core.constraints import (
+    Constraint,
+    Pattern,
+    equality_count,
+    last_equality_position,
+    specializes,
+)
+from repro.util.sentinels import POS_INF, ExtendedValue
+
+ChainEntry = Tuple[CDSNode, Pattern]
+
+
+class NotAChainError(RuntimeError):
+    """The principal filter was not a chain — the GAO is not a NEO."""
+
+
+def sort_as_chain(entries: List[ChainEntry]) -> List[ChainEntry]:
+    """Order filter nodes bottom (most specialized) first; verify chain.
+
+    In a chain, distinct patterns have distinct equality counts, so sorting
+    by descending count linearizes it; adjacent comparability is then
+    checked explicitly.
+    """
+    ordered = sorted(entries, key=lambda e: -equality_count(e[1]))
+    for (_, narrow), (_, wide) in zip(ordered, ordered[1:]):
+        if not specializes(narrow, wide):
+            raise NotAChainError(
+                f"filter contains incomparable patterns {narrow} / {wide}; "
+                "use the general (shadow-chain) strategy"
+            )
+    return ordered
+
+
+class ChainProbeStrategy:
+    """Algorithm 3: build the probe tuple value by value, backtracking."""
+
+    name = "chain"
+
+    def __init__(self, cds: ConstraintTree, memoize: bool = True) -> None:
+        self.cds = cds
+        self.memoize = memoize
+
+    def get_probe_point(self) -> Optional[Tuple[int, ...]]:
+        """Return an active tuple, or None when the gaps cover everything."""
+        cds = self.cds
+        t: List[int] = []
+        while len(t) < cds.n:
+            filter_nodes = cds.filter_nodes(tuple(t))
+            if not filter_nodes:
+                t.append(-1)
+                continue
+            chain = sort_as_chain(filter_nodes)
+            value = self._next_chain_val(-1, 0, chain)
+            if value is not POS_INF:
+                t.append(value)  # type: ignore[arg-type]
+                continue
+            # Every extension of (t1..ti) is covered: record that fact one
+            # level up and resume from the bottom pattern's last equality.
+            bottom_pattern = chain[0][1]
+            i0 = last_equality_position(bottom_pattern)
+            if i0 == 0:
+                return None
+            cds.counters.backtracks += 1
+            pinned = bottom_pattern[i0 - 1]
+            assert isinstance(pinned, int)
+            cds.insert(
+                Constraint(bottom_pattern[: i0 - 1], pinned - 1, pinned + 1)
+            )
+            del t[i0 - 1 :]
+        return tuple(t)
+
+    def _next_chain_val(
+        self, x: int, j: int, chain: List[ChainEntry]
+    ) -> ExtendedValue:
+        """Algorithm 4: smallest y >= x free at chain[j] and everything above.
+
+        chain[j] is the current node u; chain[j+1:] are the nodes whose
+        patterns strictly generalize P(u).  The inferred gap (x-1, y) is
+        memoized at u so repeated climbs are charged only once.
+        """
+        node, _ = chain[j]
+        self.cds.counters.interval_ops += 1
+        if j == len(chain) - 1:
+            return node.intervals.next(x)
+        y: ExtendedValue = x
+        while True:
+            z = self._next_chain_val(y, j + 1, chain)  # type: ignore[arg-type]
+            if z is POS_INF:
+                y = POS_INF
+                break
+            y = node.intervals.next(z)  # type: ignore[arg-type]
+            self.cds.counters.interval_ops += 1
+            if y == z or y is POS_INF:
+                break
+        if self.memoize:
+            self.cds.insert_interval_at(node, x - 1, y)
+        return y

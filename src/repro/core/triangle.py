@@ -1,0 +1,449 @@
+"""Triangle query Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C) with the dyadic-tree CDS.
+
+Paper Theorem 5.4 / Appendix L: the generic ConstraintTree spends Θ(|C|²)
+work on hard triangle instances because it revisits Ω(|C|²) (a, b) pairs.
+The specialized CDS keeps, for every *dyadic interval* x of the B domain,
+an interval list
+
+    I(*, x)  =  ⋂_{b ∈ x} I(*, =b)        (invariant (7))
+
+of C-gaps that hold simultaneously for every b in x, so a whole dyadic
+block of b values can be dismissed in one cached comparison.  Probe search
+(Algorithm 10) walks the dyadic tree in pre-order with a per-(a, node)
+cache of the last viable C candidate.
+
+Implementation notes (documented deviations, all behaviour-preserving):
+
+* Values are coordinate-compressed into rank space per column pair — only
+  dictionary values can be output tuples, and gap endpoints are data
+  values, so constraints translate monotonically.
+* Algorithm 10 leaves two gaps a literal transcription would trip over:
+  (i) when line 9 finds no viable b it loops to i=0 without ruling out
+  ``a`` — we insert ⟨(a-1, a+1), *, *⟩ (sound: every b is dead for this a);
+  (ii) the pre-order walk can land on a leaf b covered by I(=a) ∪ I(*) —
+  we hop to the next sibling instead of returning an inactive probe.
+* Output suppression uses the accompanying ``Cache(a, b, c+1)`` call the
+  paper prescribes (leaf caches only; bumping internal caches on output
+  would be unsound for sibling leaves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.interval_list import IntervalList, interval_is_empty
+from repro.storage.trie import TrieRelation
+from repro.util.counters import OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue
+
+Edge = Tuple[int, int]
+
+
+class _Dict:
+    """A sorted value dictionary with rank translation (one per column)."""
+
+    __slots__ = ("values", "rank_of")
+
+    def __init__(self, values) -> None:
+        self.values: List[int] = sorted(set(values))
+        self.rank_of: Dict[int, int] = {
+            v: i for i, v in enumerate(self.values)
+        }
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_rank(self, value: ExtendedValue) -> ExtendedValue:
+        """Exact rank of a dictionary value; infinities pass through."""
+        if value is NEG_INF or value is POS_INF:
+            return value
+        return self.rank_of[value]
+
+
+class DyadicTree:
+    """Interval lists I(*, x) for every dyadic B-interval x (App. L.1)."""
+
+    def __init__(self, n_leaves: int, counters: OpCounters) -> None:
+        self.depth = max(1, (max(n_leaves, 1) - 1).bit_length())
+        self.n_leaves = n_leaves
+        self.counters = counters
+        self._lists: Dict[Tuple[int, int], IntervalList] = {}
+
+    def node_list(self, level: int, index: int) -> Optional[IntervalList]:
+        return self._lists.get((level, index))
+
+    def _list_for(self, level: int, index: int) -> IntervalList:
+        key = (level, index)
+        lst = self._lists.get(key)
+        if lst is None:
+            lst = IntervalList()
+            self._lists[key] = lst
+        return lst
+
+    def insert_leaf(
+        self, leaf: int, low: ExtendedValue, high: ExtendedValue
+    ) -> None:
+        """Insert a C-gap for one b value and restore invariant (7) upward.
+
+        Follows Proposition L.1: only the genuinely new parts float up, and
+        a part rises only where the sibling already covers it.
+        """
+        if interval_is_empty(low, high):
+            return
+        level, index = self.depth, leaf
+        node = self._list_for(level, index)
+        parts = node.uncovered_runs(low, high)
+        node.insert(low, high)
+        self.counters.interval_ops += 1
+        while level > 0 and parts:
+            sibling = self._lists.get((level, index ^ 1))
+            parent = self._list_for(level - 1, index >> 1)
+            lifted: List[Tuple[ExtendedValue, ExtendedValue]] = []
+            for lo, hi in parts:
+                if sibling is None:
+                    continue
+                for cov_lo, cov_hi in sibling.covered_runs(lo, hi):
+                    lifted.extend(parent.uncovered_runs(cov_lo, cov_hi))
+                    parent.insert(cov_lo, cov_hi)
+                    self.counters.interval_ops += 1
+            parts = lifted
+            level -= 1
+            index >>= 1
+
+    def check_invariant(self) -> None:
+        """Assert I(*, x) = I(*, x0) ∩ I(*, x1) on the materialized tree.
+
+        Used by tests.  Verified pointwise over the integer hull of the
+        finite endpoints.
+        """
+        points = set()
+        for lst in self._lists.values():
+            for lo, hi in lst.intervals():
+                for v in (lo, hi):
+                    if v is not NEG_INF and v is not POS_INF:
+                        points.add(v)
+        probe_points = sorted(points | {p + 1 for p in points} | {-1, 0})
+        for (level, index), lst in self._lists.items():
+            if level == self.depth:
+                continue
+            left = self._lists.get((level + 1, 2 * index))
+            right = self._lists.get((level + 1, 2 * index + 1))
+            for v in probe_points:
+                parent_covers = lst.covers(v)
+                child_covers = (
+                    left is not None
+                    and right is not None
+                    and left.covers(v)
+                    and right.covers(v)
+                )
+                if parent_covers and not child_covers:
+                    raise AssertionError(
+                        f"I(*,{(level, index)}) covers {v} but children do not"
+                    )
+
+
+def _next_union(
+    first: IntervalList,
+    second: Optional[IntervalList],
+    start: int,
+    counters: OpCounters,
+) -> ExtendedValue:
+    """Smallest v >= start not covered by either list (MERGE-style)."""
+    value: ExtendedValue = start
+    while True:
+        counters.interval_ops += 1
+        step_one = first.next(value)  # type: ignore[arg-type]
+        if step_one is POS_INF:
+            return POS_INF
+        if second is None:
+            return step_one
+        counters.interval_ops += 1
+        step_two = second.next(step_one)  # type: ignore[arg-type]
+        if step_two is POS_INF:
+            return POS_INF
+        if step_two == step_one:
+            return step_two
+        value = step_two
+
+
+class TriangleMinesweeper:
+    """Algorithm 10: Minesweeper for Q△ in Õ(|C|^{3/2} + Z).
+
+    Parameters are edge lists: R ⊆ A×B, S ⊆ B×C, T ⊆ A×C.  ``run`` returns
+    the triangles (a, b, c) in GAO order (A, B, C).
+    """
+
+    def __init__(
+        self,
+        r_edges: Sequence[Edge],
+        s_edges: Sequence[Edge],
+        t_edges: Sequence[Edge],
+        counters: Optional[OpCounters] = None,
+    ) -> None:
+        self.counters = counters if counters is not None else OpCounters()
+        self.r_index = TrieRelation(r_edges, arity=2, counters=self.counters)
+        self.s_index = TrieRelation(s_edges, arity=2, counters=self.counters)
+        self.t_index = TrieRelation(t_edges, arity=2, counters=self.counters)
+        r_rows = self.r_index.tuples()
+        s_rows = self.s_index.tuples()
+        t_rows = self.t_index.tuples()
+        self.a_dict = _Dict(
+            [a for a, _ in r_rows] + [a for a, _ in t_rows]
+        )
+        self.b_dict = _Dict(
+            [b for _, b in r_rows] + [b for b, _ in s_rows]
+        )
+        self.c_dict = _Dict(
+            [c for _, c in s_rows] + [c for _, c in t_rows]
+        )
+        # CDS state, all in rank space.
+        self.i_root = IntervalList()  # gaps on A
+        self.i_star_b = IntervalList()  # ⟨*, (b1,b2), *⟩
+        self.i_eq_a: Dict[int, IntervalList] = {}  # ⟨a, (b1,b2), *⟩
+        self.i_eq_a_star: Dict[int, IntervalList] = {}  # ⟨a, *, (c1,c2)⟩
+        self.dyadic = DyadicTree(len(self.b_dict), self.counters)
+        # Padding leaves (the B domain rounded up to a power of two) carry
+        # no real b value; mark them fully covered so invariant (7) can
+        # propagate real coverage all the way to the root.
+        for leaf in range(len(self.b_dict), 1 << self.dyadic.depth):
+            self.dyadic.insert_leaf(leaf, NEG_INF, POS_INF)
+        self._cache: Dict[Tuple[int, int, int], int] = {}
+        # (a, level, index) -> last viable C candidate at that node.
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+
+    def _get_cache(self, a: int, level: int, index: int) -> int:
+        value = self._cache.get((a, level, index), -1)
+        if (a, level, index) in self._cache:
+            self.counters.cache_hits += 1
+        else:
+            self.counters.cache_misses += 1
+        return value
+
+    def _set_cache(self, a: int, level: int, index: int, value: int) -> None:
+        self._cache[(a, level, index)] = value
+
+    # ------------------------------------------------------------------
+    # Constraint insertion helpers (rank space)
+    # ------------------------------------------------------------------
+
+    def _eq_a_list(self, a: int) -> IntervalList:
+        lst = self.i_eq_a.get(a)
+        if lst is None:
+            lst = IntervalList()
+            self.i_eq_a[a] = lst
+        return lst
+
+    def _eq_a_star_list(self, a: int) -> IntervalList:
+        lst = self.i_eq_a_star.get(a)
+        if lst is None:
+            lst = IntervalList()
+            self.i_eq_a_star[a] = lst
+        return lst
+
+    # ------------------------------------------------------------------
+    # Probe search (Algorithm 10)
+    # ------------------------------------------------------------------
+
+    def _next_sibling(
+        self, level: int, index: int
+    ) -> Optional[Tuple[int, int]]:
+        """Pre-order next sibling: flip the last 0 bit, drop the tail."""
+        while level > 0:
+            if index % 2 == 0:
+                return (level, index + 1)
+            level -= 1
+            index >>= 1
+        return None
+
+    def get_probe_point(self) -> Optional[Tuple[int, int, int]]:
+        """Return an active (a, b, c) in rank space, or None."""
+        counters = self.counters
+        if not self.a_dict or not self.b_dict or not self.c_dict:
+            return None
+        n_a, n_b, n_c = len(self.a_dict), len(self.b_dict), len(self.c_dict)
+        while True:
+            counters.interval_ops += 1
+            a = self.i_root.next(0)  # smallest free a >= 0
+            if a is POS_INF or a >= n_a:
+                return None
+            eq_a = self.i_eq_a.get(a)
+            b_probe = _next_union(self.i_star_b, eq_a, 0, counters)
+            if b_probe is POS_INF or b_probe >= n_b:
+                # No b is viable for this a: rule the a out (sound; see
+                # module docstring) and retry.
+                self.i_root.insert(a - 1, a + 1)
+                continue
+            eq_a_star = self.i_eq_a_star.get(a)
+            if eq_a_star is not None:
+                counters.interval_ops += 1
+                first_free_c = eq_a_star.next(0)
+                if first_free_c is POS_INF or first_free_c >= n_c:
+                    self.i_root.insert(a - 1, a + 1)
+                    continue
+            found = self._descend(a, n_b, n_c)
+            if found is None:
+                # Dyadic walk exhausted every b for this a.
+                self.i_root.insert(a - 1, a + 1)
+                continue
+            return found
+
+    def _descend(
+        self, a: int, n_b: int, n_c: int
+    ) -> Optional[Tuple[int, int, int]]:
+        """Walk the dyadic tree in pre-order; return (a, b, c) or None."""
+        counters = self.counters
+        eq_a_star = self.i_eq_a_star.get(a)
+        eq_a = self.i_eq_a.get(a)
+        depth = self.dyadic.depth
+        level, index = 0, 0
+        while True:
+            at_leaf = level == depth
+            leaf_value = index if at_leaf else None
+            if at_leaf and (
+                index >= n_b
+                or (eq_a is not None and eq_a.covers(index))
+                or self.i_star_b.covers(index)
+            ):
+                # Inactive leaf (padding or covered b): hop to the sibling.
+                step = self._next_sibling(level, index)
+                if step is None:
+                    return None
+                level, index = step
+                continue
+            z = self._get_cache(a, level, index)
+            node_list = self.dyadic.node_list(level, index)
+            if eq_a_star is None and node_list is None:
+                c: ExtendedValue = max(z, 0)
+            else:
+                base = eq_a_star if eq_a_star is not None else node_list
+                other = node_list if eq_a_star is not None else None
+                c = _next_union(base, other, max(z, 0), counters)  # type: ignore[arg-type]
+            if c is not POS_INF and c < n_c:
+                self._set_cache(a, level, index, c)  # type: ignore[arg-type]
+                if at_leaf:
+                    assert leaf_value is not None
+                    return (a, leaf_value, c)  # type: ignore[return-value]
+                level, index = level + 1, 2 * index
+                continue
+            # Every c is dead for all b in this dyadic block: record the
+            # block as a B-gap for this a and hop to the next sibling.
+            self._set_cache(a, level, index, n_c)
+            block = 1 << (depth - level)
+            lo, hi = index * block - 1, (index + 1) * block
+            self._eq_a_list(a).insert(lo, hi)
+            counters.interval_ops += 1
+            step = self._next_sibling(level, index)
+            if step is None:
+                return None
+            level, index = step
+
+    # ------------------------------------------------------------------
+    # Outer loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_probes: Optional[int] = None) -> List[Tuple[int, int, int]]:
+        """Enumerate all triangles (a, b, c)."""
+        counters = self.counters
+        output: List[Tuple[int, int, int]] = []
+        n = (
+            len(self.r_index)
+            + len(self.s_index)
+            + len(self.t_index)
+        )
+        budget = max_probes if max_probes is not None else 1000 + 200 * (n + 1)
+        while True:
+            probe = self.get_probe_point()
+            if probe is None:
+                break
+            counters.probes += 1
+            if counters.probes - counters.output_tuples > budget:
+                raise RuntimeError(
+                    f"triangle probe budget exhausted at {probe}"
+                )
+            a_rank, b_rank, c_rank = probe
+            a = self.a_dict.values[a_rank]
+            b = self.b_dict.values[b_rank]
+            c = self.c_dict.values[c_rank]
+            is_member = self._explore(a_rank, b_rank, c_rank, a, b, c)
+            if is_member:
+                output.append((a, b, c))
+                counters.output_tuples += 1
+                self._set_cache(
+                    a_rank, self.dyadic.depth, b_rank, c_rank + 1
+                )
+        return sorted(output)
+
+    def _explore(
+        self, a_rank: int, b_rank: int, c_rank: int, a: int, b: int, c: int
+    ) -> bool:
+        """Probe R, S, T around (a, b, c); insert the gaps (Algorithm 2).
+
+        Returns True iff (a, b, c) is a triangle.  Constraints are inserted
+        in rank space into the specialized lists.
+        """
+        member = True
+        # --- R(A, B): gaps on A and, under a match, on B.
+        lo, hi = self.r_index.find_gap((), a)
+        if lo != hi:
+            self._insert_a_gap(self.r_index, (), lo, hi)
+            member = False
+        else:
+            b_lo, b_hi = self.r_index.find_gap((hi,), b)
+            if b_lo != b_hi:
+                low = self.b_dict.to_rank(self.r_index.value((hi, b_lo)))
+                high = self.b_dict.to_rank(self.r_index.value((hi, b_hi)))
+                self._eq_a_list(a_rank).insert(low, high)
+                self.counters.interval_ops += 1
+                member = False
+        # --- T(A, C): gaps on A and, under a match, on C (⟨a, *, gap⟩).
+        lo, hi = self.t_index.find_gap((), a)
+        if lo != hi:
+            self._insert_a_gap(self.t_index, (), lo, hi)
+            member = False
+        else:
+            c_lo, c_hi = self.t_index.find_gap((hi,), c)
+            if c_lo != c_hi:
+                low = self.c_dict.to_rank(self.t_index.value((hi, c_lo)))
+                high = self.c_dict.to_rank(self.t_index.value((hi, c_hi)))
+                self._eq_a_star_list(a_rank).insert(low, high)
+                self.counters.interval_ops += 1
+                member = False
+        # --- S(B, C): gaps on B (⟨*, gap, *⟩) and under a match on C
+        #     (⟨*, b, gap⟩ -> dyadic leaf insert).
+        lo, hi = self.s_index.find_gap((), b)
+        if lo != hi:
+            low = self.b_dict.to_rank(self.s_index.value((lo,)))
+            high = self.b_dict.to_rank(self.s_index.value((hi,)))
+            self.i_star_b.insert(low, high)
+            self.counters.interval_ops += 1
+            member = False
+        else:
+            c_lo, c_hi = self.s_index.find_gap((hi,), c)
+            if c_lo != c_hi:
+                low = self.c_dict.to_rank(self.s_index.value((hi, c_lo)))
+                high = self.c_dict.to_rank(self.s_index.value((hi, c_hi)))
+                self.dyadic.insert_leaf(b_rank, low, high)
+                member = False
+        return member
+
+    def _insert_a_gap(
+        self, index: TrieRelation, prefix: Tuple[int, ...], lo: int, hi: int
+    ) -> None:
+        """Translate an A-level index gap to rank space and store it."""
+        low = self.a_dict.to_rank(index.value(prefix + (lo,)))
+        high = self.a_dict.to_rank(index.value(prefix + (hi,)))
+        self.i_root.insert(low, high)
+        self.counters.interval_ops += 1
+
+
+def triangle_join(
+    r_edges: Sequence[Edge],
+    s_edges: Sequence[Edge],
+    t_edges: Sequence[Edge],
+    counters: Optional[OpCounters] = None,
+) -> List[Tuple[int, int, int]]:
+    """Enumerate Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C) with the dyadic CDS."""
+    return TriangleMinesweeper(r_edges, s_edges, t_edges, counters).run()

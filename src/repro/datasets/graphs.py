@@ -1,0 +1,89 @@
+"""Synthetic graph generators (the Figure-2 data substitute).
+
+The paper's Section 5.2 experiment uses three SNAP graphs (Orkut,
+Epinions, LiveJournal).  Those are unavailable offline, so we generate
+synthetic graphs with the two structural regimes that matter for the
+experiment — heavy-tailed degree (social networks) and near-uniform
+degree — at three size classes.  See DESIGN.md §2 for why this preserves
+the Figure-2 behaviour (the measured quantity is the |C|/N ratio induced
+by sparse unary filters, not any dataset-specific property).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def uniform_graph(n_nodes: int, n_edges: int, seed: int = 0) -> List[Edge]:
+    """An Erdős–Rényi-style directed graph with ``n_edges`` distinct edges."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    cap = n_nodes * (n_nodes - 1)
+    target = min(n_edges, cap)
+    while len(edges) < target:
+        a = rng.randrange(n_nodes)
+        b = rng.randrange(n_nodes)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+def power_law_graph(n_nodes: int, n_edges: int, seed: int = 0) -> List[Edge]:
+    """A preferential-attachment-style directed graph (heavy-tailed degree).
+
+    Endpoints are sampled from a growing multiset of previously used
+    endpoints (probability ∝ current degree), with uniform fallback —
+    the standard cheap Barabási–Albert approximation.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    endpoint_pool: List[int] = []
+    cap = n_nodes * (n_nodes - 1)
+    target = min(n_edges, cap)
+    attempts = 0
+    while len(edges) < target and attempts < 50 * target + 100:
+        attempts += 1
+        if endpoint_pool and rng.random() < 0.7:
+            a = rng.choice(endpoint_pool)
+        else:
+            a = rng.randrange(n_nodes)
+        b = rng.randrange(n_nodes)
+        if a == b:
+            continue
+        if (a, b) not in edges:
+            edges.add((a, b))
+            endpoint_pool.append(a)
+            endpoint_pool.append(b)
+    return sorted(edges)
+
+
+def sample_vertices(
+    edges: Sequence[Edge], probability: float, seed: int = 0
+) -> List[int]:
+    """Bernoulli-sample the vertex set of a graph (the §5.2 R_i relations).
+
+    Every vertex is kept independently with ``probability``; at least one
+    vertex is always returned so relations stay non-empty.
+    """
+    rng = random.Random(seed)
+    vertices = sorted({v for e in edges for v in e})
+    chosen = [v for v in vertices if rng.random() < probability]
+    if not chosen:
+        chosen = [vertices[0]]
+    return chosen
+
+
+def undirected_closure(edges: Sequence[Edge]) -> List[Edge]:
+    """Both orientations of every edge (the Prop 5.2 R_{i,j} convention)."""
+    out: Set[Edge] = set()
+    for a, b in edges:
+        out.add((a, b))
+        out.add((b, a))
+    return sorted(out)

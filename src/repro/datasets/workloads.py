@@ -1,0 +1,91 @@
+"""The Section 5.2 experimental workload (Figure 2).
+
+Three queries over a graph S and Bernoulli-sampled unary vertex relations
+R_i (p ≈ 0.001 in the paper):
+
+* star:   R1(A) ⋈ S(A,B) ⋈ S(A,C) ⋈ S(A,D) ⋈ R2(B) ⋈ R3(C) ⋈ R4(D)
+* 3-path: S(A,B) ⋈ S(B,C) ⋈ S(C,D) ⋈ R5(A) ⋈ R6(B) ⋈ R7(C) ⋈ R8(D)
+* tree:   S(A,B) ⋈ S(B,C) ⋈ S(B,D) ⋈ S(D,E) ⋈ R9(A) ⋈ R10(C) ⋈ R11(D) ⋈ R12(E)
+
+A relation may appear several times with different attribute bindings; we
+materialize one :class:`Relation` copy per atom (our Query atoms are
+named), which matches the paper's input-size accounting N = Σ |atoms|.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.query import Query
+from repro.datasets.graphs import sample_vertices
+from repro.storage.relation import Relation
+
+Edge = Tuple[int, int]
+
+
+def _unary(name: str, attr: str, vertices: Sequence[int]) -> Relation:
+    return Relation(name, [attr], [(v,) for v in vertices])
+
+
+def star_query(
+    edges: Sequence[Edge], probability: float = 0.001, seed: int = 0
+) -> Query:
+    """The Figure-2 star query."""
+    return Query(
+        [
+            _unary("R1", "A", sample_vertices(edges, probability, seed)),
+            Relation("S_ab", ["A", "B"], edges),
+            Relation("S_ac", ["A", "C"], edges),
+            Relation("S_ad", ["A", "D"], edges),
+            _unary("R2", "B", sample_vertices(edges, probability, seed + 1)),
+            _unary("R3", "C", sample_vertices(edges, probability, seed + 2)),
+            _unary("R4", "D", sample_vertices(edges, probability, seed + 3)),
+        ]
+    )
+
+
+def three_path_query(
+    edges: Sequence[Edge], probability: float = 0.001, seed: int = 0
+) -> Query:
+    """The Figure-2 3-path query."""
+    return Query(
+        [
+            Relation("S_ab", ["A", "B"], edges),
+            Relation("S_bc", ["B", "C"], edges),
+            Relation("S_cd", ["C", "D"], edges),
+            _unary("R5", "A", sample_vertices(edges, probability, seed)),
+            _unary("R6", "B", sample_vertices(edges, probability, seed + 1)),
+            _unary("R7", "C", sample_vertices(edges, probability, seed + 2)),
+            _unary("R8", "D", sample_vertices(edges, probability, seed + 3)),
+        ]
+    )
+
+
+def tree_query(
+    edges: Sequence[Edge], probability: float = 0.001, seed: int = 0
+) -> Query:
+    """The Figure-2 tree query."""
+    return Query(
+        [
+            Relation("S_ab", ["A", "B"], edges),
+            Relation("S_bc", ["B", "C"], edges),
+            Relation("S_bd", ["B", "D"], edges),
+            Relation("S_de", ["D", "E"], edges),
+            _unary("R9", "A", sample_vertices(edges, probability, seed)),
+            _unary("R10", "C", sample_vertices(edges, probability, seed + 1)),
+            _unary("R11", "D", sample_vertices(edges, probability, seed + 2)),
+            _unary("R12", "E", sample_vertices(edges, probability, seed + 3)),
+        ]
+    )
+
+
+FIGURE2_QUERIES: Dict[str, object] = {
+    "star": star_query,
+    "3-path": three_path_query,
+    "tree": tree_query,
+}
+
+
+def input_size(query: Query) -> int:
+    """N — total tuples over all atoms (the paper's Figure-2 'N')."""
+    return query.total_tuples()

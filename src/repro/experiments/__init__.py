@@ -1,0 +1,31 @@
+"""Programmatic runners for every EXPERIMENTS.md experiment."""
+
+from repro.experiments.runners import (
+    RUNNERS,
+    ExperimentResult,
+    fit_exponent,
+    format_table,
+    run_all,
+    run_appendix_j,
+    run_beta_cyclic,
+    run_constant_certificate,
+    run_figure2,
+    run_gao_dependence,
+    run_treewidth,
+    run_triangle,
+)
+
+__all__ = [
+    "RUNNERS",
+    "ExperimentResult",
+    "fit_exponent",
+    "format_table",
+    "run_all",
+    "run_appendix_j",
+    "run_beta_cyclic",
+    "run_constant_certificate",
+    "run_figure2",
+    "run_gao_dependence",
+    "run_treewidth",
+    "run_triangle",
+]

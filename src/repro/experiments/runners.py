@@ -1,0 +1,330 @@
+"""Programmatic experiment runners (the EXPERIMENTS.md machinery).
+
+Each runner regenerates one paper artifact and returns structured rows;
+``format_table`` renders them like the paper prints them.  The benchmark
+modules exercise the same code paths; these entry points exist so a user
+can rerun any experiment directly (also via ``python -m repro``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.baselines.generic_join import generic_join
+from repro.baselines.leapfrog import leapfrog_triejoin
+from repro.baselines.yannakakis import yannakakis_join
+from repro.core.engine import join
+from repro.core.triangle import triangle_join
+from repro.datasets.graphs import power_law_graph, uniform_graph
+from repro.datasets.instances import (
+    appendix_j_path,
+    beta_cyclic_cycle,
+    constant_certificate_empty,
+    interleaved_parity,
+    prop_5_3,
+    triangle_hard,
+)
+from repro.datasets.workloads import (
+    input_size,
+    star_query,
+    three_path_query,
+    tree_query,
+)
+from repro.util.counters import OpCounters
+
+
+@dataclass
+class ExperimentResult:
+    """Rows (dicts) plus the column order for rendering."""
+
+    name: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def column(self, key: str) -> List[object]:
+        return [row[key] for row in self.rows]
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    widths = {
+        col: max(len(col), *(len(str(r.get(col, ""))) for r in result.rows))
+        if result.rows
+        else len(col)
+        for col in result.columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in result.columns)
+    divider = "-" * len(header)
+    lines = [result.name, divider, header, divider]
+    for row in result.rows:
+        lines.append(
+            "  ".join(
+                str(row.get(col, "")).ljust(widths[col])
+                for col in result.columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    return num / den
+
+
+# ----------------------------------------------------------------------
+# E1 — Figure 2
+# ----------------------------------------------------------------------
+
+
+def run_figure2(
+    scale: float = 1.0, probability: float = 0.002, seed: int = 99
+) -> ExperimentResult:
+    """N vs |C| for the §5.2 workload on three synthetic graphs."""
+    graphs = {
+        "epinions-like": power_law_graph(
+            int(2_000 * scale), int(10_000 * scale), seed=11
+        ),
+        "livejournal-like": power_law_graph(
+            int(6_000 * scale), int(40_000 * scale), seed=12
+        ),
+        "orkut-like": uniform_graph(
+            int(6_000 * scale), int(60_000 * scale), seed=13
+        ),
+    }
+    queries = {
+        "star": star_query,
+        "3-path": three_path_query,
+        "tree": tree_query,
+    }
+    result = ExperimentResult(
+        "Figure 2 — input size N vs certificate size |C| (FindGap count)",
+        ["query", "dataset", "N", "C", "N_over_C", "Z"],
+    )
+    for query_name, build in queries.items():
+        for graph_name, edges in graphs.items():
+            query = build(edges, probability=probability, seed=seed)
+            res = join(query)
+            n = input_size(query)
+            cert = res.certificate_estimate
+            result.rows.append(
+                {
+                    "query": query_name,
+                    "dataset": graph_name,
+                    "N": n,
+                    "C": cert,
+                    "N_over_C": round(n / max(cert, 1), 1),
+                    "Z": len(res),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3 — Appendix J baseline comparison
+# ----------------------------------------------------------------------
+
+
+def run_appendix_j(
+    blocks: Sequence[int] = (8, 16, 32), m: int = 5
+) -> ExperimentResult:
+    """Minesweeper vs worst-case-optimal baselines on the path family."""
+    result = ExperimentResult(
+        "Appendix J — work on the chunked path family (empty output)",
+        ["M", "N", "minesweeper", "leapfrog", "nprr", "yannakakis"],
+    )
+    for block in blocks:
+        inst = appendix_j_path(m, block)
+        ms = join(inst.query, gao=inst.gao)
+        assert ms.rows == []
+        prepared = inst.query.with_gao(inst.gao)
+        lf = OpCounters()
+        leapfrog_triejoin(prepared, lf)
+        np_counters = OpCounters()
+        generic_join(prepared, np_counters)
+        ya = OpCounters()
+        yannakakis_join(inst.query, inst.gao, ya)
+        result.rows.append(
+            {
+                "M": block,
+                "N": inst.query.total_tuples(),
+                "minesweeper": ms.counters.total_work(),
+                "leapfrog": lf.total_work(),
+                "nprr": np_counters.total_work(),
+                "yannakakis": ya.total_work(),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E5 — GAO dependence
+# ----------------------------------------------------------------------
+
+
+def run_gao_dependence(sizes: Sequence[int] = (4, 8, 16)) -> ExperimentResult:
+    """Examples B.3/B.4: work under the two attribute orders."""
+    result = ExperimentResult(
+        "Examples B.3/B.4 — GAO flips the certificate size",
+        ["n", "gao", "analytic_C", "probes", "work"],
+    )
+    for n in sizes:
+        for name, gao in (("ABC", ["A", "B", "C"]), ("CAB", ["C", "A", "B"])):
+            inst = interleaved_parity(n, gao)
+            res = join(inst.query, gao=inst.gao)
+            result.rows.append(
+                {
+                    "n": n,
+                    "gao": name,
+                    "analytic_C": inst.certificate_size,
+                    "probes": res.counters.probes,
+                    "work": res.counters.total_work(),
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E6 — treewidth lower bound
+# ----------------------------------------------------------------------
+
+
+def run_treewidth(ms: Sequence[int] = (4, 8, 16), w: int = 2) -> ExperimentResult:
+    """Prop 5.3: prefix dismissals grow like m^w while |C| = O(w·m)."""
+    result = ExperimentResult(
+        f"Proposition 5.3 — Q_w lower-bound family (w={w})",
+        ["m", "analytic_C", "probes", "backtracks", "work"],
+    )
+    for m in ms:
+        inst = prop_5_3(w, m)
+        res = join(inst.query, gao=inst.gao)
+        result.rows.append(
+            {
+                "m": m,
+                "analytic_C": inst.certificate_size,
+                "probes": res.counters.probes,
+                "backtracks": res.counters.backtracks,
+                "work": res.counters.total_work(),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E7 — triangle engines
+# ----------------------------------------------------------------------
+
+
+def run_triangle(sizes: Sequence[int] = (8, 16, 32)) -> ExperimentResult:
+    """Thm 5.4: generic vs dyadic CDS on the hard triangle family."""
+    from repro.core.query import Query
+    from repro.storage.relation import Relation
+
+    result = ExperimentResult(
+        "Theorem 5.4 — triangle query: generic vs dyadic CDS",
+        ["n", "C", "generic", "dyadic", "leapfrog"],
+    )
+    for n in sizes:
+        r, s, t, cert = triangle_hard(n)
+        query = Query(
+            [
+                Relation("R", ["A", "B"], r),
+                Relation("S", ["B", "C"], s),
+                Relation("T", ["A", "C"], t),
+            ]
+        )
+        generic = join(query, gao=["A", "B", "C"], strategy="general")
+        dyadic = OpCounters()
+        triangle_join(r, s, t, dyadic)
+        lf = OpCounters()
+        leapfrog_triejoin(query.with_gao(["A", "B", "C"]), lf)
+        result.rows.append(
+            {
+                "n": n,
+                "C": cert,
+                "generic": generic.counters.total_work(),
+                "dyadic": dyadic.total_work(),
+                "leapfrog": lf.total_work(),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E10 — beta-cyclic hardness
+# ----------------------------------------------------------------------
+
+
+def run_beta_cyclic(sizes: Sequence[int] = (6, 12, 24)) -> ExperimentResult:
+    """Prop 2.8 shape: work/|C| grows on the 4-cycle family."""
+    result = ExperimentResult(
+        "Proposition 2.8 — beta-cyclic 4-cycle family",
+        ["n", "C_scale", "work", "work_per_C"],
+    )
+    for n in sizes:
+        inst = beta_cyclic_cycle(4, n)
+        res = join(inst.query, gao=inst.gao)
+        work = res.counters.total_work()
+        result.rows.append(
+            {
+                "n": n,
+                "C_scale": inst.certificate_size,
+                "work": work,
+                "work_per_C": round(work / inst.certificate_size, 2),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E4 — constant certificates
+# ----------------------------------------------------------------------
+
+
+def run_constant_certificate(
+    sizes: Sequence[int] = (100, 1_000, 10_000)
+) -> ExperimentResult:
+    """Example B.1: flat Minesweeper work vs linear Yannakakis work."""
+    result = ExperimentResult(
+        "Example B.1 — O(1) certificate on growing inputs",
+        ["n", "ms_probes", "ms_findgap", "yannakakis_comparisons"],
+    )
+    for n in sizes:
+        inst = constant_certificate_empty(n)
+        res = join(inst.query, gao=inst.gao)
+        ya = OpCounters()
+        yannakakis_join(inst.query, inst.gao, ya)
+        result.rows.append(
+            {
+                "n": n,
+                "ms_probes": res.counters.probes,
+                "ms_findgap": res.counters.findgap,
+                "yannakakis_comparisons": ya.comparisons,
+            }
+        )
+    return result
+
+
+RUNNERS: Dict[str, Callable[[], ExperimentResult]] = {
+    "figure2": run_figure2,
+    "appendix-j": run_appendix_j,
+    "gao": run_gao_dependence,
+    "treewidth": run_treewidth,
+    "triangle": run_triangle,
+    "beta-cyclic": run_beta_cyclic,
+    "constant-certificate": run_constant_certificate,
+}
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every experiment at its default scale."""
+    return [runner() for runner in RUNNERS.values()]

@@ -1,0 +1,185 @@
+"""Acyclicity notions: GYO reduction, join trees, alpha/beta-acyclicity.
+
+Paper Appendix A: a hypergraph is *alpha-acyclic* iff the GYO procedure
+empties it; it is *beta-acyclic* iff every sub-hypergraph (subset of edges)
+is alpha-acyclic, equivalently (Definition A.4) iff it contains no
+beta-cycle, equivalently (Proposition A.6) iff it admits a nested
+elimination order.  This module implements all three characterizations —
+the redundant ones back the property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def gyo_reduction(
+    hypergraph: Hypergraph,
+) -> Tuple[bool, Dict[str, Optional[str]]]:
+    """Run the GYO procedure.
+
+    Returns ``(acyclic, parent)`` where ``parent`` maps each edge name to
+    the edge that absorbed it (None for roots).  ``acyclic`` is True iff
+    the reduction empties the hypergraph; in that case ``parent`` encodes a
+    join forest (one root per connected component).
+
+    GYO rules, iterated to fixpoint:
+
+    1. delete a vertex that occurs in at most one edge (an "isolated" ear
+       vertex);
+    2. delete an edge that is empty or contained in another edge; record
+       the container as its parent.
+    """
+    edges: Dict[str, set] = {n: set(vs) for n, vs in hypergraph.edges.items()}
+    parent: Dict[str, Optional[str]] = {n: None for n in edges}
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: vertices in at most one edge.
+        occurrences: Dict[str, List[str]] = {}
+        for name, vs in edges.items():
+            for v in vs:
+                occurrences.setdefault(v, []).append(name)
+        for v, homes in occurrences.items():
+            if len(homes) == 1:
+                edges[homes[0]].discard(v)
+                changed = True
+        # Rule 2: contained or empty edges.
+        names = list(edges)
+        for name in names:
+            if name not in edges:
+                continue
+            vs = edges[name]
+            if not vs:
+                if len(edges) > 1:
+                    # Attach to any survivor so the forest stays connected
+                    # within this component where possible.
+                    del edges[name]
+                    changed = True
+                continue
+            for other in names:
+                if other == name or other not in edges:
+                    continue
+                if vs <= edges[other]:
+                    parent[name] = other
+                    del edges[name]
+                    changed = True
+                    break
+    leftover_nonempty = [n for n, vs in edges.items() if vs]
+    return (not leftover_nonempty, parent)
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the hypergraph is (alpha-)acyclic."""
+    acyclic, _ = gyo_reduction(hypergraph)
+    return acyclic
+
+
+def join_tree(hypergraph: Hypergraph) -> Dict[str, Optional[str]]:
+    """A join forest (edge name -> parent edge name) for an acyclic query.
+
+    Raises ValueError on cyclic inputs.  The forest satisfies the running
+    intersection property, as produced by GYO ear removal.
+    """
+    acyclic, parent = gyo_reduction(hypergraph)
+    if not acyclic:
+        raise ValueError("hypergraph is not alpha-acyclic; no join tree")
+    return parent
+
+
+def _is_nest_point(hypergraph: Hypergraph, vertex: str) -> bool:
+    """A nest point's incident edges form a chain under inclusion."""
+    incident = sorted(
+        (hypergraph.edge(name) for name in hypergraph.edges_containing(vertex)),
+        key=len,
+    )
+    return all(a <= b for a, b in zip(incident, incident[1:]))
+
+
+def nest_points(hypergraph: Hypergraph) -> List[str]:
+    """All nest points (Brouwer-Kolen: a beta-acyclic graph has >= 2)."""
+    return [v for v in sorted(hypergraph.vertices) if _is_nest_point(hypergraph, v)]
+
+
+def nested_elimination_order(hypergraph: Hypergraph) -> Optional[List[str]]:
+    """A nested elimination order v1..vn, or None if none exists.
+
+    Built back-to-front by repeatedly peeling a nest point (the proof of
+    Proposition A.6).  Existence characterizes beta-acyclicity.
+    """
+    order_reversed: List[str] = []
+    current = hypergraph
+    while current.vertices:
+        candidates = nest_points(current)
+        if not candidates:
+            return None
+        v = candidates[0]
+        order_reversed.append(v)
+        current = current.remove_vertex(v)
+    order_reversed.reverse()
+    return order_reversed
+
+
+def is_beta_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff beta-acyclic (via nested elimination order existence)."""
+    return nested_elimination_order(hypergraph) is not None
+
+
+def is_beta_acyclic_bruteforce(hypergraph: Hypergraph) -> bool:
+    """Definition-level check: every edge subset is alpha-acyclic.
+
+    Exponential; used by tests to validate the nest-point algorithm.
+    """
+    names = hypergraph.edge_names()
+    for k in range(1, len(names) + 1):
+        for subset in itertools.combinations(names, k):
+            if not is_alpha_acyclic(hypergraph.restrict_edges(subset)):
+                return False
+    return True
+
+
+def find_beta_cycle(
+    hypergraph: Hypergraph, max_length: int = 6
+) -> Optional[List[Tuple[str, str]]]:
+    """Search for a beta-cycle (Definition A.4) of length 3..max_length.
+
+    Returns ``[(F1, u1), (F2, u2), ...]`` or None.  Brute force over edge
+    and vertex sequences; intended for small query hypergraphs and tests.
+    """
+    names = hypergraph.edge_names()
+    edges = hypergraph.edges
+    for m in range(3, min(max_length, len(names)) + 1):
+        for edge_seq in itertools.permutations(names, m):
+            cycle = _close_beta_cycle(edges, edge_seq)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def _close_beta_cycle(
+    edges: Dict[str, frozenset], edge_seq: Sequence[str]
+) -> Optional[List[Tuple[str, str]]]:
+    """Try to pick distinct u_i completing ``edge_seq`` into a beta-cycle."""
+    m = len(edge_seq)
+    choices: List[List[str]] = []
+    for i in range(m):
+        current = edges[edge_seq[i]]
+        following = edges[edge_seq[(i + 1) % m]]
+        others = [
+            edges[edge_seq[j]] for j in range(m) if j not in (i, (i + 1) % m)
+        ]
+        valid = [
+            u
+            for u in current & following
+            if all(u not in other for other in others)
+        ]
+        if not valid:
+            return None
+        choices.append(valid)
+    for combo in itertools.product(*choices):
+        if len(set(combo)) == m:
+            return list(zip(edge_seq, combo))
+    return None

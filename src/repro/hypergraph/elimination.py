@@ -1,0 +1,183 @@
+"""Elimination orders, prefix posets, elimination width (Appendix A.2).
+
+Given a GAO v1..vn, the paper builds hypergraphs H_n, ..., H_1 and *prefix
+posets* P_n, ..., P_1 by eliminating vertices back-to-front; the poset P_k
+(sets ordered by reversed inclusion) governs the shape of the CDS's
+principal filters at depth k (Proposition 4.2):
+
+* every P_k is a **chain**  <=>  the GAO is a *nested elimination order*
+  (possible iff the query is beta-acyclic, Proposition A.6);
+* max_k |U(P_k)| is the **elimination width**, which lower-bounds to the
+  query's treewidth over all GAOs (Proposition A.7) and drives the
+  |C|^{w+1} bound of Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+PrefixPoset = List[FrozenSet[str]]
+
+
+def prefix_posets(
+    hypergraph: Hypergraph, order: Sequence[str]
+) -> List[PrefixPoset]:
+    """Compute P_1, ..., P_n for the elimination order ``order``.
+
+    Returns a list indexed 0..n-1 where entry k-1 is the collection P_k
+    (distinct sets only; multiplicity is irrelevant to chains and widths).
+    """
+    order = list(order)
+    if set(order) != set(hypergraph.vertices) or len(order) != len(
+        set(order)
+    ):
+        raise ValueError("order must be a permutation of the vertices")
+    n = len(order)
+    position = {v: i for i, v in enumerate(order)}
+    current_edges: List[FrozenSet[str]] = list(hypergraph.edges.values())
+    posets: List[PrefixPoset] = [[] for _ in range(n)]
+    for j in range(n - 1, -1, -1):
+        v = order[j]
+        incident = [e for e in current_edges if v in e]
+        poset = {e - {v} for e in incident}
+        posets[j] = sorted(poset, key=lambda s: (len(s), sorted(s)))
+        universe = frozenset().union(*poset) if poset else frozenset()
+        if universe and any(position[u] >= j for u in universe):
+            raise AssertionError(
+                "universe escaped the prefix; elimination bookkeeping bug"
+            )
+        # Build E_{j}: drop v from every edge, add the glue edge U(P_{j+1}).
+        next_edges = [e - {v} for e in current_edges]
+        next_edges.append(universe)
+        current_edges = [e for e in next_edges if e]
+    return posets
+
+
+def poset_universes(posets: List[PrefixPoset]) -> List[FrozenSet[str]]:
+    """U(P_k) for each k."""
+    return [
+        frozenset().union(*p) if p else frozenset() for p in posets
+    ]
+
+
+def is_chain(collection: PrefixPoset) -> bool:
+    """True iff the sets form a chain under inclusion."""
+    by_size = sorted(collection, key=len)
+    return all(a <= b for a, b in zip(by_size, by_size[1:]))
+
+
+def is_nested_elimination_order(
+    hypergraph: Hypergraph, order: Sequence[str]
+) -> bool:
+    """True iff every prefix poset of ``order`` is a chain (Def A.5)."""
+    return all(is_chain(p) for p in prefix_posets(hypergraph, order))
+
+
+def elimination_width(
+    hypergraph: Hypergraph, order: Sequence[str]
+) -> int:
+    """max_k |U(P_k)| — the induced width of the GAO (Prop A.7)."""
+    universes = poset_universes(prefix_posets(hypergraph, order))
+    return max((len(u) for u in universes), default=0)
+
+
+def min_fill_order(hypergraph: Hypergraph) -> List[str]:
+    """A low-width GAO via the min-fill elimination heuristic.
+
+    Eliminates, at each step, the vertex whose neighborhood needs the
+    fewest fill edges in the Gaifman graph (ties: min degree, then name).
+    The *first-eliminated* vertex becomes v_n, matching the back-to-front
+    convention of Appendix A.2.
+    """
+    adj = {v: set(nbrs) for v, nbrs in hypergraph.gaifman_neighbors().items()}
+    eliminated: List[str] = []
+    while adj:
+        best_v, best_cost = None, None
+        for v in sorted(adj):
+            nbrs = adj[v]
+            fill = sum(
+                1
+                for a in nbrs
+                for b in nbrs
+                if a < b and b not in adj[a]
+            )
+            cost = (fill, len(nbrs), v)
+            if best_cost is None or cost < best_cost:
+                best_v, best_cost = v, cost
+        assert best_v is not None
+        nbrs = adj.pop(best_v)
+        for a in nbrs:
+            adj[a] |= nbrs - {a}
+            adj[a].discard(best_v)
+        eliminated.append(best_v)
+    eliminated.reverse()
+    return eliminated
+
+
+def choose_gao(hypergraph: Hypergraph) -> Tuple[List[str], str]:
+    """Select a GAO per the paper's prescriptions.
+
+    * beta-acyclic query  ->  a nested elimination order (Theorem 2.7);
+    * otherwise           ->  a min-fill low-elimination-width order
+      (Theorem 5.1 via Proposition A.7).
+
+    Returns ``(order, kind)`` with kind in {"neo", "minfill"}.
+    """
+    from repro.hypergraph.acyclicity import nested_elimination_order
+
+    neo = nested_elimination_order(hypergraph)
+    if neo is not None:
+        return neo, "neo"
+    return min_fill_order(hypergraph), "minfill"
+
+
+def tree_decomposition(
+    hypergraph: Hypergraph, order: Sequence[str]
+) -> Tuple[Dict[str, FrozenSet[str]], Dict[str, Optional[str]]]:
+    """A tree decomposition induced by an elimination order.
+
+    Bag for vertex v_k is {v_k} ∪ U(P_k); bag k's parent is the bag of the
+    latest-ordered vertex inside U(P_k).  Returns (bags, parent) keyed by
+    vertex name.  Width = elimination_width(order).
+    """
+    order = list(order)
+    position = {v: i for i, v in enumerate(order)}
+    universes = poset_universes(prefix_posets(hypergraph, order))
+    bags: Dict[str, FrozenSet[str]] = {}
+    parent: Dict[str, Optional[str]] = {}
+    for j, v in enumerate(order):
+        bag = universes[j] | {v}
+        bags[v] = bag
+        rest = universes[j]
+        if rest:
+            parent[v] = max(rest, key=lambda u: position[u])
+        else:
+            parent[v] = None
+    return bags, parent
+
+
+def validate_tree_decomposition(
+    hypergraph: Hypergraph,
+    bags: Dict[str, FrozenSet[str]],
+    parent: Dict[str, Optional[str]],
+) -> None:
+    """Assert the two tree-decomposition properties (Definition A.2)."""
+    for name, edge in hypergraph.edges.items():
+        if not any(edge <= bag for bag in bags.values()):
+            raise AssertionError(f"edge {name} covered by no bag")
+    for v in hypergraph.vertices:
+        holding = {key for key, bag in bags.items() if v in bag}
+        if not holding:
+            raise AssertionError(f"vertex {v} in no bag")
+        # Connectivity: walking parents from any holder must stay inside
+        # `holding` until reaching its topmost holder.
+        tops = set()
+        for key in holding:
+            current = key
+            while parent[current] is not None and parent[current] in holding:
+                current = parent[current]
+            tops.add(current)
+        if len(tops) != 1:
+            raise AssertionError(f"bags holding {v} are not connected")

@@ -1,0 +1,127 @@
+"""Query hypergraphs (paper Appendix A).
+
+A join query is represented by a hypergraph whose vertices are attributes
+and whose hyperedges are the relations' attribute sets.  All structural
+notions the paper relies on — GYO reduction, alpha/beta-acyclicity, nested
+elimination orders, elimination width — operate on this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+
+class Hypergraph:
+    """A named-edge hypergraph over string vertices.
+
+    Edges keep their insertion names (relation names) so that join trees
+    and ear decompositions can refer back to relations.  Duplicate edge
+    *names* are rejected; duplicate edge *sets* are allowed (two relations
+    may share a schema).
+    """
+
+    def __init__(self, edges: Mapping[str, Iterable[str]]) -> None:
+        self._edges: Dict[str, FrozenSet[str]] = {}
+        for name, vertices in edges.items():
+            vset = frozenset(vertices)
+            if not vset:
+                raise ValueError(f"edge {name!r} must be non-empty")
+            if name in self._edges:
+                raise ValueError(f"duplicate edge name {name!r}")
+            self._edges[name] = vset
+        self._vertices: FrozenSet[str] = (
+            frozenset().union(*self._edges.values()) if self._edges else frozenset()
+        )
+
+    @property
+    def vertices(self) -> FrozenSet[str]:
+        return self._vertices
+
+    @property
+    def edges(self) -> Dict[str, FrozenSet[str]]:
+        return dict(self._edges)
+
+    def edge_names(self) -> List[str]:
+        return list(self._edges)
+
+    def edge(self, name: str) -> FrozenSet[str]:
+        return self._edges[name]
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}({','.join(sorted(vs))})" for name, vs in self._edges.items()
+        )
+        return f"Hypergraph[{body}]"
+
+    def edges_containing(self, vertex: str) -> List[str]:
+        """Names of edges containing ``vertex``."""
+        return [name for name, vs in self._edges.items() if vertex in vs]
+
+    def remove_vertex(self, vertex: str) -> "Hypergraph":
+        """A new hypergraph with ``vertex`` deleted from every edge.
+
+        Edges that become empty are dropped (with their names).
+        """
+        new_edges = {}
+        for name, vs in self._edges.items():
+            reduced = vs - {vertex}
+            if reduced:
+                new_edges[name] = reduced
+        return Hypergraph(new_edges)
+
+    def restrict_edges(self, names: Sequence[str]) -> "Hypergraph":
+        """The sub-hypergraph induced by a subset of edges."""
+        return Hypergraph({name: self._edges[name] for name in names})
+
+    def is_connected(self) -> bool:
+        """True iff the edge-intersection graph is connected."""
+        names = self.edge_names()
+        if len(names) <= 1:
+            return True
+        seen = {names[0]}
+        frontier = [names[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in names:
+                if other not in seen and self._edges[current] & self._edges[other]:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(names)
+
+    def components(self) -> List[List[str]]:
+        """Edge names grouped into connected components."""
+        names = self.edge_names()
+        remaining = set(names)
+        result: List[List[str]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for other in list(remaining - component):
+                    if self._edges[current] & self._edges[other]:
+                        component.add(other)
+                        frontier.append(other)
+            result.append(sorted(component, key=names.index))
+            remaining -= component
+        return result
+
+    def gaifman_neighbors(self) -> Dict[str, set]:
+        """The Gaifman (primal) graph adjacency over vertices."""
+        adj: Dict[str, set] = {v: set() for v in self._vertices}
+        for vs in self._edges.values():
+            for v in vs:
+                adj[v] |= vs - {v}
+        return adj
+
+
+def query_hypergraph(schemas: Mapping[str, Sequence[str]]) -> Hypergraph:
+    """Build the hypergraph of a query given relation-name -> attributes."""
+    return Hypergraph({name: attrs for name, attrs in schemas.items()})
+
+
+JoinTree = Dict[str, Tuple[str, ...]]

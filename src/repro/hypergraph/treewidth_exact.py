@@ -1,0 +1,102 @@
+"""Exact treewidth for small hypergraphs (test oracle for Prop A.7).
+
+Proposition A.7 ties Minesweeper's Theorem-5.1 exponent to the minimum
+elimination width over all GAOs, which equals the treewidth.  The
+min-fill heuristic in :mod:`repro.hypergraph.elimination` is only a
+heuristic; this module provides the exact value by dynamic programming
+over vertex subsets (the Bodlaender–Held–Karp style O(2ⁿ·n) recurrence),
+so tests can assert heuristic quality and theorem exponents precisely.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.hypergraph.elimination import elimination_width
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def exact_treewidth(hypergraph: Hypergraph, max_vertices: int = 16) -> int:
+    """The exact treewidth, via subset DP over elimination orders.
+
+    Q(S) = min over v in S of max(|neighbors of v in the graph where
+    V-S∪{v} was already eliminated|, Q(S - v)); treewidth = Q(V).
+    Eliminating from the end: when processing subset S, vertices outside
+    S are already eliminated, so v's relevant degree is the number of
+    vertices in S - {v} reachable from v through eliminated vertices —
+    equivalently |N_fill(v) ∩ S|.
+    """
+    vertices = sorted(hypergraph.vertices)
+    n = len(vertices)
+    if n == 0:
+        return 0
+    if n > max_vertices:
+        raise ValueError(
+            f"exact treewidth limited to {max_vertices} vertices (got {n})"
+        )
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency = [0] * n
+    for edge in hypergraph.edges.values():
+        members = [index[v] for v in edge]
+        for a in members:
+            for b in members:
+                if a != b:
+                    adjacency[a] |= 1 << b
+
+    full = (1 << n) - 1
+
+    def reachable_degree(v: int, subset: int) -> int:
+        """|{u in subset - v : u reachable from v via vertices not in subset}|."""
+        outside = full & ~subset
+        seen = 1 << v
+        frontier = adjacency[v]
+        result = frontier & subset & ~(1 << v)
+        frontier &= outside & ~seen
+        while frontier:
+            low = frontier & (-frontier)
+            u = low.bit_length() - 1
+            seen |= low
+            result |= adjacency[u] & subset & ~(1 << v)
+            frontier |= adjacency[u] & outside & ~seen
+            frontier &= ~low
+        return bin(result).count("1")
+
+    @lru_cache(maxsize=None)
+    def best_width(subset: int) -> int:
+        if subset == 0:
+            return 0
+        result = n
+        remaining = subset
+        while remaining:
+            low = remaining & (-remaining)
+            v = low.bit_length() - 1
+            degree = reachable_degree(v, subset)
+            if degree < result:  # prune: degree only bounds from below
+                candidate = max(degree, best_width(subset & ~low))
+                if candidate < result:
+                    result = candidate
+            remaining &= ~low
+        return result
+
+    try:
+        return best_width(full)
+    finally:
+        best_width.cache_clear()
+
+
+def best_elimination_order_bruteforce(
+    hypergraph: Hypergraph, max_vertices: int = 8
+) -> Tuple[List[str], int]:
+    """Exhaustive (order, width) search — a second, slower oracle."""
+    import itertools
+
+    vertices = sorted(hypergraph.vertices)
+    if len(vertices) > max_vertices:
+        raise ValueError("brute force limited to small vertex sets")
+    best_order, best_width = list(vertices), len(vertices)
+    for order in itertools.permutations(vertices):
+        width = elimination_width(hypergraph, list(order))
+        if width < best_width:
+            best_order, best_width = list(order), width
+    return best_order, best_width

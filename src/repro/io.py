@@ -1,0 +1,143 @@
+"""Loading and saving relations (CSV / TSV / JSON / edge lists).
+
+The library's value domain is integers; these helpers get tabular data
+into :class:`~repro.storage.relation.Relation` objects, with a string
+dictionary for non-integer columns (dictionary encoding is how ordered
+indexes over strings work in practice — the paper's order-based model
+only needs a total order, which the encoding preserves per column when
+built from sorted distinct values).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.storage.relation import Relation
+
+
+class Dictionary:
+    """An order-preserving string-to-int dictionary for one column."""
+
+    def __init__(self, values: Iterable[str]) -> None:
+        self._values: List[str] = sorted(set(values))
+        self._codes: Dict[str, int] = {
+            v: i for i, v in enumerate(self._values)
+        }
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode(self, value: str) -> int:
+        return self._codes[value]
+
+    def decode(self, code: int) -> str:
+        return self._values[code]
+
+
+def relation_from_rows(
+    name: str,
+    attributes: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Tuple[Relation, Dict[str, Dictionary]]:
+    """Build a relation, dictionary-encoding any non-integer columns.
+
+    Returns ``(relation, dictionaries)`` where ``dictionaries`` maps the
+    encoded attributes' names to their :class:`Dictionary`.
+    """
+    materialized = [tuple(row) for row in rows]
+    for row in materialized:
+        if len(row) != len(attributes):
+            raise ValueError(
+                f"row {row!r} does not match attributes {list(attributes)}"
+            )
+    dictionaries: Dict[str, Dictionary] = {}
+    columns: List[List[object]] = list(map(list, zip(*materialized))) if materialized else [
+        [] for _ in attributes
+    ]
+    encoded_columns: List[List[int]] = []
+    for attr, column in zip(attributes, columns):
+        if all(isinstance(v, int) and not isinstance(v, bool) for v in column):
+            encoded_columns.append(list(column))  # type: ignore[arg-type]
+            continue
+        dictionary = Dictionary(str(v) for v in column)
+        dictionaries[attr] = dictionary
+        encoded_columns.append([dictionary.encode(str(v)) for v in column])
+    encoded_rows = list(zip(*encoded_columns)) if materialized else []
+    return Relation(name, attributes, encoded_rows), dictionaries
+
+
+def load_csv(
+    path: str,
+    name: str,
+    attributes: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    header: bool = False,
+) -> Tuple[Relation, Dict[str, Dictionary]]:
+    """Load a relation from a delimited text file.
+
+    With ``header=True`` the first line names the attributes (overridden
+    by an explicit ``attributes``).  Integer-looking cells are parsed as
+    ints; other columns are dictionary-encoded.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if header:
+        first = rows.pop(0)
+        if attributes is None:
+            attributes = [cell.strip() for cell in first]
+    if attributes is None:
+        width = len(rows[0]) if rows else 0
+        attributes = [f"col{i}" for i in range(width)]
+
+    def parse(cell: str) -> object:
+        text = cell.strip()
+        try:
+            return int(text)
+        except ValueError:
+            return text
+
+    parsed = [[parse(cell) for cell in row] for row in rows]
+    return relation_from_rows(name, attributes, parsed)
+
+
+def load_json(path: str, name: str) -> Tuple[Relation, Dict[str, Dictionary]]:
+    """Load ``{"attributes": [...], "rows": [[...], ...]}`` JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "attributes" not in payload:
+        raise ValueError(f"{path}: expected an object with 'attributes'/'rows'")
+    return relation_from_rows(
+        name, payload["attributes"], payload.get("rows", [])
+    )
+
+
+def load_edge_list(
+    path: str,
+    name: str,
+    attributes: Sequence[str] = ("src", "dst"),
+) -> Tuple[Relation, Dict[str, Dictionary]]:
+    """Load a whitespace-separated edge list (SNAP format, '#' comments)."""
+    rows: List[List[object]] = []
+    with open(path) as handle:
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) != len(attributes):
+                raise ValueError(f"{path}: bad edge line {text!r}")
+            rows.append(
+                [int(p) if p.lstrip("-").isdigit() else p for p in parts]
+            )
+    return relation_from_rows(name, attributes, rows)
+
+
+def save_rows(path: str, rows: Iterable[Sequence[int]]) -> None:
+    """Write result tuples as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,267 @@
+"""A classic B-tree ordered set — the disk-style index model.
+
+The paper's index model (Section 2.1) "captures widely used indexes
+including a B-tree or a Trie".  :class:`repro.storage.trie.TrieRelation` is
+the default in-memory index; this module provides the B-tree realization so
+that the model claim is executable: a relation stored in a B-tree keyed by
+its full tuples supports the same seek operations (successor / predecessor
+on tuple prefixes), and :class:`repro.storage.relation.Relation` can be
+built from either backend.
+
+Implementation: CLRS-style B-tree of minimum degree ``t`` (every node other
+than the root holds between t-1 and 2t-1 keys), supporting insert, delete,
+membership, successor/predecessor seeks, and ordered iteration.  Keys may be
+any mutually comparable values (ints or tuples of ints here).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Any
+
+
+class _BNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: List[Any] = []
+        self.children: List["_BNode"] = [] if leaf else []
+        if not leaf:
+            self.children = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """An ordered set of distinct comparable keys backed by a B-tree."""
+
+    def __init__(self, keys: Optional[Iterable[Any]] = None, t: int = 16) -> None:
+        if t < 2:
+            raise ValueError("B-tree minimum degree t must be >= 2")
+        self._t = t
+        self._root = _BNode(leaf=True)
+        self._size = 0
+        if keys is not None:
+            for key in keys:
+                self.insert(key)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while True:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return True
+            if node.leaf:
+                return False
+            node = node.children[i]
+
+    def __iter__(self) -> Iterator[Any]:
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node: _BNode) -> Iterator[Any]:
+        if node.leaf:
+            yield from node.keys
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iter_node(node.children[i])
+            yield key
+        yield from self._iter_node(node.children[-1])
+
+    # ------------------------------------------------------------------
+    # Seeks
+    # ------------------------------------------------------------------
+
+    def successor(self, key: Any) -> Optional[Any]:
+        """Smallest stored key >= ``key`` (None if none)."""
+        node, best = self._root, None
+        while True:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys):
+                candidate = node.keys[i]
+                if candidate == key:
+                    return candidate
+                best = candidate if best is None or candidate < best else best
+            if node.leaf:
+                return best
+            node = node.children[i]
+
+    def predecessor(self, key: Any) -> Optional[Any]:
+        """Largest stored key <= ``key`` (None if none)."""
+        node, best = self._root, None
+        while True:
+            i = bisect.bisect_right(node.keys, key)
+            if i > 0:
+                candidate = node.keys[i - 1]
+                if candidate == key:
+                    return candidate
+                best = candidate if best is None or candidate > best else best
+            if node.leaf:
+                return best
+            node = node.children[i]
+
+    def range(self, low: Any, high: Any) -> Iterator[Any]:
+        """Yield stored keys k with low <= k < high, in order."""
+        yield from self._range_node(self._root, low, high)
+
+    def _range_node(self, node: _BNode, low: Any, high: Any) -> Iterator[Any]:
+        i = bisect.bisect_left(node.keys, low)
+        if node.leaf:
+            while i < len(node.keys) and node.keys[i] < high:
+                yield node.keys[i]
+                i += 1
+            return
+        while i < len(node.keys) and node.keys[i] < high:
+            yield from self._range_node(node.children[i], low, high)
+            yield node.keys[i]
+            i += 1
+        if i == len(node.keys) or node.keys[i] >= high:
+            yield from self._range_node(node.children[i], low, high)
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any) -> bool:
+        """Insert ``key``; return True if it was new."""
+        if key in self:
+            return False
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _BNode(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key)
+        self._size += 1
+        return True
+
+    def _split_child(self, parent: _BNode, i: int) -> None:
+        t = self._t
+        child = parent.children[i]
+        sibling = _BNode(leaf=child.leaf)
+        parent.keys.insert(i, child.keys[t - 1])
+        parent.children.insert(i + 1, sibling)
+        sibling.keys = child.keys[t:]
+        child.keys = child.keys[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+
+    def _insert_nonfull(self, node: _BNode, key: Any) -> None:
+        while not node.leaf:
+            i = bisect.bisect_left(node.keys, key)
+            if len(node.children[i].keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+        bisect.insort(node.keys, key)
+
+    # ------------------------------------------------------------------
+    # Delete (CLRS scheme)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Delete ``key``; return True if it was present."""
+        if key not in self:
+            return False
+        self._delete(self._root, key)
+        if not self._root.keys and not self._root.leaf:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return True
+
+    def _delete(self, node: _BNode, key: Any) -> None:
+        t = self._t
+        i = bisect.bisect_left(node.keys, key)
+        if i < len(node.keys) and node.keys[i] == key:
+            if node.leaf:
+                del node.keys[i]
+                return
+            if len(node.children[i].keys) >= t:
+                pred = self._max_key(node.children[i])
+                node.keys[i] = pred
+                self._delete(node.children[i], pred)
+            elif len(node.children[i + 1].keys) >= t:
+                succ = self._min_key(node.children[i + 1])
+                node.keys[i] = succ
+                self._delete(node.children[i + 1], succ)
+            else:
+                self._merge_children(node, i)
+                self._delete(node.children[i], key)
+            return
+        if node.leaf:
+            return  # key absent (guarded by caller)
+        if len(node.children[i].keys) < t:
+            i = self._fill_child(node, i, key)
+        self._delete(node.children[i], key)
+
+    def _fill_child(self, node: _BNode, i: int, key: Any) -> int:
+        """Ensure child i has >= t keys before descending; return new i."""
+        t = self._t
+        if i > 0 and len(node.children[i - 1].keys) >= t:
+            child, left = node.children[i], node.children[i - 1]
+            child.keys.insert(0, node.keys[i - 1])
+            node.keys[i - 1] = left.keys.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return i
+        if i < len(node.children) - 1 and len(node.children[i + 1].keys) >= t:
+            child, right = node.children[i], node.children[i + 1]
+            child.keys.append(node.keys[i])
+            node.keys[i] = right.keys.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return i
+        if i > 0:
+            self._merge_children(node, i - 1)
+            return i - 1
+        self._merge_children(node, i)
+        return i
+
+    def _merge_children(self, node: _BNode, i: int) -> None:
+        child, right = node.children[i], node.children[i + 1]
+        child.keys.append(node.keys.pop(i))
+        child.keys.extend(right.keys)
+        child.children.extend(right.children)
+        del node.children[i + 1]
+
+    def _min_key(self, node: _BNode) -> Any:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _max_key(self, node: _BNode) -> Any:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------
+    # Structural validation (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any B-tree invariant is violated."""
+        self._check_node(self._root, is_root=True)
+        keys = list(self)
+        assert keys == sorted(set(keys)), "iteration must be sorted+distinct"
+        assert len(keys) == self._size, "size bookkeeping out of sync"
+
+    def _check_node(self, node: _BNode, is_root: bool) -> int:
+        t = self._t
+        assert len(node.keys) <= 2 * t - 1, "node overfull"
+        if not is_root:
+            assert len(node.keys) >= t - 1, "node underfull"
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        if node.leaf:
+            return 1
+        assert len(node.children) == len(node.keys) + 1
+        depths = {self._check_node(c, is_root=False) for c in node.children}
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1

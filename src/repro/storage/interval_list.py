@@ -1,0 +1,260 @@
+"""IntervalList building block (paper Appendix E.2).
+
+An ``IntervalList`` stores *open* integer intervals ``(l, r)`` — covering the
+integers v with l < v < r — where endpoints may be ``NEG_INF`` / ``POS_INF``.
+It supports, in O(log n) amortized time (Proposition E.3):
+
+* ``next(v)`` — the smallest integer v' >= v not covered by any interval
+  (``POS_INF`` if every integer >= v is covered),
+* ``covers(v)`` — whether v lies strictly inside some stored interval,
+* ``insert(l, r)`` — add an interval, merging overlaps.
+
+Invariant: stored intervals are non-empty, pairwise disjoint *as integer
+sets*, and sorted; consecutive intervals (l1,r1), (l2,r2) satisfy l2 >= r1,
+so every finite right endpoint is itself uncovered.  Two open intervals are
+merged exactly when their integer sets overlap, i.e. when l2 < r1.
+
+``NaiveIntervalList`` is the ablation twin (experiment E13): it stores every
+inserted interval verbatim and answers ``next`` by linear re-scanning, which
+reproduces the quadratic blow-up the amortized merging avoids.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.util.sentinels import (
+    NEG_INF,
+    POS_INF,
+    ExtendedValue,
+    is_finite,
+)
+
+Interval = Tuple[ExtendedValue, ExtendedValue]
+
+
+def interval_is_empty(low: ExtendedValue, high: ExtendedValue) -> bool:
+    """True iff the open interval (low, high) contains no integer.
+
+    Finite (l, r) is empty iff r <= l + 1.  Any interval with an infinite
+    endpoint contains integers (the domain is all of Z; the engines restrict
+    values to N but -inf intervals are used as node-creation placeholders).
+    """
+    if low is POS_INF or high is NEG_INF:
+        return True
+    if is_finite(low) and is_finite(high):
+        return high - low <= 1  # type: ignore[operator]
+    if low is NEG_INF and high is NEG_INF:
+        return True
+    if low is POS_INF and high is POS_INF:
+        return True
+    return False
+
+
+class IntervalList:
+    """Disjoint, merged open integer intervals with Next/covers/insert."""
+
+    __slots__ = ("_lows", "_highs")
+
+    def __init__(self) -> None:
+        self._lows: List[ExtendedValue] = []
+        self._highs: List[ExtendedValue] = []
+
+    def __len__(self) -> int:
+        return len(self._lows)
+
+    def __bool__(self) -> bool:
+        return bool(self._lows)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(zip(self._lows, self._highs))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"({lo!r},{hi!r})" for lo, hi in self)
+        return f"IntervalList[{body}]"
+
+    def intervals(self) -> List[Interval]:
+        """A copy of the stored (low, high) pairs in sorted order."""
+        return list(zip(self._lows, self._highs))
+
+    def _locate(self, value: int) -> Optional[int]:
+        """Index of the interval whose low endpoint is < value, if any."""
+        i = bisect.bisect_left(self._lows, value)
+        # self._lows[i-1] < value <= self._lows[i]; candidate is i-1.
+        if i > 0:
+            return i - 1
+        return None
+
+    def covers(self, value: int) -> bool:
+        """True iff some stored interval strictly contains ``value``."""
+        i = self._locate(value)
+        if i is None:
+            return False
+        return self._highs[i] > value
+
+    def next(self, value: int) -> ExtendedValue:
+        """Smallest integer >= ``value`` outside every stored interval.
+
+        Returns ``POS_INF`` when the covering interval is right-unbounded.
+        Because consecutive intervals never share their boundary integer, a
+        finite right endpoint is always uncovered, so a single lookup
+        suffices.
+        """
+        i = self._locate(value)
+        if i is None or self._highs[i] <= value:
+            return value
+        high = self._highs[i]
+        if high is POS_INF:
+            return POS_INF
+        return high  # type: ignore[return-value]
+
+    def insert(self, low: ExtendedValue, high: ExtendedValue) -> bool:
+        """Insert (low, high), merging overlaps; return True if changed.
+
+        Empty intervals are ignored.  Merging is by integer-set overlap: the
+        incoming interval absorbs every stored interval (l, r) with
+        l < high and low < r.
+        """
+        if interval_is_empty(low, high):
+            return False
+        lows, highs = self._lows, self._highs
+        # First stored interval that could overlap: rightmost with l <= low
+        # may still reach past low; everything with l >= high cannot overlap.
+        start = bisect.bisect_left(lows, low)
+        if start > 0 and highs[start - 1] > low:
+            start -= 1
+        stop = start
+        n = len(lows)
+        new_low, new_high = low, high
+        while stop < n and lows[stop] < new_high:
+            if lows[stop] < new_low:
+                new_low = lows[stop]
+            if highs[stop] > new_high:
+                new_high = highs[stop]
+            stop += 1
+        if start == stop:
+            lows.insert(start, new_low)
+            highs.insert(start, new_high)
+            return True
+        if stop - start == 1 and lows[start] == new_low and highs[start] == new_high:
+            return False  # already subsumed by a single existing interval
+        del lows[start:stop]
+        del highs[start:stop]
+        lows.insert(start, new_low)
+        highs.insert(start, new_high)
+        return True
+
+    def covers_all(self, low: int, high: ExtendedValue) -> bool:
+        """True iff every integer v with low <= v (< high) is covered."""
+        nxt = self.next(low)
+        if nxt is POS_INF:
+            return True
+        return nxt >= high  # type: ignore[operator]
+
+    def covered_runs(
+        self, low: ExtendedValue, high: ExtendedValue
+    ) -> List[Interval]:
+        """Stored coverage clipped to (low, high), as open intervals."""
+        out: List[Interval] = []
+        for lo, hi in self._overlapping(low, high):
+            piece_low = lo if low < lo else low
+            piece_high = hi if hi < high else high
+            if not interval_is_empty(piece_low, piece_high):
+                out.append((piece_low, piece_high))
+        return out
+
+    def uncovered_runs(
+        self, low: ExtendedValue, high: ExtendedValue
+    ) -> List[Interval]:
+        """The integers of (low, high) *not* covered, as open intervals.
+
+        Together with :meth:`covered_runs` this partitions the integer set
+        of (low, high); the dyadic-tree CDS (Appendix L) uses it to find
+        the genuinely new parts of an inserted constraint.
+        """
+        from repro.util.sentinels import pred, succ
+
+        out: List[Interval] = []
+        cursor: ExtendedValue = low
+        for lo, hi in self._overlapping(low, high):
+            if lo > cursor and not interval_is_empty(cursor, succ(lo)):
+                # Uncovered integers cursor+1 .. lo (lo itself is outside
+                # the open stored interval).
+                out.append((cursor, succ(lo)))
+            new_cursor = pred(hi)
+            if new_cursor > cursor:
+                cursor = new_cursor
+            if not succ(cursor) < high:
+                return out
+        if not interval_is_empty(cursor, high):
+            out.append((cursor, high))
+        return out
+
+    def _overlapping(
+        self, low: ExtendedValue, high: ExtendedValue
+    ) -> List[Interval]:
+        """Stored intervals whose integer sets intersect (low, high)."""
+        out: List[Interval] = []
+        for lo, hi in zip(self._lows, self._highs):
+            if lo >= high:
+                break
+            clipped_low = lo if low < lo else low
+            clipped_high = hi if hi < high else high
+            if not interval_is_empty(clipped_low, clipped_high):
+                out.append((lo, hi))
+        return out
+
+
+class NaiveIntervalList:
+    """Ablation variant: no merging, linear-scan ``next`` (experiment E13).
+
+    Functionally equivalent to :class:`IntervalList`; asymptotically worse.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: List[Interval] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._items)
+
+    def intervals(self) -> List[Interval]:
+        return list(self._items)
+
+    def covers(self, value: int) -> bool:
+        return any(lo < value < hi for lo, hi in self._items)
+
+    def insert(self, low: ExtendedValue, high: ExtendedValue) -> bool:
+        if interval_is_empty(low, high):
+            return False
+        self._items.append((low, high))
+        return True
+
+    def next(self, value: int) -> ExtendedValue:
+        current: ExtendedValue = value
+        changed = True
+        while changed:
+            changed = False
+            for lo, hi in self._items:
+                if current is POS_INF:
+                    return POS_INF
+                if lo < current < hi:
+                    if hi is POS_INF:
+                        return POS_INF
+                    current = hi
+                    changed = True
+        return current
+
+    def covers_all(self, low: int, high: ExtendedValue) -> bool:
+        nxt = self.next(low)
+        if nxt is POS_INF:
+            return True
+        return nxt >= high  # type: ignore[operator]

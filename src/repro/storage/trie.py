@@ -1,0 +1,222 @@
+"""GAO-consistent search-trie index with ``FindGap`` (paper Section 2.1).
+
+A relation R(A_{s(1)}, ..., A_{s(k)}) whose attributes are listed consistent
+with the global attribute order is stored as an *unbounded-fanout search
+tree* (paper Figure 3): level j holds, for every distinct prefix of length
+j-1, the sorted distinct values of attribute A_{s(j)} under that prefix.
+
+The paper's index interface is reproduced exactly:
+
+* **index tuples** are 1-based: ``R[x1, ..., xj]`` is the xj-th smallest
+  value in the set R[x1, ..., x_{j-1}, *];
+* coordinates 0 and len+1 are *out-of-range* and denote -inf / +inf
+  (conventions (1)-(2));
+* ``find_gap(x, a)`` takes an index tuple of length 0 <= j < k and a value
+  ``a`` and returns ``(x_minus, x_plus)`` with
+  R[(x, x_minus)] <= a <= R[(x, x_plus)], x_minus maximal, x_plus minimal.
+  It runs in O(log |R|) via binary search and satisfies
+  x_minus == x_plus iff a occurs in R[(x, *)].
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.counters import OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue
+
+IndexTuple = Tuple[int, ...]
+
+
+class _TrieNode:
+    """One internal node: sorted child values and their subtrees."""
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[int] = []
+        self.children: List[Optional["_TrieNode"]] = []
+
+
+class TrieRelation:
+    """An ordered search-trie over a set of k-ary integer tuples.
+
+    Parameters
+    ----------
+    tuples:
+        The relation's tuples (duplicates are collapsed; set semantics).
+    arity:
+        Number of columns; inferred from data when omitted.
+    counters:
+        Optional :class:`OpCounters`; ``find_gap`` increments
+        ``counters.findgap`` so experiments can count index probes.
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[Sequence[int]],
+        arity: Optional[int] = None,
+        counters: Optional[OpCounters] = None,
+    ) -> None:
+        data = sorted({tuple(t) for t in tuples})
+        if data:
+            inferred = len(data[0])
+            if any(len(t) != inferred for t in data):
+                raise ValueError("all tuples must share the same arity")
+            if arity is not None and arity != inferred:
+                raise ValueError(
+                    f"declared arity {arity} != tuple arity {inferred}"
+                )
+            arity = inferred
+        if arity is None:
+            raise ValueError("arity required for an empty relation")
+        if arity < 1:
+            raise ValueError("arity must be >= 1")
+        for t in data:
+            for v in t:
+                if not isinstance(v, int) or isinstance(v, bool):
+                    raise TypeError(f"non-integer value {v!r} in tuple {t}")
+        self.arity = arity
+        self.counters = counters
+        self._tuples: List[Tuple[int, ...]] = data
+        self._root = self._build(data, depth=0)
+
+    def _build(
+        self, block: Sequence[Tuple[int, ...]], depth: int
+    ) -> _TrieNode:
+        node = _TrieNode()
+        is_leaf_level = depth == self.arity - 1
+        i, n = 0, len(block)
+        while i < n:
+            value = block[i][depth]
+            j = i
+            while j < n and block[j][depth] == value:
+                j += 1
+            node.keys.append(value)
+            if is_leaf_level:
+                node.children.append(None)
+            else:
+                node.children.append(self._build(block[i:j], depth + 1))
+            i = j
+        return node
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: Sequence[int]) -> bool:
+        t = tuple(item)
+        i = bisect.bisect_left(self._tuples, t)
+        return i < len(self._tuples) and self._tuples[i] == t
+
+    def tuples(self) -> List[Tuple[int, ...]]:
+        """All tuples in lexicographic (GAO) order."""
+        return list(self._tuples)
+
+    def _node_at(self, index_tuple: IndexTuple) -> _TrieNode:
+        """The node holding R[index_tuple, *]; indices must be in range."""
+        node = self._root
+        for depth, x in enumerate(index_tuple):
+            if not 1 <= x <= len(node.keys):
+                raise IndexError(
+                    f"coordinate {x} out of range at depth {depth} "
+                    f"(valid 1..{len(node.keys)})"
+                )
+            child = node.children[x - 1]
+            if child is None:
+                raise IndexError(
+                    f"index tuple {index_tuple} descends past arity "
+                    f"{self.arity}"
+                )
+            node = child
+        return node
+
+    def fanout(self, index_tuple: IndexTuple = ()) -> int:
+        """|R[index_tuple, *]| — number of distinct next-level values."""
+        return len(self._node_at(index_tuple).keys)
+
+    def value(self, index_tuple: IndexTuple) -> ExtendedValue:
+        """R[index_tuple]: the value addressed by a (1-based) index tuple.
+
+        The *last* coordinate may be out of range (0 -> -inf,
+        fanout+1 -> +inf), per conventions (1)-(2); earlier coordinates
+        must be in range.
+        """
+        if not index_tuple:
+            raise ValueError("value() needs a non-empty index tuple")
+        node = self._node_at(index_tuple[:-1])
+        x = index_tuple[-1]
+        if x == 0:
+            return NEG_INF
+        if x == len(node.keys) + 1:
+            return POS_INF
+        if not 1 <= x <= len(node.keys):
+            raise IndexError(
+                f"last coordinate {x} out of range (valid 0..{len(node.keys) + 1})"
+            )
+        return node.keys[x - 1]
+
+    def child_values(self, index_tuple: IndexTuple) -> List[int]:
+        """The sorted set R[index_tuple, *]."""
+        return list(self._node_at(index_tuple).keys)
+
+    # ------------------------------------------------------------------
+    # Node-handle API (used by iterator-based engines such as LFTJ)
+    # ------------------------------------------------------------------
+
+    def root_node(self) -> _TrieNode:
+        """Opaque handle to the root; pair with :meth:`node_keys`/``node_child``."""
+        return self._root
+
+    @staticmethod
+    def node_keys(node: _TrieNode) -> List[int]:
+        """The node's sorted child values.  Treat as read-only."""
+        return node.keys
+
+    @staticmethod
+    def node_child(node: _TrieNode, position: int) -> Optional[_TrieNode]:
+        """The child subtree at 1-based ``position`` (None at leaf level)."""
+        return node.children[position - 1]
+
+    # ------------------------------------------------------------------
+    # FindGap — the paper's single index-probe primitive
+    # ------------------------------------------------------------------
+
+    def find_gap(self, index_tuple: IndexTuple, a: int) -> Tuple[int, int]:
+        """R.FindGap(x, a) per Section 2.1.
+
+        Returns (x_minus, x_plus), 1-based coordinates into
+        R[index_tuple, *] with the conventions that 0 means the value -inf
+        and fanout+1 means +inf, such that
+        R[(x, x_minus)] <= a <= R[(x, x_plus)] with x_minus maximal and
+        x_plus minimal.  x_minus == x_plus iff a is present.
+        """
+        if len(index_tuple) >= self.arity:
+            raise ValueError(
+                "find_gap index tuple must be shorter than the arity"
+            )
+        node = self._node_at(index_tuple)
+        if self.counters is not None:
+            self.counters.findgap += 1
+        keys = node.keys
+        i = bisect.bisect_left(keys, a)
+        if i < len(keys) and keys[i] == a:
+            return (i + 1, i + 1)
+        # keys[i-1] < a < keys[i]  (with out-of-range conventions).
+        return (i, i + 1)
+
+    def gap_values(
+        self, index_tuple: IndexTuple, a: int
+    ) -> Tuple[ExtendedValue, ExtendedValue]:
+        """Like :meth:`find_gap` but returning the flanking *values*."""
+        lo_idx, hi_idx = self.find_gap(index_tuple, a)
+        keys = self._node_at(index_tuple).keys
+        lo: ExtendedValue = NEG_INF if lo_idx == 0 else keys[lo_idx - 1]
+        hi: ExtendedValue = (
+            POS_INF if hi_idx == len(keys) + 1 else keys[hi_idx - 1]
+        )
+        return (lo, hi)

@@ -1,0 +1,14 @@
+"""Shared utilities: ordered sentinels and operation counters."""
+
+from repro.util.counters import OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue, is_finite, pred, succ
+
+__all__ = [
+    "OpCounters",
+    "NEG_INF",
+    "POS_INF",
+    "ExtendedValue",
+    "is_finite",
+    "pred",
+    "succ",
+]

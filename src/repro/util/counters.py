@@ -1,0 +1,92 @@
+"""Operation counters shared by all join engines.
+
+The paper's experimental currency is *operation counts*, not wall-clock: the
+Figure 2 experiment "measures certificate size by counting the number of
+FindGap operations" (Section 5.2), and the theorem statements bound the
+number of probe points, inserted constraints, and comparisons.  Every engine
+in this library therefore threads an :class:`OpCounters` through its hot
+paths so experiments can compare shapes across engines deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounters:
+    """Mutable tally of the operations an engine performs.
+
+    Attributes
+    ----------
+    findgap:
+        Number of ``FindGap`` index probes (the Figure-2 certificate proxy).
+    probes:
+        Number of probe points returned by the CDS (outer-loop iterations).
+    constraints:
+        Number of constraints handed to ``InsConstraint``.
+    comparisons:
+        Element comparisons performed (baselines: hash/compare work units).
+    interval_ops:
+        IntervalList operations (Next / covers / insert).
+    backtracks:
+        Probe-point searches that backtracked to an earlier attribute.
+    cache_hits / cache_misses:
+        Memoization statistics (triangle engine, chain inference).
+    output_tuples:
+        Tuples emitted.
+    """
+
+    findgap: int = 0
+    probes: int = 0
+    constraints: int = 0
+    comparisons: int = 0
+    interval_ops: int = 0
+    backtracks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    output_tuples: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def add_extra(self, key: str, amount: int = 1) -> None:
+        """Increment an ad-hoc named counter."""
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+    def total_work(self) -> int:
+        """A single scalar 'work' figure used for cross-engine shape plots."""
+        return (
+            self.findgap
+            + self.probes
+            + self.constraints
+            + self.comparisons
+            + self.interval_ops
+        )
+
+    def snapshot(self) -> dict:
+        """Return an immutable dict view (for reports and assertions)."""
+        data = {
+            "findgap": self.findgap,
+            "probes": self.probes,
+            "constraints": self.constraints,
+            "comparisons": self.comparisons,
+            "interval_ops": self.interval_ops,
+            "backtracks": self.backtracks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "output_tuples": self.output_tuples,
+        }
+        data.update(self.extra)
+        return data
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.findgap = 0
+        self.probes = 0
+        self.constraints = 0
+        self.comparisons = 0
+        self.interval_ops = 0
+        self.backtracks = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.output_tuples = 0
+        self.extra.clear()

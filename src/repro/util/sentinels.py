@@ -1,0 +1,78 @@
+"""Ordered infinity sentinels for the integer value domain.
+
+The paper (Section 2.1, conventions (1) and (2)) treats out-of-range index
+coordinates as mapping to -inf / +inf values.  We realize these with two
+singleton sentinels that compare below / above every integer and equal only
+themselves.  Using dedicated objects (rather than ``float('inf')``) keeps the
+value domain purely integral and makes accidental arithmetic on infinities an
+error instead of a silent float.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Union
+
+
+@functools.total_ordering
+class _NegInf:
+    """Singleton ordered strictly below every int and below ``POS_INF``."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __lt__(self, other: object) -> bool:
+        return other is not self
+
+    def __hash__(self) -> int:
+        return hash("repro.NEG_INF")
+
+    def __repr__(self) -> str:
+        return "-inf"
+
+
+@functools.total_ordering
+class _PosInf:
+    """Singleton ordered strictly above every int and above ``NEG_INF``."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __gt__(self, other: object) -> bool:
+        return other is not self
+
+    def __hash__(self) -> int:
+        return hash("repro.POS_INF")
+
+    def __repr__(self) -> str:
+        return "+inf"
+
+
+NEG_INF = _NegInf()
+POS_INF = _PosInf()
+
+#: A value in the extended domain: an int or one of the two sentinels.
+ExtendedValue = Union[int, _NegInf, _PosInf]
+
+
+def is_finite(value: ExtendedValue) -> bool:
+    """Return True when ``value`` is an ordinary integer (not a sentinel)."""
+    return value is not NEG_INF and value is not POS_INF
+
+
+def succ(value: ExtendedValue) -> ExtendedValue:
+    """Integer successor; infinities are fixed points."""
+    if is_finite(value):
+        return value + 1  # type: ignore[operator]
+    return value
+
+
+def pred(value: ExtendedValue) -> ExtendedValue:
+    """Integer predecessor; infinities are fixed points."""
+    if is_finite(value):
+        return value - 1  # type: ignore[operator]
+    return value

@@ -1,0 +1,169 @@
+"""Acyclicity tests: GYO, join trees, alpha/beta notions (Appendix A)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.acyclicity import (
+    find_beta_cycle,
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_beta_acyclic_bruteforce,
+    join_tree,
+    nest_points,
+    nested_elimination_order,
+)
+from repro.hypergraph.elimination import is_nested_elimination_order
+from repro.hypergraph.hypergraph import Hypergraph
+
+TRIANGLE = Hypergraph({"R": ["A", "B"], "S": ["A", "C"], "T": ["B", "C"]})
+TRIANGLE_U = Hypergraph(
+    {"R": ["A", "B"], "S": ["A", "C"], "T": ["B", "C"], "U": ["A", "B", "C"]}
+)
+PATH = Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["C", "D"]})
+STAR = Hypergraph({"S1": ["A", "B"], "S2": ["A", "C"], "S3": ["A", "D"]})
+BOWTIE = Hypergraph({"R": ["X"], "S": ["X", "Y"], "T": ["Y"]})
+
+
+class TestAlpha:
+    def test_triangle_cyclic(self):
+        assert not is_alpha_acyclic(TRIANGLE)
+
+    def test_triangle_plus_u_acyclic(self):
+        """Example A.1: adding U(A,B,C) makes the triangle alpha-acyclic."""
+        assert is_alpha_acyclic(TRIANGLE_U)
+
+    def test_path_acyclic(self):
+        assert is_alpha_acyclic(PATH)
+
+    def test_star_acyclic(self):
+        assert is_alpha_acyclic(STAR)
+
+    def test_single_edge(self):
+        assert is_alpha_acyclic(Hypergraph({"R": ["A", "B", "C"]}))
+
+    def test_four_cycle_cyclic(self):
+        h = Hypergraph(
+            {
+                "R": ["A", "B"],
+                "S": ["B", "C"],
+                "T": ["C", "D"],
+                "U": ["D", "A"],
+            }
+        )
+        assert not is_alpha_acyclic(h)
+
+
+class TestJoinTree:
+    def test_cyclic_raises(self):
+        with pytest.raises(ValueError):
+            join_tree(TRIANGLE)
+
+    def test_path_tree_shape(self):
+        parent = join_tree(PATH)
+        roots = [n for n, p in parent.items() if p is None]
+        assert len(roots) == 1
+        # every non-root's parent shares an attribute with it
+        edges = PATH.edges
+        for child, par in parent.items():
+            if par is not None:
+                assert edges[child] & edges[par]
+
+    def test_triangle_plus_u_parents_point_to_u(self):
+        parent = join_tree(TRIANGLE_U)
+        for name in ("R", "S", "T"):
+            assert parent[name] == "U"
+
+    def test_forest_for_disconnected(self):
+        h = Hypergraph({"R": ["A"], "S": ["B"]})
+        parent = join_tree(h)
+        assert list(parent.values()) == [None, None]
+
+
+class TestBeta:
+    def test_triangle_plus_u_beta_cyclic(self):
+        """Example A.1: alpha-acyclic but beta-cyclic."""
+        assert is_alpha_acyclic(TRIANGLE_U)
+        assert not is_beta_acyclic(TRIANGLE_U)
+
+    def test_path_beta_acyclic(self):
+        assert is_beta_acyclic(PATH)
+
+    def test_bowtie_beta_acyclic(self):
+        assert is_beta_acyclic(BOWTIE)
+
+    def test_b7_query_beta_acyclic(self):
+        """Example B.7: R(A,B,C) ⋈ S(A,C) ⋈ T(B,C) is beta-acyclic."""
+        h = Hypergraph({"R": ["A", "B", "C"], "S": ["A", "C"], "T": ["B", "C"]})
+        assert is_beta_acyclic(h)
+
+    def test_nest_points_of_path(self):
+        # endpoints A and D are nest points (each lies in one edge)
+        points = nest_points(PATH)
+        assert "A" in points and "D" in points
+
+    def test_brouwer_kolen_two_nest_points(self):
+        for h in (PATH, STAR, BOWTIE):
+            assert len(nest_points(h)) >= 2
+
+    def test_beta_cycle_found_for_triangle(self):
+        cycle = find_beta_cycle(TRIANGLE)
+        assert cycle is not None
+        assert len(cycle) >= 3
+
+    def test_no_beta_cycle_for_path(self):
+        assert find_beta_cycle(PATH) is None
+
+
+class TestNestedEliminationOrder:
+    def test_neo_exists_iff_beta_acyclic_fixed(self):
+        assert nested_elimination_order(PATH) is not None
+        assert nested_elimination_order(TRIANGLE) is None
+        assert nested_elimination_order(TRIANGLE_U) is None
+
+    def test_neo_is_actually_nested(self):
+        for h in (PATH, STAR, BOWTIE):
+            order = nested_elimination_order(h)
+            assert order is not None
+            assert is_nested_elimination_order(h, order)
+
+
+def random_hypergraph(rng, n_vertices, n_edges):
+    vertices = [f"v{i}" for i in range(n_vertices)]
+    edges = {}
+    for i in range(n_edges):
+        size = rng.randint(1, min(3, n_vertices))
+        edges[f"e{i}"] = rng.sample(vertices, size)
+    return Hypergraph(edges)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 10_000))
+def test_beta_methods_agree_random(seed):
+    """Nest-point algorithm == brute force over all edge subsets."""
+    rng = random.Random(seed)
+    h = random_hypergraph(rng, rng.randint(2, 5), rng.randint(1, 5))
+    assert is_beta_acyclic(h) == is_beta_acyclic_bruteforce(h)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_beta_implies_alpha_random(seed):
+    rng = random.Random(seed)
+    h = random_hypergraph(rng, rng.randint(2, 6), rng.randint(1, 6))
+    if is_beta_acyclic(h):
+        assert is_alpha_acyclic(h)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_neo_validates_random(seed):
+    """Whenever a NEO is produced, every prefix poset is a chain."""
+    rng = random.Random(seed)
+    h = random_hypergraph(rng, rng.randint(2, 6), rng.randint(1, 6))
+    order = nested_elimination_order(h)
+    if order is not None:
+        assert is_nested_elimination_order(h, order)

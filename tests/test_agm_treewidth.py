@@ -1,0 +1,159 @@
+"""AGM bound + exact treewidth tests (paper §6 machinery)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.query import Query, naive_join
+from repro.hypergraph.agm import (
+    agm_bound,
+    fractional_cover_number,
+    fractional_edge_cover,
+)
+from repro.hypergraph.elimination import elimination_width, min_fill_order
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.treewidth_exact import (
+    best_elimination_order_bruteforce,
+    exact_treewidth,
+)
+from repro.storage.relation import Relation
+
+TRIANGLE = Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["A", "C"]})
+PATH = Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["C", "D"]})
+FOUR_CYCLE = Hypergraph(
+    {"R": ["A", "B"], "S": ["B", "C"], "T": ["C", "D"], "U": ["D", "A"]}
+)
+
+
+class TestFractionalCover:
+    def test_triangle_rho_three_halves(self):
+        assert abs(fractional_cover_number(TRIANGLE) - 1.5) < 1e-6
+
+    def test_four_cycle_rho_two(self):
+        assert abs(fractional_cover_number(FOUR_CYCLE) - 2.0) < 1e-6
+
+    def test_path_rho_two(self):
+        # edges RB and CD cover everything: integral cover of size 2
+        assert abs(fractional_cover_number(PATH) - 2.0) < 1e-6
+
+    def test_single_edge(self):
+        h = Hypergraph({"R": ["A", "B", "C"]})
+        assert abs(fractional_cover_number(h) - 1.0) < 1e-6
+
+    def test_cover_is_feasible(self):
+        cover = fractional_edge_cover(TRIANGLE)
+        for v in TRIANGLE.vertices:
+            total = sum(
+                x for name, x in cover.items() if v in TRIANGLE.edge(name)
+            )
+            assert total >= 1 - 1e-9
+
+    def test_weighted_cover_prefers_small_edges(self):
+        h = Hypergraph({"BIG": ["A", "B"], "S1": ["A"], "S2": ["B"]})
+        cover = fractional_edge_cover(
+            h, weights={"BIG": 100.0, "S1": 1.0, "S2": 1.0}
+        )
+        assert cover["BIG"] < 1e-6
+        assert cover["S1"] > 0.99 and cover["S2"] > 0.99
+
+
+class TestAgmBound:
+    def _triangle_query(self, r, s, t):
+        return Query(
+            [
+                Relation("R", ["A", "B"], r),
+                Relation("S", ["B", "C"], s),
+                Relation("T", ["A", "C"], t),
+            ]
+        )
+
+    def test_triangle_bound_value(self):
+        n = 16
+        rows = [(i, j) for i in range(4) for j in range(4)]
+        q = self._triangle_query(rows, rows, rows)
+        assert abs(agm_bound(q) - n**1.5) / n**1.5 < 1e-6
+
+    def test_output_never_exceeds_bound_random(self):
+        rng = random.Random(0)
+        for _ in range(30):
+            def edges():
+                return list(
+                    {
+                        (rng.randint(0, 5), rng.randint(0, 5))
+                        for _ in range(rng.randint(1, 12))
+                    }
+                )
+
+            q = self._triangle_query(edges(), edges(), edges())
+            z = len(naive_join(q, ["A", "B", "C"]))
+            assert z <= agm_bound(q) + 1e-6
+
+    def test_minesweeper_output_respects_bound(self):
+        rng = random.Random(1)
+        rows_r = {(rng.randint(0, 8), rng.randint(0, 8)) for _ in range(25)}
+        rows_s = {(rng.randint(0, 8), rng.randint(0, 8)) for _ in range(25)}
+        q = Query(
+            [
+                Relation("R", ["A", "B"], rows_r),
+                Relation("S", ["B", "C"], rows_s),
+            ]
+        )
+        res = join(q, gao=["A", "B", "C"])
+        assert len(res) <= agm_bound(q) + 1e-6
+
+    def test_empty_relation_bound_zero(self):
+        q = Query(
+            [
+                Relation("R", ["A"], [(1,)]),
+                Relation("S", ["A", "B"], []),
+            ]
+        )
+        assert agm_bound(q) == 0.0
+
+
+class TestExactTreewidth:
+    def test_known_values(self):
+        assert exact_treewidth(PATH) == 1
+        assert exact_treewidth(TRIANGLE) == 2
+        assert exact_treewidth(FOUR_CYCLE) == 2
+
+    def test_clique(self):
+        for k in (3, 4, 5):
+            clique = Hypergraph(
+                {
+                    f"R{i}{j}": [f"v{i}", f"v{j}"]
+                    for i in range(k)
+                    for j in range(i + 1, k)
+                }
+            )
+            assert exact_treewidth(clique) == k - 1
+
+    def test_tree_width_one(self):
+        star = Hypergraph({f"R{i}": ["center", f"leaf{i}"] for i in range(5)})
+        assert exact_treewidth(star) == 1
+
+    def test_size_limit(self):
+        big = Hypergraph({f"R{i}": [f"v{i}", f"v{i + 1}"] for i in range(20)})
+        with pytest.raises(ValueError):
+            exact_treewidth(big, max_vertices=16)
+
+    def test_agrees_with_bruteforce_random(self):
+        rng = random.Random(4)
+        for _ in range(15):
+            n_vertices = rng.randint(2, 6)
+            vertices = [f"v{i}" for i in range(n_vertices)]
+            edges = {}
+            for i in range(rng.randint(1, 6)):
+                size = rng.randint(1, min(3, n_vertices))
+                edges[f"e{i}"] = rng.sample(vertices, size)
+            h = Hypergraph(edges)
+            _, brute = best_elimination_order_bruteforce(h)
+            assert exact_treewidth(h) == brute
+
+    def test_min_fill_heuristic_quality(self):
+        """min-fill matches the exact treewidth on these families."""
+        for h in (PATH, TRIANGLE, FOUR_CYCLE):
+            heuristic = elimination_width(h, min_fill_order(h))
+            assert heuristic == exact_treewidth(h)

@@ -1,0 +1,92 @@
+"""B-tree substrate tests: CLRS invariants + model equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = BTree(t=2)
+        assert len(t) == 0
+        assert 3 not in t
+        assert t.successor(0) is None
+        assert t.predecessor(0) is None
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(t=1)
+
+    def test_insert_and_contains(self):
+        t = BTree(t=2)
+        assert t.insert(5)
+        assert not t.insert(5)
+        assert 5 in t
+
+    def test_sorted_iteration(self):
+        t = BTree(range(100, 0, -1), t=3)
+        assert list(t) == list(range(1, 101))
+
+    def test_successor_predecessor(self):
+        t = BTree([10, 20, 30], t=2)
+        assert t.successor(15) == 20
+        assert t.successor(20) == 20
+        assert t.successor(31) is None
+        assert t.predecessor(15) == 10
+        assert t.predecessor(10) == 10
+        assert t.predecessor(5) is None
+
+    def test_range_scan(self):
+        t = BTree(range(0, 50), t=2)
+        assert list(t.range(10, 15)) == [10, 11, 12, 13, 14]
+
+    def test_tuple_keys(self):
+        t = BTree([(1, 2), (1, 1), (0, 9)], t=2)
+        assert list(t) == [(0, 9), (1, 1), (1, 2)]
+        assert t.successor((1, 0)) == (1, 1)
+
+    def test_delete_simple(self):
+        t = BTree(range(10), t=2)
+        assert t.delete(5)
+        assert not t.delete(5)
+        assert list(t) == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_delete_everything(self):
+        t = BTree(range(64), t=2)
+        for v in range(64):
+            assert t.delete(v)
+            t.check_invariants()
+        assert len(t) == 0
+
+    def test_invariants_after_bulk_insert(self):
+        t = BTree(range(1000), t=4)
+        t.check_invariants()
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 60)),
+        max_size=120,
+    ),
+    st.integers(2, 5),
+)
+def test_model_equivalence(ops, degree):
+    tree = BTree(t=degree)
+    model = set()
+    for op, v in ops:
+        if op == "ins":
+            assert tree.insert(v) == (v not in model)
+            model.add(v)
+        else:
+            assert tree.delete(v) == (v in model)
+            model.discard(v)
+    tree.check_invariants()
+    assert list(tree) == sorted(model)
+    for probe in range(-1, 62):
+        expected_succ = min((v for v in model if v >= probe), default=None)
+        expected_pred = max((v for v in model if v <= probe), default=None)
+        assert tree.successor(probe) == expected_succ
+        assert tree.predecessor(probe) == expected_pred

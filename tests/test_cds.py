@@ -1,0 +1,137 @@
+"""ConstraintTree (CDS) tests: Algorithm 5 insertion and traversal."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cds import ConstraintTree
+from repro.core.constraints import WILDCARD, Constraint
+from repro.util.counters import OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF
+
+W = WILDCARD
+
+
+class TestInsert:
+    def test_root_interval(self):
+        cds = ConstraintTree(2)
+        assert cds.insert(Constraint((), 2, 5))
+        assert cds.root.intervals.covers(3)
+
+    def test_empty_constraint_rejected(self):
+        cds = ConstraintTree(2)
+        assert not cds.insert(Constraint((), 2, 3))
+
+    def test_dimension_check(self):
+        cds = ConstraintTree(2)
+        with pytest.raises(ValueError):
+            cds.insert(Constraint((1, 2), 0, 5))
+
+    def test_subsumed_by_ancestor_interval(self):
+        cds = ConstraintTree(2)
+        cds.insert(Constraint((), 2, 5))
+        # pattern starting with 3 is inside (2,5): subsumed
+        assert not cds.insert(Constraint((3,), 0, 10))
+
+    def test_equality_children_pruned_on_interval_insert(self):
+        cds = ConstraintTree(2)
+        cds.insert(Constraint((3,), 0, 10))
+        assert cds.find_node((3,)) is not None
+        cds.insert(Constraint((), 2, 5))  # covers label 3
+        assert cds.find_node((3,)) is None
+
+    def test_star_child(self):
+        cds = ConstraintTree(3)
+        cds.insert(Constraint((W, 4), 0, 9))
+        node = cds.find_node((W, 4))
+        assert node is not None
+        assert node.intervals.covers(5)
+
+    def test_counter_tracks_inserts(self):
+        c = OpCounters()
+        cds = ConstraintTree(2, counters=c)
+        cds.insert(Constraint((), 0, 5))
+        cds.insert(Constraint((7,), 0, 5))
+        assert c.constraints == 2
+
+    def test_ensure_node_creates_without_intervals(self):
+        cds = ConstraintTree(3)
+        node = cds.ensure_node((1, W))
+        assert not node.intervals
+        assert cds.find_node((1, W)) is node
+
+    def test_version_bumps_on_node_creation(self):
+        cds = ConstraintTree(2)
+        v0 = cds.version
+        cds.ensure_node((1,))
+        assert cds.version > v0
+
+
+class TestFrontier:
+    def test_root_frontier(self):
+        cds = ConstraintTree(3)
+        assert len(cds.frontier(())) == 1
+
+    def test_frontier_follows_eq_and_star(self):
+        cds = ConstraintTree(3)
+        cds.insert(Constraint((5,), 0, 9))
+        cds.insert(Constraint((W,), 0, 9))
+        frontier = cds.frontier((5,))
+        patterns = {pat for _, pat in frontier}
+        assert patterns == {(5,), (W,)}
+
+    def test_filter_nodes_requires_intervals(self):
+        cds = ConstraintTree(3)
+        cds.ensure_node((5,))
+        cds.insert(Constraint((W,), 0, 9))
+        filtered = cds.filter_nodes((5,))
+        assert {pat for _, pat in filtered} == {(W,)}
+
+    def test_frontier_misses_other_values(self):
+        cds = ConstraintTree(3)
+        cds.insert(Constraint((5,), 0, 9))
+        assert cds.frontier((6,)) == []
+
+
+class TestCoversRow:
+    def test_direct(self):
+        cds = ConstraintTree(3)
+        cds.insert(Constraint((1, W), 3, 7))
+        assert cds.covers_row((1, 99, 5))
+        assert not cds.covers_row((2, 99, 5))
+
+    def test_root_level(self):
+        cds = ConstraintTree(2)
+        cds.insert(Constraint((), NEG_INF, 4))
+        assert cds.covers_row((3, 0))
+        assert not cds.covers_row((4, 0))
+
+
+def constraint_strategy(n):
+    component = st.one_of(st.integers(0, 4), st.just(W))
+    return st.builds(
+        lambda prefix, lo, width: Constraint(tuple(prefix), lo, lo + width),
+        st.lists(component, max_size=n - 1),
+        st.integers(-1, 5),
+        st.integers(0, 4),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(constraint_strategy(3), max_size=10), st.integers(0, 42))
+def test_covers_row_matches_direct_evaluation(constraints, seed):
+    """CDS coverage == any(constraint.satisfied_by(row)) for random rows.
+
+    Insertion may *strengthen* coverage (merging, subsumption) but must
+    never weaken it; and it must not cover rows no constraint covers.
+    """
+    cds = ConstraintTree(3)
+    for c in constraints:
+        cds.insert(c)
+    rng = random.Random(seed)
+    for _ in range(25):
+        row = tuple(rng.randint(-1, 6) for _ in range(3))
+        direct = any(c.satisfied_by(row) for c in constraints)
+        assert cds.covers_row(row) == direct

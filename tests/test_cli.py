@@ -1,0 +1,133 @@
+"""CLI tests (``python -m repro``)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def relation_files(tmp_path):
+    r = tmp_path / "r.csv"
+    r.write_text("1,2\n2,3\n3,1\n")
+    s = tmp_path / "s.csv"
+    s.write_text("2,10\n3,20\n")
+    return (
+        f"R=A,B:{r}",
+        f"S=B,C:{s}",
+    )
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestJoin:
+    def test_basic_join(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, err = run_cli(
+            ["join", "--relation", r_spec, "--relation", s_spec,
+             "--gao", "A,B,C"],
+            capsys,
+        )
+        assert code == 0
+        assert "1,2,10" in out
+        assert "2,3,20" in out
+        assert "# 2 rows" in err
+        assert "findgap" in err
+
+    def test_engine_choices_agree(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        outputs = {}
+        for engine in ("minesweeper", "leapfrog", "generic", "yannakakis"):
+            code, out, _ = run_cli(
+                ["join", "--relation", r_spec, "--relation", s_spec,
+                 "--gao", "A,B,C", "--engine", engine],
+                capsys,
+            )
+            assert code == 0
+            outputs[engine] = sorted(
+                line for line in out.splitlines() if not line.startswith("#")
+            )
+        assert len(set(map(tuple, outputs.values()))) == 1
+
+    def test_missing_relation_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["join"])
+
+    def test_bad_spec_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["join", "--relation", "nonsense"])
+
+    def test_non_integer_csv_is_dictionary_encoded(self, tmp_path, capsys):
+        mixed = tmp_path / "mixed.csv"
+        mixed.write_text("1,banana\n2,apple\n")
+        code, out, _ = run_cli(
+            ["join", "--relation", f"R=A,B:{mixed}", "--gao", "A,B"], capsys
+        )
+        assert code == 0
+        # apple -> 0, banana -> 1 (order-preserving codes)
+        assert "1,1" in out and "2,0" in out
+
+    def test_missing_file_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["join", "--relation", "R=A,B:/does/not/exist.csv"])
+
+
+class TestExplain:
+    def test_explain_report(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, _ = run_cli(
+            ["join", "--relation", r_spec, "--relation", s_spec,
+             "--explain"],
+            capsys,
+        )
+        assert code == 0
+        assert "runtime regime" in out
+        assert "|C| estimate" in out
+
+
+class TestGaoSearch:
+    def test_reports_best(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, _ = run_cli(
+            ["gao-search", "--relation", r_spec, "--relation", s_spec],
+            capsys,
+        )
+        assert code == 0
+        assert out.startswith("best GAO:")
+
+
+class TestCertificate:
+    def test_passes_on_real_instance(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, _ = run_cli(
+            ["certificate", "--relation", r_spec, "--relation", s_spec,
+             "--samples", "5"],
+            capsys,
+        )
+        assert code == 0
+        assert "PASSED" in out
+
+
+class TestExperiments:
+    def test_unknown_name_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiments", "nope"])
+
+    def test_runs_selected(self, capsys):
+        code, out, _ = run_cli(
+            ["experiments", "constant-certificate"], capsys
+        )
+        assert code == 0
+        assert "Example B.1" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,122 @@
+"""Constraint and pattern algebra tests (Sections 3.1 and 4.2)."""
+
+import pytest
+
+from repro.core.constraints import (
+    WILDCARD,
+    Constraint,
+    constraint_from_values,
+    equality_count,
+    generalizes_prefix,
+    last_equality_position,
+    meet,
+    specializes,
+)
+from repro.util.sentinels import NEG_INF, POS_INF
+
+W = WILDCARD
+
+
+class TestConstraint:
+    def test_satisfied_by_interval(self):
+        c = Constraint((1, W), 3, 7)
+        assert c.satisfied_by((1, 99, 5))
+        assert not c.satisfied_by((1, 99, 3))  # open endpoint
+        assert not c.satisfied_by((1, 99, 7))
+        assert not c.satisfied_by((2, 99, 5))  # equality mismatch
+
+    def test_wildcard_matches_anything(self):
+        c = Constraint((W,), 0, 10)
+        assert c.satisfied_by((123, 5))
+
+    def test_paper_geometry_example(self):
+        """⟨*, (1,10), *⟩ is the slab 1 < A2 < 10 (Section 3.1)."""
+        slab = Constraint((W,), 1, 10)
+        assert slab.satisfied_by((0, 5, 0))
+        assert not slab.satisfied_by((0, 1, 0))
+        strip = Constraint((1, W), 2, 5)  # ⟨1, *, (2,5)⟩
+        assert strip.satisfied_by((1, 7, 3))
+        assert not strip.satisfied_by((2, 7, 3))
+
+    def test_row_too_short(self):
+        with pytest.raises(ValueError):
+            Constraint((1,), 0, 5).satisfied_by((1,))
+
+    def test_is_empty(self):
+        assert Constraint((), 3, 4).is_empty()
+        assert not Constraint((), 3, 5).is_empty()
+        assert not Constraint((), NEG_INF, 0).is_empty()
+        assert not Constraint((), 5, POS_INF).is_empty()
+
+    def test_bad_component_rejected(self):
+        with pytest.raises(TypeError):
+            Constraint(("x",), 0, 5)
+        with pytest.raises(TypeError):
+            Constraint((True,), 0, 5)
+
+    def test_equality_and_hash(self):
+        a = Constraint((1, W), 0, 5)
+        b = Constraint((1, W), 0, 5)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_interval_position(self):
+        assert Constraint((1, W, 3), 0, 5).interval_position == 3
+
+
+class TestPatternAlgebra:
+    def test_specializes_basic(self):
+        assert specializes((1, 2), (1, W))
+        assert specializes((1, W), (1, W))
+        assert not specializes((1, W), (1, 2))  # wildcard can't match equality
+        assert not specializes((2, 2), (1, W))
+        assert not specializes((1,), (1, W))  # length mismatch
+
+    def test_generalizes_prefix(self):
+        assert generalizes_prefix((W, 5), (3, 5))
+        assert not generalizes_prefix((4, 5), (3, 5))
+        assert generalizes_prefix((), ())
+
+    def test_equality_count(self):
+        assert equality_count((W, W)) == 0
+        assert equality_count((1, W, 2)) == 2
+
+    def test_last_equality_position(self):
+        assert last_equality_position((W, W)) == 0
+        assert last_equality_position((1, W)) == 1
+        assert last_equality_position((W, 3, W)) == 2
+
+    def test_meet(self):
+        assert meet((1, W), (W, 2)) == (1, 2)
+        assert meet((W, W), (W, W)) == (W, W)
+        assert meet((1, W), (2, W)) is None
+        with pytest.raises(ValueError):
+            meet((1,), (1, 2))
+
+    def test_meet_paper_example(self):
+        """The shadow-chain example of Appendix G.1."""
+        a, b, c = 7, 8, 9
+        patterns = [(a, W, c), (W, b, c), (a, b, W), (W, b, W), (W, W, W)]
+        suffix = patterns[-1]
+        meets = [suffix]
+        for p in reversed(patterns[:-1]):
+            suffix = meet(suffix, p)
+            meets.append(suffix)
+        meets.reverse()
+        assert meets == [
+            (a, b, c),
+            (a, b, c),
+            (a, b, W),
+            (W, b, W),
+            (W, W, W),
+        ]
+
+
+class TestConstraintFromValues:
+    def test_positions_filled(self):
+        c = constraint_from_values([0, 2], [10, 20], 4, 0, 9)
+        assert c.prefix == (10, W, 20, W)
+
+    def test_position_beyond_interval_rejected(self):
+        with pytest.raises(ValueError):
+            constraint_from_values([5], [1], 3, 0, 9)

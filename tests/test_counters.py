@@ -1,0 +1,45 @@
+"""Unit tests for OpCounters."""
+
+from repro.util.counters import OpCounters
+
+
+def test_default_zero():
+    c = OpCounters()
+    assert c.findgap == 0
+    assert c.total_work() == 0
+
+
+def test_total_work_sums_core_fields():
+    c = OpCounters(findgap=1, probes=2, constraints=3, comparisons=4, interval_ops=5)
+    assert c.total_work() == 15
+
+
+def test_snapshot_contains_everything():
+    c = OpCounters(findgap=7)
+    c.add_extra("semijoins", 3)
+    snap = c.snapshot()
+    assert snap["findgap"] == 7
+    assert snap["semijoins"] == 3
+
+
+def test_add_extra_accumulates():
+    c = OpCounters()
+    c.add_extra("x")
+    c.add_extra("x", 4)
+    assert c.extra["x"] == 5
+
+
+def test_reset():
+    c = OpCounters(findgap=9, probes=2)
+    c.add_extra("y")
+    c.reset()
+    assert c.findgap == 0
+    assert c.probes == 0
+    assert c.extra == {}
+
+
+def test_snapshot_is_detached():
+    c = OpCounters()
+    snap = c.snapshot()
+    snap["findgap"] = 99
+    assert c.findgap == 0

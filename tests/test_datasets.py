@@ -1,0 +1,177 @@
+"""Dataset and instance-family generator tests."""
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.query import naive_join
+from repro.datasets.graphs import (
+    power_law_graph,
+    sample_vertices,
+    undirected_closure,
+    uniform_graph,
+)
+from repro.datasets.instances import (
+    appendix_j_path,
+    beta_cyclic_cycle,
+    constant_certificate_empty,
+    constant_certificate_large_output,
+    example_2_1,
+    interleaved_parity,
+    private_attribute_flip,
+    prop_5_3,
+    triangle_hard,
+)
+from repro.datasets.workloads import (
+    input_size,
+    star_query,
+    three_path_query,
+    tree_query,
+)
+
+
+class TestGraphs:
+    def test_uniform_deterministic(self):
+        assert uniform_graph(50, 100, seed=3) == uniform_graph(50, 100, seed=3)
+
+    def test_uniform_size_and_simple(self):
+        edges = uniform_graph(30, 80, seed=1)
+        assert len(edges) == 80
+        assert all(a != b for a, b in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_uniform_capped(self):
+        edges = uniform_graph(3, 100, seed=0)
+        assert len(edges) == 6
+
+    def test_power_law_heavy_tail(self):
+        edges = power_law_graph(200, 800, seed=2)
+        degree = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+        top = max(degree.values())
+        avg = sum(degree.values()) / len(degree)
+        assert top > 4 * avg  # hubs exist
+
+    def test_sample_vertices_probability(self):
+        edges = uniform_graph(500, 2000, seed=4)
+        sampled = sample_vertices(edges, 0.1, seed=5)
+        vertices = {v for e in edges for v in e}
+        assert 0 < len(sampled) < len(vertices)
+        assert set(sampled) <= vertices
+
+    def test_sample_never_empty(self):
+        edges = [(0, 1)]
+        assert sample_vertices(edges, 0.0, seed=0) == [0]
+
+    def test_undirected_closure(self):
+        assert undirected_closure([(1, 2)]) == [(1, 2), (2, 1)]
+
+    def test_min_nodes(self):
+        with pytest.raises(ValueError):
+            uniform_graph(1, 5)
+
+
+class TestInstanceFamilies:
+    def test_example_2_1_output(self):
+        inst = example_2_1(5)
+        res = join(inst.query, gao=inst.gao)
+        assert len(res) == inst.output_size
+
+    def test_b1_empty(self):
+        inst = constant_certificate_empty(30)
+        res = join(inst.query, gao=inst.gao)
+        assert len(res) == 0 == inst.output_size
+
+    def test_b2_large_output(self):
+        inst = constant_certificate_large_output(30)
+        res = join(inst.query, gao=inst.gao)
+        assert len(res) == 30
+
+    def test_b3_b4_empty_both_gaos(self):
+        for gao in (["A", "B", "C"], ["C", "A", "B"]):
+            inst = interleaved_parity(4, gao)
+            res = join(inst.query, gao=inst.gao)
+            assert res.rows == []
+
+    def test_b3_b4_certificate_ordering(self):
+        bad = interleaved_parity(6, ["A", "B", "C"])
+        good = interleaved_parity(6, ["C", "A", "B"])
+        assert good.certificate_size < bad.certificate_size
+
+    def test_b6_flip(self):
+        inst_fast = private_attribute_flip(10, ["A", "B"])
+        inst_slow = private_attribute_flip(10, ["B", "A"])
+        assert inst_fast.certificate_size == 1
+        assert inst_slow.certificate_size == 10
+        for inst in (inst_fast, inst_slow):
+            assert join(inst.query, gao=inst.gao).rows == []
+
+    def test_appendix_j_empty_output(self):
+        inst = appendix_j_path(4, 4)
+        res = join(inst.query, gao=inst.gao)
+        assert res.rows == []
+
+    def test_appendix_j_needs_three_relations(self):
+        with pytest.raises(ValueError):
+            appendix_j_path(2, 4)
+
+    def test_appendix_j_is_beta_acyclic_with_neo(self):
+        inst = appendix_j_path(4, 3)
+        assert inst.query.is_beta_acyclic()
+        prepared = inst.query.with_gao(inst.gao)
+        assert prepared.is_neo_gao()
+
+    def test_prop_5_3_empty_and_acyclic(self):
+        inst = prop_5_3(2, 3)
+        assert inst.query.is_alpha_acyclic()
+        assert not inst.query.is_beta_acyclic()
+        res = join(inst.query, gao=inst.gao)
+        assert res.rows == []
+
+    def test_beta_cyclic_cycle_shape(self):
+        inst = beta_cyclic_cycle(4, 6)
+        assert not inst.query.is_beta_acyclic()
+        res = join(inst.query, gao=inst.gao)
+        expected = naive_join(inst.query, inst.gao)
+        assert sorted(res.rows) == expected == []
+
+    def test_beta_cyclic_cycle_five(self):
+        inst = beta_cyclic_cycle(5, 4)
+        assert not inst.query.is_beta_acyclic()
+        assert join(inst.query, gao=inst.gao).rows == []
+
+    def test_triangle_hard_empty(self):
+        r, s, t, cert = triangle_hard(5)
+        from repro.core.triangle import triangle_join
+
+        assert triangle_join(r, s, t) == []
+        assert cert > 0
+
+
+class TestWorkloads:
+    def setup_method(self):
+        self.edges = uniform_graph(80, 300, seed=9)
+
+    def test_star_query_shape(self):
+        q = star_query(self.edges, probability=0.05, seed=1)
+        assert len(q.relations) == 7
+        assert q.is_beta_acyclic()
+
+    def test_three_path_shape(self):
+        q = three_path_query(self.edges, probability=0.05, seed=1)
+        assert len(q.relations) == 7
+        assert q.is_beta_acyclic()
+
+    def test_tree_shape(self):
+        q = tree_query(self.edges, probability=0.05, seed=1)
+        assert len(q.relations) == 8
+        assert q.is_beta_acyclic()
+
+    def test_input_size_counts_every_atom(self):
+        q = star_query(self.edges, probability=0.05, seed=1)
+        assert input_size(q) > 3 * len(self.edges)
+
+    def test_correctness_small(self):
+        q = three_path_query(self.edges[:40], probability=0.3, seed=2)
+        res = join(q)
+        assert sorted(res.rows) == naive_join(q, res.gao)

@@ -1,0 +1,105 @@
+"""Elimination orders, prefix posets, widths (Appendix A.2)."""
+
+import pytest
+
+from repro.hypergraph.elimination import (
+    choose_gao,
+    elimination_width,
+    is_chain,
+    is_nested_elimination_order,
+    min_fill_order,
+    prefix_posets,
+    tree_decomposition,
+    validate_tree_decomposition,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+TRIANGLE = Hypergraph({"R": ["A", "B"], "S": ["A", "C"], "T": ["B", "C"]})
+PATH = Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["C", "D"]})
+
+
+class TestPrefixPosets:
+    def test_permutation_required(self):
+        with pytest.raises(ValueError):
+            prefix_posets(PATH, ["A", "B"])
+
+    def test_path_posets_are_chains(self):
+        posets = prefix_posets(PATH, ["A", "B", "C", "D"])
+        assert all(is_chain(p) for p in posets)
+
+    def test_is_chain(self):
+        assert is_chain([frozenset(), frozenset({"A"}), frozenset({"A", "B"})])
+        assert not is_chain([frozenset({"A"}), frozenset({"B"})])
+        assert is_chain([])
+
+    def test_b3_gao_not_nested(self):
+        """Example B.3/B.4: (A,B,C) is not a NEO; (C,A,B) is."""
+        h = Hypergraph({"R": ["A", "C"], "S": ["B", "C"]})
+        assert not is_nested_elimination_order(h, ["A", "B", "C"])
+        assert is_nested_elimination_order(h, ["C", "A", "B"])
+
+    def test_b7_gao_distinction(self):
+        """Example B.7: (C,A,B) is a NEO for R(A,B,C)⋈S(A,C)⋈T(B,C); (A,B,C) is not."""
+        h = Hypergraph({"R": ["A", "B", "C"], "S": ["A", "C"], "T": ["B", "C"]})
+        assert is_nested_elimination_order(h, ["C", "A", "B"])
+        assert not is_nested_elimination_order(h, ["A", "B", "C"])
+
+
+class TestWidth:
+    def test_path_width_one(self):
+        assert elimination_width(PATH, ["A", "B", "C", "D"]) == 1
+
+    def test_triangle_width_two(self):
+        width = elimination_width(TRIANGLE, ["A", "B", "C"])
+        assert width == 2
+
+    def test_min_fill_path(self):
+        order = min_fill_order(PATH)
+        assert elimination_width(PATH, order) == 1
+
+    def test_min_fill_triangle(self):
+        order = min_fill_order(TRIANGLE)
+        assert elimination_width(TRIANGLE, order) == 2
+
+    def test_min_fill_is_permutation(self):
+        order = min_fill_order(TRIANGLE)
+        assert sorted(order) == ["A", "B", "C"]
+
+
+class TestChooseGao:
+    def test_beta_acyclic_gets_neo(self):
+        order, kind = choose_gao(PATH)
+        assert kind == "neo"
+        assert is_nested_elimination_order(PATH, order)
+
+    def test_cyclic_gets_minfill(self):
+        order, kind = choose_gao(TRIANGLE)
+        assert kind == "minfill"
+        assert sorted(order) == ["A", "B", "C"]
+
+
+class TestTreeDecomposition:
+    def test_path_decomposition_valid(self):
+        order = ["A", "B", "C", "D"]
+        bags, parent = tree_decomposition(PATH, order)
+        validate_tree_decomposition(PATH, bags, parent)
+        assert max(len(b) for b in bags.values()) - 1 == 1
+
+    def test_triangle_decomposition_valid(self):
+        order = min_fill_order(TRIANGLE)
+        bags, parent = tree_decomposition(TRIANGLE, order)
+        validate_tree_decomposition(TRIANGLE, bags, parent)
+        assert max(len(b) for b in bags.values()) - 1 == 2
+
+    def test_clique_width(self):
+        clique = Hypergraph(
+            {
+                f"R{i}{j}": [f"v{i}", f"v{j}"]
+                for i in range(4)
+                for j in range(i + 1, 4)
+            }
+        )
+        order = min_fill_order(clique)
+        assert elimination_width(clique, order) == 3
+        bags, parent = tree_decomposition(clique, order)
+        validate_tree_decomposition(clique, bags, parent)

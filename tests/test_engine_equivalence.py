@@ -1,0 +1,93 @@
+"""Property test: every engine computes the same natural join.
+
+Hypothesis drives random small instances through Minesweeper (both probe
+strategies), LFTJ, generic join, hash plans, Yannakakis (when acyclic),
+the triangle engine (on triangle shapes), and the naive evaluator.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.generic_join import generic_join
+from repro.baselines.hash_join import hash_join_plan
+from repro.baselines.leapfrog import leapfrog_triejoin
+from repro.baselines.yannakakis import yannakakis_join
+from repro.core.engine import join
+from repro.core.query import Query, naive_join
+from repro.core.triangle import triangle_join
+from repro.storage.relation import Relation
+
+SHAPES = {
+    "chain2": [("R", ["A", "B"]), ("S", ["B", "C"])],
+    "triangle": [("R", ["A", "B"]), ("S", ["B", "C"]), ("T", ["A", "C"])],
+    "bowtie": [("R", ["A"]), ("S", ["A", "B"]), ("T", ["B"])],
+    "chain3": [("R", ["A", "B"]), ("S", ["B", "C"]), ("T", ["C", "D"])],
+    "wide": [("R", ["A", "B", "C"]), ("S", ["A", "C"]), ("T", ["B", "C"])],
+}
+
+
+def rows_strategy(arity):
+    return st.lists(
+        st.tuples(*[st.integers(0, 5)] * arity), min_size=1, max_size=8
+    )
+
+
+@st.composite
+def query_strategy(draw):
+    shape_name = draw(st.sampled_from(sorted(SHAPES)))
+    shape = SHAPES[shape_name]
+    rels = []
+    for name, attrs in shape:
+        rows = draw(rows_strategy(len(attrs)))
+        rels.append(Relation(name, attrs, rows))
+    query = Query(rels)
+    attrs = query.attributes()
+    gao = draw(st.permutations(attrs))
+    return shape_name, query, list(gao)
+
+
+@settings(max_examples=120, deadline=None)
+@given(query_strategy())
+def test_all_engines_agree(case):
+    shape_name, query, gao = case
+    expected = naive_join(query, gao)
+    prepared = query.with_gao(gao)
+
+    assert sorted(join(query, gao=gao).rows) == expected
+    assert sorted(join(query, gao=gao, strategy="general").rows) == expected
+    assert leapfrog_triejoin(prepared) == expected
+    assert generic_join(prepared) == expected
+    assert hash_join_plan(query, gao) == expected
+    if query.is_alpha_acyclic():
+        assert yannakakis_join(query, gao) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows_strategy(2),
+    rows_strategy(2),
+    rows_strategy(2),
+)
+def test_triangle_engine_agrees(r, s, t):
+    query = Query(
+        [
+            Relation("R", ["A", "B"], r),
+            Relation("S", ["B", "C"], s),
+            Relation("T", ["A", "C"], t),
+        ]
+    )
+    expected = naive_join(query, ["A", "B", "C"])
+    assert triangle_join(r, s, t) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_strategy())
+def test_memoization_and_merging_do_not_change_results(case):
+    """Ablation knobs affect cost only, never the answer."""
+    _, query, gao = case
+    expected = naive_join(query, gao)
+    assert sorted(join(query, gao=gao, memoize=False).rows) == expected
+    assert (
+        sorted(join(query, gao=gao, merge_intervals=False).rows) == expected
+    )

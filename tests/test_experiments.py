@@ -1,0 +1,94 @@
+"""Experiment-runner tests (the EXPERIMENTS.md machinery)."""
+
+import pytest
+
+from repro.experiments.runners import (
+    RUNNERS,
+    ExperimentResult,
+    fit_exponent,
+    format_table,
+    run_appendix_j,
+    run_beta_cyclic,
+    run_constant_certificate,
+    run_figure2,
+    run_gao_dependence,
+    run_treewidth,
+    run_triangle,
+)
+
+
+class TestHelpers:
+    def test_fit_exponent_exact(self):
+        xs = [1, 2, 4, 8]
+        assert abs(fit_exponent(xs, [x**2 for x in xs]) - 2.0) < 1e-9
+        assert abs(fit_exponent(xs, [5 * x for x in xs]) - 1.0) < 1e-9
+
+    def test_fit_exponent_needs_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1], [1])
+
+    def test_format_table(self):
+        result = ExperimentResult("demo", ["a", "bee"])
+        result.rows.append({"a": 1, "bee": 22})
+        text = format_table(result)
+        assert "demo" in text
+        assert "bee" in text
+        assert "22" in text
+
+    def test_column_accessor(self):
+        result = ExperimentResult("demo", ["a"])
+        result.rows = [{"a": 1}, {"a": 3}]
+        assert result.column("a") == [1, 3]
+
+
+class TestRunners:
+    """Each runner reproduces its experiment's shape at reduced scale."""
+
+    def test_registry_complete(self):
+        assert set(RUNNERS) == {
+            "figure2",
+            "appendix-j",
+            "gao",
+            "treewidth",
+            "triangle",
+            "beta-cyclic",
+            "constant-certificate",
+        }
+
+    def test_figure2_small(self):
+        result = run_figure2(scale=0.1, probability=0.01)
+        assert len(result.rows) == 9
+        for row in result.rows:
+            assert row["C"] < row["N"]
+
+    def test_appendix_j(self):
+        result = run_appendix_j(blocks=(8, 16))
+        ms = result.column("minesweeper")
+        lf = result.column("leapfrog")
+        assert lf[-1] / ms[-1] > lf[0] / ms[0]  # gap widens
+
+    def test_gao_dependence(self):
+        result = run_gao_dependence(sizes=(4, 8))
+        by_key = {(r["n"], r["gao"]): r["work"] for r in result.rows}
+        assert by_key[(8, "CAB")] * 4 < by_key[(8, "ABC")]
+
+    def test_treewidth(self):
+        result = run_treewidth(ms=(4, 8))
+        backtracks = result.column("backtracks")
+        assert backtracks == [20, 72]
+
+    def test_triangle(self):
+        result = run_triangle(sizes=(8, 16))
+        for row in result.rows:
+            assert row["dyadic"] < row["generic"]
+
+    def test_beta_cyclic(self):
+        result = run_beta_cyclic(sizes=(6, 12))
+        ratios = result.column("work_per_C")
+        assert ratios[1] > ratios[0]
+
+    def test_constant_certificate(self):
+        result = run_constant_certificate(sizes=(100, 1_000))
+        assert result.column("ms_probes") == [2, 2]
+        comparisons = result.column("yannakakis_comparisons")
+        assert comparisons[1] > 5 * comparisons[0]

@@ -1,0 +1,70 @@
+"""EXPLAIN report tests."""
+
+import pytest
+
+from repro.core.explain import explain, format_explanation
+from repro.core.query import Query
+from repro.storage.relation import Relation
+
+
+def path_query():
+    return Query(
+        [
+            Relation("R", ["A", "B"], [(1, 2), (2, 3)]),
+            Relation("S", ["B", "C"], [(2, 9)]),
+        ]
+    )
+
+
+def triangle_query():
+    rows = [(1, 2), (2, 3), (1, 3)]
+    return Query(
+        [
+            Relation("R", ["A", "B"], rows),
+            Relation("S", ["B", "C"], rows),
+            Relation("T", ["A", "C"], rows),
+        ]
+    )
+
+
+class TestExplain:
+    def test_beta_acyclic_regime(self):
+        info = explain(path_query())
+        assert info.beta_acyclic
+        assert info.gao_is_neo
+        assert info.strategy == "chain"
+        assert "Theorem 2.7" in info.runtime_regime
+        assert info.elimination_width == 1
+
+    def test_cyclic_regime(self):
+        info = explain(triangle_query())
+        assert not info.beta_acyclic
+        assert info.alpha_acyclic is False
+        assert info.strategy == "general"
+        assert "Theorem 5.1" in info.runtime_regime
+        assert info.elimination_width == 2
+        assert abs(info.fractional_cover - 1.5) < 1e-6
+
+    def test_explicit_gao(self):
+        info = explain(path_query(), gao=["A", "B", "C"])
+        assert info.gao == ["A", "B", "C"]
+        assert info.gao_kind == "user"
+
+    def test_dry_run_measures(self):
+        info = explain(path_query(), dry_run=True)
+        assert info.certificate_estimate is not None
+        assert info.certificate_estimate > 0
+        assert info.output_size == 1
+
+    def test_agm_bound_present(self):
+        info = explain(triangle_query())
+        assert info.agm_output_bound >= 1
+
+    def test_format_contains_key_facts(self):
+        text = format_explanation(explain(path_query(), dry_run=True))
+        assert "GAO" in text
+        assert "runtime regime" in text
+        assert "|C| estimate" in text
+
+    def test_input_size(self):
+        assert explain(path_query()).input_size == 3

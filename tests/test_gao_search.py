@@ -1,0 +1,84 @@
+"""GAO search tests (the §7 future-work feature)."""
+
+import pytest
+
+from repro.core.gao_search import (
+    all_nested_elimination_orders,
+    estimate_certificate,
+    search_gao,
+)
+from repro.datasets.instances import (
+    interleaved_parity,
+    neo_with_large_certificate,
+    private_attribute_flip,
+)
+from repro.hypergraph.elimination import is_nested_elimination_order
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestNeoEnumeration:
+    def test_path_has_multiple_neos(self):
+        h = Hypergraph({"R": ["A", "B"], "S": ["B", "C"]})
+        orders = all_nested_elimination_orders(h)
+        assert len(orders) >= 2
+        for order in orders:
+            assert is_nested_elimination_order(h, order)
+
+    def test_cyclic_has_none(self):
+        h = Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["A", "C"]})
+        assert all_nested_elimination_orders(h) == []
+
+    def test_limit_respected(self):
+        h = Hypergraph({f"R{i}": [f"A{i}"] for i in range(6)})
+        assert len(all_nested_elimination_orders(h, limit=5)) <= 5
+
+
+class TestSearch:
+    def test_finds_the_cheap_order_b3_b4(self):
+        """On the interleaved-parity data the search must land on a
+        C-first order (the Θ(n) certificate side of Example B.4)."""
+        inst = interleaved_parity(6)
+        result = search_gao(inst.query)
+        assert result.best_gao[0] == "C"
+        worst = max(score for _, score in result.scoreboard)
+        assert result.best_estimate * 2 < worst
+
+    def test_finds_the_cheap_order_b6(self):
+        """Example B.6: (A,B) beats (B,A) on this data."""
+        inst = private_attribute_flip(12)
+        result = search_gao(inst.query)
+        assert result.best_gao == ["A", "B"]
+
+    def test_b7_search_beats_the_neo(self):
+        """Example B.7: the measured-best GAO is NOT the nested
+        elimination order — structure alone cannot find it."""
+        inst = neo_with_large_certificate(20)
+        structural, kind = inst.query.choose_gao()
+        assert kind == "neo"
+        result = search_gao(inst.query)
+        assert result.best_gao[0] == "A"
+        neo_score = dict(result.scoreboard).get(tuple(structural))
+        if neo_score is not None:
+            assert result.best_estimate < neo_score
+
+    def test_estimate_matches_direct_run(self):
+        inst = interleaved_parity(4)
+        direct = estimate_certificate(inst.query, ["C", "A", "B"])
+        result = search_gao(inst.query)
+        scores = dict(result.scoreboard)
+        assert scores[("C", "A", "B")] == direct
+
+    def test_scoreboard_sorted(self):
+        inst = interleaved_parity(4)
+        result = search_gao(inst.query)
+        scores = [score for _, score in result.scoreboard]
+        assert scores == sorted(scores)
+
+    def test_large_query_uses_sampling(self):
+        """n >= exhaustive_below triggers structural + sampled candidates."""
+        from repro.datasets.instances import appendix_j_path
+
+        inst = appendix_j_path(5, 3)  # 6 attributes
+        result = search_gao(inst.query, exhaustive_below=6, samples=3, neo_limit=4)
+        assert len(result.scoreboard) <= 4 + 1 + 3
+        assert result.best_estimate <= min(s for _, s in result.scoreboard)

@@ -1,0 +1,71 @@
+"""Hypergraph class tests."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph, query_hypergraph
+
+
+def triangle():
+    return Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["A", "C"]})
+
+
+class TestBasics:
+    def test_vertices_union(self):
+        h = triangle()
+        assert h.vertices == {"A", "B", "C"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph({"R": []})
+
+    def test_duplicate_edge_sets_allowed(self):
+        h = Hypergraph({"R": ["A"], "S": ["A"]})
+        assert len(h) == 2
+
+    def test_edges_containing(self):
+        h = triangle()
+        assert sorted(h.edges_containing("A")) == ["R", "T"]
+
+    def test_remove_vertex_drops_empty_edges(self):
+        h = Hypergraph({"R": ["A"], "S": ["A", "B"]})
+        reduced = h.remove_vertex("A")
+        assert reduced.edges == {"S": frozenset({"B"})}
+
+    def test_restrict_edges(self):
+        h = triangle()
+        sub = h.restrict_edges(["R", "S"])
+        assert set(sub.edge_names()) == {"R", "S"}
+
+    def test_query_hypergraph_helper(self):
+        h = query_hypergraph({"R": ("A", "B")})
+        assert h.edge("R") == {"A", "B"}
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert triangle().is_connected()
+
+    def test_disconnected(self):
+        h = Hypergraph({"R": ["A"], "S": ["B"]})
+        assert not h.is_connected()
+        assert len(h.components()) == 2
+
+    def test_components_cover_all_edges(self):
+        h = Hypergraph({"R": ["A", "B"], "S": ["B"], "T": ["X"], "U": ["X", "Y"]})
+        comps = h.components()
+        flat = sorted(name for comp in comps for name in comp)
+        assert flat == ["R", "S", "T", "U"]
+        assert len(comps) == 2
+
+
+class TestGaifman:
+    def test_triangle_neighbors(self):
+        adj = triangle().gaifman_neighbors()
+        assert adj["A"] == {"B", "C"}
+        assert adj["B"] == {"A", "C"}
+
+    def test_path_neighbors(self):
+        h = Hypergraph({"R": ["A", "B"], "S": ["B", "C"]})
+        adj = h.gaifman_neighbors()
+        assert adj["B"] == {"A", "C"}
+        assert adj["A"] == {"B"}

@@ -1,0 +1,100 @@
+"""Set-intersection engine tests (Appendix H)."""
+
+import random
+
+import pytest
+
+from repro.core.intersection import (
+    intersect_sorted,
+    intersection_certificate_size,
+    merge_intersection,
+)
+from repro.datasets.instances import (
+    intersection_blocks,
+    intersection_interleaved,
+    intersection_with_overlap,
+)
+from repro.util.counters import OpCounters
+
+
+class TestCorrectness:
+    def test_basic(self):
+        assert intersect_sorted([[1, 3, 5], [3, 5, 7]]) == [3, 5]
+
+    def test_single_set(self):
+        assert intersect_sorted([[2, 4]]) == [2, 4]
+
+    def test_empty_set_short_circuits(self):
+        assert intersect_sorted([[1, 2], []]) == []
+
+    def test_disjoint(self):
+        assert intersect_sorted([[1, 2], [3, 4]]) == []
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_sorted([[3, 1]])
+        with pytest.raises(ValueError):
+            intersect_sorted([[1, 1]])  # duplicates
+
+    def test_no_sets_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_sorted([])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_agreement_with_merge(self, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            m = rng.randint(1, 5)
+            sets = [
+                sorted(rng.sample(range(60), rng.randint(1, 25)))
+                for _ in range(m)
+            ]
+            expected = sorted(set.intersection(*map(set, sets)))
+            assert intersect_sorted(sets) == expected
+            assert merge_intersection(sets) == expected
+
+
+class TestAdaptivity:
+    """Theorem H.4: work tracks the certificate, not the input size."""
+
+    def test_disjoint_blocks_constant_work(self):
+        small = intersection_blocks(2, 100)
+        large = intersection_blocks(2, 10_000)
+        c_small, c_large = OpCounters(), OpCounters()
+        intersect_sorted(small, c_small)
+        intersect_sorted(large, c_large)
+        # 100x bigger input, same probe count.
+        assert c_large.probes == c_small.probes
+        assert c_large.probes <= 4
+
+    def test_merge_baseline_scales_with_input(self):
+        small = intersection_blocks(2, 100)
+        large = intersection_blocks(2, 10_000)
+        c_small, c_large = OpCounters(), OpCounters()
+        merge_intersection(small, c_small)
+        merge_intersection(large, c_large)
+        assert c_large.comparisons > 50 * c_small.comparisons
+
+    def test_interleaved_is_linear_for_everyone(self):
+        sets = intersection_interleaved(500)
+        counters = OpCounters()
+        assert intersect_sorted(sets, counters) == []
+        assert counters.probes >= 250  # no shortcut exists
+
+    def test_probes_bounded_by_certificate_plus_output(self):
+        rng = random.Random(1)
+        for _ in range(25):
+            sets = [
+                sorted(rng.sample(range(100), rng.randint(1, 40)))
+                for _ in range(rng.randint(2, 4))
+            ]
+            counters = OpCounters()
+            out = intersect_sorted(sets, counters)
+            cert = intersection_certificate_size(sets)
+            assert counters.probes <= 2 * (cert + len(out)) + 4
+
+    def test_overlap_family_output_found(self):
+        sets = intersection_with_overlap(200, 15, seed=2)
+        got = intersect_sorted(sets)
+        assert got == sorted(set(sets[0]) & set(sets[1]))
+        assert len(got) == 15

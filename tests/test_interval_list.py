@@ -1,0 +1,179 @@
+"""IntervalList unit + property tests (paper Appendix E.2 / Prop E.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.interval_list import (
+    IntervalList,
+    NaiveIntervalList,
+    interval_is_empty,
+)
+from repro.util.sentinels import NEG_INF, POS_INF
+
+WINDOW = range(-10, 40)
+
+
+def brute_cover(inserted):
+    covered = set()
+    for lo, hi in inserted:
+        covered |= {v for v in WINDOW if lo < v < hi}
+    return covered
+
+
+class TestEmptiness:
+    def test_finite_empty(self):
+        assert interval_is_empty(3, 4)
+        assert interval_is_empty(3, 3)
+        assert interval_is_empty(5, 2)
+        assert not interval_is_empty(3, 5)
+
+    def test_infinite_nonempty(self):
+        assert not interval_is_empty(NEG_INF, 0)
+        assert not interval_is_empty(0, POS_INF)
+        assert not interval_is_empty(NEG_INF, POS_INF)
+
+    def test_inverted_infinite(self):
+        assert interval_is_empty(POS_INF, NEG_INF)
+        assert interval_is_empty(POS_INF, 3)
+        assert interval_is_empty(3, NEG_INF)
+
+
+class TestBasics:
+    def test_empty_list(self):
+        il = IntervalList()
+        assert not il.covers(5)
+        assert il.next(5) == 5
+        assert len(il) == 0
+
+    def test_open_semantics(self):
+        il = IntervalList()
+        il.insert(2, 5)
+        assert not il.covers(2)
+        assert il.covers(3)
+        assert il.covers(4)
+        assert not il.covers(5)
+
+    def test_next_skips_interval(self):
+        il = IntervalList()
+        il.insert(2, 5)
+        assert il.next(3) == 5
+        assert il.next(2) == 2
+        assert il.next(5) == 5
+
+    def test_next_pos_inf(self):
+        il = IntervalList()
+        il.insert(0, POS_INF)
+        assert il.next(1) is POS_INF
+        assert il.next(0) == 0
+
+    def test_empty_insert_ignored(self):
+        il = IntervalList()
+        assert not il.insert(3, 4)
+        assert len(il) == 0
+
+    def test_merge_overlapping(self):
+        il = IntervalList()
+        il.insert(2, 5)
+        il.insert(4, 9)
+        assert il.intervals() == [(2, 9)]
+
+    def test_integer_adjacent_not_merged(self):
+        il = IntervalList()
+        il.insert(2, 5)
+        il.insert(5, 9)
+        # 5 itself stays uncovered.
+        assert il.next(3) == 5
+        assert len(il) == 2
+
+    def test_bridge_merges_three(self):
+        il = IntervalList()
+        il.insert(2, 5)
+        il.insert(6, 9)
+        il.insert(4, 7)
+        assert il.intervals() == [(2, 9)]
+
+    def test_subsumed_insert_reports_no_change(self):
+        il = IntervalList()
+        il.insert(0, 10)
+        assert not il.insert(3, 6)
+        assert il.insert(5, 15)
+
+    def test_covers_all(self):
+        il = IntervalList()
+        il.insert(-1, 5)
+        assert il.covers_all(0, 5)
+        assert not il.covers_all(0, 6)
+        il.insert(4, POS_INF)
+        assert il.covers_all(0, POS_INF)
+
+    def test_infinite_low(self):
+        il = IntervalList()
+        il.insert(NEG_INF, 3)
+        assert il.covers(-100)
+        assert il.next(-5) == 3
+
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.integers(-8, 30), st.just(NEG_INF)),
+        st.one_of(st.integers(-8, 30), st.just(POS_INF)),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=300)
+@given(intervals_strategy, st.integers(-9, 35))
+def test_model_covers_and_next(inserted, probe):
+    il = IntervalList()
+    for lo, hi in inserted:
+        il.insert(lo, hi)
+    covered = brute_cover(inserted)
+    assert il.covers(probe) == (probe in covered)
+    expected = probe
+    while expected in covered:
+        expected += 1
+    nxt = il.next(probe)
+    if expected < 40:
+        assert nxt == expected
+    # stored intervals remain disjoint & sorted with uncovered boundaries
+    pairs = il.intervals()
+    for (l1, h1), (l2, h2) in zip(pairs, pairs[1:]):
+        assert h1 <= l2
+
+
+@settings(max_examples=150)
+@given(intervals_strategy, st.integers(-9, 35))
+def test_naive_equivalence(inserted, probe):
+    fast = IntervalList()
+    slow = NaiveIntervalList()
+    for lo, hi in inserted:
+        fast.insert(lo, hi)
+        slow.insert(lo, hi)
+    assert fast.covers(probe) == slow.covers(probe)
+    assert fast.next(probe) == slow.next(probe)
+
+
+@settings(max_examples=200)
+@given(
+    intervals_strategy,
+    st.integers(-9, 35),
+    st.integers(-9, 35),
+)
+def test_runs_partition_window(inserted, a, b):
+    lo, hi = min(a, b), max(a, b)
+    il = IntervalList()
+    for l, h in inserted:
+        il.insert(l, h)
+    window = {v for v in WINDOW if lo < v < hi}
+    covered = brute_cover(inserted) & window
+    got_cov = set()
+    for l, h in il.covered_runs(lo, hi):
+        got_cov |= {v for v in WINDOW if l < v < h}
+    got_unc = set()
+    for l, h in il.uncovered_runs(lo, hi):
+        got_unc |= {v for v in WINDOW if l < v < h}
+    assert got_cov == covered
+    assert got_unc == window - covered
+    assert not (got_cov & got_unc)

@@ -1,0 +1,127 @@
+"""Relation IO tests (CSV / JSON / edge lists / dictionary encoding)."""
+
+import json
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.query import Query
+from repro.io import (
+    Dictionary,
+    load_csv,
+    load_edge_list,
+    load_json,
+    relation_from_rows,
+    save_rows,
+)
+
+
+class TestDictionary:
+    def test_order_preserving(self):
+        d = Dictionary(["pear", "apple", "fig"])
+        assert d.encode("apple") < d.encode("fig") < d.encode("pear")
+
+    def test_roundtrip(self):
+        d = Dictionary(["b", "a"])
+        assert d.decode(d.encode("a")) == "a"
+        assert len(d) == 2
+
+
+class TestRelationFromRows:
+    def test_integer_columns_passthrough(self):
+        rel, dicts = relation_from_rows("R", ["A", "B"], [(1, 2), (3, 4)])
+        assert rel.tuples() == [(1, 2), (3, 4)]
+        assert dicts == {}
+
+    def test_string_column_encoded(self):
+        rel, dicts = relation_from_rows(
+            "R", ["A", "Name"], [(1, "bob"), (2, "alice")]
+        )
+        assert "Name" in dicts
+        assert rel.tuples() == [(1, 1), (2, 0)]  # alice=0, bob=1
+
+    def test_bool_treated_as_non_integer(self):
+        rel, dicts = relation_from_rows("R", ["A"], [(True,), (False,)])
+        assert "A" in dicts
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            relation_from_rows("R", ["A", "B"], [(1,)])
+
+    def test_empty_rows(self):
+        rel, dicts = relation_from_rows("R", ["A"], [])
+        assert len(rel) == 0
+
+
+class TestLoadCsv:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2\n3,4\n")
+        rel, _ = load_csv(str(path), "R", attributes=["A", "B"])
+        assert rel.tuples() == [(1, 2), (3, 4)]
+
+    def test_header(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1,2\n")
+        rel, _ = load_csv(str(path), "R", header=True)
+        assert rel.attributes == ("A", "B")
+
+    def test_tsv(self, tmp_path):
+        path = tmp_path / "r.tsv"
+        path.write_text("1\t2\n")
+        rel, _ = load_csv(str(path), "R", attributes=["A", "B"], delimiter="\t")
+        assert rel.tuples() == [(1, 2)]
+
+    def test_string_cells_encoded(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,x\n2,y\n")
+        rel, dicts = load_csv(str(path), "R", attributes=["A", "B"])
+        assert "B" in dicts
+        assert rel.tuples() == [(1, 0), (2, 1)]
+
+    def test_default_attribute_names(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("1,2,3\n")
+        rel, _ = load_csv(str(path), "R")
+        assert rel.attributes == ("col0", "col1", "col2")
+
+
+class TestLoadJson:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"attributes": ["A"], "rows": [[1], [2]]}))
+        rel, _ = load_json(str(path), "R")
+        assert rel.tuples() == [(1,), (2,)]
+
+    def test_bad_payload(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_json(str(path), "R")
+
+
+class TestLoadEdgeList:
+    def test_snap_format(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n1 2\n2 3\n\n")
+        rel, _ = load_edge_list(str(path), "E")
+        assert rel.tuples() == [(1, 2), (2, 3)]
+        assert rel.attributes == ("src", "dst")
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            load_edge_list(str(path), "E")
+
+
+class TestEndToEnd:
+    def test_load_join_save(self, tmp_path):
+        (tmp_path / "r.csv").write_text("1,2\n2,3\n")
+        (tmp_path / "s.csv").write_text("2,9\n3,8\n")
+        r, _ = load_csv(str(tmp_path / "r.csv"), "R", attributes=["A", "B"])
+        s, _ = load_csv(str(tmp_path / "s.csv"), "S", attributes=["B", "C"])
+        result = join(Query([r, s]), gao=["A", "B", "C"])
+        out = tmp_path / "out.csv"
+        save_rows(str(out), result.rows)
+        assert out.read_text().strip().splitlines() == ["1,2,9", "2,3,8"]

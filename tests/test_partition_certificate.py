@@ -1,0 +1,96 @@
+"""Barbay–Kenyon partition certificates for set intersection (§6.2)."""
+
+import random
+
+import pytest
+
+from repro.core.intersection import intersect_sorted, partition_certificate
+from repro.util.sentinels import NEG_INF, POS_INF
+
+
+def verify_partition(sets, window=range(-5, 70)):
+    """Assert the three partition-certificate properties."""
+    items = partition_certificate(sets)
+    expected = (
+        sorted(set.intersection(*map(set, sets))) if all(sets) else []
+    )
+    outputs = [v for kind, v in items if kind == "output"]
+    assert outputs == expected
+    certified = set()
+    for kind, payload in items:
+        if kind == "gap":
+            low, high, who = payload
+            # soundness: the witness set is empty inside the gap
+            assert not any(low < v < high for v in sets[who])
+            certified |= {v for v in window if low < v < high}
+        else:
+            certified.add(payload)
+    # completeness: the items tile the whole (windowed) value line
+    assert certified >= set(window)
+    return items
+
+
+class TestStructure:
+    def test_simple(self):
+        items = verify_partition([[1, 5], [1, 9]])
+        kinds = [k for k, _ in items]
+        assert kinds[0] == "gap"
+        assert "output" in kinds
+
+    def test_empty_set_single_gap(self):
+        items = partition_certificate([[1, 2], []])
+        assert items == [("gap", (NEG_INF, POS_INF, 1))]
+
+    def test_disjoint_blocks_two_items(self):
+        a = list(range(0, 50))
+        b = list(range(100, 150))
+        items = verify_partition([a, b], window=range(-5, 160))
+        gaps = [p for k, p in items if k == "gap"]
+        # ~three gaps certify 100 elements: below-a, between, above
+        assert len(gaps) <= 4
+
+    def test_adjacent_outputs(self):
+        verify_partition([[1, 2, 3, 10], [1, 2, 3, 11]])
+
+    def test_identical_sets(self):
+        items = verify_partition([list(range(10)), list(range(10))])
+        outputs = [v for k, v in items if k == "output"]
+        assert outputs == list(range(10))
+
+    def test_single_set(self):
+        verify_partition([[3, 7, 20]])
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            m = rng.randint(1, 4)
+            sets = [
+                sorted(rng.sample(range(60), rng.randint(0, 20)))
+                for _ in range(m)
+            ]
+            verify_partition(sets)
+
+    def test_matches_engine_output(self):
+        rng = random.Random(99)
+        for _ in range(30):
+            sets = [
+                sorted(rng.sample(range(50), rng.randint(1, 25)))
+                for _ in range(2)
+            ]
+            outputs = [
+                v for k, v in partition_certificate(sets) if k == "output"
+            ]
+            assert outputs == intersect_sorted(sets)
+
+    def test_size_tracks_alternation_not_input(self):
+        """Two far-apart blocks: O(1) items regardless of block size."""
+        small = partition_certificate(
+            [list(range(100)), list(range(500, 600))]
+        )
+        large = partition_certificate(
+            [list(range(10_000)), list(range(50_000, 60_000))]
+        )
+        assert len(large) == len(small) <= 4

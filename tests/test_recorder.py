@@ -1,0 +1,92 @@
+"""Proposition 2.5 executable: recorded comparisons form certificates."""
+
+import random
+
+import pytest
+
+from repro.certificates.recorder import CertificateRecorder, record_certificate
+from repro.certificates.verifier import check_certificate
+from repro.core.query import Query, naive_join
+from repro.storage.relation import Relation
+
+SHAPES = [
+    [("R", ["A", "B"]), ("S", ["B", "C"])],
+    [("R", ["A"]), ("S", ["A", "B"]), ("T", ["B"])],
+    [("R", ["A", "B"]), ("S", ["B", "C"]), ("T", ["A", "C"])],
+    [("R", ["A", "B"]), ("S", ["A", "B"])],
+]
+
+
+def random_prepared(rng):
+    shape = rng.choice(SHAPES)
+    dom = rng.randint(2, 5)
+    rels = []
+    for name, attrs in shape:
+        rows = {
+            tuple(rng.randint(0, dom) for _ in attrs)
+            for _ in range(rng.randint(1, 6))
+        }
+        rels.append(Relation(name, attrs, rows))
+    query = Query(rels)
+    gao = rng.sample(query.attributes(), len(query.attributes()))
+    return query, query.with_gao(gao)
+
+
+class TestRecorder:
+    def test_output_unchanged(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            query, prepared = random_prepared(rng)
+            rows, _ = record_certificate(prepared)
+            assert sorted(rows) == naive_join(query, prepared.gao)
+
+    def test_argument_satisfied_by_instance(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            _, prepared = random_prepared(rng)
+            _, argument = record_certificate(prepared)
+            assert argument.satisfied_by(prepared)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recorded_argument_is_certificate(self, seed):
+        """The Prop 2.5 claim, checked with the randomized refuter."""
+        rng = random.Random(seed + 10)
+        for _ in range(6):
+            _, prepared = random_prepared(rng)
+            _, argument = record_certificate(prepared)
+            assert check_certificate(prepared, argument, samples=10, seed=seed) is None
+
+    def test_size_reasonable(self):
+        """|recorded| stays within a constant factor of FindGap count."""
+        rng = random.Random(3)
+        for _ in range(10):
+            _, prepared = random_prepared(rng)
+            recorder = CertificateRecorder(prepared)
+            recorder.run()
+            assert len(recorder.argument) <= 4 * prepared.counters.findgap + 8
+
+    def test_empty_output_instance(self):
+        query = Query(
+            [
+                Relation("R", ["A"], [(1,), (2,)]),
+                Relation("S", ["A"], [(5,), (6,)]),
+            ]
+        )
+        prepared = query.with_gao(["A"])
+        rows, argument = record_certificate(prepared)
+        assert rows == []
+        assert len(argument) >= 1  # the separating comparison was recorded
+        assert check_certificate(prepared, argument, samples=15) is None
+
+    def test_general_strategy_also_records(self):
+        query = Query(
+            [
+                Relation("R", ["A", "B"], [(1, 2), (3, 1)]),
+                Relation("S", ["B", "C"], [(2, 3), (1, 1)]),
+                Relation("T", ["A", "C"], [(1, 3)]),
+            ]
+        )
+        prepared = query.with_gao(["A", "B", "C"])
+        rows, argument = record_certificate(prepared, strategy="general")
+        assert rows == [(1, 2, 3)]
+        assert argument.satisfied_by(prepared)

@@ -1,0 +1,58 @@
+"""Moderate-scale smoke tests: the engine at tens of thousands of tuples.
+
+Not micro-benchmarks (those live in benchmarks/) — these guard against
+accidental quadratic blow-ups in the hot paths by bounding operation
+counts at a scale where they would explode.
+"""
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.intersection import intersect_sorted
+from repro.core.triangle import triangle_join
+from repro.datasets.graphs import uniform_graph
+from repro.datasets.instances import appendix_j_path, constant_certificate_empty
+from repro.datasets.workloads import three_path_query
+from repro.util.counters import OpCounters
+
+
+def test_b1_at_fifty_thousand():
+    inst = constant_certificate_empty(50_000)
+    res = join(inst.query, gao=inst.gao)
+    assert res.rows == []
+    assert res.counters.probes <= 5
+
+
+def test_path_workload_at_scale():
+    edges = uniform_graph(4_000, 25_000, seed=17)
+    query = three_path_query(edges, probability=0.003, seed=3)
+    res = join(query)
+    n = query.total_tuples()
+    assert n > 75_000
+    # certificate-bound behaviour: far fewer probes than tuples
+    assert res.counters.probes < n / 20
+
+
+def test_appendix_j_large_block():
+    inst = appendix_j_path(5, 64)
+    res = join(inst.query, gao=inst.gao)
+    assert res.rows == []
+    # linear in |C| = m·M with small constants
+    assert res.counters.probes < 12 * inst.certificate_size
+
+
+def test_intersection_half_million():
+    a = list(range(0, 1_000_000, 2))
+    b = list(range(1_000_001, 2_000_000, 2))
+    counters = OpCounters()
+    assert intersect_sorted([a, b], counters) == []
+    assert counters.probes <= 4
+
+
+def test_triangle_sparse_graph():
+    edges = uniform_graph(800, 4_000, seed=5)
+    counters = OpCounters()
+    rows = triangle_join(edges, edges, edges, counters)
+    assert counters.probes < 40_000
+    for a, b, c in rows[:10]:
+        assert (a, b) in set(edges)

@@ -1,0 +1,129 @@
+"""Semijoin reducer tests."""
+
+import random
+
+import pytest
+
+from repro.baselines.semijoin import full_reducer, pairwise_reduce, semijoin
+from repro.core.engine import join
+from repro.core.query import Query, naive_join
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+
+def two_rel_query():
+    return Query(
+        [
+            Relation("R", ["A", "B"], [(1, 1), (2, 9), (3, 1)]),
+            Relation("S", ["B", "C"], [(1, 5)]),
+        ]
+    )
+
+
+class TestSemijoin:
+    def test_filters_dangling(self):
+        q = two_rel_query()
+        reduced = semijoin(q.relation("R"), q.relation("S"))
+        assert reduced.tuples() == [(1, 1), (3, 1)]
+
+    def test_no_shared_attributes_is_identity(self):
+        r = Relation("R", ["A"], [(1,)])
+        s = Relation("S", ["B"], [(2,)])
+        assert semijoin(r, s) is r
+
+    def test_counters(self):
+        c = OpCounters()
+        q = two_rel_query()
+        semijoin(q.relation("R"), q.relation("S"), c)
+        assert c.comparisons == 4  # 1 build + 3 probe
+
+
+class TestFullReducer:
+    def test_preserves_output(self):
+        rng = random.Random(0)
+        for _ in range(25):
+            r = Relation(
+                "R",
+                ["A", "B"],
+                {(rng.randint(0, 5), rng.randint(0, 5)) for _ in range(8)},
+            )
+            s = Relation(
+                "S",
+                ["B", "C"],
+                {(rng.randint(0, 5), rng.randint(0, 5)) for _ in range(8)},
+            )
+            t = Relation("T", ["C"], {(rng.randint(0, 5),) for _ in range(4)})
+            query = Query([r, s, t])
+            reduced = full_reducer(query)
+            gao = ["A", "B", "C"]
+            assert naive_join(reduced, gao) == naive_join(query, gao)
+
+    def test_no_dangling_after_reduction(self):
+        query = two_rel_query()
+        reduced = full_reducer(query)
+        rows = naive_join(reduced, ["A", "B", "C"])
+        # every remaining tuple participates in some output
+        for rel in reduced.relations:
+            for row in rel.tuples():
+                assert any(
+                    reduced.with_gao(["A", "B", "C"]).project(rel.name, out)
+                    == row
+                    for out in rows
+                )
+
+    def test_cyclic_rejected(self):
+        tri = Query(
+            [
+                Relation("R", ["A", "B"], [(1, 1)]),
+                Relation("S", ["B", "C"], [(1, 1)]),
+                Relation("T", ["A", "C"], [(1, 1)]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            full_reducer(tri)
+
+    def test_reducer_cost_is_linear_in_n(self):
+        """The Appendix J point: reduction touches every tuple."""
+        from repro.datasets.instances import constant_certificate_empty
+
+        inst = constant_certificate_empty(2_000)
+        counters = OpCounters()
+        full_reducer(inst.query, counters)
+        assert counters.comparisons >= 2 * 2_000
+
+    def test_minesweeper_agrees_on_reduced(self):
+        query = two_rel_query()
+        reduced = full_reducer(query)
+        original = join(query, gao=["A", "B", "C"])
+        after = join(reduced, gao=["A", "B", "C"])
+        assert sorted(original.rows) == sorted(after.rows)
+
+
+class TestPairwiseReduce:
+    def test_sound_on_cyclic(self):
+        rng = random.Random(1)
+        for _ in range(15):
+            def edges():
+                return {
+                    (rng.randint(0, 4), rng.randint(0, 4)) for _ in range(7)
+                }
+
+            query = Query(
+                [
+                    Relation("R", ["A", "B"], edges()),
+                    Relation("S", ["B", "C"], edges()),
+                    Relation("T", ["A", "C"], edges()),
+                ]
+            )
+            reduced = pairwise_reduce(query)
+            gao = ["A", "B", "C"]
+            assert naive_join(reduced, gao) == naive_join(query, gao)
+            for before, after in zip(query.relations, reduced.relations):
+                assert len(after) <= len(before)
+
+    def test_fixpoint_reached(self):
+        query = two_rel_query()
+        once = pairwise_reduce(query)
+        twice = pairwise_reduce(once)
+        for a, b in zip(once.relations, twice.relations):
+            assert a.tuples() == b.tuples()

@@ -1,0 +1,75 @@
+"""Unit tests for the ordered infinity sentinels."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sentinels import NEG_INF, POS_INF, is_finite, pred, succ
+
+
+class TestOrdering:
+    def test_neg_inf_below_every_int(self):
+        for v in (-(10**18), -1, 0, 1, 10**18):
+            assert NEG_INF < v
+            assert v > NEG_INF
+            assert not v < NEG_INF
+
+    def test_pos_inf_above_every_int(self):
+        for v in (-(10**18), -1, 0, 1, 10**18):
+            assert POS_INF > v
+            assert v < POS_INF
+            assert not v > POS_INF
+
+    def test_neg_below_pos(self):
+        assert NEG_INF < POS_INF
+        assert POS_INF > NEG_INF
+
+    def test_self_equality(self):
+        assert NEG_INF == NEG_INF
+        assert POS_INF == POS_INF
+        assert not NEG_INF < NEG_INF
+        assert not POS_INF > POS_INF
+
+    def test_not_equal_to_ints(self):
+        assert NEG_INF != 0
+        assert POS_INF != 0
+        assert NEG_INF != POS_INF
+
+    def test_le_ge_derived(self):
+        assert NEG_INF <= 5
+        assert POS_INF >= 5
+        assert NEG_INF <= NEG_INF
+        assert POS_INF >= POS_INF
+
+    @given(st.integers())
+    def test_total_order_random(self, v):
+        assert NEG_INF < v < POS_INF
+
+    def test_hashable(self):
+        assert len({NEG_INF, POS_INF, NEG_INF}) == 2
+
+    def test_repr(self):
+        assert repr(NEG_INF) == "-inf"
+        assert repr(POS_INF) == "+inf"
+
+    def test_sorting_mixed(self):
+        data = [3, POS_INF, NEG_INF, -2, 7]
+        assert sorted(data) == [NEG_INF, -2, 3, 7, POS_INF]
+
+
+class TestHelpers:
+    def test_is_finite(self):
+        assert is_finite(0)
+        assert is_finite(-5)
+        assert not is_finite(NEG_INF)
+        assert not is_finite(POS_INF)
+
+    def test_succ_pred_ints(self):
+        assert succ(4) == 5
+        assert pred(4) == 3
+
+    def test_succ_pred_fixed_points(self):
+        assert succ(POS_INF) is POS_INF
+        assert pred(NEG_INF) is NEG_INF
+        assert succ(NEG_INF) is NEG_INF
+        assert pred(POS_INF) is POS_INF

@@ -1,0 +1,121 @@
+"""SortedList unit + property tests (paper Appendix E.1 operations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.sorted_list import SortedList
+from repro.util.sentinels import NEG_INF, POS_INF
+
+
+class TestBasics:
+    def test_empty(self):
+        s = SortedList()
+        assert len(s) == 0
+        assert not s.find(3)
+        assert s.find_lub(0) is None
+        assert s.find_glb(0) is None
+
+    def test_init_dedupes_and_sorts(self):
+        s = SortedList([5, 1, 5, 3])
+        assert s.as_list() == [1, 3, 5]
+
+    def test_find(self):
+        s = SortedList([2, 4, 6])
+        assert s.find(4)
+        assert not s.find(5)
+        assert 4 in s and 5 not in s
+
+    def test_find_lub(self):
+        s = SortedList([2, 4, 6])
+        assert s.find_lub(3) == 4
+        assert s.find_lub(4) == 4
+        assert s.find_lub(7) is None
+        assert s.find_lub(-10) == 2
+
+    def test_find_glb(self):
+        s = SortedList([2, 4, 6])
+        assert s.find_glb(5) == 4
+        assert s.find_glb(4) == 4
+        assert s.find_glb(1) is None
+        assert s.find_glb(100) == 6
+
+    def test_insert_returns_newness(self):
+        s = SortedList()
+        assert s.insert(3)
+        assert not s.insert(3)
+        assert s.as_list() == [3]
+
+    def test_delete(self):
+        s = SortedList([1, 2, 3])
+        assert s.delete(2)
+        assert not s.delete(2)
+        assert s.as_list() == [1, 3]
+
+    def test_iteration_sorted(self):
+        s = SortedList([3, 1, 2])
+        assert list(s) == [1, 2, 3]
+
+
+class TestDeleteInterval:
+    def test_open_interval_excludes_endpoints(self):
+        s = SortedList([1, 2, 3, 4, 5])
+        removed = s.delete_interval(2, 4)
+        assert removed == [3]
+        assert s.as_list() == [1, 2, 4, 5]
+
+    def test_infinite_low(self):
+        s = SortedList([1, 2, 3])
+        assert s.delete_interval(NEG_INF, 3) == [1, 2]
+        assert s.as_list() == [3]
+
+    def test_infinite_high(self):
+        s = SortedList([1, 2, 3])
+        assert s.delete_interval(1, POS_INF) == [2, 3]
+        assert s.as_list() == [1]
+
+    def test_full_range(self):
+        s = SortedList([1, 2, 3])
+        assert s.delete_interval(NEG_INF, POS_INF) == [1, 2, 3]
+        assert len(s) == 0
+
+    def test_empty_interval_removes_nothing(self):
+        s = SortedList([1, 2, 3])
+        assert s.delete_interval(2, 3) == []
+        assert s.as_list() == [1, 2, 3]
+
+    def test_values_in_matches_delete_interval(self):
+        s = SortedList([1, 5, 9, 12])
+        assert s.values_in(1, 12) == [5, 9]
+        assert s.delete_interval(1, 12) == [5, 9]
+
+
+@settings(max_examples=200)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "delete_interval"]),
+            st.integers(-20, 20),
+            st.integers(-20, 20),
+        ),
+        max_size=40,
+    )
+)
+def test_model_equivalence(ops):
+    """SortedList behaves like a sorted(set) model under random ops."""
+    real = SortedList()
+    model = set()
+    for op, a, b in ops:
+        if op == "insert":
+            assert real.insert(a) == (a not in model)
+            model.add(a)
+        elif op == "delete":
+            assert real.delete(a) == (a in model)
+            model.discard(a)
+        else:
+            lo, hi = min(a, b), max(a, b)
+            removed = set(real.delete_interval(lo, hi))
+            expected = {v for v in model if lo < v < hi}
+            assert removed == expected
+            model -= expected
+        assert real.as_list() == sorted(model)

@@ -1,0 +1,58 @@
+"""Streaming/top-k tests: iterate() yields incrementally, in order."""
+
+import itertools
+
+import pytest
+
+from repro.core.minesweeper import Minesweeper
+from repro.core.query import Query, naive_join
+from repro.datasets.instances import constant_certificate_large_output
+from repro.storage.relation import Relation
+
+
+def prepared_example(n=200):
+    inst = constant_certificate_large_output(n)
+    return inst.query.with_gao(inst.gao)
+
+
+class TestIterate:
+    def test_iterate_equals_run(self):
+        query = Query(
+            [
+                Relation("R", ["A", "B"], [(1, 2), (2, 3), (4, 1)]),
+                Relation("S", ["B", "C"], [(2, 9), (3, 7), (1, 1)]),
+            ]
+        )
+        a = Minesweeper(query.with_gao(["A", "B", "C"])).run()
+        b = list(Minesweeper(query.with_gao(["A", "B", "C"])).iterate())
+        assert a == b == naive_join(query, ["A", "B", "C"])
+
+    def test_yields_in_gao_order(self):
+        engine = Minesweeper(prepared_example())
+        rows = list(engine.iterate())
+        assert rows == sorted(rows)
+
+    def test_top_k_early_termination_saves_work(self):
+        """Taking 5 of 200 outputs must cost ~5 probes, not ~400."""
+        engine = Minesweeper(prepared_example(200))
+        top5 = list(itertools.islice(engine.iterate(), 5))
+        assert len(top5) == 5
+        assert engine.counters.probes <= 15
+
+    def test_resume_after_partial_consumption(self):
+        engine = Minesweeper(prepared_example(50))
+        iterator = engine.iterate()
+        first = list(itertools.islice(iterator, 10))
+        rest = list(iterator)
+        assert len(first) + len(rest) == 50
+        assert first + rest == sorted(first + rest)
+
+    def test_empty_join_yields_nothing(self):
+        query = Query(
+            [
+                Relation("R", ["A"], [(1,)]),
+                Relation("S", ["A"], [(2,)]),
+            ]
+        )
+        engine = Minesweeper(query.with_gao(["A"]))
+        assert list(engine.iterate()) == []
