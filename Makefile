@@ -1,0 +1,25 @@
+# Convenience entry points.  PYTHONPATH is set per-target so every rule
+# works from a clean checkout with no install step.
+
+PY := python
+SRC := src
+export PYTHONPATH := $(SRC)
+
+.PHONY: test bench bench-smoke perf-report
+
+test:
+	$(PY) -m pytest -x -q
+
+# Full benchmark suite (wall-clock measured; ~minutes).
+bench:
+	$(PY) -m repro.cli bench
+
+# CI entry: every benchmark once with tiny inputs — exercises the perf
+# plumbing (recording, extra_info, summary.csv) without timing noise.
+bench-smoke:
+	$(PY) -m repro.cli bench --smoke
+
+# Refresh the repo-root BENCH_<date>.json against the last committed one
+# (see benchmarks/perf_report.py --help for baselining against a git ref).
+perf-report:
+	$(PY) benchmarks/perf_report.py --baseline-json $(shell ls BENCH_*.json | sort | tail -1)

@@ -5,40 +5,134 @@ paper-relevant operation counts (the evaluation currency of Section 5.2)
 into ``benchmarks/results/summary.csv`` plus the benchmark's
 ``extra_info`` so the numbers survive into ``--benchmark-json`` output.
 EXPERIMENTS.md is written from these rows.
+
+The CSV is append-only and may be written by several pytest processes or
+partially written by an interrupted run, so writers serialize on an
+advisory file lock: the header is created atomically (temp file +
+``os.replace``), each append is a single ``write`` of pre-joined rows,
+and a malformed or missing header row in an existing file is repaired
+rather than trusted (the lock keeps a repair from discarding a
+concurrent append).
 """
 
 from __future__ import annotations
 
+import contextlib
 import csv
+import io
 import os
+import tempfile
 from typing import Dict
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback, best effort
+    fcntl = None
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 SUMMARY_PATH = os.path.join(RESULTS_DIR, "summary.csv")
 _FIELDS = ["experiment", "case", "metric", "value"]
+_HEADER_LINE = ",".join(_FIELDS)
+
+
+@contextlib.contextmanager
+def _summary_lock(path: str):
+    """Advisory exclusive lock serializing header repair and appends."""
+    if fcntl is None:
+        yield
+        return
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path + ".lock", "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _ensure_header(path: str = None) -> None:
+    """Guarantee ``path`` exists and starts with the expected header row.
+
+    * missing/empty file: created atomically with just the header, so a
+      concurrent reader never observes a half-written header;
+    * existing file with a malformed first line (e.g. a data row from an
+      interrupted run that lost the header): rewritten atomically with
+      the header prepended and every existing line preserved.
+    """
+    if path is None:
+        path = SUMMARY_PATH  # resolved at call time (tests monkeypatch it)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    existing = ""
+    try:
+        with open(path, "r", newline="") as handle:
+            existing = handle.read()
+    except FileNotFoundError:
+        pass
+    if existing:
+        first_line = existing.splitlines()[0].strip()
+        if first_line == _HEADER_LINE:
+            return
+        body = existing if existing.endswith("\n") else existing + "\n"
+        content = _HEADER_LINE + "\n" + body
+    else:
+        content = _HEADER_LINE + "\n"
+    fd, tmp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=".summary-", suffix=".csv"
+    )
+    try:
+        with os.fdopen(fd, "w", newline="") as handle:
+            handle.write(content)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def record(benchmark, experiment: str, case: str, metrics: Dict[str, float]) -> None:
     """Attach metrics to the benchmark and append them to the summary CSV."""
     for key, value in metrics.items():
         benchmark.extra_info[key] = value
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    fresh = not os.path.exists(SUMMARY_PATH)
-    with open(SUMMARY_PATH, "a", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
-        if fresh:
-            writer.writeheader()
-        for key, value in metrics.items():
-            writer.writerow(
-                {
-                    "experiment": experiment,
-                    "case": case,
-                    "metric": key,
-                    "value": value,
-                }
-            )
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    for key, value in metrics.items():
+        writer.writerow(
+            {
+                "experiment": experiment,
+                "case": case,
+                "metric": key,
+                "value": value,
+            }
+        )
+    with _summary_lock(SUMMARY_PATH):
+        _ensure_header()
+        # One write call in append mode: rows land whole, and the lock
+        # keeps a concurrent header repair from discarding them.
+        with open(SUMMARY_PATH, "a", newline="") as handle:
+            handle.write(buffer.getvalue())
 
 
 def once(benchmark, func):
     """Run ``func`` exactly once under the benchmark timer."""
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+#: Environment flag for smoke runs (``make bench-smoke`` /
+#: ``python -m repro.cli bench --smoke``): every benchmark runs once with
+#: tiny inputs so the perf plumbing is exercised without timing noise.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0")
+
+
+def sizes(normal, smoke):
+    """Pick the benchmark's parameter list based on the smoke flag.
+
+    Evaluated at collection time — export ``REPRO_BENCH_SMOKE=1`` before
+    pytest starts (the CLI smoke runner does).
+    """
+    return smoke if smoke_mode() else normal

@@ -1,0 +1,208 @@
+"""Perf-regression workload registry (shared by bench_regression / perf_report).
+
+Each workload is a named, deterministic (setup, run, ops) triple over the
+library's *default configuration*, defined strictly against the API surface
+that has existed since the seed commit — ``triangle_join``,
+``intersect_sorted``, ``join``/``Query``/``Relation``, and the dataset
+factories.  That lets ``perf_report.py`` execute this very file against an
+older checkout (``PYTHONPATH=<old>/src``) to produce directly comparable
+baseline timings: the timing always reflects each version's defaults, so
+the BENCH_*.json trajectory measures what a default user actually gets.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/_workloads.py --repeat 5 --json
+
+which prints ``{case: {"median_s": ..., "ops": {...}}}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+Workload = Tuple[Callable[[], object], str]
+# setup() -> state; the registry maps name -> (make_run, description) where
+# make_run() returns (run, instrumented) closures over pre-built inputs.
+
+
+def _triangle_query(r, s, t):
+    from repro.core.query import Query
+    from repro.storage.relation import Relation
+
+    return Query(
+        [
+            Relation("R", ["A", "B"], r),
+            Relation("S", ["B", "C"], s),
+            Relation("T", ["A", "C"], t),
+        ]
+    )
+
+
+def _make_dyadic_hard(n: int):
+    from repro.core.triangle import triangle_join
+    from repro.datasets.instances import triangle_hard
+    from repro.util.counters import OpCounters
+
+    r, s, t, _cert = triangle_hard(n)
+
+    def run():
+        return triangle_join(r, s, t)
+
+    def instrumented():
+        counters = OpCounters()
+        triangle_join(r, s, t, counters)
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+def _make_dyadic_planted(n: int, k: int):
+    from repro.core.triangle import triangle_join
+    from repro.datasets.instances import triangle_with_output
+    from repro.util.counters import OpCounters
+
+    r, s, t = triangle_with_output(n, k, seed=5)
+
+    def run():
+        return triangle_join(r, s, t)
+
+    def instrumented():
+        counters = OpCounters()
+        triangle_join(r, s, t, counters)
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+def _make_minesweeper_hard(n: int):
+    from repro.core.engine import join
+    from repro.datasets.instances import triangle_hard
+    from repro.util.counters import OpCounters
+
+    r, s, t, _cert = triangle_hard(n)
+
+    def run():
+        return join(
+            _triangle_query(r, s, t), gao=["A", "B", "C"], strategy="general"
+        )
+
+    def instrumented():
+        counters = OpCounters()
+        join(
+            _triangle_query(r, s, t),
+            gao=["A", "B", "C"],
+            strategy="general",
+            counters=counters,
+        )
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+def _make_intersection(factory_name: str, *args, **kwargs):
+    from repro.core.intersection import intersect_sorted
+    from repro.datasets import instances
+    from repro.util.counters import OpCounters
+
+    sets = getattr(instances, factory_name)(*args, **kwargs)
+
+    def run():
+        return intersect_sorted(sets)
+
+    def instrumented():
+        counters = OpCounters()
+        intersect_sorted(sets, counters)
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+#: name -> zero-argument factory returning (run, instrumented).  Sizes
+#: track the paper-experiment benchmarks (bench_triangle.py /
+#: bench_set_intersection.py) plus one larger hard instance.
+WORKLOADS: Dict[str, Callable] = {
+    "triangle/dyadic/hard/n=32": lambda: _make_dyadic_hard(32),
+    "triangle/dyadic/hard/n=48": lambda: _make_dyadic_hard(48),
+    "triangle/dyadic/planted/n=100": lambda: _make_dyadic_planted(100, 25),
+    "triangle/dyadic/planted/n=300": lambda: _make_dyadic_planted(300, 75),
+    "triangle/minesweeper/hard/n=16": lambda: _make_minesweeper_hard(16),
+    "triangle/minesweeper/hard/n=32": lambda: _make_minesweeper_hard(32),
+    "intersection/interleaved/n=20000": lambda: _make_intersection(
+        "intersection_interleaved", 20_000
+    ),
+    "intersection/overlap/k=100": lambda: _make_intersection(
+        "intersection_with_overlap", 50_000, 100, seed=4
+    ),
+    "intersection/blocks/n=100000": lambda: _make_intersection(
+        "intersection_blocks", 2, 100_000
+    ),
+}
+
+#: Small-input substitutes for smoke runs (same shapes, trivial sizes).
+SMOKE_WORKLOADS: Dict[str, Callable] = {
+    "triangle/dyadic/hard/n=8": lambda: _make_dyadic_hard(8),
+    "triangle/dyadic/planted/n=40": lambda: _make_dyadic_planted(40, 10),
+    "triangle/minesweeper/hard/n=8": lambda: _make_minesweeper_hard(8),
+    "intersection/interleaved/n=200": lambda: _make_intersection(
+        "intersection_interleaved", 200
+    ),
+    "intersection/overlap/k=10": lambda: _make_intersection(
+        "intersection_with_overlap", 500, 10, seed=4
+    ),
+    "intersection/blocks/n=1000": lambda: _make_intersection(
+        "intersection_blocks", 2, 1_000
+    ),
+}
+
+
+def measure(
+    names: List[str] = None, repeat: int = 5, smoke: bool = False
+) -> Dict[str, dict]:
+    """Median wall-clock + op counts per workload, on this interpreter's
+    ``repro`` (whichever checkout PYTHONPATH points at)."""
+    registry = SMOKE_WORKLOADS if smoke else WORKLOADS
+    names = list(registry) if names is None else names
+    out: Dict[str, dict] = {}
+    for name in names:
+        run, instrumented = registry[name]()
+        samples = []
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            run()
+            samples.append(time.perf_counter() - t0)
+        ops = instrumented()
+        out[name] = {
+            "median_s": statistics.median(samples),
+            "min_s": min(samples),
+            "rounds": repeat,
+            "ops": ops,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-input variants (plumbing check only)")
+    parser.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON")
+    parser.add_argument("names", nargs="*", help="workload names (default all)")
+    args = parser.parse_args(argv)
+    results = measure(args.names or None, repeat=args.repeat, smoke=args.smoke)
+    if args.json:
+        json.dump(results, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for name, row in results.items():
+            print(f"{name:40s} {row['median_s'] * 1e3:9.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

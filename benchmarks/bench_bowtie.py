@@ -15,7 +15,7 @@ from repro.core.query import Query
 from repro.storage.relation import Relation
 from repro.util.counters import OpCounters
 
-from benchmarks._util import once, record
+from benchmarks._util import once, record, sizes
 
 
 def _query(r, s, t):
@@ -28,7 +28,7 @@ def _query(r, s, t):
     )
 
 
-@pytest.mark.parametrize("n", [1_000, 100_000])
+@pytest.mark.parametrize("n", sizes([1_000, 100_000], [100]))
 def test_hidden_certificate(benchmark, n):
     """Appendix I's two-block instance: |C| = 2, any S size."""
     r = [2]
@@ -48,7 +48,7 @@ def test_hidden_certificate(benchmark, n):
     assert counters.probes <= 6
 
 
-@pytest.mark.parametrize("n", [200, 2_000])
+@pytest.mark.parametrize("n", sizes([200, 2_000], [100]))
 def test_dense_output(benchmark, n):
     rng = random.Random(0)
     r = sorted(rng.sample(range(n), n // 4))

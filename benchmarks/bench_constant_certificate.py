@@ -15,9 +15,9 @@ from repro.datasets.instances import (
 )
 from repro.util.counters import OpCounters
 
-from benchmarks._util import once, record
+from benchmarks._util import once, record, sizes
 
-SIZES = [100, 1_000, 10_000]
+SIZES = sizes([100, 1_000, 10_000], [60])
 
 
 @pytest.mark.parametrize("n", SIZES)

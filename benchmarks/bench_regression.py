@@ -1,0 +1,172 @@
+"""Perf-regression harness: default-config wall-clock + op-count parity.
+
+The cases mirror ``benchmarks/_workloads.py`` (triangle via the dyadic and
+generic engines, adaptive set intersection) and are the rows that
+``benchmarks/perf_report.py`` folds into the repo-root ``BENCH_<date>.json``
+trajectory.  Every timed case also asserts the *semantics* the speedups
+ride on:
+
+* the flat (CSR) storage backend performs **exactly** the same FindGap /
+  probe / constraint / interval operations as the pointer-trie backend —
+  wall-clock may improve, the paper's Section-5.2 numbers may not move;
+* the counting-free fast paths (``NullCounters`` / no-counters
+  ``intersect_sorted``) produce byte-identical output to the instrumented
+  paths.
+
+Timings use several rounds (median) rather than the single-shot ``once``
+of the experiment benchmarks, because these numbers are diffed across PRs.
+"""
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.intersection import intersect_sorted
+from repro.core.query import Query
+from repro.core.triangle import triangle_join
+from repro.datasets.instances import (
+    intersection_blocks,
+    intersection_interleaved,
+    intersection_with_overlap,
+    triangle_hard,
+    triangle_with_output,
+)
+from repro.storage.relation import Relation
+from repro.util.counters import NullCounters, OpCounters
+
+from benchmarks._util import record, sizes
+
+ROUNDS = sizes(5, 1)
+DYADIC_HARD_SIZES = sizes([32, 48], [8])
+DYADIC_PLANTED = sizes([(100, 25), (300, 75)], [(40, 10)])
+MINESWEEPER_SIZES = sizes([16, 32], [8])
+INTERSECTION_CASES = sizes(
+    [
+        ("interleaved/n=20000", lambda: intersection_interleaved(20_000)),
+        (
+            "overlap/k=100",
+            lambda: intersection_with_overlap(50_000, 100, seed=4),
+        ),
+        ("blocks/n=100000", lambda: intersection_blocks(2, 100_000)),
+    ],
+    [
+        ("interleaved/n=200", lambda: intersection_interleaved(200)),
+        (
+            "overlap/k=10",
+            lambda: intersection_with_overlap(500, 10, seed=4),
+        ),
+        ("blocks/n=1000", lambda: intersection_blocks(2, 1_000)),
+    ],
+)
+
+
+def _timed(benchmark, func):
+    return benchmark.pedantic(func, rounds=ROUNDS, iterations=1)
+
+
+def _triangle_query(r, s, t, backend):
+    return Query(
+        [
+            Relation("R", ["A", "B"], r, backend=backend),
+            Relation("S", ["B", "C"], s, backend=backend),
+            Relation("T", ["A", "C"], t, backend=backend),
+        ]
+    )
+
+
+def _key_ops(snapshot):
+    return {
+        k: snapshot.get(k, 0)
+        for k in ("findgap", "probes", "constraints", "interval_ops")
+    }
+
+
+@pytest.mark.parametrize("n", DYADIC_HARD_SIZES)
+def test_regression_triangle_dyadic_hard(benchmark, n):
+    r, s, t, cert = triangle_hard(n)
+    trie_counters = OpCounters()
+    flat_counters = OpCounters()
+    rows_trie = triangle_join(r, s, t, trie_counters, backend="trie")
+    rows_flat = triangle_join(r, s, t, flat_counters, backend="flat")
+    assert rows_trie == rows_flat
+    assert trie_counters.snapshot() == flat_counters.snapshot()
+    rows = _timed(
+        benchmark, lambda: triangle_join(r, s, t, NullCounters())
+    )
+    assert rows == rows_trie
+    record(
+        benchmark,
+        "REG_triangle",
+        f"dyadic/hard/n={n}",
+        {"certificate": cert, **_key_ops(flat_counters.snapshot())},
+    )
+
+
+@pytest.mark.parametrize("n,k", DYADIC_PLANTED)
+def test_regression_triangle_dyadic_planted(benchmark, n, k):
+    r, s, t = triangle_with_output(n, k, seed=5)
+    trie_counters = OpCounters()
+    flat_counters = OpCounters()
+    rows_trie = triangle_join(r, s, t, trie_counters, backend="trie")
+    rows_flat = triangle_join(r, s, t, flat_counters, backend="flat")
+    assert rows_trie == rows_flat
+    assert trie_counters.snapshot() == flat_counters.snapshot()
+    rows = _timed(
+        benchmark, lambda: triangle_join(r, s, t, NullCounters())
+    )
+    assert rows == rows_trie
+    record(
+        benchmark,
+        "REG_triangle",
+        f"dyadic/planted/n={n}",
+        {"Z": len(rows), **_key_ops(flat_counters.snapshot())},
+    )
+
+
+@pytest.mark.parametrize("n", MINESWEEPER_SIZES)
+def test_regression_triangle_minesweeper(benchmark, n):
+    r, s, t, cert = triangle_hard(n)
+    res_trie = join(
+        _triangle_query(r, s, t, "trie"), gao=["A", "B", "C"],
+        strategy="general",
+    )
+    res_flat = join(
+        _triangle_query(r, s, t, "flat"), gao=["A", "B", "C"],
+        strategy="general",
+    )
+    assert res_trie.rows == res_flat.rows
+    assert res_trie.stats() == res_flat.stats()
+    result = _timed(
+        benchmark,
+        lambda: join(
+            _triangle_query(r, s, t, "flat"),
+            gao=["A", "B", "C"],
+            strategy="general",
+            counters=NullCounters(),
+        ),
+    )
+    assert result.rows == res_trie.rows
+    record(
+        benchmark,
+        "REG_triangle",
+        f"minesweeper/hard/n={n}",
+        {"certificate": cert, **_key_ops(res_flat.stats())},
+    )
+
+
+@pytest.mark.parametrize("case,sets_factory", INTERSECTION_CASES)
+def test_regression_intersection(benchmark, case, sets_factory):
+    sets = sets_factory()
+    counters = OpCounters()
+    instrumented_out = intersect_sorted(sets, counters)
+    fast_out = _timed(benchmark, lambda: intersect_sorted(sets))
+    assert fast_out == instrumented_out
+    record(
+        benchmark,
+        "REG_intersection",
+        case,
+        {
+            "N": sum(len(s) for s in sets),
+            "Z": len(fast_out),
+            **_key_ops(counters.snapshot()),
+        },
+    )

@@ -20,10 +20,15 @@ from repro.datasets.instances import (
 )
 from repro.util.counters import OpCounters
 
-from benchmarks._util import once, record
+from benchmarks._util import once, record, sizes
+
+BLOCK_SIZES = sizes([1_000, 100_000], [200])
+INTERLEAVED_SIZES = sizes([2_000, 20_000], [200])
+OVERLAPS = sizes([10, 100], [5])
+OVERLAP_SET_SIZE = sizes(50_000, 500)
 
 
-@pytest.mark.parametrize("block", [1_000, 100_000])
+@pytest.mark.parametrize("block", BLOCK_SIZES)
 def test_disjoint_blocks_minesweeper(benchmark, block):
     sets = intersection_blocks(2, block)
     counters = OpCounters()
@@ -38,7 +43,7 @@ def test_disjoint_blocks_minesweeper(benchmark, block):
     assert counters.probes <= 4
 
 
-@pytest.mark.parametrize("block", [1_000, 100_000])
+@pytest.mark.parametrize("block", BLOCK_SIZES)
 def test_disjoint_blocks_merge(benchmark, block):
     sets = intersection_blocks(2, block)
     counters = OpCounters()
@@ -52,7 +57,7 @@ def test_disjoint_blocks_merge(benchmark, block):
     assert counters.comparisons >= block / 2
 
 
-@pytest.mark.parametrize("n", [2_000, 20_000])
+@pytest.mark.parametrize("n", INTERLEAVED_SIZES)
 def test_interleaved(benchmark, n):
     sets = intersection_interleaved(n)
     counters = OpCounters()
@@ -69,9 +74,9 @@ def test_interleaved(benchmark, n):
     assert counters.probes >= n / 2
 
 
-@pytest.mark.parametrize("overlap", [10, 100])
+@pytest.mark.parametrize("overlap", OVERLAPS)
 def test_sparse_overlap(benchmark, overlap):
-    sets = intersection_with_overlap(50_000, overlap, seed=4)
+    sets = intersection_with_overlap(OVERLAP_SET_SIZE, overlap, seed=4)
     counters = OpCounters()
     out = once(benchmark, lambda: intersect_sorted(sets, counters))
     assert len(out) == overlap

@@ -20,9 +20,11 @@ from repro.datasets.instances import triangle_hard, triangle_with_output
 from repro.storage.relation import Relation
 from repro.util.counters import OpCounters
 
-from benchmarks._util import once, record
+from benchmarks._util import once, record, sizes, smoke_mode
 
-SIZES = [8, 16, 32]
+SIZES = sizes([8, 16, 32], [6])
+PLANTED_SIZES = sizes([100, 300], [24])
+EXPONENT_POINTS = sizes((12, 48), (8, 16))
 
 
 def _query(r, s, t):
@@ -82,7 +84,7 @@ def test_hard_leapfrog(benchmark, n):
 
 def _work_exponent(engine):
     points = []
-    for n in (12, 48):
+    for n in EXPONENT_POINTS:
         r, s, t, cert = triangle_hard(n)
         points.append((cert, engine(r, s, t)))
     return math.log(points[1][1] / points[0][1]) / math.log(
@@ -115,10 +117,11 @@ def test_dyadic_beats_generic_exponent(benchmark):
         },
     )
     once(benchmark, lambda: None)
-    assert exp_dyadic < exp_generic - 0.1
+    if not smoke_mode():  # tiny instances are too small to separate
+        assert exp_dyadic < exp_generic - 0.1
 
 
-@pytest.mark.parametrize("n", [100, 300])
+@pytest.mark.parametrize("n", PLANTED_SIZES)
 def test_planted_triangles(benchmark, n):
     r, s, t = triangle_with_output(n, n // 4, seed=5)
     counters = OpCounters()

@@ -1,0 +1,273 @@
+"""Write the repo-root ``BENCH_<date>.json`` perf-trajectory report.
+
+The report has two sections:
+
+``workloads``
+    Median wall-clock + op counts for every case in
+    ``benchmarks/_workloads.py``, measured by running the *same driver
+    file* against this checkout and (optionally) against a baseline —
+    either an older git ref (``--baseline-ref``, executed from a
+    temporary ``git worktree`` so the identical workload definitions run
+    on the old code) or a previously committed report
+    (``--baseline-json``, the usual PR-to-PR diff).  Speedup =
+    baseline_median / current_median.
+
+``pytest_benchmarks``
+    The folded output of a ``pytest --benchmark-json`` run over the
+    benchmark suite (default: ``bench_regression.py``), with each case's
+    op-count ``extra_info`` merged next to its timing stats, so paper
+    operation counts and wall-clock travel in one diffable artifact.
+
+Typical use::
+
+    # first report of a PR series, baselined against the seed commit
+    PYTHONPATH=src python benchmarks/perf_report.py --baseline-ref <seed-sha>
+
+    # subsequent PRs: diff against the last committed report
+    PYTHONPATH=src python benchmarks/perf_report.py \
+        --baseline-json BENCH_2026-07-28.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DRIVER = os.path.join(REPO_ROOT, "benchmarks", "_workloads.py")
+DEFAULT_BENCH_FILES = ["benchmarks/bench_regression.py"]
+
+
+def _run_driver(src_dir: str, repeat: int) -> Dict[str, dict]:
+    """Execute the workload driver against ``src_dir``'s repro package."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir
+    out = subprocess.run(
+        [sys.executable, DRIVER, "--json", "--repeat", str(repeat)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        cwd=REPO_ROOT,
+    )
+    return json.loads(out.stdout)
+
+
+def _merge_rounds(rounds) -> Dict[str, dict]:
+    """Fold per-round driver outputs: min of mins, median of medians."""
+    import statistics
+
+    merged: Dict[str, dict] = {}
+    for result in rounds:
+        for name, row in result.items():
+            slot = merged.setdefault(
+                name, {"medians": [], "mins": [], "ops": row.get("ops", {})}
+            )
+            slot["medians"].append(row["median_s"])
+            slot["mins"].append(row["min_s"])
+    return {
+        name: {
+            "median_s": statistics.median(slot["medians"]),
+            "min_s": min(slot["mins"]),
+            "rounds": len(slot["mins"]),
+            "ops": slot["ops"],
+        }
+        for name, slot in merged.items()
+    }
+
+
+def _measure_interleaved(
+    src_a: str, src_b: str, rounds: int
+) -> "Tuple[Dict[str, dict], Dict[str, dict]]":
+    """Measure two checkouts in alternating rounds (A B A B ...).
+
+    Interleaving means transient machine load hits both sides roughly
+    equally; speedups are computed from per-case minima, which are far
+    more stable than single-block medians on a shared box.
+    """
+    rounds_a, rounds_b = [], []
+    for _ in range(rounds):
+        rounds_a.append(_run_driver(src_a, 1))
+        rounds_b.append(_run_driver(src_b, 1))
+    return _merge_rounds(rounds_a), _merge_rounds(rounds_b)
+
+
+def _with_ref_worktree(ref: str, fn):
+    """Run ``fn(worktree_src_dir)`` against a temp checkout of ``ref``."""
+    tmp = tempfile.mkdtemp(prefix="bench-baseline-")
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", tmp, ref],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+    )
+    try:
+        return fn(os.path.join(tmp, "src"))
+    finally:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", tmp],
+            cwd=REPO_ROOT,
+            capture_output=True,
+        )
+
+
+def _baseline_from_json(path: str) -> Dict[str, dict]:
+    with open(path) as handle:
+        report = json.load(handle)
+    return {
+        name: row["current"] for name, row in report["workloads"].items()
+    }
+
+
+def _run_pytest_benchmarks(bench_files) -> Dict[str, dict]:
+    """Run the suite with --benchmark-json and fold extra_info per case."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    try:
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        subprocess.run(
+            [
+                sys.executable, "-m", "pytest", "-q",
+                *bench_files,
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        with open(json_path) as handle:
+            raw = json.load(handle)
+    finally:
+        os.unlink(json_path)
+    cases: Dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        cases[bench["name"]] = {
+            "median_s": stats["median"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+            "ops": bench.get("extra_info", {}),
+        }
+    return cases
+
+
+def build_report(
+    baseline: Optional[Dict[str, dict]],
+    baseline_source: Optional[str],
+    current: Dict[str, dict],
+    bench_files,
+) -> dict:
+    workloads: Dict[str, dict] = {}
+    for name, row in sorted(current.items()):
+        entry = {"current": row}
+        if baseline and name in baseline:
+            base = baseline[name]
+            entry["baseline"] = base
+            if row["min_s"] > 0:
+                # min-over-rounds is the noise-robust statistic on a
+                # shared machine; the medians are recorded alongside.
+                entry["speedup"] = round(base["min_s"] / row["min_s"], 3)
+                entry["speedup_median"] = round(
+                    base["median_s"] / row["median_s"], 3
+                )
+            base_ops = base.get("ops") or {}
+            cur_ops = row.get("ops") or {}
+            shared = set(base_ops) & set(cur_ops)
+            entry["ops_unchanged"] = all(
+                base_ops[k] == cur_ops[k] for k in shared
+            )
+        workloads[name] = entry
+    report = {
+        "schema": "repro-bench/1",
+        "date": datetime.date.today().isoformat(),
+        "baseline_source": baseline_source,
+        "workloads": workloads,
+        "pytest_benchmarks": _run_pytest_benchmarks(bench_files),
+    }
+    families: Dict[str, list] = {}
+    for name, entry in workloads.items():
+        if "speedup" in entry:
+            families.setdefault(name.split("/", 1)[0], []).append(
+                entry["speedup"]
+            )
+    if families:
+        report["family_speedups"] = {
+            family: round(
+                math.exp(sum(math.log(s) for s in speeds) / len(speeds)), 3
+            )
+            for family, speeds in sorted(families.items())
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-ref", help="git ref to baseline against")
+    parser.add_argument(
+        "--baseline-json", help="previous BENCH_*.json to baseline against"
+    )
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument(
+        "--bench-files",
+        nargs="*",
+        default=DEFAULT_BENCH_FILES,
+        help="pytest benchmark files to fold into the report",
+    )
+    parser.add_argument(
+        "--out",
+        help="output path (default BENCH_<today>.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.baseline_ref and args.baseline_json:
+        parser.error("pick one of --baseline-ref / --baseline-json")
+    baseline = None
+    source = None
+    current_src = os.path.join(REPO_ROOT, "src")
+    if args.baseline_ref:
+        baseline, current = _with_ref_worktree(
+            args.baseline_ref,
+            lambda base_src: _measure_interleaved(
+                base_src, current_src, args.repeat
+            ),
+        )
+        source = f"git:{args.baseline_ref}"
+    else:
+        current = _run_driver(current_src, args.repeat)
+        if args.baseline_json:
+            baseline = _baseline_from_json(args.baseline_json)
+            source = os.path.basename(args.baseline_json)
+    report = build_report(baseline, source, current, args.bench_files)
+    out_path = args.out or os.path.join(
+        REPO_ROOT, f"BENCH_{report['date']}.json"
+    )
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, row in report["workloads"].items():
+        speed = row.get("speedup")
+        ops_ok = row.get("ops_unchanged")
+        extra = ""
+        if speed is not None:
+            extra = f"  {speed:5.2f}x vs baseline (ops_unchanged={ops_ok})"
+        print(f"{name:40s} {row['current']['median_s'] * 1e3:9.2f} ms{extra}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

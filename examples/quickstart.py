@@ -38,6 +38,32 @@ def main() -> None:
     print(f"probe points explored       : {stats['probes']}")
     print(f"constraints inserted        : {stats['constraints']}")
 
+    # --- Storage backends -------------------------------------------------
+    # Relations are indexed by the flat (CSR array-backed) trie by default
+    # (backend="auto").  backend="trie" selects the pointer-node reference
+    # implementation and backend="btree" routes tuples through a B-tree
+    # first; all backends answer every index probe identically — only the
+    # constant factors differ.  A per-join override is also available:
+    #     join(query, backend="trie")
+    from repro import FlatTrieRelation
+
+    flat_backed = Relation("F", ["U", "V"], follows.tuples(), backend="flat")
+    assert isinstance(flat_backed.index, FlatTrieRelation)
+
+    # --- Counting-free evaluation ----------------------------------------
+    # OpCounters / NullCounters form a two-implementation protocol: pass
+    # NullCounters() when you want answers as fast as possible and nobody
+    # will read the Section-5.2 operation counts.
+    from repro import NullCounters
+
+    fast = join(query, counters=NullCounters(), backend="flat")
+    assert sorted(fast.rows) == sorted(result.rows)
+    print(f"fast path  : {len(fast.rows)} rows (no counting overhead)")
+
+    # Perf trajectory: `make bench-smoke` exercises the benchmark plumbing;
+    # `python benchmarks/perf_report.py --baseline-json BENCH_<date>.json`
+    # refreshes the repo-root BENCH report and prints per-case speedups.
+
 
 if __name__ == "__main__":
     main()

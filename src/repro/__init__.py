@@ -25,8 +25,15 @@ from repro.core import (
     minesweeper_join,
     naive_join,
 )
-from repro.storage import BTree, IntervalList, Relation, SortedList, TrieRelation
-from repro.util import NEG_INF, POS_INF, OpCounters
+from repro.storage import (
+    BTree,
+    FlatTrieRelation,
+    IntervalList,
+    Relation,
+    SortedList,
+    TrieRelation,
+)
+from repro.util import NEG_INF, POS_INF, NullCounters, OpCounters
 
 __version__ = "1.0.0"
 
@@ -43,12 +50,14 @@ __all__ = [
     "minesweeper_join",
     "naive_join",
     "BTree",
+    "FlatTrieRelation",
     "IntervalList",
     "Relation",
     "SortedList",
     "TrieRelation",
     "NEG_INF",
     "POS_INF",
+    "NullCounters",
     "OpCounters",
     "__version__",
 ]

@@ -18,12 +18,20 @@ Commands
     Run the Proposition-2.5 recorder: extract the comparisons the engine
     performs and check them with the randomized Definition-2.3 refuter.
 
+``bench [--smoke]``
+    Run the benchmark suite under pytest.  ``--smoke`` runs every
+    benchmark once with tiny inputs (sets ``REPRO_BENCH_SMOKE=1``) so CI
+    exercises the perf plumbing without timing noise; ``make bench-smoke``
+    is the same entry point.
+
 Relation files are headerless CSVs of integers, one tuple per line.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import os
 import sys
 from typing import Sequence
 
@@ -151,6 +159,51 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _find_benchmarks_dir() -> str:
+    """Locate the repo's ``benchmarks/`` directory (cwd, then checkout)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates = [
+        os.getcwd(),
+        os.path.abspath(os.path.join(here, "..", "..")),  # <repo>/src/repro
+    ]
+    for root in candidates:
+        bench_dir = os.path.join(root, "benchmarks")
+        if os.path.isdir(bench_dir) and glob.glob(
+            os.path.join(bench_dir, "bench_*.py")
+        ):
+            return bench_dir
+    raise SystemExit(
+        "cannot locate the benchmarks/ directory; run from the repo root"
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import subprocess
+
+    bench_dir = _find_benchmarks_dir()
+    root = os.path.dirname(bench_dir)
+    files = sorted(glob.glob(os.path.join(bench_dir, "bench_*.py")))
+    if args.keyword:
+        files = [f for f in files if args.keyword in os.path.basename(f)]
+        if not files:
+            raise SystemExit(f"no benchmark file matches {args.keyword!r}")
+    env = dict(os.environ)
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    if args.smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    cmd = [sys.executable, "-m", "pytest", "-q", *files]
+    if args.benchmark_json:
+        cmd.append(f"--benchmark-json={args.benchmark_json}")
+    else:
+        cmd.append("--benchmark-disable")
+    return subprocess.call(cmd, cwd=root, env=env)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert.add_argument("--gao", help="comma-separated attribute order")
     p_cert.add_argument("--samples", type=int, default=20)
     p_cert.set_defaults(func=_cmd_certificate)
+
+    p_bench = sub.add_parser("bench", help="run the benchmark suite")
+    p_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny inputs, one round each: exercise the perf plumbing only",
+    )
+    p_bench.add_argument(
+        "-k", dest="keyword", help="only benchmark files whose name contains this"
+    )
+    p_bench.add_argument(
+        "--benchmark-json",
+        help="write pytest-benchmark JSON here (disables --benchmark-disable)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

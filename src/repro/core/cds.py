@@ -151,7 +151,18 @@ class ConstraintTree:
         prefix.
         """
         self.counters.interval_ops += 1
-        if not node.intervals.insert(low, high):
+        intervals = node.intervals
+        if type(intervals) is IntervalList:
+            was_empty = not intervals._lows
+        else:
+            was_empty = not intervals
+        if not intervals.insert(low, high):
+            return
+        if was_empty:
+            # The node just entered every principal filter containing its
+            # pattern: cached probe frontiers must be invalidated.
+            self.version += 1
+        if not node.eq_keys:  # no equality children to prune (common case)
             return
         removed = node.eq_keys.delete_interval(low, high)
         for label in removed:

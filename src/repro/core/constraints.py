@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple, Union
 
+from repro.storage.interval_list import interval_is_empty as _interval_is_empty
 from repro.util.sentinels import ExtendedValue
 
 
@@ -69,6 +70,25 @@ class Constraint:
         self.low = low
         self.high = high
 
+    @classmethod
+    def trusted(
+        cls,
+        prefix: Pattern,
+        low: ExtendedValue,
+        high: ExtendedValue,
+    ) -> "Constraint":
+        """Construct without component validation.
+
+        For engine-internal call sites whose prefixes are built from
+        index values and WILDCARD only; ``prefix`` must already be a
+        tuple.  Semantically identical to the validating constructor.
+        """
+        self = cls.__new__(cls)
+        self.prefix = prefix
+        self.low = low
+        self.high = high
+        return self
+
     @property
     def interval_position(self) -> int:
         """0-based GAO position of the interval component."""
@@ -76,9 +96,7 @@ class Constraint:
 
     def is_empty(self) -> bool:
         """True iff the interval contains no integer."""
-        from repro.storage.interval_list import interval_is_empty
-
-        return interval_is_empty(self.low, self.high)
+        return _interval_is_empty(self.low, self.high)
 
     def satisfied_by(self, row: Sequence[int]) -> bool:
         """True iff the output-space point ``row`` lies inside this gap."""

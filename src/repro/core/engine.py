@@ -52,19 +52,25 @@ def join(
     memoize: bool = True,
     merge_intervals: bool = True,
     counters: Optional[OpCounters] = None,
+    backend: Optional[str] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Minesweeper.
 
     When ``gao`` is omitted it is chosen per the paper: a nested elimination
     order for beta-acyclic queries (Theorem 2.7), otherwise a min-fill
-    low-elimination-width order (Theorem 5.1).
+    low-elimination-width order (Theorem 5.1).  ``backend`` forces a
+    storage backend for every relation (``"flat"`` / ``"trie"`` /
+    ``"btree"``); pass ``counters=NullCounters()`` to evaluate without
+    paying for operation counting.
     """
     if gao is None:
         gao, _ = query.choose_gao()
     prepared = (
         query
-        if isinstance(query, PreparedQuery) and tuple(gao) == query.gao
-        else query.with_gao(gao, counters=counters)
+        if backend is None
+        and isinstance(query, PreparedQuery)
+        and tuple(gao) == query.gao
+        else query.with_gao(gao, counters=counters, backend=backend)
     )
     engine = Minesweeper(
         prepared,

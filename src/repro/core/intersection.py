@@ -22,57 +22,146 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.storage.interval_list import IntervalList
 from repro.util.counters import OpCounters
+from repro.util.search import gallop_left
 from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue
 
+try:  # optional accelerator for the O(N) input validation
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is normally available
+    _np = None
 
-def _check_sorted_sets(sets: Sequence[Sequence[int]]) -> List[List[int]]:
+
+def _strictly_increasing(data: Sequence[int]) -> bool:
+    """True iff ``data`` is strictly increasing (vectorized when large)."""
+    if len(data) < 2:
+        return True
+    if _np is not None and len(data) >= 1024:
+        try:
+            arr = _np.asarray(data, dtype=_np.int64)
+        except (OverflowError, ValueError, TypeError):
+            pass  # exotic values: fall back to the pure-Python scan
+        else:
+            return bool((arr[1:] > arr[:-1]).all())
+    prev = data[0]
+    for v in data[1:]:
+        if v <= prev:
+            return False
+        prev = v
+    return True
+
+
+def _check_sorted_sets(
+    sets: Sequence[Sequence[int]],
+) -> Tuple[List[List[int]], Optional[int]]:
+    """Validate the input sets (lists pass through, others are copied).
+
+    Returns ``(cleaned, first_empty)``.  An empty input set makes the
+    intersection trivially empty, so it is handled *here*, explicitly:
+    validation short-circuits at the first empty set and returns its
+    index (``cleaned`` then holds only the sets before it; sets *after*
+    the empty one are deliberately not validated — the answer no longer
+    depends on them).  Callers branch on ``first_empty`` instead of
+    relying on downstream loop behaviour.  Unsorted input at or before
+    the first empty set raises ``ValueError``.
+    """
     if not sets:
         raise ValueError("need at least one set")
     cleaned: List[List[int]] = []
     for i, s in enumerate(sets):
-        data = list(s)
-        if any(data[j] >= data[j + 1] for j in range(len(data) - 1)):
+        data = s if type(s) is list else list(s)
+        if not data:
+            return cleaned, i  # short-circuit: the intersection is empty
+        if not _strictly_increasing(data):
             raise ValueError(f"set {i} must be strictly increasing")
         cleaned.append(data)
-    return cleaned
+    return cleaned, None
+
+
+def _intersect_fast(data: List[List[int]]) -> List[int]:
+    """The counting-free Minesweeper intersection loop.
+
+    Because every inserted gap contains the active value t, the CDS of
+    Algorithm 8 is always a single leading interval; its Next is simply
+    the maximum discovered gap endpoint (or t+1 after an output).  That
+    lets the whole loop run on per-set galloping cursors with no
+    IntervalList and no per-operation counting — the Barbay–Kenyon
+    adaptive intersection, byte for byte the same output as the
+    instrumented loop.
+    """
+    lengths = [len(s) for s in data]
+    cursors = [0] * len(data)
+    enum_data = list(enumerate(data))
+    output: List[int] = []
+    t = min(s[0] for s in data)
+    while True:
+        nxt = t + 1
+        member = True
+        for si, s in enum_data:
+            i = gallop_left(s, t, cursors[si])
+            cursors[si] = i
+            if i >= lengths[si]:
+                return output  # a set is exhausted: gap reaches +inf
+            v = s[i]
+            if v == t:
+                continue
+            member = False
+            if v > nxt:
+                nxt = v  # the gap (s[i-1], s[i]) rules out t..s[i]-1
+        if member:
+            output.append(t)
+        t = nxt
 
 
 def intersect_sorted(
     sets: Sequence[Sequence[int]],
     counters: Optional[OpCounters] = None,
 ) -> List[int]:
-    """Intersect sorted integer sets with Minesweeper (Algorithm 8)."""
-    counters = counters if counters is not None else OpCounters()
-    data = _check_sorted_sets(sets)
-    if any(not s for s in data):
+    """Intersect sorted integer sets with Minesweeper (Algorithm 8).
+
+    Pass an enabled :class:`OpCounters` to get the Section-5.2 operation
+    tallies; with no counters (or :class:`repro.util.counters.NullCounters`)
+    the counting-free fast path runs instead.
+    """
+    data, first_empty = _check_sorted_sets(sets)
+    if first_empty is not None:
         return []
+    if counters is None or not counters.enabled:
+        return _intersect_fast(data)
     cds = IntervalList()
+    cds_next = cds.next
+    cds_insert = cds.insert
+    lengths = [len(s) for s in data]
+    cursors = [0] * len(data)
+    enum_data = list(enumerate(data))
     output: List[int] = []
     start = min(s[0] for s in data)  # every value below start is inactive
-    cds.insert(NEG_INF, start)
+    cds_insert(NEG_INF, start)
     while True:
         counters.interval_ops += 1
-        t = cds.next(start)
+        t = cds_next(start)
         if t is POS_INF:
             break
         counters.probes += 1
         is_member = True
-        for s in data:
+        for si, s in enum_data:
             counters.findgap += 1
-            i = bisect.bisect_left(s, t)
-            present = i < len(s) and s[i] == t
+            # Probes are monotone, so gallop from the previous cursor:
+            # the paper counts this as one FindGap either way.
+            i = gallop_left(s, t, cursors[si])
+            cursors[si] = i
+            present = i < lengths[si] and s[i] == t
             if present:
                 continue
             is_member = False
             low: ExtendedValue = s[i - 1] if i > 0 else NEG_INF
-            high: ExtendedValue = s[i] if i < len(s) else POS_INF
+            high: ExtendedValue = s[i] if i < lengths[si] else POS_INF
             counters.constraints += 1
-            cds.insert(low, high)
+            cds_insert(low, high)
         if is_member:
             output.append(t)  # type: ignore[arg-type]
             counters.output_tuples += 1
             counters.constraints += 1
-            cds.insert(t - 1, t + 1)  # type: ignore[operator]
+            cds_insert(t - 1, t + 1)  # type: ignore[operator]
     return output
 
 
@@ -82,8 +171,8 @@ def merge_intersection(
 ) -> List[int]:
     """Baseline m-way merge intersection: Θ(N) comparisons always."""
     counters = counters if counters is not None else OpCounters()
-    data = _check_sorted_sets(sets)
-    if any(not s for s in data):
+    data, first_empty = _check_sorted_sets(sets)
+    if first_empty is not None:
         return []
     positions = [0] * len(data)
     output: List[int] = []
@@ -121,11 +210,10 @@ def partition_certificate(
     Minesweeper discovers — and indeed this function is the Minesweeper
     loop with the CDS's stored intervals read back out.
     """
-    data = _check_sorted_sets(sets)
+    data, first_empty = _check_sorted_sets(sets)
     items: List[Tuple[str, object]] = []
-    if any(not s for s in data):
-        empty = next(i for i, s in enumerate(data) if not s)
-        items.append(("gap", (NEG_INF, POS_INF, empty)))
+    if first_empty is not None:
+        items.append(("gap", (NEG_INF, POS_INF, first_empty)))
         return items
     # Run the Minesweeper loop, remembering every witness gap discovered.
     cds = IntervalList()
@@ -201,8 +289,8 @@ def intersection_certificate_size(sets: Sequence[Sequence[int]]) -> int:
     of equalities per output value — the Barbay–Kenyon partition-certificate
     view that Appendix H shows Minesweeper matches up to constants.
     """
-    data = _check_sorted_sets(sets)
-    if any(not s for s in data):
+    data, first_empty = _check_sorted_sets(sets)
+    if first_empty is not None:
         return 1
     cds = IntervalList()
     output_equalities = 0

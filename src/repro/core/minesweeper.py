@@ -10,16 +10,18 @@ Theorem 3.2), so the algorithm makes progress and terminates.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.cds import ConstraintTree
 from repro.core.constraints import Constraint, WILDCARD
 from repro.core.probe_acyclic import ChainProbeStrategy
 from repro.core.probe_general import GeneralProbeStrategy
 from repro.core.query import PreparedQuery
+from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.relation import Relation
 from repro.util.counters import OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF
 
 LOW, HIGH = 0, 1  # the paper's  l / h  exploration symbols
 
@@ -99,10 +101,25 @@ class Minesweeper:
         paper relates to in §6.3.
         """
         counters = self.counters
-        relations = self.query.relations
         positions = self.query.gao_positions
         n = self.query.n
         budget = self.max_probes
+        # Per-relation explorer, resolved once: the flat backend gets the
+        # CSR-inlined variant unless a gap_hook observer needs the
+        # index-tuple chains of the generic one.
+        explorers = []
+        for rel in self.query.relations:
+            if self.gap_hook is None and isinstance(
+                rel.index, FlatTrieRelation
+            ):
+                explore = (
+                    self._explore_flat2
+                    if rel.arity == 2
+                    else self._explore_flat
+                )
+            else:
+                explore = self._explore
+            explorers.append((rel, positions[rel.name], explore))
         while True:
             t = self.probe.get_probe_point()
             if t is None:
@@ -114,8 +131,7 @@ class Minesweeper:
                     "the CDS is not making progress"
                 )
             explorations = [
-                self._explore(rel, positions[rel.name], t)
-                for rel in relations
+                explore(rel, pos, t) for rel, pos, explore in explorers
             ]
             if all(member for member, _ in explorations):
                 counters.output_tuples += 1
@@ -149,61 +165,261 @@ class Minesweeper:
         Returns ``(is_member, constraints)`` where ``is_member`` says t's
         projection is a tuple of the relation, and ``constraints`` lists
         the (non-empty) gaps found along every in-range {l,h}-index chain.
+
+        The 2^p chains for v in {LOW,HIGH}^p are kept as a frontier of
+        *node handles* in v's lexicographic (itertools.product) order, so
+        each FindGap / value access hits the index node directly instead
+        of re-walking the trie from the root per operation.  The chain
+        enumeration order, FindGap count, and emitted constraints are
+        exactly those of the index-tuple formulation.
         """
         index = relation.index
         k = relation.arity
-        # Index chains: v-vector in {LOW,HIGH}^p -> the 1-based index tuple
-        # (i^{v1}, ..., i^{v1..vp}), or None when some coordinate fell out
-        # of range.  Value chains mirror them with the addressed values.
-        idx_chains: Dict[Tuple[int, ...], Optional[Tuple[int, ...]]] = {(): ()}
-        val_chains: Dict[Tuple[int, ...], Tuple[int, ...]] = {(): ()}
-        gaps: Dict[Tuple[int, ...], Tuple[int, int]] = {}
+        gap_at = index.gap_at
+        value_at = index.value_at
+        child_at = index.child_at
+        hook = self.gap_hook
+        # Frontier entry per v-vector: (node handle, value chain, index
+        # tuple) — handle None when some coordinate fell out of range;
+        # the index tuple is tracked only for the gap_hook observer.
+        dead = (None, None, None)
+        frontier: List[Tuple] = [
+            (index.root_handle(), (), () if hook is not None else None)
+        ]
+        # Per level, aligned with the frontier's v-order: None for dead
+        # chains, else (handle, value chain, lo_idx, hi_idx).
+        levels: List[List[Optional[Tuple]]] = []
         member = True
         for p in range(k):
             target = t[gao_positions[p]]
-            for v in itertools.product((LOW, HIGH), repeat=p):
-                chain = idx_chains.get(v)
-                if chain is None:
-                    idx_chains[v + (LOW,)] = None
-                    idx_chains[v + (HIGH,)] = None
+            records: List[Optional[Tuple]] = []
+            next_frontier: List[Tuple] = []
+            build_children = p + 1 < k
+            for handle, val_chain, idx_chain in frontier:
+                if handle is None:
+                    records.append(None)
+                    if build_children:
+                        next_frontier.append(dead)
+                        next_frontier.append(dead)
                     continue
-                lo_idx, hi_idx = index.find_gap(chain, target)
-                gaps[v] = (lo_idx, hi_idx)
-                fan = index.fanout(chain)
-                if self.gap_hook is not None:
-                    self.gap_hook(
-                        relation, gao_positions[p], chain, target,
+                lo_idx, hi_idx = gap_at(handle, target)
+                records.append((handle, val_chain, lo_idx, hi_idx))
+                if hook is not None:
+                    hook(
+                        relation, gao_positions[p], idx_chain, target,
                         lo_idx, hi_idx,
                     )
-                for symbol, coord in ((LOW, lo_idx), (HIGH, hi_idx)):
+                if not build_children:
+                    continue
+                fan = index.fanout_at(handle)
+                for coord in (lo_idx, hi_idx):
                     if 1 <= coord <= fan:
-                        idx_chains[v + (symbol,)] = chain + (coord,)
-                        val_chains[v + (symbol,)] = val_chains[v] + (
-                            index.value(chain + (coord,)),  # type: ignore[arg-type]
+                        next_frontier.append(
+                            (
+                                child_at(handle, coord),
+                                val_chain + (value_at(handle, coord),),
+                                idx_chain + (coord,)
+                                if idx_chain is not None
+                                else None,
+                            )
                         )
                     else:
-                        idx_chains[v + (symbol,)] = None
-            all_high = (HIGH,) * p
+                        next_frontier.append(dead)
+            levels.append(records)
             if member:
-                gap = gaps.get(all_high)
-                if gap is None or gap[0] != gap[1]:
+                # The all-HIGH chain is the last entry in v-order.
+                rec = records[-1] if records else None
+                if rec is None or rec[2] != rec[3]:
                     member = False
+            frontier = next_frontier
         constraints: List[Constraint] = []
-        for p in range(k):
+        for p, records in enumerate(levels):
             interval_gao_position = gao_positions[p]
-            for v in itertools.product((LOW, HIGH), repeat=p):
-                chain = idx_chains.get(v)
-                if chain is None or v not in gaps:
+            for rec in records:
+                if rec is None:
                     continue
-                lo_idx, hi_idx = gaps[v]
+                handle, val_chain, lo_idx, hi_idx = rec
                 if lo_idx == hi_idx:
                     continue  # target value present: the gap is empty
-                low = index.value(chain + (lo_idx,))
-                high = index.value(chain + (hi_idx,))
+                low = value_at(handle, lo_idx)
+                high = value_at(handle, hi_idx)
                 prefix: List = [WILDCARD] * interval_gao_position
-                for j, value in enumerate(val_chains[v]):
+                for j, value in enumerate(val_chain):
                     prefix[gao_positions[j]] = value
-                constraints.append(Constraint(prefix, low, high))
+                constraints.append(
+                    Constraint.trusted(tuple(prefix), low, high)
+                )
+        return member, constraints
+
+    def _explore_flat2(
+        self,
+        relation: Relation,
+        gao_positions: Sequence[int],
+        t: Tuple[int, ...],
+    ) -> Tuple[bool, List[Constraint]]:
+        """:meth:`_explore_flat` unrolled for arity-2 relations.
+
+        Mirrors the generic chain enumeration exactly: one root FindGap,
+        then one FindGap per in-range {LOW, HIGH} child chain (the two
+        chains coincide when the root value is present — both are still
+        probed and tallied, as in the generic form), with constraints
+        emitted in the same v-order.
+        """
+        index = relation.index
+        counters = self.counters
+        count = index._count
+        vals0 = index._vals[0]
+        vals1 = index._vals[1]
+        offs1 = index._offs[1]
+        p0, p1 = gao_positions
+        a = t[p0]
+        b = t[p1]
+        n0 = len(vals0)
+        if count:
+            counters.findgap += 1
+        i = bisect_left(vals0, a, 0, n0)
+        if i < n0 and vals0[i] == a:
+            lo0 = hi0 = i + 1
+        else:
+            lo0 = i
+            hi0 = i + 1
+        member = lo0 == hi0
+        # Level-1 records in v-order: (LOW,) then (HIGH,).
+        records = []
+        for coord in (lo0, hi0):
+            if 1 <= coord <= n0:
+                entry = coord - 1
+                s = offs1[entry]
+                e = offs1[entry + 1]
+                if count:
+                    counters.findgap += 1
+                j = bisect_left(vals1, b, s, e)
+                if j < e and vals1[j] == b:
+                    lo1 = hi1 = j - s + 1
+                else:
+                    lo1 = j - s
+                    hi1 = lo1 + 1
+                records.append((s, e, lo1, hi1, vals0[entry]))
+            else:
+                records.append(None)
+        if member:
+            rec = records[1]  # the all-HIGH chain
+            if rec is None or rec[2] != rec[3]:
+                member = False
+        constraints: List[Constraint] = []
+        if lo0 != hi0:
+            low = NEG_INF if lo0 == 0 else vals0[lo0 - 1]
+            high = POS_INF if hi0 == n0 + 1 else vals0[hi0 - 1]
+            constraints.append(
+                Constraint.trusted((WILDCARD,) * p0, low, high)
+            )
+        for rec in records:
+            if rec is None:
+                continue
+            s, e, lo1, hi1, parent_value = rec
+            if lo1 == hi1:
+                continue  # target value present: the gap is empty
+            low = NEG_INF if lo1 == 0 else vals1[s + lo1 - 1]
+            high = POS_INF if hi1 == e - s + 1 else vals1[s + hi1 - 1]
+            prefix: List = [WILDCARD] * p1
+            prefix[p0] = parent_value
+            constraints.append(Constraint.trusted(tuple(prefix), low, high))
+        return member, constraints
+
+    def _explore_flat(
+        self,
+        relation: Relation,
+        gao_positions: Sequence[int],
+        t: Tuple[int, ...],
+    ) -> Tuple[bool, List[Constraint]]:
+        """:meth:`_explore` with the flat (CSR) trie access inlined.
+
+        Chain enumeration order, FindGap tallies, and emitted constraints
+        are identical to the generic version; only the per-operation
+        dispatch is gone.  Node handles are (level, lo, hi) spans over
+        the index's value arrays.  Binary relations (edges — the dominant
+        shape) take a fully unrolled variant.
+        """
+        index = relation.index
+        k = relation.arity
+        if k == 2:
+            return self._explore_flat2(relation, gao_positions, t)
+        vals_levels = index._vals
+        offs_levels = index._offs
+        count = index._count
+        counters = self.counters
+        dead = (None, None)
+        frontier: List[Tuple] = [((0, 0, len(vals_levels[0])), ())]
+        levels: List[List[Optional[Tuple]]] = []
+        member = True
+        for p in range(k):
+            target = t[gao_positions[p]]
+            vals = vals_levels[p]
+            records: List[Optional[Tuple]] = []
+            next_frontier: List[Tuple] = []
+            build_children = p + 1 < k
+            if build_children:
+                offs = offs_levels[p + 1]
+            if count:
+                for entry in frontier:
+                    if entry[0] is not None:
+                        counters.findgap += 1
+            for handle, val_chain in frontier:
+                if handle is None:
+                    records.append(None)
+                    if build_children:
+                        next_frontier.append(dead)
+                        next_frontier.append(dead)
+                    continue
+                _, lo, hi = handle
+                i = bisect_left(vals, target, lo, hi)
+                if i < hi and vals[i] == target:
+                    lo_idx = hi_idx = i - lo + 1
+                else:
+                    lo_idx = i - lo
+                    hi_idx = lo_idx + 1
+                records.append((handle, val_chain, lo_idx, hi_idx))
+                if not build_children:
+                    continue
+                fan = hi - lo
+                for coord in (lo_idx, hi_idx):
+                    if 1 <= coord <= fan:
+                        entry_pos = lo + coord - 1
+                        next_frontier.append(
+                            (
+                                (p + 1, offs[entry_pos], offs[entry_pos + 1]),
+                                val_chain + (vals[entry_pos],),
+                            )
+                        )
+                    else:
+                        next_frontier.append(dead)
+            levels.append(records)
+            if member:
+                rec = records[-1] if records else None
+                if rec is None or rec[2] != rec[3]:
+                    member = False
+            frontier = next_frontier
+        constraints: List[Constraint] = []
+        for p, records in enumerate(levels):
+            interval_gao_position = gao_positions[p]
+            vals = vals_levels[p]
+            for rec in records:
+                if rec is None:
+                    continue
+                handle, val_chain, lo_idx, hi_idx = rec
+                if lo_idx == hi_idx:
+                    continue  # target value present: the gap is empty
+                _, lo, hi = handle
+                low = NEG_INF if lo_idx == 0 else vals[lo + lo_idx - 1]
+                high = (
+                    POS_INF if hi_idx == hi - lo + 1 else vals[lo + hi_idx - 1]
+                )
+                prefix: List = [WILDCARD] * interval_gao_position
+                for j, value in enumerate(val_chain):
+                    prefix[gao_positions[j]] = value
+                constraints.append(
+                    Constraint.trusted(tuple(prefix), low, high)
+                )
         return member, constraints
 
 

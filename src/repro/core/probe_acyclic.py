@@ -58,17 +58,33 @@ class ChainProbeStrategy:
     def __init__(self, cds: ConstraintTree, memoize: bool = True) -> None:
         self.cds = cds
         self.memoize = memoize
+        # Hoisted once: every interval-op tally goes through this object.
+        self.counters = cds.counters
+        # prefix -> (cds.version, sorted chain or None when the filter is
+        # empty).  Sound because cds.version bumps whenever the principal
+        # filter of *any* prefix can change: node creation, eq-child
+        # deletion, and a node's intervals turning non-empty.
+        self._chains: dict = {}
+
+    def _chain_for(self, prefix: Tuple[int, ...]) -> Optional[List[ChainEntry]]:
+        cds = self.cds
+        cached = self._chains.get(prefix)
+        if cached is not None and cached[0] == cds.version:
+            return cached[1]
+        filter_nodes = cds.filter_nodes(prefix)
+        chain = sort_as_chain(filter_nodes) if filter_nodes else None
+        self._chains[prefix] = (cds.version, chain)
+        return chain
 
     def get_probe_point(self) -> Optional[Tuple[int, ...]]:
         """Return an active tuple, or None when the gaps cover everything."""
         cds = self.cds
         t: List[int] = []
         while len(t) < cds.n:
-            filter_nodes = cds.filter_nodes(tuple(t))
-            if not filter_nodes:
+            chain = self._chain_for(tuple(t))
+            if chain is None:
                 t.append(-1)
                 continue
-            chain = sort_as_chain(filter_nodes)
             value = self._next_chain_val(-1, 0, chain)
             if value is not POS_INF:
                 t.append(value)  # type: ignore[arg-type]
@@ -97,20 +113,23 @@ class ChainProbeStrategy:
         patterns strictly generalize P(u).  The inferred gap (x-1, y) is
         memoized at u so repeated climbs are charged only once.
         """
-        node, _ = chain[j]
-        self.cds.counters.interval_ops += 1
+        node = chain[j][0]
+        intervals_next = node.intervals.next
         if j == len(chain) - 1:
-            return node.intervals.next(x)
+            self.counters.interval_ops += 1
+            return intervals_next(x)
         y: ExtendedValue = x
+        ops = 1  # the entry tally, batched with the loop's per-step tallies
         while True:
             z = self._next_chain_val(y, j + 1, chain)  # type: ignore[arg-type]
             if z is POS_INF:
                 y = POS_INF
                 break
-            y = node.intervals.next(z)  # type: ignore[arg-type]
-            self.cds.counters.interval_ops += 1
+            y = intervals_next(z)  # type: ignore[arg-type]
+            ops += 1
             if y == z or y is POS_INF:
                 break
+        self.counters.interval_ops += ops
         if self.memoize:
             self.cds.insert_interval_at(node, x - 1, y)
         return y

@@ -22,7 +22,7 @@ from repro.hypergraph.elimination import (
     min_fill_order,
 )
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.storage.relation import Relation
+from repro.storage.relation import DEFAULT_BACKEND, Relation
 from repro.util.counters import OpCounters
 
 
@@ -89,12 +89,18 @@ class Query:
         return True
 
     def with_gao(
-        self, gao: Sequence[str], counters: Optional[OpCounters] = None
+        self,
+        gao: Sequence[str],
+        counters: Optional[OpCounters] = None,
+        backend: Optional[str] = None,
     ) -> "PreparedQuery":
         """Re-index every relation consistently with ``gao``.
 
         Column permutation rebuilds each trie; the result is a
         :class:`PreparedQuery` whose relations all share ``counters``.
+        ``backend`` overrides every relation's storage backend (see
+        :data:`repro.storage.relation.BACKENDS`); by default each
+        relation keeps the backend it was constructed with.
         """
         gao = list(gao)
         if set(gao) != set(self.attributes()) or len(set(gao)) != len(gao):
@@ -104,9 +110,16 @@ class Query:
         shared = counters if counters is not None else OpCounters()
         position = {a: i for i, a in enumerate(gao)}
         prepared: List[Relation] = []
+
+        def resolved(name: str) -> str:
+            # "auto" and its resolution are the same index: don't rebuild.
+            return DEFAULT_BACKEND if name == "auto" else name
+
         for r in self.relations:
             ordered_attrs = sorted(r.attributes, key=position.__getitem__)
-            if tuple(ordered_attrs) == r.attributes:
+            if tuple(ordered_attrs) == r.attributes and (
+                backend is None or resolved(backend) == resolved(r.backend)
+            ):
                 r.rebind_counters(shared)
                 prepared.append(r)
                 continue
@@ -114,7 +127,13 @@ class Query:
             perm = [column_of[a] for a in ordered_attrs]
             rows = [tuple(row[i] for i in perm) for row in r.tuples()]
             prepared.append(
-                Relation(r.name, ordered_attrs, rows, counters=shared)
+                Relation(
+                    r.name,
+                    ordered_attrs,
+                    rows,
+                    counters=shared,
+                    backend=backend if backend is not None else r.backend,
+                )
             )
         return PreparedQuery(prepared, gao, shared)
 

@@ -31,9 +31,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.storage.interval_list import IntervalList, interval_is_empty
+from bisect import bisect_left
+
+from repro.storage.flat_trie import FlatTrieRelation
+from repro.storage.interval_list import (
+    ENC_POS,
+    IntervalList,
+    interval_is_empty,
+)
 from repro.storage.trie import TrieRelation
-from repro.util.counters import OpCounters
+from repro.util.counters import NullCounters, OpCounters
 from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue
 
 Edge = Tuple[int, int]
@@ -61,24 +68,42 @@ class _Dict:
 
 
 class DyadicTree:
-    """Interval lists I(*, x) for every dyadic B-interval x (App. L.1)."""
+    """Interval lists I(*, x) for every dyadic B-interval x (App. L.1).
+
+    Storage is one dense heap-numbered array (the tree is complete and
+    small: 2^{depth+1} slots; node (level, index) lives at slot
+    ``2^level + index``), so the probe walk addresses nodes by a single
+    integer — descend is ``heap << 1``, sibling is ``heap ^ 1``, parent
+    is ``heap >> 1`` — with no per-visit tuple hashing or level
+    bookkeeping.
+    """
 
     def __init__(self, n_leaves: int, counters: OpCounters) -> None:
         self.depth = max(1, (max(n_leaves, 1) - 1).bit_length())
         self.n_leaves = n_leaves
         self.counters = counters
-        self._lists: Dict[Tuple[int, int], IntervalList] = {}
+        self._heap: List[Optional[IntervalList]] = [None] * (
+            1 << (self.depth + 1)
+        )
 
     def node_list(self, level: int, index: int) -> Optional[IntervalList]:
-        return self._lists.get((level, index))
+        return self._heap[(1 << level) + index]
 
-    def _list_for(self, level: int, index: int) -> IntervalList:
-        key = (level, index)
-        lst = self._lists.get(key)
+    def _list_for_heap(self, heap: int) -> IntervalList:
+        lst = self._heap[heap]
         if lst is None:
             lst = IntervalList()
-            self._lists[key] = lst
+            self._heap[heap] = lst
         return lst
+
+    def items(self) -> List[Tuple[Tuple[int, int], IntervalList]]:
+        """All materialized ((level, index), list) pairs (tests/debug)."""
+        out = []
+        for heap, lst in enumerate(self._heap):
+            if lst is not None:
+                level = heap.bit_length() - 1
+                out.append(((level, heap - (1 << level)), lst))
+        return out
 
     def insert_leaf(
         self, leaf: int, low: ExtendedValue, high: ExtendedValue
@@ -90,25 +115,26 @@ class DyadicTree:
         """
         if interval_is_empty(low, high):
             return
-        level, index = self.depth, leaf
-        node = self._list_for(level, index)
-        parts = node.uncovered_runs(low, high)
+        heap = (1 << self.depth) + leaf
+        node = self._list_for_heap(heap)
+        if node:
+            parts = node.uncovered_runs(low, high)
+        else:
+            parts = [(low, high)]  # empty node: the whole insert is new
         node.insert(low, high)
         self.counters.interval_ops += 1
-        while level > 0 and parts:
-            sibling = self._lists.get((level, index ^ 1))
-            parent = self._list_for(level - 1, index >> 1)
+        while heap > 1 and parts:
+            sibling = self._heap[heap ^ 1]
+            parent = self._list_for_heap(heap >> 1)
             lifted: List[Tuple[ExtendedValue, ExtendedValue]] = []
-            for lo, hi in parts:
-                if sibling is None:
-                    continue
-                for cov_lo, cov_hi in sibling.covered_runs(lo, hi):
-                    lifted.extend(parent.uncovered_runs(cov_lo, cov_hi))
-                    parent.insert(cov_lo, cov_hi)
-                    self.counters.interval_ops += 1
+            if sibling is not None:
+                for lo, hi in parts:
+                    for cov_lo, cov_hi in sibling.covered_runs(lo, hi):
+                        lifted.extend(parent.uncovered_runs(cov_lo, cov_hi))
+                        parent.insert(cov_lo, cov_hi)
+                        self.counters.interval_ops += 1
             parts = lifted
-            level -= 1
-            index >>= 1
+            heap >>= 1
 
     def check_invariant(self) -> None:
         """Assert I(*, x) = I(*, x0) ∩ I(*, x1) on the materialized tree.
@@ -116,18 +142,20 @@ class DyadicTree:
         Used by tests.  Verified pointwise over the integer hull of the
         finite endpoints.
         """
+        materialized = self.items()
         points = set()
-        for lst in self._lists.values():
+        for _, lst in materialized:
             for lo, hi in lst.intervals():
                 for v in (lo, hi):
                     if v is not NEG_INF and v is not POS_INF:
                         points.add(v)
         probe_points = sorted(points | {p + 1 for p in points} | {-1, 0})
-        for (level, index), lst in self._lists.items():
+        for (level, index), lst in materialized:
             if level == self.depth:
                 continue
-            left = self._lists.get((level + 1, 2 * index))
-            right = self._lists.get((level + 1, 2 * index + 1))
+            heap = (1 << level) + index
+            left = self._heap[2 * heap]
+            right = self._heap[2 * heap + 1]
             for v in probe_points:
                 parent_covers = lst.covers(v)
                 child_covers = (
@@ -148,20 +176,75 @@ def _next_union(
     start: int,
     counters: OpCounters,
 ) -> ExtendedValue:
-    """Smallest v >= start not covered by either list (MERGE-style)."""
-    value: ExtendedValue = start
+    """Smallest v >= start not covered by either list (MERGE-style).
+
+    The alternation (paper MERGE) is inlined over the lists' encoded
+    endpoint arrays with per-list galloping cursors: the sought value
+    only ascends within one call and neither list mutates, so each Next
+    resumes where the previous one stopped instead of re-searching from
+    scratch.  Operation tallies are exactly those of the call-per-Next
+    formulation.  May return the *encoded* +inf (an int ≥ ``ENC_POS``),
+    which every caller treats identically to ``POS_INF`` via its
+    upper-bound comparison.
+    """
+    if second is None:
+        counters.interval_ops += 1
+        return first.next(start)
+    f_lows, f_highs = first._lows, first._highs
+    s_lows, s_highs = second._lows, second._highs
+    nf, ns = len(f_lows), len(s_lows)
+    value = start
+    ops = 0
+    fi = si = 0  # galloping cursors: list[:cursor] is known < value
     while True:
-        counters.interval_ops += 1
-        step_one = first.next(value)  # type: ignore[arg-type]
-        if step_one is POS_INF:
-            return POS_INF
-        if second is None:
+        ops += 1
+        # --- step_one = first.next(value), resuming at cursor fi.
+        i = fi
+        if i < nf and f_lows[i] < value:
+            i += 1  # single-step advance: skip the gallop entirely
+        if i < nf and f_lows[i] < value:
+            prev = i
+            step = 1
+            while i + step < nf and f_lows[i + step] < value:
+                prev = i + step
+                step <<= 1
+            top = i + step
+            i = bisect_left(f_lows, value, prev + 1, top if top < nf else nf)
+        fi = i
+        if i:
+            high = f_highs[i - 1]
+            step_one = high if high > value else value
+        else:
+            step_one = value
+        if step_one >= ENC_POS:
+            counters.interval_ops += ops
             return step_one
-        counters.interval_ops += 1
-        step_two = second.next(step_one)  # type: ignore[arg-type]
-        if step_two is POS_INF:
-            return POS_INF
+        ops += 1
+        # --- step_two = second.next(step_one), resuming at cursor si.
+        i = si
+        if i < ns and s_lows[i] < step_one:
+            i += 1  # single-step advance: skip the gallop entirely
+        if i < ns and s_lows[i] < step_one:
+            prev = i
+            step = 1
+            while i + step < ns and s_lows[i + step] < step_one:
+                prev = i + step
+                step <<= 1
+            top = i + step
+            i = bisect_left(
+                s_lows, step_one, prev + 1, top if top < ns else ns
+            )
+        si = i
+        if i:
+            high = s_highs[i - 1]
+            step_two = high if high > step_one else step_one
+        else:
+            step_two = step_one
+        if step_two >= ENC_POS:
+            counters.interval_ops += ops
+            return step_two
         if step_two == step_one:
+            counters.interval_ops += ops
             return step_two
         value = step_two
 
@@ -179,11 +262,20 @@ class TriangleMinesweeper:
         s_edges: Sequence[Edge],
         t_edges: Sequence[Edge],
         counters: Optional[OpCounters] = None,
+        backend: str = "auto",
     ) -> None:
         self.counters = counters if counters is not None else OpCounters()
-        self.r_index = TrieRelation(r_edges, arity=2, counters=self.counters)
-        self.s_index = TrieRelation(s_edges, arity=2, counters=self.counters)
-        self.t_index = TrieRelation(t_edges, arity=2, counters=self.counters)
+        self._counting = self.counters.enabled
+        if backend in ("auto", "flat"):
+            make_index = FlatTrieRelation
+        elif backend in ("trie", "btree"):
+            make_index = TrieRelation
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self.r_index = make_index(r_edges, arity=2, counters=self.counters)
+        self.s_index = make_index(s_edges, arity=2, counters=self.counters)
+        self.t_index = make_index(t_edges, arity=2, counters=self.counters)
+        self._flat = make_index is FlatTrieRelation
         r_rows = self.r_index.tuples()
         s_rows = self.s_index.tuples()
         t_rows = self.t_index.tuples()
@@ -207,23 +299,40 @@ class TriangleMinesweeper:
         # propagate real coverage all the way to the root.
         for leaf in range(len(self.b_dict), 1 << self.dyadic.depth):
             self.dyadic.insert_leaf(leaf, NEG_INF, POS_INF)
-        self._cache: Dict[Tuple[int, int, int], int] = {}
-        # (a, level, index) -> last viable C candidate at that node.
+        # (a, dyadic node) -> last viable C candidate at that node.  Keys
+        # are packed ints — (a << shift) | heap_id with heap_id =
+        # 2^level + index — so the probe walk never allocates key tuples.
+        self._cache: Dict[int, int] = {}
+        self._key_shift = self.dyadic.depth + 1
+        # Static domain sizes / rank maps, hoisted off the probe loop.
+        self._n_a = len(self.a_dict)
+        self._n_b = len(self.b_dict)
+        self._n_c = len(self.c_dict)
+        self._a_rank_of = self.a_dict.rank_of
+        self._b_rank_of = self.b_dict.rank_of
+        self._c_rank_of = self.c_dict.rank_of
+        # The CDS root lists live for the engine's lifetime and mutate in
+        # place; their accessors are prebound for the outer probe loop.
+        self._i_root_next = self.i_root.next
+        self._i_star_b_next = self.i_star_b.next
 
     # ------------------------------------------------------------------
     # Cache
     # ------------------------------------------------------------------
 
+    def _cache_key(self, a: int, level: int, index: int) -> int:
+        return (a << self._key_shift) | ((1 << level) + index)
+
     def _get_cache(self, a: int, level: int, index: int) -> int:
-        value = self._cache.get((a, level, index), -1)
-        if (a, level, index) in self._cache:
-            self.counters.cache_hits += 1
-        else:
+        value = self._cache.get(self._cache_key(a, level, index))
+        if value is None:  # stored candidates are always >= 0
             self.counters.cache_misses += 1
+            return -1
+        self.counters.cache_hits += 1
         return value
 
     def _set_cache(self, a: int, level: int, index: int, value: int) -> None:
-        self._cache[(a, level, index)] = value
+        self._cache[self._cache_key(a, level, index)] = value
 
     # ------------------------------------------------------------------
     # Constraint insertion helpers (rank space)
@@ -247,30 +356,25 @@ class TriangleMinesweeper:
     # Probe search (Algorithm 10)
     # ------------------------------------------------------------------
 
-    def _next_sibling(
-        self, level: int, index: int
-    ) -> Optional[Tuple[int, int]]:
-        """Pre-order next sibling: flip the last 0 bit, drop the tail."""
-        while level > 0:
-            if index % 2 == 0:
-                return (level, index + 1)
-            level -= 1
-            index >>= 1
-        return None
-
     def get_probe_point(self) -> Optional[Tuple[int, int, int]]:
         """Return an active (a, b, c) in rank space, or None."""
         counters = self.counters
-        if not self.a_dict or not self.b_dict or not self.c_dict:
+        n_a, n_b, n_c = self._n_a, self._n_b, self._n_c
+        if not n_a or not n_b or not n_c:
             return None
-        n_a, n_b, n_c = len(self.a_dict), len(self.b_dict), len(self.c_dict)
+        i_eq_a_get = self.i_eq_a.get
         while True:
             counters.interval_ops += 1
-            a = self.i_root.next(0)  # smallest free a >= 0
+            a = self._i_root_next(0)  # smallest free a >= 0
             if a is POS_INF or a >= n_a:
                 return None
-            eq_a = self.i_eq_a.get(a)
-            b_probe = _next_union(self.i_star_b, eq_a, 0, counters)
+            eq_a = i_eq_a_get(a)
+            if eq_a is None:
+                # Single-list union (what _next_union degenerates to).
+                counters.interval_ops += 1
+                b_probe = self._i_star_b_next(0)
+            else:
+                b_probe = _next_union(self.i_star_b, eq_a, 0, counters)
             if b_probe is POS_INF or b_probe >= n_b:
                 # No b is viable for this a: rule the a out (sound; see
                 # module docstring) and retry.
@@ -293,52 +397,170 @@ class TriangleMinesweeper:
     def _descend(
         self, a: int, n_b: int, n_c: int
     ) -> Optional[Tuple[int, int, int]]:
-        """Walk the dyadic tree in pre-order; return (a, b, c) or None."""
+        """Walk the dyadic tree in pre-order; return (a, b, c) or None.
+
+        The loop body is the engine's hottest path: the per-(a, node)
+        cache, the dyadic node lists, and the sibling hop are all inlined
+        on locals (operation counts are unchanged; cache-hit/miss tallies
+        are skipped entirely under disabled counters).
+        """
         counters = self.counters
+        counting = counters.enabled
         eq_a_star = self.i_eq_a_star.get(a)
         eq_a = self.i_eq_a.get(a)
+        # The covers() checks are inlined on the lists' encoded arrays
+        # (i_star_b is never mutated inside the walk; eq_a's lists mutate
+        # in place, so the bindings stay live — and matching the original
+        # formulation, an eq_a list *created* mid-walk is not consulted).
+        star_lows, star_highs = self.i_star_b._lows, self.i_star_b._highs
+        if eq_a is not None:
+            eq_lows, eq_highs = eq_a._lows, eq_a._highs
+        else:
+            eq_lows = eq_highs = None
         depth = self.dyadic.depth
-        level, index = 0, 0
+        cache = self._cache
+        cache_get = cache.get
+        heap_lists = self.dyadic._heap
+        leaf_base = 1 << depth
+        if eq_a_star is not None:
+            eq_a_star_next = eq_a_star.next
+            # eq_a_star is not mutated inside the walk; its endpoint
+            # arrays are hoisted for the inlined union loop below.
+            es_lows, es_highs = eq_a_star._lows, eq_a_star._highs
+            n_es = len(es_lows)
+        else:
+            eq_a_star_next = None
+        a_key = a << self._key_shift
+        heap = 1  # root of the heap-numbered dyadic tree
         while True:
-            at_leaf = level == depth
-            leaf_value = index if at_leaf else None
-            if at_leaf and (
-                index >= n_b
-                or (eq_a is not None and eq_a.covers(index))
-                or self.i_star_b.covers(index)
-            ):
-                # Inactive leaf (padding or covered b): hop to the sibling.
-                step = self._next_sibling(level, index)
-                if step is None:
-                    return None
-                level, index = step
-                continue
-            z = self._get_cache(a, level, index)
-            node_list = self.dyadic.node_list(level, index)
-            if eq_a_star is None and node_list is None:
-                c: ExtendedValue = max(z, 0)
+            at_leaf = heap >= leaf_base
+            if at_leaf:
+                b_leaf = heap - leaf_base
+                if b_leaf >= n_b:
+                    covered = True
+                else:
+                    covered = False
+                    if eq_lows is not None:
+                        i = bisect_left(eq_lows, b_leaf)
+                        covered = bool(i) and eq_highs[i - 1] > b_leaf
+                    if not covered:
+                        i = bisect_left(star_lows, b_leaf)
+                        covered = bool(i) and star_highs[i - 1] > b_leaf
+                if covered:
+                    # Inactive leaf (padding or covered b): hop to the
+                    # sibling (flip the last 0 bit, drop the tail).
+                    while heap > 1:
+                        if not heap & 1:
+                            heap += 1
+                            break
+                        heap >>= 1
+                    else:
+                        return None
+                    continue
+            key = a_key | heap
+            z = cache_get(key)
+            if z is None:
+                z = -1
+                if counting:
+                    counters.cache_misses += 1
+            elif counting:
+                counters.cache_hits += 1
+            node_list = heap_lists[heap]
+            start = z if z > 0 else 0
+            if node_list is None:
+                if eq_a_star_next is None:
+                    c: ExtendedValue = start
+                else:
+                    # Single-list union (what _next_union degenerates to).
+                    c = eq_a_star_next(start)
+                    counters.interval_ops += 1
+            elif eq_a_star is None:
+                c = node_list.next(start)
+                counters.interval_ops += 1
             else:
-                base = eq_a_star if eq_a_star is not None else node_list
-                other = node_list if eq_a_star is not None else None
-                c = _next_union(base, other, max(z, 0), counters)  # type: ignore[arg-type]
+                # _next_union(eq_a_star, node_list, start) inlined on the
+                # hottest path (see _next_union for the reference form);
+                # identical alternation, identical operation tallies.
+                nl_lows, nl_highs = node_list._lows, node_list._highs
+                n_nl = len(nl_lows)
+                value = start
+                ops = 0
+                fi = si = 0
+                while True:
+                    ops += 1
+                    i = fi
+                    if i < n_es and es_lows[i] < value:
+                        i += 1  # single-step advance: skip the gallop entirely
+                    if i < n_es and es_lows[i] < value:
+                        prev = i
+                        step = 1
+                        while i + step < n_es and es_lows[i + step] < value:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            es_lows, value, prev + 1,
+                            top if top < n_es else n_es,
+                        )
+                    fi = i
+                    if i:
+                        high = es_highs[i - 1]
+                        step_one = high if high > value else value
+                    else:
+                        step_one = value
+                    if step_one >= ENC_POS:
+                        c = step_one
+                        break
+                    ops += 1
+                    i = si
+                    if i < n_nl and nl_lows[i] < step_one:
+                        i += 1  # single-step advance: skip the gallop entirely
+                    if i < n_nl and nl_lows[i] < step_one:
+                        prev = i
+                        step = 1
+                        while (
+                            i + step < n_nl and nl_lows[i + step] < step_one
+                        ):
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            nl_lows, step_one, prev + 1,
+                            top if top < n_nl else n_nl,
+                        )
+                    si = i
+                    if i:
+                        high = nl_highs[i - 1]
+                        step_two = high if high > step_one else step_one
+                    else:
+                        step_two = step_one
+                    if step_two >= ENC_POS or step_two == step_one:
+                        c = step_two
+                        break
+                    value = step_two
+                counters.interval_ops += ops
             if c is not POS_INF and c < n_c:
-                self._set_cache(a, level, index, c)  # type: ignore[arg-type]
+                cache[key] = c
                 if at_leaf:
-                    assert leaf_value is not None
-                    return (a, leaf_value, c)  # type: ignore[return-value]
-                level, index = level + 1, 2 * index
+                    return (a, heap - leaf_base, c)  # type: ignore[return-value]
+                heap <<= 1
                 continue
             # Every c is dead for all b in this dyadic block: record the
             # block as a B-gap for this a and hop to the next sibling.
-            self._set_cache(a, level, index, n_c)
+            cache[key] = n_c
+            level = heap.bit_length() - 1
             block = 1 << (depth - level)
+            index = heap - (1 << level)
             lo, hi = index * block - 1, (index + 1) * block
             self._eq_a_list(a).insert(lo, hi)
             counters.interval_ops += 1
-            step = self._next_sibling(level, index)
-            if step is None:
+            while heap > 1:
+                if not heap & 1:
+                    heap += 1
+                    break
+                heap >>= 1
+            else:
                 return None
-            level, index = step
 
     # ------------------------------------------------------------------
     # Outer loop
@@ -348,6 +570,10 @@ class TriangleMinesweeper:
         """Enumerate all triangles (a, b, c)."""
         counters = self.counters
         output: List[Tuple[int, int, int]] = []
+        a_values = self.a_dict.values
+        b_values = self.b_dict.values
+        c_values = self.c_dict.values
+        explore = self._explore
         n = (
             len(self.r_index)
             + len(self.s_index)
@@ -364,10 +590,10 @@ class TriangleMinesweeper:
                     f"triangle probe budget exhausted at {probe}"
                 )
             a_rank, b_rank, c_rank = probe
-            a = self.a_dict.values[a_rank]
-            b = self.b_dict.values[b_rank]
-            c = self.c_dict.values[c_rank]
-            is_member = self._explore(a_rank, b_rank, c_rank, a, b, c)
+            a = a_values[a_rank]
+            b = b_values[b_rank]
+            c = c_values[c_rank]
+            is_member = explore(a_rank, b_rank, c_rank, a, b, c)
             if is_member:
                 output.append((a, b, c))
                 counters.output_tuples += 1
@@ -382,61 +608,162 @@ class TriangleMinesweeper:
         """Probe R, S, T around (a, b, c); insert the gaps (Algorithm 2).
 
         Returns True iff (a, b, c) is a triangle.  Constraints are inserted
-        in rank space into the specialized lists.
+        in rank space into the specialized lists.  Index access goes
+        through node handles (``gap_at`` / ``value_at`` / ``child_at``) so
+        neither backend re-walks its trie from the root per operation;
+        the flat backend gets a fully inlined CSR-array variant.
         """
+        if self._flat:
+            return self._explore_flat(a_rank, b_rank, c_rank, a, b, c)
         member = True
         # --- R(A, B): gaps on A and, under a match, on B.
-        lo, hi = self.r_index.find_gap((), a)
+        r_root = self.r_index.root_handle()
+        lo, hi = self.r_index.gap_at(r_root, a)
         if lo != hi:
-            self._insert_a_gap(self.r_index, (), lo, hi)
+            self._insert_a_gap(self.r_index, r_root, lo, hi)
             member = False
         else:
-            b_lo, b_hi = self.r_index.find_gap((hi,), b)
+            node = self.r_index.child_at(r_root, hi)
+            b_lo, b_hi = self.r_index.gap_at(node, b)
             if b_lo != b_hi:
-                low = self.b_dict.to_rank(self.r_index.value((hi, b_lo)))
-                high = self.b_dict.to_rank(self.r_index.value((hi, b_hi)))
+                low = self.b_dict.to_rank(self.r_index.value_at(node, b_lo))
+                high = self.b_dict.to_rank(self.r_index.value_at(node, b_hi))
                 self._eq_a_list(a_rank).insert(low, high)
                 self.counters.interval_ops += 1
                 member = False
         # --- T(A, C): gaps on A and, under a match, on C (⟨a, *, gap⟩).
-        lo, hi = self.t_index.find_gap((), a)
+        t_root = self.t_index.root_handle()
+        lo, hi = self.t_index.gap_at(t_root, a)
         if lo != hi:
-            self._insert_a_gap(self.t_index, (), lo, hi)
+            self._insert_a_gap(self.t_index, t_root, lo, hi)
             member = False
         else:
-            c_lo, c_hi = self.t_index.find_gap((hi,), c)
+            node = self.t_index.child_at(t_root, hi)
+            c_lo, c_hi = self.t_index.gap_at(node, c)
             if c_lo != c_hi:
-                low = self.c_dict.to_rank(self.t_index.value((hi, c_lo)))
-                high = self.c_dict.to_rank(self.t_index.value((hi, c_hi)))
+                low = self.c_dict.to_rank(self.t_index.value_at(node, c_lo))
+                high = self.c_dict.to_rank(self.t_index.value_at(node, c_hi))
                 self._eq_a_star_list(a_rank).insert(low, high)
                 self.counters.interval_ops += 1
                 member = False
         # --- S(B, C): gaps on B (⟨*, gap, *⟩) and under a match on C
         #     (⟨*, b, gap⟩ -> dyadic leaf insert).
-        lo, hi = self.s_index.find_gap((), b)
+        s_root = self.s_index.root_handle()
+        lo, hi = self.s_index.gap_at(s_root, b)
         if lo != hi:
-            low = self.b_dict.to_rank(self.s_index.value((lo,)))
-            high = self.b_dict.to_rank(self.s_index.value((hi,)))
+            low = self.b_dict.to_rank(self.s_index.value_at(s_root, lo))
+            high = self.b_dict.to_rank(self.s_index.value_at(s_root, hi))
             self.i_star_b.insert(low, high)
             self.counters.interval_ops += 1
             member = False
         else:
-            c_lo, c_hi = self.s_index.find_gap((hi,), c)
+            node = self.s_index.child_at(s_root, hi)
+            c_lo, c_hi = self.s_index.gap_at(node, c)
             if c_lo != c_hi:
-                low = self.c_dict.to_rank(self.s_index.value((hi, c_lo)))
-                high = self.c_dict.to_rank(self.s_index.value((hi, c_hi)))
+                low = self.c_dict.to_rank(self.s_index.value_at(node, c_lo))
+                high = self.c_dict.to_rank(self.s_index.value_at(node, c_hi))
                 self.dyadic.insert_leaf(b_rank, low, high)
                 member = False
         return member
 
-    def _insert_a_gap(
-        self, index: TrieRelation, prefix: Tuple[int, ...], lo: int, hi: int
-    ) -> None:
+    def _insert_a_gap(self, index, root_handle, lo: int, hi: int) -> None:
         """Translate an A-level index gap to rank space and store it."""
-        low = self.a_dict.to_rank(index.value(prefix + (lo,)))
-        high = self.a_dict.to_rank(index.value(prefix + (hi,)))
+        low = self.a_dict.to_rank(index.value_at(root_handle, lo))
+        high = self.a_dict.to_rank(index.value_at(root_handle, hi))
         self.i_root.insert(low, high)
         self.counters.interval_ops += 1
+
+    def _explore_flat(
+        self, a_rank: int, b_rank: int, c_rank: int, a: int, b: int, c: int
+    ) -> bool:
+        """The _explore probe sequence inlined over the CSR arrays.
+
+        Behaviour- and count-identical to the handle formulation: one
+        FindGap per relation at the root, one more under a root match,
+        and the same constraint inserts in the same order.
+        """
+        counters = self.counters
+        counting = self._counting
+        a_rank_of = self._a_rank_of
+        b_rank_of = self._b_rank_of
+        c_rank_of = self._c_rank_of
+        member = True
+        # --- R(A, B): gaps on A and, under a match, on B.
+        vals0 = self.r_index._vals[0]
+        vals1 = self.r_index._vals[1]
+        off1 = self.r_index._offs[1]
+        if counting:
+            counters.findgap += 1
+        n = len(vals0)
+        i = bisect_left(vals0, a)
+        if i < n and vals0[i] == a:
+            span_lo, span_hi = off1[i], off1[i + 1]
+            if counting:
+                counters.findgap += 1
+            j = bisect_left(vals1, b, span_lo, span_hi)
+            if not (j < span_hi and vals1[j] == b):
+                low = b_rank_of[vals1[j - 1]] if j > span_lo else NEG_INF
+                high = b_rank_of[vals1[j]] if j < span_hi else POS_INF
+                self._eq_a_list(a_rank).insert(low, high)
+                counters.interval_ops += 1
+                member = False
+        else:
+            low = a_rank_of[vals0[i - 1]] if i > 0 else NEG_INF
+            high = a_rank_of[vals0[i]] if i < n else POS_INF
+            self.i_root.insert(low, high)
+            counters.interval_ops += 1
+            member = False
+        # --- T(A, C): gaps on A and, under a match, on C (⟨a, *, gap⟩).
+        vals0 = self.t_index._vals[0]
+        vals1 = self.t_index._vals[1]
+        off1 = self.t_index._offs[1]
+        if counting:
+            counters.findgap += 1
+        n = len(vals0)
+        i = bisect_left(vals0, a)
+        if i < n and vals0[i] == a:
+            span_lo, span_hi = off1[i], off1[i + 1]
+            if counting:
+                counters.findgap += 1
+            j = bisect_left(vals1, c, span_lo, span_hi)
+            if not (j < span_hi and vals1[j] == c):
+                low = c_rank_of[vals1[j - 1]] if j > span_lo else NEG_INF
+                high = c_rank_of[vals1[j]] if j < span_hi else POS_INF
+                self._eq_a_star_list(a_rank).insert(low, high)
+                counters.interval_ops += 1
+                member = False
+        else:
+            low = a_rank_of[vals0[i - 1]] if i > 0 else NEG_INF
+            high = a_rank_of[vals0[i]] if i < n else POS_INF
+            self.i_root.insert(low, high)
+            counters.interval_ops += 1
+            member = False
+        # --- S(B, C): gaps on B (⟨*, gap, *⟩) and under a match on C
+        #     (⟨*, b, gap⟩ -> dyadic leaf insert).
+        vals0 = self.s_index._vals[0]
+        vals1 = self.s_index._vals[1]
+        off1 = self.s_index._offs[1]
+        if counting:
+            counters.findgap += 1
+        n = len(vals0)
+        i = bisect_left(vals0, b)
+        if i < n and vals0[i] == b:
+            span_lo, span_hi = off1[i], off1[i + 1]
+            if counting:
+                counters.findgap += 1
+            j = bisect_left(vals1, c, span_lo, span_hi)
+            if not (j < span_hi and vals1[j] == c):
+                low = c_rank_of[vals1[j - 1]] if j > span_lo else NEG_INF
+                high = c_rank_of[vals1[j]] if j < span_hi else POS_INF
+                self.dyadic.insert_leaf(b_rank, low, high)
+                member = False
+        else:
+            low = b_rank_of[vals0[i - 1]] if i > 0 else NEG_INF
+            high = b_rank_of[vals0[i]] if i < n else POS_INF
+            self.i_star_b.insert(low, high)
+            counters.interval_ops += 1
+            member = False
+        return member
 
 
 def triangle_join(
@@ -444,6 +771,16 @@ def triangle_join(
     s_edges: Sequence[Edge],
     t_edges: Sequence[Edge],
     counters: Optional[OpCounters] = None,
+    backend: str = "auto",
 ) -> List[Tuple[int, int, int]]:
-    """Enumerate Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C) with the dyadic CDS."""
-    return TriangleMinesweeper(r_edges, s_edges, t_edges, counters).run()
+    """Enumerate Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C) with the dyadic CDS.
+
+    With no ``counters`` the engine runs counting-free (the tallies
+    would be unreachable through this interface anyway); pass an
+    :class:`OpCounters` to collect the Section-5.2 numbers.
+    """
+    if counters is None:
+        counters = NullCounters()
+    return TriangleMinesweeper(
+        r_edges, s_edges, t_edges, counters, backend=backend
+    ).run()

@@ -1,17 +1,21 @@
 """Storage substrate: ordered indexes and the CDS building blocks."""
 
 from repro.storage.btree import BTree
+from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.interval_list import (
     IntervalList,
     NaiveIntervalList,
     interval_is_empty,
 )
-from repro.storage.relation import Relation
+from repro.storage.relation import BACKENDS, DEFAULT_BACKEND, Relation
 from repro.storage.sorted_list import SortedList
 from repro.storage.trie import TrieRelation
 
 __all__ = [
+    "BACKENDS",
     "BTree",
+    "DEFAULT_BACKEND",
+    "FlatTrieRelation",
     "IntervalList",
     "NaiveIntervalList",
     "interval_is_empty",

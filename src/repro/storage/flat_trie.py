@@ -1,0 +1,295 @@
+"""CSR-backed search-trie index: flat arrays instead of pointer nodes.
+
+A drop-in replacement for :class:`repro.storage.trie.TrieRelation` that
+stores the paper's unbounded-fanout search tree (Section 2.1, Figure 3) in
+*compressed sparse row* form: one contiguous ``values`` array per level
+holding every distinct prefix-extension in global lexicographic order, and
+one ``offsets`` array per level mapping each level-(j-1) entry to the span
+of its children in level j.  Built once from the sorted tuple set; never
+mutated.
+
+Why: the pointer trie allocates one Python object (plus two list objects)
+per distinct prefix, and every ``find_gap`` chases those pointers through
+attribute lookups.  Here a *node* is three integers ``(level, lo, hi)`` —
+the half-open span of its child values — so navigation is integer
+arithmetic on preallocated lists and ``find_gap`` is a single bounded
+``bisect_left``.  The index semantics (1-based coordinates, 0 / fanout+1
+out-of-range conventions, ``find_gap``'s (x_minus, x_plus) contract) are
+exactly those of ``TrieRelation``; equivalence is property-checked in
+``tests/test_flat_trie.py``.
+
+Both tries also expose the *handle* API (``root_handle`` / ``gap_at`` /
+``value_at`` / ``child_at`` / ``fanout_at``) that lets the Minesweeper
+exploration loop descend level by level without re-walking the index from
+the root on every probe.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.counters import OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue
+
+IndexTuple = Tuple[int, ...]
+
+#: A flat-trie node handle: (level, lo, hi) — the node's sorted child
+#: values are ``values[level][lo:hi]``.
+NodeHandle = Tuple[int, int, int]
+
+
+class FlatTrieRelation:
+    """An ordered CSR search-trie over a set of k-ary integer tuples.
+
+    Parameters mirror :class:`repro.storage.trie.TrieRelation`:
+
+    tuples:
+        The relation's tuples (duplicates collapsed; set semantics).
+    arity:
+        Number of columns; inferred from data when omitted.
+    counters:
+        Optional :class:`OpCounters`; ``find_gap`` / ``gap_at`` increment
+        ``counters.findgap`` when the counters are enabled.
+    """
+
+    __slots__ = ("arity", "_counters", "_count", "_tuples", "_vals", "_offs")
+
+    def __init__(
+        self,
+        tuples: Iterable[Sequence[int]],
+        arity: Optional[int] = None,
+        counters: Optional[OpCounters] = None,
+    ) -> None:
+        data = sorted({tuple(t) for t in tuples})
+        if data:
+            inferred = len(data[0])
+            if any(len(t) != inferred for t in data):
+                raise ValueError("all tuples must share the same arity")
+            if arity is not None and arity != inferred:
+                raise ValueError(
+                    f"declared arity {arity} != tuple arity {inferred}"
+                )
+            arity = inferred
+        if arity is None:
+            raise ValueError("arity required for an empty relation")
+        if arity < 1:
+            raise ValueError("arity must be >= 1")
+        for t in data:
+            for v in t:
+                if not isinstance(v, int) or isinstance(v, bool):
+                    raise TypeError(f"non-integer value {v!r} in tuple {t}")
+        self.arity = arity
+        self._counters = counters
+        self._count = counters is not None and counters.enabled
+        self._tuples: List[Tuple[int, ...]] = data
+        # _vals[j]: all level-j values (one per distinct (j+1)-prefix), in
+        # lexicographic order.  _offs[j] (j >= 1): span boundaries in
+        # _vals[j] per level-(j-1) entry; _offs[0] is the root's span.
+        vals: List[List[int]] = []
+        offs: List[List[int]] = []
+        for d in range(arity):
+            vals_d: List[int] = []
+            off_d: List[int] = [0]
+            last_pfx: Optional[Tuple[int, ...]] = None
+            last_ext: Optional[Tuple[int, ...]] = None
+            have = False
+            for t in data:
+                pfx = t[:d]
+                ext = t[: d + 1]
+                if have and pfx != last_pfx:
+                    off_d.append(len(vals_d))
+                if not have or ext != last_ext:
+                    vals_d.append(t[d])
+                last_pfx, last_ext, have = pfx, ext, True
+            off_d.append(len(vals_d))
+            vals.append(vals_d)
+            offs.append(off_d)
+        self._vals = vals
+        self._offs = offs
+
+    # ------------------------------------------------------------------
+    # Counters plumbing (the enabled flag is cached for the hot path)
+    # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> Optional[OpCounters]:
+        return self._counters
+
+    @counters.setter
+    def counters(self, counters: Optional[OpCounters]) -> None:
+        self._counters = counters
+        self._count = counters is not None and counters.enabled
+
+    # ------------------------------------------------------------------
+    # Basic accessors (TrieRelation parity)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: Sequence[int]) -> bool:
+        t = tuple(item)
+        i = bisect.bisect_left(self._tuples, t)
+        return i < len(self._tuples) and self._tuples[i] == t
+
+    def tuples(self) -> List[Tuple[int, ...]]:
+        """All tuples in lexicographic (GAO) order."""
+        return list(self._tuples)
+
+    def _span(self, index_tuple: IndexTuple) -> Tuple[int, int, int]:
+        """(level, lo, hi) of the node R[index_tuple, *]; validates indices."""
+        lo, hi = 0, len(self._vals[0])
+        level = 0
+        for depth, x in enumerate(index_tuple):
+            if not 1 <= x <= hi - lo:
+                raise IndexError(
+                    f"coordinate {x} out of range at depth {depth} "
+                    f"(valid 1..{hi - lo})"
+                )
+            if depth + 1 >= self.arity:
+                raise IndexError(
+                    f"index tuple {index_tuple} descends past arity "
+                    f"{self.arity}"
+                )
+            entry = lo + x - 1
+            off = self._offs[depth + 1]
+            lo, hi = off[entry], off[entry + 1]
+            level = depth + 1
+        return level, lo, hi
+
+    def fanout(self, index_tuple: IndexTuple = ()) -> int:
+        """|R[index_tuple, *]| — number of distinct next-level values."""
+        _, lo, hi = self._span(index_tuple)
+        return hi - lo
+
+    def value(self, index_tuple: IndexTuple) -> ExtendedValue:
+        """R[index_tuple]: the value addressed by a (1-based) index tuple.
+
+        The *last* coordinate may be out of range (0 -> -inf,
+        fanout+1 -> +inf); earlier coordinates must be in range.
+        """
+        if not index_tuple:
+            raise ValueError("value() needs a non-empty index tuple")
+        level, lo, hi = self._span(index_tuple[:-1])
+        x = index_tuple[-1]
+        fan = hi - lo
+        if x == 0:
+            return NEG_INF
+        if x == fan + 1:
+            return POS_INF
+        if not 1 <= x <= fan:
+            raise IndexError(
+                f"last coordinate {x} out of range (valid 0..{fan + 1})"
+            )
+        return self._vals[level][lo + x - 1]
+
+    def child_values(self, index_tuple: IndexTuple) -> List[int]:
+        """The sorted set R[index_tuple, *]."""
+        level, lo, hi = self._span(index_tuple)
+        return self._vals[level][lo:hi]
+
+    # ------------------------------------------------------------------
+    # Node-handle API (iterator-based engines: LFTJ, generic join)
+    # ------------------------------------------------------------------
+
+    def root_node(self) -> NodeHandle:
+        """Opaque handle to the root; pair with ``node_keys``/``node_child``."""
+        return (0, 0, len(self._vals[0]))
+
+    def node_keys(self, node: NodeHandle) -> List[int]:
+        """The node's sorted child values."""
+        level, lo, hi = node
+        return self._vals[level][lo:hi]
+
+    def node_child(self, node: NodeHandle, position: int) -> Optional[NodeHandle]:
+        """The child subtree at 1-based ``position`` (None at leaf level)."""
+        return self.child_at(node, position)
+
+    # ------------------------------------------------------------------
+    # Probe fast path: handles instead of index tuples
+    # ------------------------------------------------------------------
+
+    def root_handle(self) -> NodeHandle:
+        """Handle to the root node (span of the level-0 values)."""
+        return (0, 0, len(self._vals[0]))
+
+    def fanout_at(self, node: NodeHandle) -> int:
+        """Number of child values of the node behind ``node``."""
+        return node[2] - node[1]
+
+    def value_at(self, node: NodeHandle, position: int) -> ExtendedValue:
+        """The 1-based ``position``-th child value; 0 / fanout+1 -> ±inf."""
+        level, lo, hi = node
+        if position == 0:
+            return NEG_INF
+        if position == hi - lo + 1:
+            return POS_INF
+        if not 1 <= position <= hi - lo:
+            raise IndexError(
+                f"position {position} out of range (valid 0..{hi - lo + 1})"
+            )
+        return self._vals[level][lo + position - 1]
+
+    def child_at(self, node: NodeHandle, position: int) -> Optional[NodeHandle]:
+        """Handle of the subtree under the ``position``-th child value.
+
+        Returns None at the leaf level; ``position`` must be in range.
+        """
+        level, lo, hi = node
+        if not 1 <= position <= hi - lo:
+            raise IndexError(
+                f"position {position} out of range (valid 1..{hi - lo})"
+            )
+        if level + 1 >= self.arity:
+            return None
+        off = self._offs[level + 1]
+        entry = lo + position - 1
+        return (level + 1, off[entry], off[entry + 1])
+
+    def gap_at(self, node: NodeHandle, a: int) -> Tuple[int, int]:
+        """``find_gap`` against the node behind ``node`` (no root re-walk)."""
+        level, lo, hi = node
+        if self._count:
+            self._counters.findgap += 1
+        vals = self._vals[level]
+        i = bisect.bisect_left(vals, a, lo, hi)
+        if i < hi and vals[i] == a:
+            x = i - lo + 1
+            return (x, x)
+        x = i - lo
+        return (x, x + 1)
+
+    # ------------------------------------------------------------------
+    # FindGap — the paper's single index-probe primitive
+    # ------------------------------------------------------------------
+
+    def find_gap(self, index_tuple: IndexTuple, a: int) -> Tuple[int, int]:
+        """R.FindGap(x, a) per Section 2.1 (TrieRelation-identical)."""
+        if len(index_tuple) >= self.arity:
+            raise ValueError(
+                "find_gap index tuple must be shorter than the arity"
+            )
+        level, lo, hi = self._span(index_tuple)
+        if self._count:
+            self._counters.findgap += 1
+        vals = self._vals[level]
+        i = bisect.bisect_left(vals, a, lo, hi)
+        if i < hi and vals[i] == a:
+            x = i - lo + 1
+            return (x, x)
+        x = i - lo
+        return (x, x + 1)
+
+    def gap_values(
+        self, index_tuple: IndexTuple, a: int
+    ) -> Tuple[ExtendedValue, ExtendedValue]:
+        """Like :meth:`find_gap` but returning the flanking *values*."""
+        lo_idx, hi_idx = self.find_gap(index_tuple, a)
+        level, lo, hi = self._span(index_tuple)
+        vals = self._vals[level]
+        low: ExtendedValue = NEG_INF if lo_idx == 0 else vals[lo + lo_idx - 1]
+        high: ExtendedValue = (
+            POS_INF if hi_idx == hi - lo + 1 else vals[lo + hi_idx - 1]
+        )
+        return (low, high)

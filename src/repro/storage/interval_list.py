@@ -28,7 +28,6 @@ from repro.util.sentinels import (
     NEG_INF,
     POS_INF,
     ExtendedValue,
-    is_finite,
 )
 
 Interval = Tuple[ExtendedValue, ExtendedValue]
@@ -40,16 +39,50 @@ def interval_is_empty(low: ExtendedValue, high: ExtendedValue) -> bool:
     Finite (l, r) is empty iff r <= l + 1.  Any interval with an infinite
     endpoint contains integers (the domain is all of Z; the engines restrict
     values to N but -inf intervals are used as node-creation placeholders).
+
+    (Branches are ordered so the overwhelmingly common all-finite case
+    pays two type checks and a subtraction — this is called once per
+    inserted or clipped interval on every engine's hot path.)
     """
-    if low is POS_INF or high is NEG_INF:
+    if type(low) is int:
+        if type(high) is int:
+            return high - low <= 1
+        return high is NEG_INF
+    if low is POS_INF:
         return True
-    if is_finite(low) and is_finite(high):
-        return high - low <= 1  # type: ignore[operator]
-    if low is NEG_INF and high is NEG_INF:
-        return True
-    if low is POS_INF and high is POS_INF:
-        return True
-    return False
+    # low is NEG_INF: only (−inf, −inf) is empty.
+    return high is NEG_INF
+
+
+#: Internal endpoint encoding: ±inf are stored as huge *integers* so every
+#: comparison inside the hot loops (bisect probes, merge scans) is a C-level
+#: int compare instead of a Python-level sentinel ``__lt__`` call.  Finite
+#: endpoints must satisfy |v| < 2^61 — far beyond any data this library
+#: indexes (values are materialized in Python lists long before hitting
+#: this bound).  The public API still speaks NEG_INF / POS_INF.
+ENC_NEG = -(1 << 62)
+ENC_POS = 1 << 62
+_ENC_LIMIT = 1 << 61
+
+
+def _encode(value: ExtendedValue) -> int:
+    if type(value) is int:
+        if -_ENC_LIMIT < value < _ENC_LIMIT:
+            return value
+        raise ValueError(f"interval endpoint {value} out of encodable range")
+    if value is NEG_INF:
+        return ENC_NEG
+    if value is POS_INF:
+        return ENC_POS
+    raise TypeError(f"bad interval endpoint {value!r}")
+
+
+def _decode(value: int) -> ExtendedValue:
+    if value <= ENC_NEG:
+        return NEG_INF
+    if value >= ENC_POS:
+        return POS_INF
+    return value
 
 
 class IntervalList:
@@ -58,8 +91,9 @@ class IntervalList:
     __slots__ = ("_lows", "_highs")
 
     def __init__(self) -> None:
-        self._lows: List[ExtendedValue] = []
-        self._highs: List[ExtendedValue] = []
+        # Encoded endpoints (see _encode): pure-int lists.
+        self._lows: List[int] = []
+        self._highs: List[int] = []
 
     def __len__(self) -> int:
         return len(self._lows)
@@ -68,7 +102,10 @@ class IntervalList:
         return bool(self._lows)
 
     def __iter__(self) -> Iterator[Interval]:
-        return iter(zip(self._lows, self._highs))
+        return iter(
+            (_decode(lo), _decode(hi))
+            for lo, hi in zip(self._lows, self._highs)
+        )
 
     def __repr__(self) -> str:
         body = ", ".join(f"({lo!r},{hi!r})" for lo, hi in self)
@@ -76,22 +113,14 @@ class IntervalList:
 
     def intervals(self) -> List[Interval]:
         """A copy of the stored (low, high) pairs in sorted order."""
-        return list(zip(self._lows, self._highs))
-
-    def _locate(self, value: int) -> Optional[int]:
-        """Index of the interval whose low endpoint is < value, if any."""
-        i = bisect.bisect_left(self._lows, value)
-        # self._lows[i-1] < value <= self._lows[i]; candidate is i-1.
-        if i > 0:
-            return i - 1
-        return None
+        return list(self)
 
     def covers(self, value: int) -> bool:
         """True iff some stored interval strictly contains ``value``."""
-        i = self._locate(value)
-        if i is None:
+        i = bisect.bisect_left(self._lows, value)
+        if i == 0:
             return False
-        return self._highs[i] > value
+        return self._highs[i - 1] > value
 
     def next(self, value: int) -> ExtendedValue:
         """Smallest integer >= ``value`` outside every stored interval.
@@ -100,14 +129,37 @@ class IntervalList:
         Because consecutive intervals never share their boundary integer, a
         finite right endpoint is always uncovered, so a single lookup
         suffices.
+
+        The candidate interval (rightmost with low < value) is found by
+        galloping from the front: engines overwhelmingly query at or
+        near the list's leading merged block, so the exponential probe
+        (inlined here — this is the hottest loop in the probe search)
+        answers in O(log of the hit position) instead of O(log n).
         """
-        i = self._locate(value)
-        if i is None or self._highs[i] <= value:
+        lows = self._lows
+        n = len(lows)
+        if not n or lows[0] >= value:
             return value
-        high = self._highs[i]
-        if high is POS_INF:
+        if n == 1 or lows[1] >= value:
+            # Front hit (the leading merged block): the common case.
+            high = self._highs[0]
+        else:
+            # Gallop: find the bracket (prev, step] containing the first
+            # low >= value, then binary-search only that bracket.
+            step = 2
+            prev = 1
+            while step < n and lows[step] < value:
+                prev = step
+                step <<= 1
+            i = bisect.bisect_left(
+                lows, value, prev + 1, step if step < n else n
+            )
+            high = self._highs[i - 1]
+        if high <= value:
+            return value
+        if high >= ENC_POS:
             return POS_INF
-        return high  # type: ignore[return-value]
+        return high
 
     def insert(self, low: ExtendedValue, high: ExtendedValue) -> bool:
         """Insert (low, high), merging overlaps; return True if changed.
@@ -116,17 +168,28 @@ class IntervalList:
         incoming interval absorbs every stored interval (l, r) with
         l < high and low < r.
         """
-        if interval_is_empty(low, high):
+        if type(low) is int:
+            new_low = low if -_ENC_LIMIT < low < _ENC_LIMIT else _encode(low)
+        else:
+            new_low = _encode(low)
+        if type(high) is int:
+            new_high = (
+                high if -_ENC_LIMIT < high < _ENC_LIMIT else _encode(high)
+            )
+        else:
+            new_high = _encode(high)
+        # In encoded space emptiness is uniform: the open interval holds an
+        # integer iff the endpoints are more than 1 apart.
+        if new_high - new_low <= 1:
             return False
         lows, highs = self._lows, self._highs
         # First stored interval that could overlap: rightmost with l <= low
         # may still reach past low; everything with l >= high cannot overlap.
-        start = bisect.bisect_left(lows, low)
-        if start > 0 and highs[start - 1] > low:
+        start = bisect.bisect_left(lows, new_low)
+        if start > 0 and highs[start - 1] > new_low:
             start -= 1
         stop = start
         n = len(lows)
-        new_low, new_high = low, high
         while stop < n and lows[stop] < new_high:
             if lows[stop] < new_low:
                 new_low = lows[stop]
@@ -156,12 +219,13 @@ class IntervalList:
         self, low: ExtendedValue, high: ExtendedValue
     ) -> List[Interval]:
         """Stored coverage clipped to (low, high), as open intervals."""
+        low_e, high_e = _encode(low), _encode(high)
         out: List[Interval] = []
-        for lo, hi in self._overlapping(low, high):
-            piece_low = lo if low < lo else low
-            piece_high = hi if hi < high else high
-            if not interval_is_empty(piece_low, piece_high):
-                out.append((piece_low, piece_high))
+        for lo, hi in self._overlapping(low_e, high_e):
+            piece_low = lo if low_e < lo else low_e
+            piece_high = hi if hi < high_e else high_e
+            if piece_high - piece_low > 1:
+                out.append((_decode(piece_low), _decode(piece_high)))
         return out
 
     def uncovered_runs(
@@ -173,35 +237,44 @@ class IntervalList:
         of (low, high); the dyadic-tree CDS (Appendix L) uses it to find
         the genuinely new parts of an inserted constraint.
         """
-        from repro.util.sentinels import pred, succ
-
+        low_e, high_e = _encode(low), _encode(high)
         out: List[Interval] = []
-        cursor: ExtendedValue = low
-        for lo, hi in self._overlapping(low, high):
-            if lo > cursor and not interval_is_empty(cursor, succ(lo)):
-                # Uncovered integers cursor+1 .. lo (lo itself is outside
-                # the open stored interval).
-                out.append((cursor, succ(lo)))
-            new_cursor = pred(hi)
+        cursor = low_e
+        for lo, hi in self._overlapping(low_e, high_e):
+            if lo > cursor:
+                # succ(lo): stored lows are finite or ENC_NEG; lo > cursor
+                # >= ENC_NEG makes lo finite here, so succ is lo + 1.
+                if lo + 1 - cursor > 1:
+                    # Uncovered integers cursor+1 .. lo (lo itself is
+                    # outside the open stored interval).
+                    out.append((_decode(cursor), _decode(lo + 1)))
+            # pred(hi): infinities are fixed points.
+            new_cursor = hi - 1 if hi < ENC_POS else ENC_POS
             if new_cursor > cursor:
                 cursor = new_cursor
-            if not succ(cursor) < high:
+            succ_cursor = cursor + 1 if cursor < ENC_POS else ENC_POS
+            if succ_cursor >= high_e:
                 return out
-        if not interval_is_empty(cursor, high):
-            out.append((cursor, high))
+        if high_e - cursor > 1:
+            out.append((_decode(cursor), _decode(high_e)))
         return out
 
-    def _overlapping(
-        self, low: ExtendedValue, high: ExtendedValue
-    ) -> List[Interval]:
-        """Stored intervals whose integer sets intersect (low, high)."""
-        out: List[Interval] = []
-        for lo, hi in zip(self._lows, self._highs):
-            if lo >= high:
+    def _overlapping(self, low_e: int, high_e: int) -> List[Tuple[int, int]]:
+        """Stored intervals whose integer sets intersect the *encoded*
+        open interval (low_e, high_e); returned endpoints are encoded."""
+        lows, highs = self._lows, self._highs
+        # Intervals with hi <= low clip to emptiness; highs are sorted
+        # (disjoint intervals), so skip them wholesale with one bisect.
+        start = bisect.bisect_right(highs, low_e)
+        out: List[Tuple[int, int]] = []
+        for k in range(start, len(lows)):
+            lo = lows[k]
+            if lo >= high_e:
                 break
-            clipped_low = lo if low < lo else low
-            clipped_high = hi if hi < high else high
-            if not interval_is_empty(clipped_low, clipped_high):
+            hi = highs[k]
+            clipped_low = lo if low_e < lo else low_e
+            clipped_high = hi if hi < high_e else high_e
+            if clipped_high - clipped_low > 1:
                 out.append((lo, hi))
         return out
 

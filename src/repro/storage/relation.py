@@ -12,10 +12,17 @@ access the relation exclusively through the trie's ``find_gap`` /
 ``value`` / ``child_values`` interface (plus full-tuple iteration for the
 baselines, which model scans).
 
-``backend="btree"`` routes the tuples through a
-:class:`repro.storage.btree.BTree` before building the trie, exercising the
-paper's claim that a B-tree keyed consistently with the GAO realizes the
-same index model.
+Backends (the ``backend`` flag; ``"auto"`` is the default):
+
+* ``"flat"`` — :class:`repro.storage.flat_trie.FlatTrieRelation`, the
+  CSR array-backed index (the fast path; what ``"auto"`` resolves to);
+* ``"trie"`` — the pointer-node :class:`repro.storage.trie.TrieRelation`
+  (the reference implementation the flat trie is property-checked
+  against);
+* ``"btree"`` — routes the tuples through a
+  :class:`repro.storage.btree.BTree` before building the pointer trie,
+  exercising the paper's claim that a B-tree keyed consistently with the
+  GAO realizes the same index model.
 """
 
 from __future__ import annotations
@@ -23,8 +30,15 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.storage.btree import BTree
+from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.trie import TrieRelation
 from repro.util.counters import OpCounters
+
+#: Accepted values for ``Relation(..., backend=...)``.
+BACKENDS = ("auto", "flat", "trie", "btree")
+
+#: What ``"auto"`` resolves to — the array-backed engine.
+DEFAULT_BACKEND = "flat"
 
 
 class Relation:
@@ -36,7 +50,7 @@ class Relation:
         attributes: Sequence[str],
         tuples: Iterable[Sequence[int]],
         counters: Optional[OpCounters] = None,
-        backend: str = "trie",
+        backend: str = "auto",
     ) -> None:
         if not name:
             raise ValueError("relation name must be non-empty")
@@ -45,23 +59,33 @@ class Relation:
             raise ValueError(f"duplicate attribute in schema {attrs}")
         if not attrs:
             raise ValueError("relation must have at least one attribute")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
         rows = [tuple(t) for t in tuples]
         for row in rows:
             if len(row) != len(attrs):
                 raise ValueError(
                     f"tuple {row} does not match schema {attrs} of {name}"
                 )
-        if backend == "btree":
-            tree = BTree(rows)
-            rows = list(tree)
-        elif backend != "trie":
-            raise ValueError(f"unknown backend {backend!r}")
         self.name = name
         self.attributes: Tuple[str, ...] = attrs
+        self.backend = backend
         self.counters = counters if counters is not None else OpCounters()
-        self.index = TrieRelation(
-            rows, arity=len(attrs), counters=self.counters
-        )
+        resolved = DEFAULT_BACKEND if backend == "auto" else backend
+        if resolved == "btree":
+            tree = BTree(rows)
+            rows = list(tree)
+            self.index = TrieRelation(
+                rows, arity=len(attrs), counters=self.counters
+            )
+        elif resolved == "trie":
+            self.index = TrieRelation(
+                rows, arity=len(attrs), counters=self.counters
+            )
+        else:
+            self.index = FlatTrieRelation(
+                rows, arity=len(attrs), counters=self.counters
+            )
 
     @property
     def arity(self) -> int:

@@ -78,9 +78,19 @@ class TrieRelation:
                 if not isinstance(v, int) or isinstance(v, bool):
                     raise TypeError(f"non-integer value {v!r} in tuple {t}")
         self.arity = arity
-        self.counters = counters
+        self._counters = counters
+        self._count = counters is not None and counters.enabled
         self._tuples: List[Tuple[int, ...]] = data
         self._root = self._build(data, depth=0)
+
+    @property
+    def counters(self) -> Optional[OpCounters]:
+        return self._counters
+
+    @counters.setter
+    def counters(self, counters: Optional[OpCounters]) -> None:
+        self._counters = counters
+        self._count = counters is not None and counters.enabled
 
     def _build(
         self, block: Sequence[Tuple[int, ...]], depth: int
@@ -183,6 +193,59 @@ class TrieRelation:
         return node.children[position - 1]
 
     # ------------------------------------------------------------------
+    # Probe fast path: node handles instead of index tuples
+    #
+    # Mirrors repro.storage.flat_trie.FlatTrieRelation so engines can
+    # descend level by level without re-walking the trie from the root
+    # on every FindGap / value access.
+    # ------------------------------------------------------------------
+
+    def root_handle(self) -> _TrieNode:
+        """Handle to the root node (same object as :meth:`root_node`)."""
+        return self._root
+
+    @staticmethod
+    def fanout_at(node: _TrieNode) -> int:
+        """Number of child values of the node behind the handle."""
+        return len(node.keys)
+
+    @staticmethod
+    def value_at(node: _TrieNode, position: int) -> ExtendedValue:
+        """The 1-based ``position``-th child value; 0 / fanout+1 -> ±inf."""
+        keys = node.keys
+        if position == 0:
+            return NEG_INF
+        if position == len(keys) + 1:
+            return POS_INF
+        if not 1 <= position <= len(keys):
+            raise IndexError(
+                f"position {position} out of range (valid 0..{len(keys) + 1})"
+            )
+        return keys[position - 1]
+
+    @staticmethod
+    def child_at(node: _TrieNode, position: int) -> Optional[_TrieNode]:
+        """Handle of the subtree under the ``position``-th child value.
+
+        Returns None at the leaf level; ``position`` must be in range.
+        """
+        if not 1 <= position <= len(node.keys):
+            raise IndexError(
+                f"position {position} out of range (valid 1..{len(node.keys)})"
+            )
+        return node.children[position - 1]
+
+    def gap_at(self, node: _TrieNode, a: int) -> Tuple[int, int]:
+        """``find_gap`` against the node behind a handle (no root re-walk)."""
+        if self._count:
+            self._counters.findgap += 1
+        keys = node.keys
+        i = bisect.bisect_left(keys, a)
+        if i < len(keys) and keys[i] == a:
+            return (i + 1, i + 1)
+        return (i, i + 1)
+
+    # ------------------------------------------------------------------
     # FindGap — the paper's single index-probe primitive
     # ------------------------------------------------------------------
 
@@ -200,8 +263,8 @@ class TrieRelation:
                 "find_gap index tuple must be shorter than the arity"
             )
         node = self._node_at(index_tuple)
-        if self.counters is not None:
-            self.counters.findgap += 1
+        if self._count:
+            self._counters.findgap += 1
         keys = node.keys
         i = bisect.bisect_left(keys, a)
         if i < len(keys) and keys[i] == a:

@@ -1,10 +1,14 @@
-"""Shared utilities: ordered sentinels and operation counters."""
+"""Shared utilities: ordered sentinels, operation counters, galloping search."""
 
-from repro.util.counters import OpCounters
+from repro.util.counters import NullCounters, OpCounters
+from repro.util.search import gallop_left, gallop_right
 from repro.util.sentinels import NEG_INF, POS_INF, ExtendedValue, is_finite, pred, succ
 
 __all__ = [
+    "NullCounters",
     "OpCounters",
+    "gallop_left",
+    "gallop_right",
     "NEG_INF",
     "POS_INF",
     "ExtendedValue",

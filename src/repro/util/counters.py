@@ -17,6 +17,13 @@ from dataclasses import dataclass, field
 class OpCounters:
     """Mutable tally of the operations an engine performs.
 
+    Together with :class:`NullCounters` this forms a two-implementation
+    protocol: engines take *any* counters object, test its ``enabled``
+    flag once outside their inner loops, and skip per-operation counting
+    work entirely when nobody will read the numbers.  ``OpCounters`` is
+    the real tally (``enabled = True``); ``NullCounters`` is the free
+    sink (``enabled = False``).
+
     Attributes
     ----------
     findgap:
@@ -36,6 +43,11 @@ class OpCounters:
     output_tuples:
         Tuples emitted.
     """
+
+    #: Engines consult this once, outside their hot loops: True means the
+    #: caller wants Section-5.2 operation counts, False (NullCounters)
+    #: means counting work may be skipped wholesale.
+    enabled = True
 
     findgap: int = 0
     probes: int = 0
@@ -90,3 +102,20 @@ class OpCounters:
         self.cache_misses = 0
         self.output_tuples = 0
         self.extra.clear()
+
+
+class NullCounters(OpCounters):
+    """The no-op half of the counters protocol.
+
+    Structurally identical to :class:`OpCounters` (attribute increments
+    still land somewhere, so un-hoisted call sites keep working), but
+    ``enabled`` is False: engines and indexes that check the flag skip
+    their counting work entirely, making instrumentation free when the
+    caller never asks for the numbers.
+    """
+
+    enabled = False
+
+    def snapshot(self) -> dict:
+        """Null counters never accumulated anything meaningful."""
+        return {}

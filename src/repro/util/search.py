@@ -1,0 +1,52 @@
+"""Galloping (exponential-probe) search over sorted sequences.
+
+The adaptive set-intersection lineage the paper generalizes
+(Demaine–López-Ortiz–Munro; Barbay–Kenyon) gets its instance-optimal
+running time from *galloping*: to find a value known to lie at or after a
+cursor, probe positions cursor+1, cursor+2, cursor+4, ... until the value
+is bracketed, then binary-search the bracket.  The cost is O(log d) in the
+distance d actually advanced — not O(log n) in the sequence length — so a
+scan that moves through a sorted array in m monotone steps pays
+O(sum log d_i) = O(m log(n/m)) total, matching the Barbay–Kenyon bound.
+
+These helpers mirror :func:`bisect.bisect_left` / ``bisect_right`` exactly
+(same return values for every input); only the probe pattern differs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+
+def gallop_left(a: Sequence, x, lo: int = 0, hi: int = None) -> int:
+    """``bisect_left(a, x, lo, hi)`` via exponential probing from ``lo``.
+
+    Returns the leftmost insertion point for ``x`` in ``a[lo:hi]``,
+    reached in O(log(result - lo)) comparisons.
+    """
+    if hi is None:
+        hi = len(a)
+    if lo >= hi or not a[lo] < x:
+        return lo
+    # Invariant: a[lo + step_lo] < x; gallop until a[lo + step] >= x.
+    step = 1
+    prev = 0
+    while lo + step < hi and a[lo + step] < x:
+        prev = step
+        step <<= 1
+    return bisect_left(a, x, lo + prev + 1, min(lo + step, hi))
+
+
+def gallop_right(a: Sequence, x, lo: int = 0, hi: int = None) -> int:
+    """``bisect_right(a, x, lo, hi)`` via exponential probing from ``lo``."""
+    if hi is None:
+        hi = len(a)
+    if lo >= hi or x < a[lo]:
+        return lo
+    step = 1
+    prev = 0
+    while lo + step < hi and not x < a[lo + step]:
+        prev = step
+        step <<= 1
+    return bisect_right(a, x, lo + prev + 1, min(lo + step, hi))
