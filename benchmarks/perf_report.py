@@ -42,7 +42,10 @@ from typing import Dict, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DRIVER = os.path.join(REPO_ROOT, "benchmarks", "_workloads.py")
-DEFAULT_BENCH_FILES = ["benchmarks/bench_regression.py"]
+DEFAULT_BENCH_FILES = [
+    "benchmarks/bench_regression.py",
+    "benchmarks/bench_dynamic.py",
+]
 
 
 def _run_driver(src_dir: str, repeat: int) -> Dict[str, dict]:

@@ -10,6 +10,7 @@ Public API highlights
 ``repro.baselines``           Yannakakis, Leapfrog Triejoin, generic join, ...
 ``repro.certificates``        certificate construction and verification
 ``repro.datasets``            paper instance families and synthetic graphs
+``repro.dynamic``             writable relations, live views, streaming
 """
 
 from repro.core import (
@@ -17,6 +18,7 @@ from repro.core import (
     explain,
     search_gao,
     JoinResult,
+    LiveJoin,
     Minesweeper,
     PreparedQuery,
     Query,
@@ -25,8 +27,10 @@ from repro.core import (
     minesweeper_join,
     naive_join,
 )
+from repro.dynamic import Catalog, Update
 from repro.storage import (
     BTree,
+    DeltaRelation,
     FlatTrieRelation,
     IntervalList,
     Relation,
@@ -42,6 +46,7 @@ __all__ = [
     "explain",
     "search_gao",
     "JoinResult",
+    "LiveJoin",
     "Minesweeper",
     "PreparedQuery",
     "Query",
@@ -50,11 +55,14 @@ __all__ = [
     "minesweeper_join",
     "naive_join",
     "BTree",
+    "Catalog",
+    "DeltaRelation",
     "FlatTrieRelation",
     "IntervalList",
     "Relation",
     "SortedList",
     "TrieRelation",
+    "Update",
     "NEG_INF",
     "POS_INF",
     "NullCounters",

@@ -18,6 +18,12 @@ Commands
     Run the Proposition-2.5 recorder: extract the comparisons the engine
     performs and check them with the randomized Definition-2.3 refuter.
 
+``stream --relation ... --view Q=R,S --log updates.log``
+    Replay an update log against live views: registers the relations as
+    writable (LSM) ``DeltaRelation``s, maintains each view incrementally
+    via the delta rule, and reports incremental-vs-recompute op counts
+    and wall time per batch.
+
 ``bench [--smoke]``
     Run the benchmark suite under pytest.  ``--smoke`` runs every
     benchmark once with tiny inputs (sets ``REPRO_BENCH_SMOKE=1``) so CI
@@ -38,14 +44,16 @@ from typing import Sequence
 from repro.core.engine import join
 from repro.core.gao_search import search_gao
 from repro.core.query import Query
+from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.relation import Relation
 
 
-def _load_relation(spec: str) -> Relation:
-    """Parse ``NAME=A,B:path.csv`` into a Relation.
+def _load_relation(spec: str):
+    """Parse ``NAME=A,B:path.csv`` into ``(Relation, dictionaries)``.
 
     Non-integer columns are dictionary-encoded (order-preserving) via
-    :mod:`repro.io`; output rows then show the integer codes.
+    :mod:`repro.io`; output rows then show the integer codes, and
+    ``dictionaries`` maps the encoded attributes to their code books.
     """
     from repro.io import load_csv
 
@@ -58,18 +66,20 @@ def _load_relation(spec: str) -> Relation:
         )
     attributes = [a.strip() for a in attrs_text.split(",") if a.strip()]
     try:
-        relation, _ = load_csv(path, name.strip(), attributes=attributes)
+        relation, dictionaries = load_csv(
+            path, name.strip(), attributes=attributes
+        )
     except OSError as exc:
         raise SystemExit(f"cannot read {path}: {exc}")
     except ValueError as exc:
         raise SystemExit(f"{path}: {exc}")
-    return relation
+    return relation, dictionaries
 
 
 def _build_query(specs: Sequence[str]) -> Query:
     if not specs:
         raise SystemExit("at least one --relation is required")
-    return Query([_load_relation(spec) for spec in specs])
+    return Query([_load_relation(spec)[0] for spec in specs])
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -88,6 +98,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
+    if args.limit is not None and args.limit < 0:
+        raise SystemExit("--limit must be non-negative")
     query = _build_query(args.relation)
     gao = args.gao.split(",") if args.gao else None
     if args.explain:
@@ -96,13 +108,18 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(format_explanation(explain(query, gao=gao, dry_run=True)))
         return 0
     if args.engine == "minesweeper":
-        result = join(query, gao=gao)
+        result = join(query, gao=gao, backend=args.backend, limit=args.limit)
         rows, stats = result.rows, result.stats()
         used_gao = list(result.gao)
     else:
+        if args.limit is not None:
+            raise SystemExit(
+                "--limit is Minesweeper-only (the baselines are batch "
+                "engines with no certificate-bound streaming path)"
+            )
         if gao is None:
             gao, _ = query.choose_gao()
-        prepared = query.with_gao(gao)
+        prepared = query.with_gao(gao, backend=args.backend)
         used_gao = gao
         if args.engine == "leapfrog":
             from repro.baselines.leapfrog import leapfrog_triejoin
@@ -145,7 +162,7 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
 
     query = _build_query(args.relation)
     gao = args.gao.split(",") if args.gao else query.choose_gao()[0]
-    prepared = query.with_gao(gao)
+    prepared = query.with_gao(gao, backend=args.backend)
     rows, argument = record_certificate(prepared)
     print(f"# output rows: {len(rows)}")
     print(f"# recorded comparisons: {len(argument)}")
@@ -157,6 +174,151 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
         return 0
     print("# certificate check: REFUTED")
     return 1
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay an update log against live views (the dynamic subsystem)."""
+    import time
+
+    from repro.dynamic import Catalog, read_log
+
+    if not args.view:
+        raise SystemExit("at least one --view NAME=R1,R2,... is required")
+    if args.memtable_limit is not None and args.memtable_limit < 1:
+        raise SystemExit("--memtable-limit must be >= 1")
+    if args.compact_every is not None and args.compact_every < 1:
+        raise SystemExit("--compact-every must be >= 1")
+    catalog = Catalog(memtable_limit=args.memtable_limit)
+    for spec in args.relation:
+        loaded, dictionaries = _load_relation(spec)
+        if dictionaries:
+            # Log updates carry raw integers; they cannot address
+            # dictionary-encoded values, so refuse rather than compare
+            # raw values against codes and serve wrong answers.
+            raise SystemExit(
+                f"relation {loaded.name!r} has dictionary-encoded "
+                f"columns {sorted(dictionaries)}; repro stream needs "
+                "integer-only data (pre-encode the CSV and the log "
+                "with the same code book)"
+            )
+        # Adopt the loader's FlatTrie as the DeltaRelation's first run
+        # instead of rebuilding the index from its tuples.
+        index = loaded.index
+        if not isinstance(index, FlatTrieRelation):
+            index = loaded.tuples()
+        try:
+            catalog.create_relation(loaded.name, loaded.attributes, index)
+        except ValueError as exc:  # e.g. duplicate --relation name
+            raise SystemExit(str(exc))
+    gao = args.gao.split(",") if args.gao else None
+    for spec in args.view:
+        try:
+            name, rest = spec.split("=", 1)
+        except ValueError:
+            raise SystemExit(
+                f"bad --view spec {spec!r}; expected NAME=R1,R2,..."
+            )
+        members = [r.strip() for r in rest.split(",") if r.strip()]
+        try:
+            catalog.register_view(name.strip(), members, gao=gao)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"cannot register view {name!r}: {exc}")
+    try:
+        batches = read_log(args.log)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.log}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{args.log}: {exc}")
+    totals = {
+        v: {"inc_findgap": 0, "inc_probes": 0, "inc_s": 0.0,
+            "rec_findgap": 0, "rec_probes": 0, "rec_s": 0.0}
+        for v in catalog.view_names()
+    }
+    failed = False
+    refresh_s = 0.0
+    for i, batch in enumerate(batches, 1):
+        try:
+            report = catalog.apply_batch(batch)
+        except (KeyError, ValueError) as exc:
+            # unknown relation, arity mismatch, non-netted +/- pair, ...
+            raise SystemExit(f"batch {i}: {exc}")
+        # The storage apply invalidated the touched relations' merged
+        # views; rebuild them now, under their own timer, so the cost
+        # is charged to the incremental side rather than silently
+        # absorbed by whichever path (comparator or next batch) reads
+        # first.
+        t0 = time.perf_counter()
+        for name in catalog.relation_names():
+            len(catalog.relation(name))
+        refresh_s += time.perf_counter() - t0
+        applied = ", ".join(
+            f"{name} +{ins}/-{dels}"
+            for name, (ins, dels) in report.applied.items()
+        )
+        print(f"batch {i}: {len(batch)} updates ({applied or 'no-op'})")
+        for view_name in catalog.view_names():
+            entry = report.views[view_name]
+            slot = totals[view_name]
+            slot["inc_findgap"] += entry["ops"].get("findgap", 0)
+            slot["inc_probes"] += entry["ops"].get("probes", 0)
+            slot["inc_s"] += entry["seconds"]
+            line = (
+                f"  {view_name}: {entry['rows']} rows "
+                f"(+{entry['rows_added']}/-{entry['rows_removed']})  "
+                f"inc findgap={entry['ops'].get('findgap', 0)} "
+                f"probes={entry['ops'].get('probes', 0)}"
+            )
+            if not args.no_recompute:
+                view = catalog.view(view_name)
+                rows, ops, rec_seconds = view.recompute()
+                slot["rec_findgap"] += ops.get("findgap", 0)
+                slot["rec_probes"] += ops.get("probes", 0)
+                slot["rec_s"] += rec_seconds
+                line += (
+                    f"  |  recompute findgap={ops.get('findgap', 0)} "
+                    f"probes={ops.get('probes', 0)}"
+                )
+                if rows != view.rows():
+                    print(line)
+                    print(
+                        f"  {view_name}: MISMATCH vs recompute "
+                        f"({len(view.rows())} maintained, {len(rows)} "
+                        "recomputed)"
+                    )
+                    failed = True
+                    continue
+            print(line)
+        if args.compact_every and i % args.compact_every == 0:
+            catalog.compact()
+    print(f"# replayed {len(batches)} batches")
+    print(
+        f"# merged-view refresh after applies: {refresh_s * 1e3:.1f} ms "
+        "(incremental-side cost, shared across views)"
+    )
+    for view_name, slot in totals.items():
+        summary = (
+            f"# {view_name}: rows={len(catalog.view(view_name))} "
+            f"incremental findgap={slot['inc_findgap']} "
+            f"probes={slot['inc_probes']} "
+            f"({slot['inc_s'] * 1e3:.1f} ms)"
+        )
+        if not args.no_recompute:
+            summary += (
+                f"  recompute findgap={slot['rec_findgap']} "
+                f"probes={slot['rec_probes']} "
+                f"({slot['rec_s'] * 1e3:.1f} ms)"
+            )
+            if slot["inc_findgap"]:
+                summary += (
+                    "  savings="
+                    f"{slot['rec_findgap'] / slot['inc_findgap']:.1f}x"
+                )
+        print(summary)
+    if args.print_rows:
+        for view_name in catalog.view_names():
+            for row in catalog.query(view_name):
+                print(f"{view_name}," + ",".join(map(str, row)))
+    return 1 if failed else 0
 
 
 def _find_benchmarks_dir() -> str:
@@ -229,6 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the structural analysis + measured |C| instead of rows",
     )
+    p_join.add_argument(
+        "--backend",
+        choices=["flat", "trie", "btree"],
+        help="storage backend for every relation (default: flat)",
+    )
+    p_join.add_argument(
+        "--limit",
+        type=int,
+        metavar="K",
+        help="stop after K output rows (Minesweeper top-k streaming; "
+        "op counts then reflect only the consumed part of the certificate)",
+    )
     p_join.set_defaults(func=_cmd_join)
 
     p_gao = sub.add_parser("gao-search", help="find a cheap attribute order")
@@ -245,7 +419,36 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME=A,B:FILE")
     p_cert.add_argument("--gao", help="comma-separated attribute order")
     p_cert.add_argument("--samples", type=int, default=20)
+    p_cert.add_argument(
+        "--backend",
+        choices=["flat", "trie", "btree"],
+        help="storage backend for every relation (default: flat)",
+    )
     p_cert.set_defaults(func=_cmd_certificate)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay an update log against live views (dynamic subsystem)",
+    )
+    p_stream.add_argument("--relation", action="append", default=[],
+                          metavar="NAME=A,B:FILE",
+                          help="initial relation contents (integer CSV)")
+    p_stream.add_argument("--view", action="append", default=[],
+                          metavar="NAME=R1,R2,...",
+                          help="live join view over registered relations")
+    p_stream.add_argument("--log", required=True,
+                          help="update log (+R 1,2 / -S 2,3 / commit lines)")
+    p_stream.add_argument("--gao", help="comma-separated attribute order "
+                          "(applied to every view; default: auto)")
+    p_stream.add_argument("--memtable-limit", type=int,
+                          help="auto-flush memtables at this many entries")
+    p_stream.add_argument("--compact-every", type=int, metavar="N",
+                          help="compact all relations every N batches")
+    p_stream.add_argument("--no-recompute", action="store_true",
+                          help="skip the per-batch full-recompute comparator")
+    p_stream.add_argument("--print-rows", action="store_true",
+                          help="print final view rows after the replay")
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_bench = sub.add_parser("bench", help="run the benchmark suite")
     p_bench.add_argument(

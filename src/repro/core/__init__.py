@@ -20,6 +20,7 @@ from repro.core.gao_search import (
     estimate_certificate,
     search_gao,
 )
+from repro.core.incremental import LiveJoin, consistent_gao
 from repro.core.intersection import (
     intersect_sorted,
     intersection_certificate_size,
@@ -53,6 +54,8 @@ __all__ = [
     "estimate_certificate",
     "search_gao",
     "partition_certificate",
+    "LiveJoin",
+    "consistent_gao",
     "Minesweeper",
     "MinesweeperError",
     "minesweeper_join",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.minesweeper import Minesweeper
@@ -18,11 +19,16 @@ class JoinResult:
         gao: Sequence[str],
         strategy: str,
         counters: OpCounters,
+        limit: Optional[int] = None,
     ) -> None:
         self.rows = rows
         self.gao = tuple(gao)
         self.strategy = strategy
         self.counters = counters
+        #: The ``limit`` the join ran under (None = exhaustive).  When
+        #: set, ``rows`` holds the first ``limit`` output tuples in GAO
+        #: order and ``counters`` only the work done to find them.
+        self.limit = limit
 
     def __iter__(self):
         return iter(self.rows)
@@ -53,6 +59,7 @@ def join(
     merge_intervals: bool = True,
     counters: Optional[OpCounters] = None,
     backend: Optional[str] = None,
+    limit: Optional[int] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Minesweeper.
 
@@ -62,7 +69,15 @@ def join(
     storage backend for every relation (``"flat"`` / ``"trie"`` /
     ``"btree"``); pass ``counters=NullCounters()`` to evaluate without
     paying for operation counting.
+
+    ``limit`` streams: the engine stops after the first ``limit`` output
+    tuples (GAO order), and because Minesweeper's work is
+    certificate-bound, the returned counters reflect only the part of
+    the certificate actually consumed (the ``Minesweeper.iterate``
+    top-k / Fagin-style path, §6.3).
     """
+    if limit is not None and limit < 0:
+        raise ValueError(f"limit must be non-negative, got {limit}")
     if gao is None:
         gao, _ = query.choose_gao()
     prepared = (
@@ -78,5 +93,10 @@ def join(
         memoize=memoize,
         merge_intervals=merge_intervals,
     )
-    rows = engine.run()
-    return JoinResult(rows, prepared.gao, engine.strategy, prepared.counters)
+    if limit is None:
+        rows = engine.run()
+    else:
+        rows = list(itertools.islice(engine.iterate(), limit))
+    return JoinResult(
+        rows, prepared.gao, engine.strategy, prepared.counters, limit=limit
+    )

@@ -22,7 +22,7 @@ from repro.hypergraph.elimination import (
     min_fill_order,
 )
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.storage.relation import DEFAULT_BACKEND, Relation
+from repro.storage.relation import BACKENDS, DEFAULT_BACKEND, Relation
 from repro.util.counters import OpCounters
 
 
@@ -126,13 +126,23 @@ class Query:
             column_of = {a: i for i, a in enumerate(r.attributes)}
             perm = [column_of[a] for a in ordered_attrs]
             rows = [tuple(row[i] for i in perm) for row in r.tuples()]
+            if backend is not None:
+                rebuilt_backend = backend
+            elif r.backend in BACKENDS:
+                rebuilt_backend = r.backend
+            else:
+                # A wrapped live index (Relation.from_index, e.g. a
+                # DeltaRelation): its label is not a buildable backend,
+                # so the re-indexed copy — a static snapshot of the
+                # current contents — uses the default one.
+                rebuilt_backend = DEFAULT_BACKEND
             prepared.append(
                 Relation(
                     r.name,
                     ordered_attrs,
                     rows,
                     counters=shared,
-                    backend=backend if backend is not None else r.backend,
+                    backend=rebuilt_backend,
                 )
             )
         return PreparedQuery(prepared, gao, shared)

@@ -1,0 +1,59 @@
+"""Dynamic data subsystem: writable relations, live views, streaming.
+
+Layers (ISSUE 2 / the ROADMAP's "data that changes while queries stay
+fresh" direction):
+
+* storage — :class:`repro.storage.delta.DeltaRelation`, an LSM-style
+  writable index (memtable + immutable FlatTrie runs + tombstones)
+  exposing the unchanged trie / node-handle API;
+* maintenance — :class:`repro.core.incremental.LiveJoin`, a
+  materialized join view kept fresh by Minesweeper-evaluated delta
+  terms;
+* serving — :class:`Catalog`, which registers named relations, applies
+  :class:`Update` batches, and serves registered live queries (CLI:
+  ``repro stream``).
+"""
+
+from repro.core.incremental import LiveJoin
+from repro.dynamic.catalog import (
+    DELETE,
+    INSERT,
+    BatchReport,
+    Catalog,
+    Update,
+    net_updates,
+)
+from repro.dynamic.log import (
+    format_update,
+    iter_batches,
+    parse_update,
+    read_log,
+    write_log,
+)
+from repro.dynamic.streams import (
+    build_catalog,
+    intersection_stream,
+    replay_with_recompute,
+    triangle_stream,
+)
+from repro.storage.delta import DeltaRelation
+
+__all__ = [
+    "BatchReport",
+    "Catalog",
+    "DELETE",
+    "DeltaRelation",
+    "INSERT",
+    "LiveJoin",
+    "Update",
+    "build_catalog",
+    "format_update",
+    "intersection_stream",
+    "iter_batches",
+    "net_updates",
+    "parse_update",
+    "read_log",
+    "replay_with_recompute",
+    "triangle_stream",
+    "write_log",
+]

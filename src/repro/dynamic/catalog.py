@@ -1,0 +1,272 @@
+"""The dynamic catalog: named writable relations + registered live views.
+
+A :class:`Catalog` is the serving surface of the dynamic subsystem: it
+owns a set of named :class:`~repro.storage.delta.DeltaRelation`-backed
+relations, accepts update batches (:class:`Update` records), and keeps
+every registered :class:`~repro.core.incremental.LiveJoin` view fresh —
+orchestrating the delta rule's mixed old/new state across views that
+share relations (each relation's delta is folded into *every* view
+before the storage apply, one relation at a time, in batch order).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.incremental import LiveJoin
+from repro.storage.delta import DeltaRelation
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+Row = Tuple[int, ...]
+
+INSERT = "+"
+DELETE = "-"
+
+
+class Update(NamedTuple):
+    """One streamed change: insert (``+``) or delete (``-``) of a row."""
+
+    relation: str
+    op: str  # INSERT or DELETE
+    row: Row
+
+
+def net_updates(
+    updates: Iterable[Update],
+) -> "Dict[str, Tuple[List[Row], List[Row]]]":
+    """Net a batch to its final per-row effect (last write wins).
+
+    Returns relation -> ``(inserts, deletes)`` with relations in
+    first-appearance order, so replaying the result relation-by-relation
+    is equivalent to replaying the raw update sequence.
+    """
+    per_relation: Dict[str, Dict[Row, str]] = {}
+    for update in updates:
+        if update.op not in (INSERT, DELETE):
+            raise ValueError(f"unknown update op {update.op!r}")
+        final = per_relation.setdefault(update.relation, {})
+        final[tuple(update.row)] = update.op
+    return {
+        name: (
+            [row for row, op in final.items() if op == INSERT],
+            [row for row, op in final.items() if op == DELETE],
+        )
+        for name, final in per_relation.items()
+    }
+
+
+@dataclass
+class BatchReport:
+    """What one :meth:`Catalog.apply_batch` call did, and what it cost."""
+
+    batch: int
+    #: relation -> (effective inserts, effective deletes)
+    applied: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: view -> {"rows_added", "rows_removed", "rows", "ops": snapshot}
+    views: Dict[str, dict] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def updates_applied(self) -> int:
+        return sum(i + d for i, d in self.applied.values())
+
+    def view_ops(self, name: str, key: str) -> int:
+        return self.views[name]["ops"].get(key, 0)
+
+
+class Catalog:
+    """Named writable relations plus the live views served over them."""
+
+    def __init__(self, memtable_limit: Optional[int] = None) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._views: Dict[str, LiveJoin] = {}
+        self.memtable_limit = memtable_limit
+        self.batches_applied = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[int]] = (),
+        memtable_limit: Optional[int] = None,
+    ) -> Relation:
+        """Register a writable relation (initial rows go to the first run).
+
+        ``rows`` may be an iterable of tuples or an already-built
+        :class:`~repro.storage.flat_trie.FlatTrieRelation`, which is
+        adopted as the first run without a rebuild.
+        """
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already registered")
+        attrs = tuple(attributes)
+        index = DeltaRelation(
+            rows,
+            arity=len(attrs),
+            counters=OpCounters(),
+            memtable_limit=(
+                memtable_limit
+                if memtable_limit is not None
+                else self.memtable_limit
+            ),
+        )
+        relation = Relation.from_index(name, attrs, index)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r}") from None
+
+    def delta(self, name: str) -> DeltaRelation:
+        """The writable index behind a registered relation."""
+        return self.relation(name).index
+
+    def relation_names(self) -> List[str]:
+        return list(self._relations)
+
+    def register_view(
+        self,
+        name: str,
+        relation_names: Sequence[str],
+        gao: Optional[Sequence[str]] = None,
+        strategy: str = "auto",
+    ) -> LiveJoin:
+        """Register (and immediately materialize) a live join view."""
+        if name in self._views:
+            raise ValueError(f"view {name!r} already registered")
+        missing = [n for n in relation_names if n not in self._relations]
+        if missing:
+            raise KeyError(f"unknown relations {missing} in view {name!r}")
+        view = LiveJoin(
+            name,
+            [self._relations[n] for n in relation_names],
+            gao=gao,
+            strategy=strategy,
+        )
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> LiveJoin:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise KeyError(f"no view named {name!r}") from None
+
+    def view_names(self) -> List[str]:
+        return list(self._views)
+
+    def query(self, name: str) -> List[Row]:
+        """Serve a registered view's current rows."""
+        return self.view(name).rows()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply_batch(self, updates: Iterable[Update]) -> BatchReport:
+        """Apply one update batch and maintain every registered view.
+
+        Per relation (in the batch's first-appearance order): compute
+        the effective delta against current storage, fold it into every
+        view that references the relation (pre-update state — the delta
+        rule's requirement), then apply it to storage.
+        """
+        t0 = time.perf_counter()
+        grouped = net_updates(updates)
+        unknown = [n for n in grouped if n not in self._relations]
+        if unknown:
+            raise KeyError(f"updates reference unknown relations {unknown}")
+        # Validate the whole batch (arity, types) before mutating
+        # anything, so a bad row can't leave views and storage
+        # half-updated.  Each relation is touched once per batch and no
+        # relation's update changes another's state, so the effective
+        # deltas computed here against the pre-batch state are exactly
+        # the per-relation effective deltas of the sequential replay.
+        effective = {
+            name: self._relations[name].index.effective_delta(
+                inserts, deletes
+            )
+            for name, (inserts, deletes) in grouped.items()
+        }
+        self.batches_applied += 1
+        report = BatchReport(batch=self.batches_applied)
+        view_counters = {name: OpCounters() for name in self._views}
+        view_added = dict.fromkeys(self._views, 0)
+        view_removed = dict.fromkeys(self._views, 0)
+        view_seconds = dict.fromkeys(self._views, 0.0)
+        for name, (eff_ins, eff_del) in effective.items():
+            relation = self._relations[name]
+            for view_name, view in self._views.items():
+                v0 = time.perf_counter()
+                added, removed = view.apply_delta(
+                    name, eff_ins, eff_del, counters=view_counters[view_name]
+                )
+                view_seconds[view_name] += time.perf_counter() - v0
+                view_added[view_name] += added
+                view_removed[view_name] += removed
+            relation.index.apply_effective(eff_ins, eff_del)
+            report.applied[name] = (len(eff_ins), len(eff_del))
+        for view_name, view in self._views.items():
+            report.views[view_name] = {
+                "rows_added": view_added[view_name],
+                "rows_removed": view_removed[view_name],
+                "rows": len(view),
+                "ops": view_counters[view_name].snapshot(),
+                "seconds": view_seconds[view_name],
+            }
+        report.seconds = time.perf_counter() - t0
+        return report
+
+    # ------------------------------------------------------------------
+    # LSM maintenance + introspection
+    # ------------------------------------------------------------------
+
+    def flush(self, name: Optional[str] = None) -> None:
+        """Seal memtables (one relation, or all)."""
+        for rel in self._targets(name):
+            rel.index.flush()
+
+    def compact(self, name: Optional[str] = None) -> None:
+        """Merge run stacks (one relation, or all)."""
+        for rel in self._targets(name):
+            rel.index.compact()
+
+    def _targets(self, name: Optional[str]) -> List[Relation]:
+        return (
+            list(self._relations.values())
+            if name is None
+            else [self.relation(name)]
+        )
+
+    def stats(self) -> dict:
+        return {
+            "batches_applied": self.batches_applied,
+            "relations": {
+                name: rel.index.stats()
+                for name, rel in self._relations.items()
+            },
+            "views": {
+                name: {
+                    "rows": len(view),
+                    "maintenance_ops": view.counters.snapshot(),
+                    "initial_ops": view.initial_ops,
+                }
+                for name, view in self._views.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog({len(self._relations)} relations, "
+            f"{len(self._views)} views, "
+            f"{self.batches_applied} batches applied)"
+        )

@@ -1,0 +1,87 @@
+"""Update-log text format: the replay input of ``repro stream``.
+
+One update per line, batches separated by ``commit``::
+
+    # comments and blank lines are ignored
+    +R 1,2          # insert (1,2) into relation R
+    -S 2,3          # delete (2,3) from relation S
+    commit          # batch boundary
+    +R 4,5
+
+A trailing batch without ``commit`` is still applied.  Values must be
+integers (apply the same dictionary encoding as ``repro.io`` upstream if
+your data is textual).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.dynamic.catalog import DELETE, INSERT, Update
+
+COMMIT = "commit"
+
+
+def parse_update(line: str, lineno: int = 0) -> Update:
+    """Parse one ``+NAME v1,v2,...`` / ``-NAME v1,v2,...`` line."""
+    where = f"line {lineno}: " if lineno else ""
+    if not line:
+        raise ValueError(f"{where}empty update line")
+    op, body = line[0], line[1:].strip()
+    if op not in (INSERT, DELETE):
+        raise ValueError(
+            f"{where}expected '+' or '-' at start of update {line!r}"
+        )
+    parts = body.split(None, 1)
+    if len(parts) != 2:
+        raise ValueError(
+            f"{where}expected '{op}NAME v1,v2,...', got {line!r}"
+        )
+    name, values_text = parts
+    try:
+        row = tuple(int(v) for v in values_text.split(","))
+    except ValueError:
+        raise ValueError(
+            f"{where}non-integer value in update {line!r}"
+        ) from None
+    return Update(name, op, row)
+
+
+def iter_batches(lines: Iterable[str]) -> Iterator[List[Update]]:
+    """Yield update batches from log lines (see module docstring)."""
+    batch: List[Update] = []
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == COMMIT:
+            if batch:
+                yield batch
+                batch = []
+            continue
+        batch.append(parse_update(line, lineno))
+    if batch:
+        yield batch
+
+
+def read_log(source: Union[str, IO[str]]) -> List[List[Update]]:
+    """Read a whole update log (path or open file) into batches."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return list(iter_batches(handle))
+    return list(iter_batches(source))
+
+
+def format_update(update: Update) -> str:
+    return f"{update.op}{update.relation} " + ",".join(
+        map(str, update.row)
+    )
+
+
+def write_log(path: str, batches: Iterable[Iterable[Update]]) -> None:
+    """Write batches in the replayable text format (commit-terminated)."""
+    with open(path, "w") as handle:
+        for batch in batches:
+            for update in batch:
+                handle.write(format_update(update) + "\n")
+            handle.write(COMMIT + "\n")

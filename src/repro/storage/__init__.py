@@ -1,6 +1,7 @@
 """Storage substrate: ordered indexes and the CDS building blocks."""
 
 from repro.storage.btree import BTree
+from repro.storage.delta import DeltaRelation
 from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.interval_list import (
     IntervalList,
@@ -15,6 +16,7 @@ __all__ = [
     "BACKENDS",
     "BTree",
     "DEFAULT_BACKEND",
+    "DeltaRelation",
     "FlatTrieRelation",
     "IntervalList",
     "NaiveIntervalList",

@@ -1,0 +1,408 @@
+"""LSM-style writable relation: sorted memtable + immutable FlatTrie runs.
+
+:class:`DeltaRelation` makes the paper's (static) index model *writable*
+without giving up the trie / node-handle interface every engine in this
+library is written against.  The layout is a miniature log-structured
+merge tree:
+
+* **memtable** — an in-memory staging area absorbing writes (sorted when
+  sealed); each entry is either a live insert or a *tombstone* (a
+  recorded delete that shadows older data);
+* **runs** — a stack of immutable sealed memtables, each holding its live
+  inserts as a CSR :class:`~repro.storage.flat_trie.FlatTrieRelation`
+  plus its tombstone set.  Newer runs shadow older ones;
+* :meth:`flush` seals the memtable into a new run; :meth:`compact`
+  merges the whole run stack (tombstones annihilate the tuples they
+  shadow) into a single fresh ``FlatTrieRelation`` run with no
+  tombstones.
+
+Reads resolve through a merged **view** — itself a ``FlatTrieRelation``
+over the current live tuple set, rebuilt lazily after a mutation and
+cached until the next one — so every read-side method (``find_gap``,
+``value`` / ``child_values``, the node-handle probe API, ``tuples`` …)
+behaves byte-for-byte like the static flat backend, and Minesweeper, the
+probe strategies, and the baselines run on a ``DeltaRelation`` unchanged.
+Do not mutate the relation while an engine is iterating over it: handles
+obtained from the pre-mutation view are meaningless afterwards.
+
+Cost model: writes are O(log memtable) and *probes* stay delta-bound
+(the subsystem's currency — FindGap / probe counts), but the first read
+after a mutation pays one O(N) view rebuild for the touched relation.
+A future read path could k-way-merge the run tries behind the handle
+API instead of materializing; until then, wall-clock per batch carries
+one rebuild per touched relation on top of the delta-sized probe work
+(still measured faster than per-batch recompute end to end).
+
+``tests/test_delta_relation.py`` property-checks that after *any* random
+insert / delete / flush / compact sequence the relation is tuple- and
+handle-API-equivalent to a ``FlatTrieRelation`` built from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.storage.flat_trie import FlatTrieRelation, NodeHandle
+from repro.util.counters import OpCounters
+from repro.util.sentinels import ExtendedValue
+
+IndexTuple = Tuple[int, ...]
+Row = Tuple[int, ...]
+
+
+class _Run:
+    """One immutable sealed memtable: live inserts + tombstones."""
+
+    __slots__ = ("trie", "tombstones")
+
+    def __init__(self, trie: FlatTrieRelation, tombstones: frozenset) -> None:
+        self.trie = trie
+        self.tombstones = tombstones
+
+    def __len__(self) -> int:
+        return len(self.trie) + len(self.tombstones)
+
+
+class DeltaRelation:
+    """A writable ordered trie index over k-ary integer tuples.
+
+    Parameters
+    ----------
+    tuples:
+        Initial contents (duplicates collapsed; set semantics).  Loaded
+        directly into the first run, not the memtable.  An existing
+        :class:`FlatTrieRelation` is adopted as the first run without
+        copying or rebuilding.
+    arity:
+        Number of columns; inferred from the initial data when omitted
+        (required for an initially empty relation).
+    counters:
+        Optional :class:`OpCounters` threaded into the read view, so
+        probes against a ``DeltaRelation`` tally exactly like probes
+        against the static backends.
+    memtable_limit:
+        When set, the memtable auto-flushes into a run once it reaches
+        this many entries (inserts + tombstones).  ``None`` = manual.
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[Sequence[int]] = (),
+        arity: Optional[int] = None,
+        counters: Optional[OpCounters] = None,
+        memtable_limit: Optional[int] = None,
+    ) -> None:
+        if isinstance(tuples, FlatTrieRelation):
+            base = tuples
+            if arity is not None and arity != base.arity:
+                raise ValueError(
+                    f"declared arity {arity} != index arity {base.arity}"
+                )
+            if counters is None:
+                counters = base.counters  # inherit, don't clobber
+            else:
+                base.counters = counters
+        else:
+            base = FlatTrieRelation(tuples, arity=arity, counters=counters)
+        self.arity: int = base.arity
+        self._counters = counters
+        if memtable_limit is not None and memtable_limit < 1:
+            raise ValueError("memtable_limit must be >= 1")
+        self.memtable_limit = memtable_limit
+        #: newest state per key written since the last flush
+        #: (True = live insert, False = tombstone).
+        self._memtable: Dict[Row, bool] = {}
+        self._runs: List[_Run] = []
+        if len(base):
+            self._runs.append(_Run(base, frozenset()))
+        self._view_cache: Optional[FlatTrieRelation] = base
+        self._stats = {
+            "inserts": 0,
+            "deletes": 0,
+            "flushes": 0,
+            "compactions": 0,
+            "view_builds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Counters plumbing (mirrors the static backends)
+    # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> Optional[OpCounters]:
+        return self._counters
+
+    @counters.setter
+    def counters(self, counters: Optional[OpCounters]) -> None:
+        self._counters = counters
+        if self._view_cache is not None:
+            self._view_cache.counters = counters
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _validate(self, row: Sequence[int]) -> Row:
+        t = tuple(row)
+        if len(t) != self.arity:
+            raise ValueError(
+                f"tuple {t} does not match arity {self.arity}"
+            )
+        for v in t:
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise TypeError(f"non-integer value {v!r} in tuple {t}")
+        return t
+
+    def _write(self, t: Row, live: bool) -> None:
+        self._memtable[t] = live
+        self._view_cache = None
+        self._stats["inserts" if live else "deletes"] += 1
+
+    def _maybe_autoflush(self) -> None:
+        if (
+            self.memtable_limit is not None
+            and len(self._memtable) >= self.memtable_limit
+        ):
+            self.flush()
+
+    def insert(self, row: Sequence[int]) -> bool:
+        """Add a tuple; returns True iff it was not already present."""
+        t = self._validate(row)
+        if t in self:
+            return False
+        self._write(t, True)
+        self._maybe_autoflush()
+        return True
+
+    def delete(self, row: Sequence[int]) -> bool:
+        """Remove a tuple (tombstone); returns True iff it was present."""
+        t = self._validate(row)
+        if t not in self:
+            return False
+        self._write(t, False)
+        self._maybe_autoflush()
+        return True
+
+    def effective_delta(
+        self,
+        inserts: Iterable[Sequence[int]],
+        deletes: Iterable[Sequence[int]],
+    ) -> Tuple[List[Row], List[Row]]:
+        """The sub-batch that would actually change the relation.
+
+        Pure peek — nothing is applied.  Returns ``(ins, dels)`` where
+        ``ins`` are the requested inserts not currently present and
+        ``dels`` the requested deletes currently present, each
+        deduplicated in first-appearance order.  A tuple appearing on
+        both sides is rejected (net the batch first — last write wins).
+        """
+        ins = [self._validate(r) for r in inserts]
+        dels = [self._validate(r) for r in deletes]
+        overlap = set(ins) & set(dels)
+        if overlap:
+            raise ValueError(
+                f"tuples {sorted(overlap)} appear as both insert and "
+                "delete; net the batch first (last write wins)"
+            )
+        eff_ins: List[Row] = []
+        seen: set = set()
+        for t in ins:
+            if t not in seen and t not in self:
+                seen.add(t)
+                eff_ins.append(t)
+        eff_del: List[Row] = []
+        seen.clear()
+        for t in dels:
+            if t not in seen and t in self:
+                seen.add(t)
+                eff_del.append(t)
+        return eff_ins, eff_del
+
+    def apply(
+        self,
+        inserts: Iterable[Sequence[int]] = (),
+        deletes: Iterable[Sequence[int]] = (),
+    ) -> Tuple[List[Row], List[Row]]:
+        """Apply a batch; returns the effective ``(inserts, deletes)``."""
+        eff_ins, eff_del = self.effective_delta(inserts, deletes)
+        self.apply_effective(eff_ins, eff_del)
+        return eff_ins, eff_del
+
+    def apply_effective(
+        self, eff_ins: Sequence[Row], eff_del: Sequence[Row]
+    ) -> None:
+        """Write a pre-filtered batch without re-checking effectiveness.
+
+        ``eff_ins`` / ``eff_del`` must be exactly the output of
+        :meth:`effective_delta` against the current state (the caller —
+        e.g. the catalog's delta-rule orchestration — has already paid
+        for the membership checks; re-filtering here would double the
+        write path's probe cost).
+        """
+        for t in eff_del:
+            self._write(t, False)
+        for t in eff_ins:
+            self._write(t, True)
+        self._maybe_autoflush()
+
+    def flush(self) -> bool:
+        """Seal the memtable into a new immutable run.
+
+        The run keeps the memtable's live inserts as a fresh CSR
+        ``FlatTrieRelation`` and its tombstones as a set (they keep
+        shadowing older runs until :meth:`compact`).  Logical contents
+        are unchanged, so a cached read view stays valid.  Returns True
+        iff there was anything to seal.
+        """
+        if not self._memtable:
+            return False
+        live = sorted(
+            t for t, is_live in self._memtable.items() if is_live
+        )
+        tombs = frozenset(
+            t for t, is_live in self._memtable.items() if not is_live
+        )
+        self._runs.append(
+            _Run(FlatTrieRelation(live, arity=self.arity), tombs)
+        )
+        self._memtable = {}
+        self._stats["flushes"] += 1
+        return True
+
+    def compact(self) -> bool:
+        """Merge memtable + all runs into one tombstone-free run.
+
+        The merged live tuple set becomes a single fresh
+        ``FlatTrieRelation`` (also installed as the read view).  Returns
+        True iff the run stack actually shrank or held tombstones.
+        """
+        self.flush()
+        worthwhile = len(self._runs) > 1 or any(
+            run.tombstones for run in self._runs
+        )
+        merged = self._view()
+        self._runs = [_Run(merged, frozenset())] if len(merged) else []
+        if worthwhile:
+            self._stats["compactions"] += 1
+        return worthwhile
+
+    def stats(self) -> Dict[str, int]:
+        """LSM bookkeeping: memtable/run sizes and lifetime op counts."""
+        return {
+            "memtable": len(self._memtable),
+            "runs": len(self._runs),
+            "run_tuples": sum(len(r.trie) for r in self._runs),
+            "tombstones": sum(len(r.tombstones) for r in self._runs),
+            **self._stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Read path: the merged view
+    # ------------------------------------------------------------------
+
+    def _merged_live(self) -> List[Row]:
+        """Current live tuples: newest source wins, tombstones shadow."""
+        decided: Dict[Row, bool] = dict(self._memtable)
+        setdefault = decided.setdefault
+        for run in reversed(self._runs):
+            for t in run.tombstones:
+                setdefault(t, False)
+            for t in run.trie.tuples():
+                setdefault(t, True)
+        return sorted(t for t, live in decided.items() if live)
+
+    def _view(self) -> FlatTrieRelation:
+        """The merged read view (rebuilt lazily after a mutation)."""
+        view = self._view_cache
+        if view is None:
+            if (
+                not self._memtable
+                and len(self._runs) == 1
+                and not self._runs[0].tombstones
+            ):
+                view = self._runs[0].trie
+                view.counters = self._counters
+            else:
+                view = FlatTrieRelation(
+                    self._merged_live(),
+                    arity=self.arity,
+                    counters=self._counters,
+                )
+                self._stats["view_builds"] += 1
+            self._view_cache = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Trie API (FlatTrieRelation parity, via the view)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._view())
+
+    def __contains__(self, item: Sequence[int]) -> bool:
+        # Resolved against the LSM structure directly (no view rebuild):
+        # memtable first, then runs newest to oldest.
+        t = tuple(item)
+        if t in self._memtable:
+            return self._memtable[t]
+        for run in reversed(self._runs):
+            if t in run.tombstones:
+                return False
+            if t in run.trie:
+                return True
+        return False
+
+    def tuples(self) -> List[Row]:
+        """All live tuples in lexicographic (GAO) order."""
+        return self._view().tuples()
+
+    def fanout(self, index_tuple: IndexTuple = ()) -> int:
+        return self._view().fanout(index_tuple)
+
+    def value(self, index_tuple: IndexTuple) -> ExtendedValue:
+        return self._view().value(index_tuple)
+
+    def child_values(self, index_tuple: IndexTuple) -> List[int]:
+        return self._view().child_values(index_tuple)
+
+    def find_gap(self, index_tuple: IndexTuple, a: int) -> Tuple[int, int]:
+        return self._view().find_gap(index_tuple, a)
+
+    def gap_values(
+        self, index_tuple: IndexTuple, a: int
+    ) -> Tuple[ExtendedValue, ExtendedValue]:
+        return self._view().gap_values(index_tuple, a)
+
+    # Node-handle API (iterator-based engines: LFTJ, generic join)
+
+    def root_node(self) -> NodeHandle:
+        return self._view().root_node()
+
+    def node_keys(self, node: NodeHandle) -> List[int]:
+        return self._view().node_keys(node)
+
+    def node_child(self, node: NodeHandle, position: int):
+        return self._view().node_child(node, position)
+
+    # Probe fast path (Minesweeper exploration)
+
+    def root_handle(self) -> NodeHandle:
+        return self._view().root_handle()
+
+    def fanout_at(self, node: NodeHandle) -> int:
+        return self._view().fanout_at(node)
+
+    def value_at(self, node: NodeHandle, position: int) -> ExtendedValue:
+        return self._view().value_at(node, position)
+
+    def child_at(self, node: NodeHandle, position: int):
+        return self._view().child_at(node, position)
+
+    def gap_at(self, node: NodeHandle, a: int) -> Tuple[int, int]:
+        return self._view().gap_at(node, a)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaRelation(arity={self.arity}, {len(self)} live, "
+            f"memtable={len(self._memtable)}, runs={len(self._runs)})"
+        )

@@ -41,6 +41,18 @@ BACKENDS = ("auto", "flat", "trie", "btree")
 DEFAULT_BACKEND = "flat"
 
 
+def _validate_schema(name: str, attributes: Sequence[str]) -> Tuple[str, ...]:
+    """Shared name/schema checks; returns the attribute tuple."""
+    if not name:
+        raise ValueError("relation name must be non-empty")
+    attrs = tuple(attributes)
+    if len(set(attrs)) != len(attrs):
+        raise ValueError(f"duplicate attribute in schema {attrs}")
+    if not attrs:
+        raise ValueError("relation must have at least one attribute")
+    return attrs
+
+
 class Relation:
     """An indexed relation instance."""
 
@@ -52,13 +64,7 @@ class Relation:
         counters: Optional[OpCounters] = None,
         backend: str = "auto",
     ) -> None:
-        if not name:
-            raise ValueError("relation name must be non-empty")
-        attrs = tuple(attributes)
-        if len(set(attrs)) != len(attrs):
-            raise ValueError(f"duplicate attribute in schema {attrs}")
-        if not attrs:
-            raise ValueError("relation must have at least one attribute")
+        attrs = _validate_schema(name, attributes)
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
         rows = [tuple(t) for t in tuples]
@@ -86,6 +92,44 @@ class Relation:
             self.index = FlatTrieRelation(
                 rows, arity=len(attrs), counters=self.counters
             )
+
+    @classmethod
+    def from_index(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        index,
+        counters: Optional[OpCounters] = None,
+        backend: str = "delta",
+    ) -> "Relation":
+        """Wrap an existing (possibly live) index without copying it.
+
+        Used by the dynamic subsystem to expose a writable
+        :class:`repro.storage.delta.DeltaRelation` to the engines: the
+        wrapper shares the index object, so updates applied to the index
+        are visible through the relation immediately.  ``backend`` is a
+        label only; the index is taken as-is.  Note that if
+        ``Query.with_gao`` must re-index such a relation (column
+        reorder or explicit backend override), the rebuilt copy is a
+        *static snapshot* of the live contents at that moment.
+        """
+        attrs = _validate_schema(name, attributes)
+        if len(attrs) != index.arity:
+            raise ValueError(
+                f"schema {attrs} does not match index arity {index.arity}"
+            )
+        self = cls.__new__(cls)
+        self.name = name
+        self.attributes = attrs
+        self.backend = backend
+        if counters is None:
+            counters = (
+                index.counters if index.counters is not None else OpCounters()
+            )
+        self.counters = counters
+        index.counters = counters
+        self.index = index
+        return self
 
     @property
     def arity(self) -> int:

@@ -90,6 +90,20 @@ class OpCounters:
         data.update(self.extra)
         return data
 
+    def merge(self, src: "OpCounters") -> None:
+        """Accumulate another tally into this one (extras included)."""
+        self.findgap += src.findgap
+        self.probes += src.probes
+        self.constraints += src.constraints
+        self.comparisons += src.comparisons
+        self.interval_ops += src.interval_ops
+        self.backtracks += src.backtracks
+        self.cache_hits += src.cache_hits
+        self.cache_misses += src.cache_misses
+        self.output_tuples += src.output_tuples
+        for key, value in src.extra.items():
+            self.add_extra(key, value)
+
     def reset(self) -> None:
         """Zero every counter in place."""
         self.findgap = 0

@@ -77,6 +77,46 @@ class TestJoin:
         with pytest.raises(SystemExit):
             main(["join", "--relation", "R=A,B:/does/not/exist.csv"])
 
+    def test_backend_flag_all_backends_agree(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        outputs = set()
+        for backend in ("flat", "trie", "btree"):
+            code, out, _ = run_cli(
+                ["join", "--relation", r_spec, "--relation", s_spec,
+                 "--gao", "A,B,C", "--backend", backend],
+                capsys,
+            )
+            assert code == 0
+            outputs.add(out)
+        assert len(outputs) == 1
+
+    def test_limit_streams_top_k(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, err = run_cli(
+            ["join", "--relation", r_spec, "--relation", s_spec,
+             "--gao", "A,B,C", "--limit", "1"],
+            capsys,
+        )
+        assert code == 0
+        rows = [l for l in out.splitlines() if not l.startswith("#")]
+        assert rows == ["1,2,10"]
+        assert "# 1 rows" in err
+
+    def test_limit_rejected_for_baselines(self, relation_files):
+        r_spec, s_spec = relation_files
+        with pytest.raises(SystemExit):
+            main(["join", "--relation", r_spec, "--relation", s_spec,
+                  "--engine", "leapfrog", "--limit", "2"])
+
+    def test_negative_limit_rejected_cleanly(self, relation_files):
+        r_spec, s_spec = relation_files
+        with pytest.raises(SystemExit):
+            main(["join", "--relation", r_spec, "--relation", s_spec,
+                  "--limit", "-1"])
+        with pytest.raises(SystemExit):  # also on the --explain path
+            main(["join", "--relation", r_spec, "--relation", s_spec,
+                  "--explain", "--limit", "-1"])
+
 
 class TestExplain:
     def test_explain_report(self, relation_files, capsys):
@@ -112,6 +152,110 @@ class TestCertificate:
         )
         assert code == 0
         assert "PASSED" in out
+
+    def test_backend_flag(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, _ = run_cli(
+            ["certificate", "--relation", r_spec, "--relation", s_spec,
+             "--samples", "3", "--backend", "trie"],
+            capsys,
+        )
+        assert code == 0
+        assert "PASSED" in out
+
+
+class TestStream:
+    @pytest.fixture()
+    def stream_files(self, tmp_path, relation_files):
+        log = tmp_path / "updates.log"
+        log.write_text(
+            "+R 5,6\n+S 6,7\ncommit\n-S 2,10\n+R 9,9\ncommit\n"
+        )
+        return (*relation_files, str(log))
+
+    def test_replay_reports_savings(self, stream_files, capsys):
+        r_spec, s_spec, log = stream_files
+        code, out, _ = run_cli(
+            ["stream", "--relation", r_spec, "--relation", s_spec,
+             "--view", "Q=R,S", "--log", log, "--print-rows"],
+            capsys,
+        )
+        assert code == 0
+        assert "# replayed 2 batches" in out
+        assert "incremental findgap=" in out
+        assert "recompute findgap=" in out
+        assert "savings=" in out
+        assert "Q,5,6,7" in out  # the streamed-in row is served
+
+    def test_no_recompute_skips_comparator(self, stream_files, capsys):
+        r_spec, s_spec, log = stream_files
+        code, out, _ = run_cli(
+            ["stream", "--relation", r_spec, "--relation", s_spec,
+             "--view", "Q=R,S", "--log", log, "--no-recompute",
+             "--memtable-limit", "2", "--compact-every", "1"],
+            capsys,
+        )
+        assert code == 0
+        assert "recompute" not in out
+
+    def test_requires_view(self, stream_files):
+        r_spec, s_spec, log = stream_files
+        with pytest.raises(SystemExit):
+            main(["stream", "--relation", r_spec, "--log", log])
+
+    def test_bad_view_spec(self, stream_files):
+        r_spec, s_spec, log = stream_files
+        with pytest.raises(SystemExit):
+            main(["stream", "--relation", r_spec, "--view", "nonsense",
+                  "--log", log])
+        with pytest.raises(SystemExit):
+            main(["stream", "--relation", r_spec, "--view", "Q=R,MISSING",
+                  "--log", log])
+
+    def test_invalid_tuning_flags_rejected(self, stream_files):
+        r_spec, s_spec, log = stream_files
+        for flag in ("--memtable-limit", "--compact-every"):
+            with pytest.raises(SystemExit):
+                main(["stream", "--relation", r_spec, "--relation", s_spec,
+                      "--view", "Q=R,S", "--log", log, flag, "0"])
+
+    def test_malformed_log_errors(self, tmp_path, relation_files):
+        r_spec, s_spec = relation_files
+        bad = tmp_path / "bad.log"
+        bad.write_text("*R 1,2\n")
+        with pytest.raises(SystemExit):
+            main(["stream", "--relation", r_spec, "--relation", s_spec,
+                  "--view", "Q=R,S", "--log", str(bad)])
+
+    def test_duplicate_relation_spec_rejected_cleanly(self, stream_files):
+        r_spec, s_spec, log = stream_files
+        with pytest.raises(SystemExit) as exc_info:
+            main(["stream", "--relation", r_spec, "--relation", r_spec,
+                  "--view", "Q=R", "--log", log])
+        assert "already registered" in str(exc_info.value)
+
+    def test_dictionary_encoded_relations_refused(self, tmp_path):
+        """Raw-integer log updates can't address encoded values; the
+        command must refuse rather than serve wrong answers."""
+        mixed = tmp_path / "mixed.csv"
+        mixed.write_text("1,banana\n2,apple\n")
+        log = tmp_path / "u.log"
+        log.write_text("+R 3,0\ncommit\n")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["stream", "--relation", f"R=A,B:{mixed}",
+                  "--view", "Q=R", "--log", str(log)])
+        assert "dictionary-encoded" in str(exc_info.value)
+
+    def test_arity_mismatch_in_log_errors_cleanly(
+        self, tmp_path, relation_files
+    ):
+        r_spec, s_spec = relation_files
+        bad = tmp_path / "arity.log"
+        bad.write_text("+R 1,2,3\ncommit\n")  # R is binary
+        with pytest.raises(SystemExit) as exc_info:
+            main(["stream", "--relation", r_spec, "--relation", s_spec,
+                  "--view", "Q=R,S", "--log", str(bad)])
+        assert "batch 1" in str(exc_info.value)
 
 
 class TestExperiments:

@@ -1,0 +1,219 @@
+"""DeltaRelation (LSM) equivalence: property-checked against FlatTrie.
+
+The writable relation must be indistinguishable from a
+``FlatTrieRelation`` built from scratch over the same live tuple set —
+after *any* interleaving of insert / delete / flush / compact.  These
+tests drive randomized op sequences against a model set and demand
+equality of the full trie + node-handle API, then check the LSM
+mechanics (runs, tombstones, autoflush) and engine integration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import join
+from repro.core.query import Query
+from repro.storage.delta import DeltaRelation
+from repro.storage.flat_trie import FlatTrieRelation
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+PAPER_EXAMPLE = [(1, 1), (1, 8), (2, 3), (2, 4)]  # Section 2.1 example
+
+rows2 = st.tuples(st.integers(0, 6), st.integers(0, 6))
+#: op sequences: ("insert", row) / ("delete", row) / ("flush",) / ("compact",)
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), rows2),
+        st.tuples(st.just("delete"), rows2),
+        st.tuples(st.just("flush")),
+        st.tuples(st.just("compact")),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(delta, model, ops):
+    for op in ops:
+        if op[0] == "insert":
+            changed = delta.insert(op[1])
+            assert changed == (op[1] not in model)
+            model.add(op[1])
+        elif op[0] == "delete":
+            changed = delta.delete(op[1])
+            assert changed == (op[1] in model)
+            model.discard(op[1])
+        elif op[0] == "flush":
+            delta.flush()
+        else:
+            delta.compact()
+
+
+def assert_trie_equivalent(delta, reference):
+    """Full trie + handle API equality against a from-scratch FlatTrie."""
+    assert len(delta) == len(reference)
+    assert delta.tuples() == reference.tuples()
+    # walk every node of both tries in lockstep via the handle API
+    stack = [((), delta.root_handle(), reference.root_handle())]
+    while stack:
+        chain, d_node, r_node = stack.pop()
+        fan = reference.fanout_at(r_node)
+        assert delta.fanout_at(d_node) == fan
+        assert delta.fanout(chain) == fan
+        child_vals = reference.node_keys(r_node)
+        assert delta.node_keys(d_node) == child_vals
+        assert delta.child_values(chain) == child_vals
+        for a in range(-1, 8):
+            gap = reference.gap_at(r_node, a)
+            assert delta.gap_at(d_node, a) == gap
+            assert delta.find_gap(chain, a) == gap
+            assert delta.gap_values(chain, a) == reference.gap_values(
+                chain, a
+            )
+        for pos in range(fan + 2):
+            assert delta.value_at(d_node, pos) == reference.value_at(
+                r_node, pos
+            )
+            assert delta.value(chain + (pos,)) == reference.value(
+                chain + (pos,)
+            )
+        for pos in range(1, fan + 1):
+            r_child = reference.child_at(r_node, pos)
+            d_child = delta.child_at(d_node, pos)
+            if r_child is None:
+                assert d_child is None
+            else:
+                stack.append((chain + (pos,), d_child, r_child))
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(initial=st.lists(rows2, max_size=15), ops=ops_strategy)
+    def test_any_op_sequence_matches_fresh_flat_trie(self, initial, ops):
+        delta = DeltaRelation(initial, arity=2)
+        model = set(initial)
+        apply_ops(delta, model, ops)
+        reference = FlatTrieRelation(sorted(model), arity=2)
+        assert_trie_equivalent(delta, reference)
+        for row in [(v, w) for v in range(7) for w in range(7)]:
+            assert (row in delta) == (row in model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(initial=st.lists(rows2, max_size=10), ops=ops_strategy)
+    def test_minesweeper_runs_on_delta_unchanged(self, initial, ops):
+        """Engines see a DeltaRelation exactly like a static relation."""
+        delta = DeltaRelation(initial, arity=2)
+        model = set(initial)
+        apply_ops(delta, model, ops)
+        live = Relation.from_index("R", ["A", "B"], delta)
+        static = Relation("R", ["A", "B"], sorted(model))
+        s = [(1, 3), (2, 5), (4, 4)]
+        dynamic_result = join(
+            Query([live, Relation("S", ["B", "C"], s)]), gao=["A", "B", "C"]
+        )
+        static_result = join(
+            Query([static, Relation("S", ["B", "C"], s)]),
+            gao=["A", "B", "C"],
+        )
+        assert dynamic_result.rows == static_result.rows
+        assert dynamic_result.stats() == static_result.stats()
+
+
+class TestLsmMechanics:
+    def test_initial_rows_form_a_run(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        stats = delta.stats()
+        assert stats["runs"] == 1 and stats["run_tuples"] == 4
+        assert stats["memtable"] == 0
+        assert delta.tuples() == sorted(PAPER_EXAMPLE)
+
+    def test_tombstone_shadows_older_run(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        assert delta.delete((1, 8))
+        delta.flush()
+        stats = delta.stats()
+        assert stats["runs"] == 2 and stats["tombstones"] == 1
+        assert (1, 8) not in delta
+        assert len(delta) == 3
+        # re-insert in a newer source shadows the tombstone
+        assert delta.insert((1, 8))
+        assert (1, 8) in delta and len(delta) == 4
+
+    def test_compact_collapses_runs_and_tombstones(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        delta.delete((2, 3))
+        delta.flush()
+        delta.insert((5, 5))
+        delta.flush()
+        assert delta.stats()["runs"] == 3
+        assert delta.compact()
+        stats = delta.stats()
+        assert stats["runs"] == 1 and stats["tombstones"] == 0
+        assert stats["memtable"] == 0
+        assert delta.tuples() == sorted({(1, 1), (1, 8), (2, 4), (5, 5)})
+
+    def test_flush_and_compact_are_noops_when_clean(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        assert not delta.flush()
+        assert not delta.compact()
+        assert delta.stats()["compactions"] == 0
+
+    def test_compact_to_empty(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        for row in PAPER_EXAMPLE:
+            delta.delete(row)
+        delta.compact()
+        assert delta.stats()["runs"] == 0
+        assert len(delta) == 0 and delta.tuples() == []
+        assert delta.find_gap((), 3) == (0, 1)
+
+    def test_memtable_limit_autoflushes(self):
+        delta = DeltaRelation(arity=2, memtable_limit=3)
+        for i in range(7):
+            delta.insert((i, i))
+        stats = delta.stats()
+        assert stats["flushes"] >= 2
+        assert stats["memtable"] < 3
+        assert len(delta) == 7
+
+    def test_effective_delta_peeks_without_applying(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        ins, dels = delta.effective_delta(
+            [(1, 1), (9, 9), (9, 9)], [(2, 3), (7, 7)]
+        )
+        assert ins == [(9, 9)]  # (1,1) present; duplicate collapsed
+        assert dels == [(2, 3)]  # (7,7) absent
+        assert delta.tuples() == sorted(PAPER_EXAMPLE)  # untouched
+        delta.apply(ins, dels)
+        assert (9, 9) in delta and (2, 3) not in delta
+
+    def test_overlapping_batch_rejected(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        with pytest.raises(ValueError):
+            delta.effective_delta([(1, 1)], [(1, 1)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeltaRelation()  # empty needs arity
+        delta = DeltaRelation(arity=2)
+        with pytest.raises(ValueError):
+            delta.insert((1, 2, 3))
+        with pytest.raises(TypeError):
+            delta.insert(("a", 1))
+        with pytest.raises(TypeError):
+            delta.delete((True, 1))
+        with pytest.raises(ValueError):
+            DeltaRelation(memtable_limit=0, arity=1)
+
+    def test_findgap_counting_matches_static(self):
+        counters = OpCounters()
+        delta = DeltaRelation(PAPER_EXAMPLE, counters=counters)
+        delta.insert((3, 3))
+        delta.find_gap((), 2)
+        delta.gap_at(delta.root_handle(), 2)
+        assert counters.findgap == 2
+        rebound = OpCounters()
+        delta.counters = rebound
+        delta.find_gap((), 2)
+        assert rebound.findgap == 1 and counters.findgap == 2

@@ -1,0 +1,236 @@
+"""Catalog / update-log / stream-generator tests (the serving layer)."""
+
+import io
+
+import pytest
+
+from repro.dynamic import (
+    Catalog,
+    Update,
+    build_catalog,
+    format_update,
+    net_updates,
+    read_log,
+    triangle_stream,
+    write_log,
+)
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.create_relation("R", ("A", "B"), [(1, 2), (2, 3)])
+    cat.create_relation("S", ("B", "C"), [(2, 9), (3, 7)])
+    cat.register_view("Q", ["R", "S"])
+    return cat
+
+
+class TestCatalog:
+    def test_registration_and_serving(self, catalog):
+        assert catalog.relation_names() == ["R", "S"]
+        assert catalog.view_names() == ["Q"]
+        assert catalog.query("Q") == [(1, 2, 9), (2, 3, 7)]
+        assert len(catalog.relation("R")) == 2
+        assert catalog.delta("R").stats()["runs"] == 1
+
+    def test_duplicate_and_unknown_names_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.create_relation("R", ("A", "B"))
+        with pytest.raises(ValueError):
+            catalog.register_view("Q", ["R"])
+        with pytest.raises(KeyError):
+            catalog.register_view("Q2", ["R", "MISSING"])
+        with pytest.raises(KeyError):
+            catalog.relation("MISSING")
+        with pytest.raises(KeyError):
+            catalog.view("MISSING")
+        with pytest.raises(KeyError):
+            catalog.apply_batch([Update("MISSING", "+", (1,))])
+
+    def test_apply_batch_reports(self, catalog):
+        report = catalog.apply_batch(
+            [
+                Update("R", "+", (5, 6)),
+                Update("S", "+", (6, 1)),
+                Update("S", "-", (2, 9)),
+                Update("S", "+", (2, 9)),  # last write wins: net no-op
+            ]
+        )
+        assert report.batch == 1
+        assert report.applied == {"R": (1, 0), "S": (1, 0)}
+        assert report.views["Q"]["rows_added"] == 1
+        assert report.views["Q"]["rows_removed"] == 0
+        assert report.views["Q"]["ops"]["findgap"] > 0
+        assert report.seconds >= 0
+        assert catalog.query("Q") == [(1, 2, 9), (2, 3, 7), (5, 6, 1)]
+        assert catalog.view("Q").verify()
+
+    def test_invalid_batch_is_atomic(self, catalog):
+        """A bad row anywhere in the batch must leave nothing applied."""
+        before_rows = catalog.query("Q")
+        before_r = catalog.delta("R").tuples()
+        with pytest.raises(ValueError):
+            catalog.apply_batch(
+                [
+                    Update("R", "+", (5, 6)),  # valid, earlier in order
+                    Update("S", "+", (1, 2, 3)),  # arity mismatch
+                ]
+            )
+        assert catalog.delta("R").tuples() == before_r
+        assert catalog.query("Q") == before_rows
+        assert catalog.batches_applied == 0
+
+    def test_create_relation_adopts_prebuilt_flat_trie(self):
+        from repro.storage.flat_trie import FlatTrieRelation
+
+        trie = FlatTrieRelation([(1, 2), (3, 4)])
+        cat = Catalog()
+        rel = cat.create_relation("R", ("A", "B"), trie)
+        assert rel.index._runs[0].trie is trie  # no rebuild
+        assert rel.tuples() == [(1, 2), (3, 4)]
+        rel.index.insert((5, 6))
+        assert rel.tuples() == [(1, 2), (3, 4), (5, 6)]
+
+    def test_ineffective_updates_apply_cleanly(self, catalog):
+        report = catalog.apply_batch(
+            [
+                Update("R", "+", (1, 2)),  # already present
+                Update("R", "-", (8, 8)),  # absent
+            ]
+        )
+        assert report.applied == {"R": (0, 0)}
+        assert catalog.view("Q").verify()
+
+    def test_with_gao_reorder_snapshots_wrapped_relations(self, catalog):
+        """Public join() works on catalog relations even when the GAO
+        forces a re-index; the rebuilt copy is a static snapshot."""
+        from repro.core.engine import join
+        from repro.core.query import Query
+
+        query = Query([catalog.relation("R"), catalog.relation("S")])
+        result = join(query, gao=["C", "B", "A"])
+        assert result.rows == [(7, 3, 2), (9, 2, 1)]
+
+    def test_per_view_seconds_reported(self, catalog):
+        catalog.register_view("Q2", ["R"])
+        report = catalog.apply_batch([Update("R", "+", (5, 6))])
+        for name in ("Q", "Q2"):
+            assert report.views[name]["seconds"] >= 0
+        assert (
+            report.views["Q"]["seconds"] + report.views["Q2"]["seconds"]
+            <= report.seconds
+        )
+
+    def test_stats_shape(self, catalog):
+        catalog.apply_batch([Update("R", "+", (7, 7))])
+        stats = catalog.stats()
+        assert stats["batches_applied"] == 1
+        assert stats["relations"]["R"]["memtable"] == 1
+        assert stats["views"]["Q"]["rows"] == 2
+        assert stats["views"]["Q"]["maintenance_ops"]["findgap"] > 0
+        catalog.flush("R")
+        assert catalog.delta("R").stats()["runs"] == 2
+        catalog.compact()
+        assert catalog.delta("R").stats()["runs"] == 1
+
+    def test_net_updates_last_wins_and_order(self):
+        grouped = net_updates(
+            [
+                Update("S", "+", (1,)),
+                Update("R", "+", (2, 2)),
+                Update("S", "-", (1,)),
+                Update("R", "+", (3, 3)),
+            ]
+        )
+        assert list(grouped) == ["S", "R"]
+        assert grouped["S"] == ([], [(1,)])
+        assert grouped["R"] == ([(2, 2), (3, 3)], [])
+        with pytest.raises(ValueError):
+            net_updates([Update("R", "?", (1, 1))])
+
+
+class TestUpdateLog:
+    LOG = """
+    # a comment
+    +R 1,2
+    -S 2,9   # trailing comment
+    commit
+
+    +R 4,5
+    """
+
+    def test_read_log_batches(self):
+        batches = read_log(io.StringIO(self.LOG))
+        assert batches == [
+            [Update("R", "+", (1, 2)), Update("S", "-", (2, 9))],
+            [Update("R", "+", (4, 5))],  # trailing batch without commit
+        ]
+
+    def test_round_trip(self, tmp_path):
+        batches = [
+            [Update("R", "+", (1, 2))],
+            [Update("S", "-", (2, 9)), Update("R", "+", (3, 3))],
+        ]
+        path = str(tmp_path / "updates.log")
+        write_log(path, batches)
+        assert read_log(path) == batches
+        text = open(path).read()
+        assert "+R 1,2" in text and text.count("commit") == 2
+
+    def test_format_update(self):
+        assert format_update(Update("R", "-", (4, 5))) == "-R 4,5"
+
+    @pytest.mark.parametrize("line", ["*R 1,2", "+R", "+R a,b", "+ 1,2"])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ValueError):
+            read_log(io.StringIO(line))
+
+    def test_empty_update_line_raises_value_error(self):
+        from repro.dynamic import parse_update
+
+        with pytest.raises(ValueError):
+            parse_update("")
+
+
+class TestStreams:
+    def test_impossible_edge_count_fails_fast(self):
+        with pytest.raises(ValueError):
+            triangle_stream(n_nodes=3, n_edges=20)
+
+    def test_deterministic(self):
+        a = triangle_stream(n_nodes=10, n_edges=20, n_batches=3, seed=5)
+        b = triangle_stream(n_nodes=10, n_edges=20, n_batches=3, seed=5)
+        assert a == b
+        c = triangle_stream(n_nodes=10, n_edges=20, n_batches=3, seed=6)
+        assert a != c
+
+    def test_deletes_target_live_rows(self):
+        schemas, initial, batches = triangle_stream(
+            n_nodes=10,
+            n_edges=20,
+            n_batches=5,
+            batch_size=6,
+            insert_fraction=0.2,
+            seed=8,
+        )
+        live = {name: set(rows) for name, rows in initial.items()}
+        for batch in batches:
+            for update in batch:
+                if update.op == "-":
+                    assert update.row in live[update.relation]
+                    live[update.relation].discard(update.row)
+                else:
+                    assert update.row not in live[update.relation]
+                    live[update.relation].add(update.row)
+
+    def test_build_catalog_replays_cleanly(self):
+        schemas, initial, batches = triangle_stream(
+            n_nodes=10, n_edges=20, n_batches=3, batch_size=4, seed=2
+        )
+        catalog, view = build_catalog(
+            schemas, initial, view="tri", memtable_limit=8
+        )
+        for batch in batches:
+            catalog.apply_batch(batch)
+        assert view.verify()
+        assert catalog.view_names() == ["tri"]

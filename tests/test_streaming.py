@@ -4,6 +4,7 @@ import itertools
 
 import pytest
 
+from repro.core.engine import join
 from repro.core.minesweeper import Minesweeper
 from repro.core.query import Query, naive_join
 from repro.datasets.instances import constant_certificate_large_output
@@ -56,3 +57,35 @@ class TestIterate:
         )
         engine = Minesweeper(query.with_gao(["A"]))
         assert list(engine.iterate()) == []
+
+
+class TestJoinLimit:
+    """The high-level API's reach into the iterate() top-k path."""
+
+    def test_limit_returns_prefix_in_gao_order(self):
+        inst = constant_certificate_large_output(50)
+        full = join(inst.query, gao=inst.gao)
+        top = join(inst.query, gao=inst.gao, limit=7)
+        assert top.rows == full.rows[:7]
+        assert top.limit == 7 and full.limit is None
+
+    def test_limit_saves_work(self):
+        """Taking 5 of 200 outputs must cost ~5 probes, not ~400."""
+        inst = constant_certificate_large_output(200)
+        result = join(inst.query, gao=inst.gao, limit=5)
+        assert len(result.rows) == 5
+        assert result.counters.probes <= 15
+        assert result.stats()["output_tuples"] == 5
+
+    def test_limit_larger_than_output_is_exhaustive(self):
+        inst = constant_certificate_large_output(20)
+        assert len(join(inst.query, gao=inst.gao, limit=999).rows) == 20
+
+    def test_limit_zero(self):
+        inst = constant_certificate_large_output(20)
+        assert join(inst.query, gao=inst.gao, limit=0).rows == []
+
+    def test_negative_limit_rejected(self):
+        inst = constant_certificate_large_output(20)
+        with pytest.raises(ValueError):
+            join(inst.query, gao=inst.gao, limit=-1)
