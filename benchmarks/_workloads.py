@@ -122,6 +122,73 @@ def _make_intersection(factory_name: str, *args, **kwargs):
     return run, instrumented
 
 
+def _make_parallel_triangle(n: int, k: int, shards: int, workers: int):
+    # repro.parallel arrived in PR 3; older checkouts skip via the
+    # ModuleNotFoundError probe below (see measure()).
+    import repro.parallel  # noqa: F401
+
+    from repro.core.engine import join
+    from repro.datasets.instances import triangle_with_output
+    from repro.util.counters import OpCounters
+
+    r, s, t = triangle_with_output(n, k, seed=5)
+
+    def run():
+        return join(
+            _triangle_query(r, s, t),
+            gao=["A", "B", "C"],
+            strategy="general",
+            shards=shards,
+            workers=workers,
+        )
+
+    def instrumented():
+        # workers=0 (in-process sequential shard execution) tallies the
+        # exact same merged counts as the pooled run, deterministically.
+        counters = OpCounters()
+        join(
+            _triangle_query(r, s, t),
+            gao=["A", "B", "C"],
+            strategy="general",
+            counters=counters,
+            shards=shards,
+            workers=0,
+        )
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+def _make_parallel_intersection(n: int, shards: int, workers: int):
+    import repro.parallel  # noqa: F401
+
+    from repro.core.engine import join
+    from repro.core.query import Query
+    from repro.datasets.instances import intersection_interleaved
+    from repro.storage.relation import Relation
+    from repro.util.counters import OpCounters
+
+    sets = intersection_interleaved(n)
+
+    def query():
+        return Query(
+            [
+                Relation(f"R{i}", ["A"], [(v,) for v in vals])
+                for i, vals in enumerate(sets)
+            ]
+        )
+
+    def run():
+        return join(query(), gao=["A"], shards=shards, workers=workers)
+
+    def instrumented():
+        counters = OpCounters()
+        join(query(), gao=["A"], counters=counters, shards=shards, workers=0)
+        return counters.snapshot()
+
+    return run, instrumented
+
+
 def _make_dynamic(stream_name: str, **params):
     # repro.dynamic arrived in PR 2; on older checkouts (perf_report
     # --baseline-ref) the import fails and measure() skips the workload.
@@ -180,6 +247,15 @@ WORKLOADS: Dict[str, Callable] = {
         k=3, domain=5000, n_values=600, n_batches=6, batch_size=8,
         insert_fraction=0.5, seed=14,
     ),
+    "parallel/triangle/planted/n=500/w=0x4": lambda: (
+        _make_parallel_triangle(500, 120, shards=4, workers=0)
+    ),
+    "parallel/triangle/planted/n=500/w=2x4": lambda: (
+        _make_parallel_triangle(500, 120, shards=4, workers=2)
+    ),
+    "parallel/intersection/interleaved/n=20000/w=0x4": lambda: (
+        _make_parallel_intersection(20_000, shards=4, workers=0)
+    ),
 }
 
 #: Small-input substitutes for smoke runs (same shapes, trivial sizes).
@@ -201,6 +277,9 @@ SMOKE_WORKLOADS: Dict[str, Callable] = {
         n_nodes=10, n_edges=20, n_batches=3, batch_size=4,
         insert_fraction=0.5, seed=12,
     ),
+    "parallel/triangle/planted/n=40/w=2x2": lambda: (
+        _make_parallel_triangle(40, 10, shards=2, workers=2)
+    ),
 }
 
 
@@ -216,13 +295,13 @@ def measure(
         try:
             run, instrumented = registry[name]()
         except ModuleNotFoundError as exc:
-            if exc.name != "repro.dynamic":
+            if exc.name not in ("repro.dynamic", "repro.parallel"):
                 raise
-            # Workload needs a subsystem this checkout predates (e.g.
-            # repro.dynamic when baselining against an older ref): skip
-            # it; perf_report only diffs names present on both sides.
-            # Anything else (a broken import in the current tree) still
-            # fails the run.
+            # Workload needs a subsystem this checkout predates
+            # (repro.dynamic arrived in PR 2, repro.parallel in PR 3)
+            # when baselining against an older ref: skip it; perf_report
+            # only diffs names present on both sides.  Anything else
+            # (a broken import in the current tree) still fails the run.
             print(f"skipping {name}: {exc}", file=sys.stderr)
             continue
         samples = []

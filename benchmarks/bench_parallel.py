@@ -1,0 +1,157 @@
+"""Sharded-execution scaling curve: 1/2/4/8 workers, triangle + intersection.
+
+For each family the bench runs the unsharded sequential engine, then the
+sharded executor at ``workers = shards = w`` for each point of the
+curve, asserting the parallel contract before recording any timing:
+
+* every configuration returns the sequential run's exact row list;
+* the pooled run's merged (shard-summed) op counts equal the in-process
+  sequential-mode (``workers=0``) run's counts for the same plan —
+  multiprocessing must not change what work was done, only where.
+
+Timings are min-over-rounds wall clock.  The headline ≥1.6x speedup
+assertion (4 workers vs 1 on the triangle family) only fires when the
+host actually has ≥ 4 usable cores and the run is not a smoke run; on a
+single-core box the curve is still measured and recorded, and shard
+planning itself often wins a little wall-clock anyway (four small
+constraint trees beat one large one).
+
+Smoke mode (``repro bench --smoke``) shrinks the inputs and runs the
+curve at 1 and 2 workers, so CI exercises a real 2-worker pool.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.query import Query
+from repro.datasets.instances import (
+    intersection_interleaved,
+    triangle_with_output,
+)
+from repro.storage.relation import Relation
+from repro.util.counters import NullCounters, OpCounters
+
+from benchmarks._util import record, sizes, smoke_mode
+
+ROUNDS = sizes(3, 1)
+WORKER_COUNTS = sizes([1, 2, 4, 8], [1, 2])
+#: The acceptance pair for the speedup assertion (vs-workers, at-workers).
+SPEEDUP_POINT = (1, 4)
+MIN_SPEEDUP = 1.6
+
+TRIANGLE_CASES = sizes(
+    [("planted/n=500", lambda: triangle_with_output(500, 120, seed=5))],
+    [("planted/n=40", lambda: triangle_with_output(40, 10, seed=5))],
+)
+INTERSECTION_CASES = sizes(
+    [("interleaved/n=20000", lambda: intersection_interleaved(20_000))],
+    [("interleaved/n=400", lambda: intersection_interleaved(400))],
+)
+
+
+def _triangle_query(make):
+    r, s, t = make()
+    return lambda: Query(
+        [
+            Relation("R", ["A", "B"], r),
+            Relation("S", ["B", "C"], s),
+            Relation("T", ["A", "C"], t),
+        ]
+    )
+
+
+def _unary_query(make):
+    sets = make()
+    return lambda: Query(
+        [
+            Relation(f"R{i}", ["A"], [(v,) for v in vals])
+            for i, vals in enumerate(sets)
+        ]
+    )
+
+
+def _min_time(func):
+    best = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _scaling_curve(benchmark, family, case, make_query, gao):
+    """Assert the parallel contract, measure the curve, record it."""
+    seq_counters = OpCounters()
+    seq = join(make_query(), gao=gao, counters=seq_counters)
+    metrics = {"rows": len(seq.rows)}
+    metrics["seq_findgap"] = seq_counters.findgap
+    metrics["seq_probes"] = seq_counters.probes
+    metrics["seq_s"] = _min_time(
+        lambda: join(make_query(), gao=gao, counters=NullCounters())
+    )
+    times = {}
+    for w in WORKER_COUNTS:
+        # correctness + op-count parity first: pooled merged counts must
+        # equal the deterministic in-process run of the same plan
+        inproc = join(make_query(), gao=gao, shards=w, workers=0)
+        pooled = join(make_query(), gao=gao, shards=w, workers=w)
+        assert inproc.rows == seq.rows
+        assert pooled.rows == seq.rows
+        assert pooled.stats() == inproc.stats()
+        metrics[f"w{w}_findgap"] = pooled.counters.findgap
+        # then the timed pooled run (counting-free fast path)
+        times[w] = _min_time(
+            lambda w=w: join(
+                make_query(),
+                gao=gao,
+                shards=w,
+                workers=w,
+                counters=NullCounters(),
+            )
+        )
+        metrics[f"w{w}_s"] = times[w]
+    base_w, at_w = SPEEDUP_POINT
+    if base_w in times and at_w in times:
+        metrics["speedup_w4"] = round(times[base_w] / times[at_w], 3)
+    # one representative pooled config for the pytest-benchmark JSON
+    top = WORKER_COUNTS[-1] if smoke_mode() else SPEEDUP_POINT[1]
+    benchmark.pedantic(
+        lambda: join(
+            make_query(),
+            gao=gao,
+            shards=top,
+            workers=top,
+            counters=NullCounters(),
+        ),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    record(benchmark, f"PAR_{family}", case, metrics)
+    if (
+        family == "triangle"
+        and not smoke_mode()
+        and at_w in times
+        and (os.cpu_count() or 1) >= at_w
+    ):
+        assert times[base_w] >= MIN_SPEEDUP * times[at_w], (
+            f"expected >= {MIN_SPEEDUP}x speedup at {at_w} workers "
+            f"(got {times[base_w] / times[at_w]:.2f}x)"
+        )
+
+
+@pytest.mark.parametrize("case,make", TRIANGLE_CASES)
+def test_parallel_scaling_triangle(benchmark, case, make):
+    _scaling_curve(
+        benchmark, "triangle", case, _triangle_query(make), ["A", "B", "C"]
+    )
+
+
+@pytest.mark.parametrize("case,make", INTERSECTION_CASES)
+def test_parallel_scaling_intersection(benchmark, case, make):
+    _scaling_curve(
+        benchmark, "intersection", case, _unary_query(make), ["A"]
+    )

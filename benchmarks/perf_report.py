@@ -45,6 +45,7 @@ DRIVER = os.path.join(REPO_ROOT, "benchmarks", "_workloads.py")
 DEFAULT_BENCH_FILES = [
     "benchmarks/bench_regression.py",
     "benchmarks/bench_dynamic.py",
+    "benchmarks/bench_parallel.py",
 ]
 
 

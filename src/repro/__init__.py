@@ -11,6 +11,7 @@ Public API highlights
 ``repro.certificates``        certificate construction and verification
 ``repro.datasets``            paper instance families and synthetic graphs
 ``repro.dynamic``             writable relations, live views, streaming
+``repro.parallel``            sharded parallel execution (ShardedExecutor)
 """
 
 from repro.core import (
@@ -28,6 +29,7 @@ from repro.core import (
     naive_join,
 )
 from repro.dynamic import Catalog, Update
+from repro.parallel import ShardedExecutor
 from repro.storage import (
     BTree,
     DeltaRelation,
@@ -60,6 +62,7 @@ __all__ = [
     "FlatTrieRelation",
     "IntervalList",
     "Relation",
+    "ShardedExecutor",
     "SortedList",
     "TrieRelation",
     "Update",

@@ -9,6 +9,10 @@ Commands
 ``join --relation NAME=ATTRS:FILE [...]``
     Evaluate a natural join over integer-CSV relations with Minesweeper
     (or a baseline engine) and print rows plus instrumentation.
+    ``--workers W [--shards K]`` shards the first GAO attribute's domain
+    and runs the ranges in a multiprocessing pool (rows and their order
+    are invariant); the same flags apply to ``certificate`` (per-shard
+    record+check fan-out) and ``stream`` (sharded delta terms).
 
 ``gao-search --relation ...``
     Measure candidate attribute orders and report the cheapest
@@ -97,9 +101,27 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_args(args: argparse.Namespace):
+    """Validated ``(workers, shards)`` from the shared CLI flags.
+
+    ``shards`` is resolved to its default (``--workers``, else 1) here,
+    once, for every command that takes the pair.
+    """
+    workers = args.workers
+    shards = args.shards
+    if workers is not None and workers < 0:
+        raise SystemExit("--workers must be non-negative")
+    if shards is not None and shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if shards is None:
+        shards = workers if workers else 1
+    return workers, shards
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     if args.limit is not None and args.limit < 0:
         raise SystemExit("--limit must be non-negative")
+    workers, shards = _parallel_args(args)
     query = _build_query(args.relation)
     gao = args.gao.split(",") if args.gao else None
     if args.explain:
@@ -108,7 +130,14 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(format_explanation(explain(query, gao=gao, dry_run=True)))
         return 0
     if args.engine == "minesweeper":
-        result = join(query, gao=gao, backend=args.backend, limit=args.limit)
+        result = join(
+            query,
+            gao=gao,
+            backend=args.backend,
+            limit=args.limit,
+            workers=workers,
+            shards=shards,
+        )
         rows, stats = result.rows, result.stats()
         used_gao = list(result.gao)
     else:
@@ -116,6 +145,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "--limit is Minesweeper-only (the baselines are batch "
                 "engines with no certificate-bound streaming path)"
+            )
+        if workers or (shards and shards > 1):
+            raise SystemExit(
+                "--workers/--shards are Minesweeper-only (the baselines "
+                "have no sharded execution path)"
             )
         if gao is None:
             gao, _ = query.choose_gao()
@@ -160,9 +194,36 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
     from repro.certificates.recorder import record_certificate
     from repro.certificates.verifier import check_certificate
 
+    workers, shards = _parallel_args(args)
     query = _build_query(args.relation)
     gao = args.gao.split(",") if args.gao else query.choose_gao()[0]
     prepared = query.with_gao(gao, backend=args.backend)
+    if shards > 1 or (workers or 0) >= 1:
+        # like join: --workers 1 is a real 1-process pool over the
+        # single-range plan, not a silent fall-through
+        from repro.parallel.certify import certify_sharded
+
+        results = certify_sharded(
+            prepared, shards, workers=workers or 0, samples=args.samples
+        )
+        for shard in results:
+            verdict = "PASSED" if shard.passed else "REFUTED"
+            print(
+                f"# shard [{shard.lo}, {shard.hi}]: rows={shard.rows} "
+                f"comparisons={shard.comparisons} "
+                f"findgap={shard.findgap} {verdict}"
+            )
+        print(f"# output rows: {sum(s.rows for s in results)}")
+        print(
+            "# recorded comparisons: "
+            f"{sum(s.comparisons for s in results)} "
+            f"(over {len(results)} shards)"
+        )
+        if all(s.passed for s in results):
+            print("# certificate check: PASSED (no refuting instance found)")
+            return 0
+        print("# certificate check: REFUTED")
+        return 1
     rows, argument = record_certificate(prepared)
     print(f"# output rows: {len(rows)}")
     print(f"# recorded comparisons: {len(argument)}")
@@ -211,6 +272,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         except ValueError as exc:  # e.g. duplicate --relation name
             raise SystemExit(str(exc))
     gao = args.gao.split(",") if args.gao else None
+    workers, shards = _parallel_args(args)
     for spec in args.view:
         try:
             name, rest = spec.split("=", 1)
@@ -220,7 +282,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             )
         members = [r.strip() for r in rest.split(",") if r.strip()]
         try:
-            catalog.register_view(name.strip(), members, gao=gao)
+            catalog.register_view(
+                name.strip(),
+                members,
+                gao=gao,
+                shards=shards,
+                workers=workers or 0,
+            )
         except (KeyError, ValueError) as exc:
             raise SystemExit(f"cannot register view {name!r}: {exc}")
     try:
@@ -366,6 +434,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return subprocess.call(cmd, cwd=root, env=env)
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="W",
+        help="multiprocessing pool size for sharded execution "
+        "(0 = run shards sequentially in-process; implies --shards W)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        help="split the first GAO attribute's domain into K contiguous "
+        "ranges balanced by stored tuple counts (default: --workers, "
+        "else 1); rows and their order are invariant in K",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -403,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after K output rows (Minesweeper top-k streaming; "
         "op counts then reflect only the consumed part of the certificate)",
     )
+    _add_parallel_flags(p_join)
     p_join.set_defaults(func=_cmd_join)
 
     p_gao = sub.add_parser("gao-search", help="find a cheap attribute order")
@@ -424,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["flat", "trie", "btree"],
         help="storage backend for every relation (default: flat)",
     )
+    _add_parallel_flags(p_cert)
     p_cert.set_defaults(func=_cmd_certificate)
 
     p_stream = sub.add_parser(
@@ -448,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the per-batch full-recompute comparator")
     p_stream.add_argument("--print-rows", action="store_true",
                           help="print final view rows after the replay")
+    _add_parallel_flags(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
 
     p_bench = sub.add_parser("bench", help="run the benchmark suite")

@@ -20,6 +20,8 @@ class JoinResult:
         strategy: str,
         counters: OpCounters,
         limit: Optional[int] = None,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.rows = rows
         self.gao = tuple(gao)
@@ -29,6 +31,12 @@ class JoinResult:
         #: set, ``rows`` holds the first ``limit`` output tuples in GAO
         #: order and ``counters`` only the work done to find them.
         self.limit = limit
+        #: Sharded-execution provenance (None = the plain single-engine
+        #: path).  ``shards`` is the number of ranges actually run and
+        #: ``workers`` the pool size (0 = in-process sequential mode);
+        #: ``counters`` is then the merged per-shard tally.
+        self.shards = shards
+        self.workers = workers
 
     def __iter__(self):
         return iter(self.rows)
@@ -60,6 +68,8 @@ def join(
     counters: Optional[OpCounters] = None,
     backend: Optional[str] = None,
     limit: Optional[int] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Minesweeper.
 
@@ -75,9 +85,42 @@ def join(
     certificate-bound, the returned counters reflect only the part of
     the certificate actually consumed (the ``Minesweeper.iterate``
     top-k / Fagin-style path, §6.3).
+
+    ``shards`` > 1 splits the first GAO attribute's domain into that
+    many contiguous ranges (balanced by stored tuple counts) and runs
+    one Minesweeper per range — see :mod:`repro.parallel`.  ``workers``
+    sets the ``multiprocessing`` pool size (0 / None with explicit
+    ``shards``: run the shards sequentially in-process — deterministic,
+    byte-identical rows and merged op counts to the pooled run).
+    ``workers`` alone implies ``shards=workers``.  Rows and their order
+    are invariant in both knobs.
     """
     if limit is not None and limit < 0:
         raise ValueError(f"limit must be non-negative, got {limit}")
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if shards is None:
+        shards = workers if workers else 1
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > 1 or (workers or 0) >= 1:
+        # workers=1 with a single shard is still a real 1-process pool
+        # (the honest baseline of the scaling curve), not a silent
+        # fall-through to the plain path.
+        from repro.parallel.executor import ShardedExecutor
+
+        return ShardedExecutor(
+            query,
+            gao=gao,
+            shards=shards,
+            workers=workers or 0,
+            strategy=strategy,
+            memoize=memoize,
+            merge_intervals=merge_intervals,
+            counters=counters,
+            backend=backend,
+            limit=limit,
+        ).run()
     if gao is None:
         gao, _ = query.choose_gao()
     prepared = (

@@ -38,6 +38,44 @@ from repro.util.counters import OpCounters
 Row = Tuple[int, ...]
 
 
+def _validated_rows(rows, arity: int, name: str) -> "List[Row]":
+    """Tuple-ize and validate delta rows (mirrors DeltaRelation checks).
+
+    Runs *before* intra-batch insert/delete pairs are netted out, so a
+    malformed tuple is rejected even when pairing would annihilate it.
+    """
+    out: List[Row] = []
+    for row in rows:
+        t = tuple(row)
+        if len(t) != arity:
+            raise ValueError(
+                f"tuple {t} does not match arity {arity} of {name}"
+            )
+        for v in t:
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise TypeError(f"non-integer value {v!r} in tuple {t}")
+        out.append(t)
+    return out
+
+
+def _netted_delta(
+    inserts, deletes, arity: int, name: str
+) -> "Tuple[List[Row], List[Row]]":
+    """Validate both sides, then annihilate intra-batch pairs.
+
+    A tuple appearing as both insert and delete in one batch nets out —
+    order-insensitively, after validation, so a malformed pair still
+    raises instead of vanishing.
+    """
+    ins = _validated_rows(inserts, arity, name)
+    dels = _validated_rows(deletes, arity, name)
+    paired = set(ins) & set(dels)
+    if paired:
+        ins = [t for t in ins if t not in paired]
+        dels = [t for t in dels if t not in paired]
+    return ins, dels
+
+
 def consistent_gao(relations: Sequence[Relation]) -> Optional[List[str]]:
     """A GAO consistent with every relation's *stored* column order.
 
@@ -91,6 +129,22 @@ class LiveJoin:
     strategy:
         Minesweeper probe strategy (``"auto"`` / ``"chain"`` /
         ``"general"``), threaded through to every evaluation.
+    shards / workers:
+        With ``shards`` > 1, every evaluation this view performs — the
+        seed, each delta term of a maintenance batch, and recomputes —
+        fans out across contiguous ranges of the first GAO attribute
+        (see :mod:`repro.parallel`); ``workers`` sets the pool size
+        (0 = in-process sequential shard execution, the deterministic
+        default).  Rows are invariant in both; merged op counts are
+        invariant in ``workers``.
+
+        Cost trade-off: each fanned-out evaluation re-plans and
+        re-slices the *current* leading relations — O(live tuples) of
+        slicing per delta term on top of the delta-bound probe work
+        (op counters tally probes, not slicing).  That is worthwhile
+        when individual delta terms are heavy (large batches over big
+        views, seeds, recomputes) and a loss for trickle updates, where
+        the default ``shards=1`` keeps maintenance delta-bound.
     """
 
     def __init__(
@@ -99,6 +153,8 @@ class LiveJoin:
         relations: Sequence[Relation],
         gao: Optional[Sequence[str]] = None,
         strategy: str = "auto",
+        shards: int = 1,
+        workers: int = 0,
     ) -> None:
         self.name = name
         query = Query(list(relations))
@@ -127,6 +183,12 @@ class LiveJoin:
         }
         self.gao: Tuple[str, ...] = tuple(gao)
         self.strategy = strategy
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.shards = shards
+        self.workers = workers
         #: Cumulative maintenance ops (delta terms only, not the seed).
         self.counters = OpCounters()
         self._counts: Dict[Row, int] = {}
@@ -144,6 +206,20 @@ class LiveJoin:
     def _evaluate(
         self, relations: Sequence[Relation], counters: OpCounters
     ) -> List[Row]:
+        if self.shards > 1 or self.workers >= 1:
+            # workers >= 1 with a single shard still runs the one-range
+            # plan through a real pool — consistent with join()
+            from repro.parallel.executor import run_sharded
+
+            rows, _, _ = run_sharded(
+                relations,
+                self.gao,
+                shards=self.shards,
+                workers=self.workers,
+                strategy=self.strategy,
+                counters=counters,
+            )
+            return rows
         return Minesweeper(
             self._prepared(relations, counters), strategy=self.strategy
         ).run()
@@ -196,10 +272,19 @@ class LiveJoin:
         order have been applied) — that is the delta rule's mixed
         old/new state.  Updates naming relations outside this view are
         ignored.  Returns ``(rows_added, rows_removed)``.
+
+        The delta is canonicalized first: a tuple appearing on *both*
+        sides of the batch is an intra-batch insert/delete pair, which
+        annihilates — order-insensitively — before any delta term is
+        evaluated, so view multiplicities are untouched by it.  (The
+        previous behavior evaluated the -1 term before the +1 term,
+        which only balanced by accident and double-counted maintenance
+        work.)
         """
         base = self._by_name.get(name)
         if base is None:
             return (0, 0)
+        inserts, deletes = _netted_delta(inserts, deletes, base.arity, name)
         # Tally into a fresh local object, then merge it outward —
         # folding a caller-shared counters object into the cumulative
         # tally would recount its earlier contents once per call.
@@ -249,11 +334,15 @@ class LiveJoin:
         views over shared relations use
         :meth:`repro.dynamic.catalog.Catalog.apply_batch` instead.
         """
-        # Validate the whole batch (names, arity, types, netting) before
-        # mutating anything, so a bad entry can't leave the view and
-        # storage half-updated (mirrors Catalog.apply_batch; each
-        # relation appears once, so pre-batch effective deltas equal the
-        # sequential ones).
+        # Validate the whole batch (names, arity, types) before mutating
+        # anything, so a bad entry can't leave the view and storage
+        # half-updated (mirrors Catalog.apply_batch; each relation
+        # appears once, so pre-batch effective deltas equal the
+        # sequential ones).  A tuple appearing as both insert and delete
+        # of the same relation is an intra-batch pair: it nets out here
+        # — order-insensitively, leaving storage and multiplicities
+        # unchanged — rather than tripping effective_delta's overlap
+        # guard.
         effective = {}
         for name, (inserts, deletes) in updates.items():
             base = self._by_name.get(name)
@@ -261,7 +350,8 @@ class LiveJoin:
                 raise ValueError(
                     f"view {self.name} has no relation named {name!r}"
                 )
-            effective[name] = base.index.effective_delta(inserts, deletes)
+            ins, dels = _netted_delta(inserts, deletes, base.arity, name)
+            effective[name] = base.index.effective_delta(ins, dels)
         added = removed = 0
         for name, (eff_ins, eff_del) in effective.items():
             base = self._by_name[name]

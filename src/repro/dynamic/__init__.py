@@ -36,7 +36,7 @@ from repro.dynamic.streams import (
     replay_with_recompute,
     triangle_stream,
 )
-from repro.storage.delta import DeltaRelation
+from repro.storage.delta import DeltaRelation, StaleHandleError
 
 __all__ = [
     "BatchReport",
@@ -45,6 +45,7 @@ __all__ = [
     "DeltaRelation",
     "INSERT",
     "LiveJoin",
+    "StaleHandleError",
     "Update",
     "build_catalog",
     "format_update",

@@ -139,8 +139,16 @@ class Catalog:
         relation_names: Sequence[str],
         gao: Optional[Sequence[str]] = None,
         strategy: str = "auto",
+        shards: int = 1,
+        workers: int = 0,
     ) -> LiveJoin:
-        """Register (and immediately materialize) a live join view."""
+        """Register (and immediately materialize) a live join view.
+
+        ``shards`` / ``workers`` thread through to the view's
+        evaluations: the seed, each maintenance delta term, and
+        recomputes fan out across ranges of the first GAO attribute
+        (see :class:`~repro.core.incremental.LiveJoin`).
+        """
         if name in self._views:
             raise ValueError(f"view {name!r} already registered")
         missing = [n for n in relation_names if n not in self._relations]
@@ -151,6 +159,8 @@ class Catalog:
             [self._relations[n] for n in relation_names],
             gao=gao,
             strategy=strategy,
+            shards=shards,
+            workers=workers,
         )
         self._views[name] = view
         return view

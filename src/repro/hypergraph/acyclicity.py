@@ -109,6 +109,15 @@ def nested_elimination_order(hypergraph: Hypergraph) -> Optional[List[str]]:
 
     Built back-to-front by repeatedly peeling a nest point (the proof of
     Proposition A.6).  Existence characterizes beta-acyclicity.
+
+    Ties between candidate nest points break lexicographically: the
+    smallest name is peeled first (placed last in the order), so the
+    returned order depends only on the hypergraph — never on edge
+    insertion order or hash seeding.  (Vertices shared by incomparable
+    edges are not nest points until their partners are peeled, so they
+    gravitate to the front — the cheap side of Examples B.3/B.4.)  A
+    fixed tie-break keeps ``repro join`` output ordering and benchmark
+    op counts reproducible across runs and across processes.
     """
     order_reversed: List[str] = []
     current = hypergraph

@@ -87,9 +87,13 @@ def min_fill_order(hypergraph: Hypergraph) -> List[str]:
     """A low-width GAO via the min-fill elimination heuristic.
 
     Eliminates, at each step, the vertex whose neighborhood needs the
-    fewest fill edges in the Gaifman graph (ties: min degree, then name).
-    The *first-eliminated* vertex becomes v_n, matching the back-to-front
-    convention of Appendix A.2.
+    fewest fill edges in the Gaifman graph (ties: min degree, then the
+    lexicographically smallest name).  The *first-eliminated* vertex
+    becomes v_n, matching the back-to-front convention of Appendix A.2.
+    The explicit name tie-break makes the result a pure function of the
+    hypergraph — never of edge insertion order or hash seeding — so
+    join output ordering and benchmark op counts are reproducible
+    across runs and across processes.
     """
     adj = {v: set(nbrs) for v, nbrs in hypergraph.gaifman_neighbors().items()}
     eliminated: List[str] = []

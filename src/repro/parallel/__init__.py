@@ -1,0 +1,40 @@
+"""Sharded parallel execution of Minesweeper joins.
+
+Minesweeper's gap/probe dialogue is embarrassingly parallel along the
+first GAO attribute: probe points whose leading coordinates fall in
+disjoint ranges never share discovered gaps *about that range*, so
+splitting the leading attribute's domain into contiguous shards
+preserves both the output (the concatenation of the shards' GAO-ordered
+outputs *is* the global GAO order) and the per-shard certificate
+accounting (each shard's :class:`~repro.util.counters.OpCounters` is an
+honest Section-5.2 tally for its sub-instance; the merged tally is the
+plan's total).
+
+Layers:
+
+* :mod:`repro.parallel.planner` — split the leading attribute's domain
+  into ``k`` contiguous ranges, balanced by stored tuple counts, and
+  slice the prepared relations per range;
+* :mod:`repro.parallel.executor` — run one Minesweeper per shard, in a
+  ``multiprocessing`` pool (``workers >= 1``) or in-process
+  (``workers=0``, the deterministic sequential mode tests and op-count
+  parity checks rely on), and merge rows + counters;
+* :mod:`repro.parallel.certify` — the same fan-out for the
+  Proposition-2.5 certificate recorder/checker.
+
+Entry points: ``join(..., workers=, shards=)``
+(:func:`repro.core.engine.join`), ``LiveJoin(..., workers=, shards=)``,
+and the ``--workers/--shards`` CLI flags on ``join`` / ``certificate`` /
+``stream``.
+"""
+
+from repro.parallel.executor import ShardedExecutor, run_sharded
+from repro.parallel.planner import Shard, plan_shards, shard_relations
+
+__all__ = [
+    "Shard",
+    "ShardedExecutor",
+    "plan_shards",
+    "run_sharded",
+    "shard_relations",
+]

@@ -1,0 +1,233 @@
+"""Sharded Minesweeper execution: a pool of per-range engines.
+
+Each shard of a :func:`repro.parallel.planner.plan_shards` plan is an
+independent Minesweeper instance over the sliced relations; the
+executor runs them either
+
+* **in-process** (``workers=0``) — the deterministic sequential mode:
+  shards run one after another on this interpreter, byte-identical to
+  the pooled run (same plan, same per-shard engines), so tests can
+  assert op-count parity without multiprocessing in the loop; or
+* **pooled** (``workers >= 1``) — a ``multiprocessing`` pool of that
+  many processes.  Payloads are the sliced relations themselves: the
+  FlatTrie CSR arrays are plain lists and pickle cheaply, so workers
+  deserialize ready-built indexes instead of rebuilding tries.
+
+Per-shard :class:`~repro.util.counters.OpCounters` tallies are merged
+with ``OpCounters.merge``; the merged tally is identical between the
+two modes.  Shard outputs are GAO-ordered within each range and ranges
+are ascending and disjoint, so concatenation in plan order *is* the
+global GAO order — results are invariant in the shard count and in the
+worker count.
+
+Note the merged tally is the cost of the *plan*, not of the unsharded
+run: each shard pays a couple of boundary probes, and gaps discovered
+in relations that do not contain the leading attribute (shared across
+the whole domain in a single sequential run) are rediscovered once per
+shard.  ``benchmarks/bench_parallel.py`` tracks both numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import JoinResult
+from repro.core.minesweeper import Minesweeper
+from repro.core.query import PreparedQuery, Query
+from repro.hypergraph.elimination import is_nested_elimination_order
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.planner import plan_and_slice
+from repro.storage.relation import Relation
+from repro.util.counters import NullCounters, OpCounters
+
+Row = Tuple[int, ...]
+
+#: What one worker needs to run one shard: (relations, gao, strategy,
+#: memoize, merge_intervals, limit, count) — all plain picklable data.
+ShardPayload = Tuple
+
+
+def resolve_strategy(
+    relations: Sequence[Relation], gao: Sequence[str], strategy: str
+) -> str:
+    """Resolve ``"auto"`` once for the whole plan (paper rule: chain
+    iff the GAO is a nested elimination order).  Every shard shares the
+    query's hypergraph, so resolving centrally keeps the plan's shards
+    agreeing with each other and with the unsharded engine."""
+    if strategy != "auto":
+        return strategy
+    h = Hypergraph({r.name: r.attributes for r in relations})
+    return "chain" if is_nested_elimination_order(h, gao) else "general"
+
+
+def _run_shard(payload: ShardPayload):
+    """Run one shard to completion (executed inside a pool worker, or
+    inline for the ``workers=0`` sequential mode)."""
+    relations, gao, strategy, memoize, merge_intervals, limit, count = payload
+    counters = OpCounters() if count else NullCounters()
+    for r in relations:
+        r.rebind_counters(counters)
+    prepared = PreparedQuery(list(relations), gao, counters)
+    engine = Minesweeper(
+        prepared,
+        strategy=strategy,
+        memoize=memoize,
+        merge_intervals=merge_intervals,
+    )
+    if limit is None:
+        rows = engine.run()
+    else:
+        rows = list(itertools.islice(engine.iterate(), limit))
+    return rows, counters
+
+
+def run_sharded(
+    relations: Sequence[Relation],
+    gao: Sequence[str],
+    shards: int,
+    workers: int = 0,
+    strategy: str = "auto",
+    memoize: bool = True,
+    merge_intervals: bool = True,
+    counters: Optional[OpCounters] = None,
+    limit: Optional[int] = None,
+) -> Tuple[List[Row], OpCounters, int]:
+    """Plan, execute, and merge a sharded run over prepared relations.
+
+    ``relations`` must already be indexed consistently with ``gao``
+    (the caller — ``join`` or ``LiveJoin`` — guarantees it).  Returns
+    ``(rows, merged_counters, shards_run)``; ``rows`` are in global GAO
+    order and ``merged_counters`` is the provided ``counters`` object
+    (or a fresh one) with every shard's tally merged in.  ``workers=0``
+    runs the shards sequentially in-process; the merged rows and
+    counters are identical either way.
+
+    Under ``limit``, shard results are consumed in plan (range) order
+    and consumption stops as soon as the global prefix is full, so the
+    merged counters reflect only the shards whose certificate was
+    actually consumed — in both modes (a pool may have later shards in
+    flight when consumption stops; their work is discarded untallied).
+    """
+    base = counters if counters is not None else OpCounters()
+    strategy = resolve_strategy(relations, gao, strategy)
+    plan, slices = plan_and_slice(relations, gao[0], shards)
+    if limit == 0 or not plan:
+        # Nothing to run: limit=0 consumes no certificate at all, and an
+        # empty leading domain proves emptiness from the stored tries
+        # alone (an output value must occur in some leading relation).
+        return [], base, len(plan)
+    count = base.enabled
+    payloads = [
+        (
+            shard_rels,
+            list(gao),
+            strategy,
+            memoize,
+            merge_intervals,
+            limit,
+            count,
+        )
+        for shard_rels in slices
+    ]
+    rows: List[Row] = []
+
+    def consume(results) -> bool:
+        """Merge results in plan order; True once ``limit`` is reached."""
+        for shard_rows, shard_counters in results:
+            rows.extend(shard_rows)
+            base.merge(shard_counters)
+            if limit is not None and len(rows) >= limit:
+                return True
+        return False
+
+    if workers:
+        with multiprocessing.get_context().Pool(
+            min(workers, len(payloads))
+        ) as pool:
+            consume(pool.imap(_run_shard, payloads, chunksize=1))
+    else:
+        consume(_run_shard(payload) for payload in payloads)
+    # In-process shard runs rebind the pass-through relations' counters;
+    # leave every original relation tallying into the merged object, not
+    # a discarded per-shard one.
+    for r in relations:
+        r.rebind_counters(base)
+    if limit is not None:
+        rows = rows[:limit]
+    return rows, base, len(payloads)
+
+
+class ShardedExecutor:
+    """Run a natural-join query as a plan of per-range Minesweepers.
+
+    The high-level counterpart of :func:`run_sharded`: prepares the
+    query for its GAO (re-indexing if needed, exactly like
+    :func:`repro.core.engine.join`), shards the leading attribute's
+    domain, and returns a :class:`~repro.core.engine.JoinResult` whose
+    ``counters`` is the merged per-shard tally and whose ``rows`` equal
+    the unsharded engine's output.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        gao: Optional[Sequence[str]] = None,
+        shards: int = 2,
+        workers: int = 0,
+        strategy: str = "auto",
+        memoize: bool = True,
+        merge_intervals: bool = True,
+        counters: Optional[OpCounters] = None,
+        backend: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        if gao is None:
+            gao, _ = query.choose_gao()
+        self.counters = counters if counters is not None else OpCounters()
+        prepared = (
+            query
+            if backend is None
+            and isinstance(query, PreparedQuery)
+            and tuple(gao) == query.gao
+            else query.with_gao(gao, backend=backend)
+        )
+        self.prepared = prepared
+        self.gao = tuple(gao)
+        self.shards = shards
+        self.workers = workers
+        self.strategy = resolve_strategy(
+            prepared.relations, self.gao, strategy
+        )
+        self.memoize = memoize
+        self.merge_intervals = merge_intervals
+        self.limit = limit
+
+    def run(self) -> JoinResult:
+        rows, merged, shards_run = run_sharded(
+            self.prepared.relations,
+            self.gao,
+            shards=self.shards,
+            workers=self.workers,
+            strategy=self.strategy,
+            memoize=self.memoize,
+            merge_intervals=self.merge_intervals,
+            counters=self.counters,
+            limit=self.limit,
+        )
+        return JoinResult(
+            rows,
+            self.gao,
+            self.strategy,
+            merged,
+            limit=self.limit,
+            shards=shards_run,
+            workers=self.workers,
+        )

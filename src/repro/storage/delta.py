@@ -22,8 +22,11 @@ cached until the next one — so every read-side method (``find_gap``,
 ``value`` / ``child_values``, the node-handle probe API, ``tuples`` …)
 behaves byte-for-byte like the static flat backend, and Minesweeper, the
 probe strategies, and the baselines run on a ``DeltaRelation`` unchanged.
-Do not mutate the relation while an engine is iterating over it: handles
-obtained from the pre-mutation view are meaningless afterwards.
+Do not mutate the relation while an engine is iterating over it: node
+handles are stamped with the relation's *generation* (bumped on every
+insert / delete), and reading through a handle issued before a mutation
+raises :class:`StaleHandleError` (a ``RuntimeError``) instead of
+silently returning values from a superseded view.
 
 Cost model: writes are O(log memtable) and *probes* stay delta-bound
 (the subsystem's currency — FindGap / probe counts), but the first read
@@ -48,6 +51,10 @@ from repro.util.sentinels import ExtendedValue
 
 IndexTuple = Tuple[int, ...]
 Row = Tuple[int, ...]
+
+
+class StaleHandleError(RuntimeError):
+    """A node handle issued before a mutation was used after it."""
 
 
 class _Run:
@@ -112,6 +119,9 @@ class DeltaRelation:
         #: newest state per key written since the last flush
         #: (True = live insert, False = tombstone).
         self._memtable: Dict[Row, bool] = {}
+        #: Bumped on every mutation; node handles carry the generation
+        #: they were issued under, and reads through an older one raise.
+        self._generation = 0
         self._runs: List[_Run] = []
         if len(base):
             self._runs.append(_Run(base, frozenset()))
@@ -156,6 +166,7 @@ class DeltaRelation:
     def _write(self, t: Row, live: bool) -> None:
         self._memtable[t] = live
         self._view_cache = None
+        self._generation += 1
         self._stats["inserts" if live else "deletes"] += 1
 
     def _maybe_autoflush(self) -> None:
@@ -374,32 +385,54 @@ class DeltaRelation:
         return self._view().gap_values(index_tuple, a)
 
     # Node-handle API (iterator-based engines: LFTJ, generic join)
+    #
+    # Handles are opaque to every engine, so a DeltaRelation handle is
+    # ``(generation, inner_flat_trie_handle)``: issuing stamps the
+    # current generation, and every read through a handle checks the
+    # stamp first.  A mutation (insert / delete) bumps the generation,
+    # turning all previously issued handles into loud errors instead of
+    # coordinates into a superseded view.  flush() / compact() keep the
+    # logical contents AND the cached view object, so they do not
+    # invalidate handles.
+
+    def _wrap(self, inner):
+        return None if inner is None else (self._generation, inner)
+
+    def _unwrap(self, node):
+        generation, inner = node
+        if generation != self._generation:
+            raise StaleHandleError(
+                f"node handle from generation {generation} used at "
+                f"generation {self._generation}; handles do not survive "
+                "insert/delete — re-acquire from root_handle()/root_node()"
+            )
+        return inner
 
     def root_node(self) -> NodeHandle:
-        return self._view().root_node()
+        return self._wrap(self._view().root_node())
 
     def node_keys(self, node: NodeHandle) -> List[int]:
-        return self._view().node_keys(node)
+        return self._view().node_keys(self._unwrap(node))
 
     def node_child(self, node: NodeHandle, position: int):
-        return self._view().node_child(node, position)
+        return self._wrap(self._view().node_child(self._unwrap(node), position))
 
     # Probe fast path (Minesweeper exploration)
 
     def root_handle(self) -> NodeHandle:
-        return self._view().root_handle()
+        return self._wrap(self._view().root_handle())
 
     def fanout_at(self, node: NodeHandle) -> int:
-        return self._view().fanout_at(node)
+        return self._view().fanout_at(self._unwrap(node))
 
     def value_at(self, node: NodeHandle, position: int) -> ExtendedValue:
-        return self._view().value_at(node, position)
+        return self._view().value_at(self._unwrap(node), position)
 
     def child_at(self, node: NodeHandle, position: int):
-        return self._view().child_at(node, position)
+        return self._wrap(self._view().child_at(self._unwrap(node), position))
 
     def gap_at(self, node: NodeHandle, a: int) -> Tuple[int, int]:
-        return self._view().gap_at(node, a)
+        return self._view().gap_at(self._unwrap(node), a)
 
     def __repr__(self) -> str:
         return (

@@ -217,3 +217,71 @@ class TestLsmMechanics:
         delta.counters = rebound
         delta.find_gap((), 2)
         assert rebound.findgap == 1 and counters.findgap == 2
+
+
+class TestStaleHandles:
+    """Mutation bumps the generation; pre-mutation handles read loudly."""
+
+    def _all_reads(self, delta, node):
+        return [
+            lambda: delta.gap_at(node, 2),
+            lambda: delta.fanout_at(node),
+            lambda: delta.value_at(node, 1),
+            lambda: delta.child_at(node, 1),
+            lambda: delta.node_keys(node),
+            lambda: delta.node_child(node, 1),
+        ]
+
+    def test_insert_invalidates_issued_handles(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        root = delta.root_handle()
+        child = delta.child_at(root, 1)
+        assert delta.gap_at(root, 2) == (2, 2)  # fresh handle reads fine
+        delta.insert((9, 9))
+        for read in self._all_reads(delta, root) + self._all_reads(
+            delta, child
+        ):
+            with pytest.raises(RuntimeError, match="generation"):
+                read()
+        # re-acquiring restores service over the post-mutation view
+        assert delta.gap_at(delta.root_handle(), 9) == (3, 3)
+
+    def test_delete_invalidates_issued_handles(self):
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        root = delta.root_node()
+        delta.delete((2, 3))
+        with pytest.raises(RuntimeError, match="generation"):
+            delta.node_keys(root)
+
+    def test_noop_writes_keep_handles_valid(self):
+        """insert of a present row / delete of an absent row mutate
+        nothing, so issued handles stay readable."""
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        root = delta.root_handle()
+        assert not delta.insert((1, 1))
+        assert not delta.delete((7, 7))
+        assert delta.gap_at(root, 1) == (1, 1)
+
+    def test_flush_and_compact_keep_handles_valid(self):
+        """Sealing/merging runs changes no logical contents (and keeps
+        the cached view object), so handles survive."""
+        delta = DeltaRelation(PAPER_EXAMPLE)
+        delta.insert((5, 5))
+        delta.delete((2, 4))
+        root = delta.root_handle()
+        keys = delta.node_keys(root)
+        delta.flush()
+        assert delta.node_keys(root) == keys
+        delta.compact()
+        assert delta.node_keys(root) == keys
+        assert delta.gap_at(root, 5) == delta.gap_at(delta.root_handle(), 5)
+
+    def test_mutation_mid_walk_raises_not_garbage(self):
+        """The documented sharp edge: mutate while an engine-style walk
+        holds handles -> RuntimeError, not values from a stale view."""
+        delta = DeltaRelation([(1, 1), (2, 2), (3, 3)])
+        root = delta.root_handle()
+        child = delta.child_at(root, delta.gap_at(root, 2)[0])
+        delta.delete((2, 2))
+        with pytest.raises(RuntimeError, match="re-acquire"):
+            delta.gap_at(child, 2)

@@ -103,3 +103,68 @@ class TestTreeDecomposition:
         assert elimination_width(clique, order) == 3
         bags, parent = tree_decomposition(clique, order)
         validate_tree_decomposition(clique, bags, parent)
+
+
+class TestChooseGaoDeterminism:
+    """The GAO pick is a pure function of the hypergraph (lexicographic
+    tie-breaks), never of edge insertion order, dict order, or the
+    process hash seed — so ``repro join`` output ordering and benchmark
+    op counts reproduce exactly across runs."""
+
+    CASES = {
+        # beta-acyclic: NEO peeling, lex-smallest nest point to the back
+        "path": ({"R": ["A", "B"], "S": ["B", "C"], "T": ["C", "D"]},
+                 (["D", "C", "B", "A"], "neo")),
+        "star": ({"R": ["H", "A"], "S": ["H", "B"], "T": ["H", "C"]},
+                 (["H", "C", "B", "A"], "neo")),
+        # beta-cyclic: min-fill with (fill, degree, name) tie-break
+        "triangle": ({"R": ["A", "B"], "S": ["A", "C"], "T": ["B", "C"]},
+                     (["C", "B", "A"], "minfill")),
+        "four_cycle": ({"R": ["A", "B"], "S": ["B", "C"],
+                        "T": ["C", "D"], "U": ["D", "A"]},
+                       (["D", "C", "B", "A"], "minfill")),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_pinned_orders(self, name):
+        edges, expected = self.CASES[name]
+        assert choose_gao(Hypergraph(edges)) == expected
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_edge_insertion_order_invariant(self, name):
+        edges, expected = self.CASES[name]
+        for names in (sorted(edges), sorted(edges, reverse=True)):
+            shuffled = Hypergraph({n: edges[n] for n in names})
+            assert choose_gao(shuffled) == expected
+
+    def test_hash_seed_invariant(self):
+        """Run the pick under several PYTHONHASHSEEDs; all must agree."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "import json, sys\n"
+            "from repro.hypergraph.elimination import choose_gao\n"
+            "from repro.hypergraph.hypergraph import Hypergraph\n"
+            "cases = json.loads(sys.argv[1])\n"
+            "print(json.dumps({k: choose_gao(Hypergraph(e))"
+            " for k, (e, _) in cases.items()}))\n"
+        )
+        payload = json.dumps(self.CASES)
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", program, payload],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+        picked = json.loads(outputs.pop())
+        for name, (_, expected) in self.CASES.items():
+            assert picked[name] == [expected[0], expected[1]]

@@ -125,13 +125,17 @@ class TestMaintenance:
         view = triangle_view([(1, 2)], [(2, 3)], [(1, 3)])
         before = view.rows()
         for bad in (
-            {"R": ([(9, 2)], []), "S": ([(5, 5)], [(5, 5)])},  # +/- pair
+            {"R": ([(9, 2)], []), "S": ([(5, 5, 5)], [])},  # bad arity
             {"R": ([(9, 2)], []), "Z": ([(1, 1)], [])},  # unknown name
         ):
             with pytest.raises(ValueError):
                 view.apply_batch(bad)
             assert view.rows() == before
             assert (9, 2) not in view.relations[0].index
+        # an intra-batch +/- pair is NOT invalid: it nets to a no-op
+        # (see TestIntraBatchInsertDeletePairs)
+        view.apply_batch({"S": ([(5, 5)], [(5, 5)])})
+        assert view.rows() == before
 
     def test_protocol_violation_detected(self):
         """A non-effective delta double-derives a live row -> error."""
@@ -263,3 +267,80 @@ class TestOpSavings:
         counters = OpCounters()
         assert view.apply_delta("R", [], [], counters) == (0, 0)
         assert counters.snapshot()["findgap"] == 0
+
+
+class TestIntraBatchInsertDeletePairs:
+    """An insert and a delete of the *same* tuple in one batch is an
+    intra-batch pair: it annihilates order-insensitively before any
+    delta term runs, leaving storage and multiplicities unchanged."""
+
+    def _view(self):
+        return triangle_view(
+            [(1, 2), (2, 3)], [(2, 3), (3, 1)], [(1, 3), (2, 1)]
+        )
+
+    def test_pair_on_absent_row_is_noop(self):
+        view = self._view()
+        rows, counts = view.rows(), view.counts()
+        assert view.apply_batch({"R": ([(5, 6)], [(5, 6)])}) == (0, 0)
+        assert view.rows() == rows and view.counts() == counts
+        assert (5, 6) not in view.relations[0].index
+        assert view.verify()
+
+    def test_pair_on_present_row_is_noop(self):
+        view = self._view()
+        rows, counts = view.rows(), view.counts()
+        assert view.apply_batch({"R": ([(1, 2)], [(1, 2)])}) == (0, 0)
+        assert view.rows() == rows and view.counts() == counts
+        assert (1, 2) in view.relations[0].index  # storage untouched
+        assert all(c == 1 for c in view.counts().values())
+        assert view.verify()
+
+    @pytest.mark.parametrize("insert_first", [True, False])
+    def test_pair_plus_real_change_both_orderings(self, insert_first):
+        """Only the unpaired part of the batch lands, whichever side of
+        the batch lists the paired tuple first."""
+        pair, real = (2, 3), (9, 9)
+        inserts = [pair, real] if insert_first else [real, pair]
+        view = self._view()
+        view.apply_batch({"R": (inserts, [pair])})
+        assert (2, 3) in view.relations[0].index
+        assert (9, 9) in view.relations[0].index
+        assert view.verify()
+        # the mirrored batch: pair on the delete side plus a real delete
+        view2 = self._view()
+        deletes = [pair, (1, 2)] if insert_first else [(1, 2), pair]
+        view2.apply_batch({"R": ([pair], deletes)})
+        assert (2, 3) in view2.relations[0].index
+        assert (1, 2) not in view2.relations[0].index
+        assert view2.verify()
+
+    def test_apply_delta_nets_pairs_without_evaluating(self):
+        view = self._view()
+        counters = OpCounters()
+        added, removed = view.apply_delta(
+            "R", [(5, 6)], [(5, 6)], counters=counters
+        )
+        assert (added, removed) == (0, 0)
+        assert counters.snapshot().get("findgap", 0) == 0  # no delta term ran
+        assert all(c == 1 for c in view.counts().values())
+        assert view.verify()
+
+
+class TestPairedRowValidation:
+    """A malformed tuple is rejected even when an intra-batch pair
+    would annihilate it (validation runs before netting)."""
+
+    def test_bad_arity_paired_rows_rejected(self):
+        view = triangle_view([(1, 2)], [(2, 3)], [(1, 3)])
+        with pytest.raises(ValueError):
+            view.apply_batch({"R": ([(1, 2, 3)], [(1, 2, 3)])})
+        with pytest.raises(ValueError):
+            view.apply_delta("R", [(1, 2, 3)], [(1, 2, 3)])
+
+    def test_non_integer_paired_rows_rejected(self):
+        view = triangle_view([(1, 2)], [(2, 3)], [(1, 3)])
+        with pytest.raises(TypeError):
+            view.apply_batch({"R": ([("x", "y")], [("x", "y")])})
+        with pytest.raises(TypeError):
+            view.apply_delta("R", [(True, 1)], [(True, 1)])
