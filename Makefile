@@ -5,7 +5,7 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test bench bench-smoke perf-report
+.PHONY: test bench bench-smoke check-ops perf-report
 
 test:
 	$(PY) -m pytest -x -q
@@ -18,6 +18,12 @@ bench:
 # plumbing (recording, extra_info, summary.csv) without timing noise.
 bench-smoke:
 	$(PY) -m repro.cli bench --smoke
+
+# Op-count drift gate: every smoke workload's instrumented tallies must
+# match benchmarks/baselines/smoke_ops.json (CI runs this under both
+# REPRO_CDS_BACKEND values; refresh intentionally with --update).
+check-ops:
+	$(PY) benchmarks/check_smoke_ops.py
 
 # Refresh the repo-root BENCH_<date>.json against the last committed one
 # (see benchmarks/perf_report.py --help for baselining against a git ref).

@@ -218,6 +218,216 @@ def _make_dynamic(stream_name: str, **params):
     return run, instrumented
 
 
+def _make_cds_join(backend: str, query_factory, gao, strategy: str):
+    # repro.core.cds_arena arrived in PR 4; older checkouts skip via the
+    # ModuleNotFoundError probe in measure().
+    import repro.core.cds_arena  # noqa: F401
+
+    from repro.core.engine import join
+    from repro.util.counters import OpCounters
+
+    # Build the indexes once: the cds/* family times the CDS, not
+    # relation construction (the engines never mutate stored relations).
+    query = query_factory()
+
+    def run():
+        return join(query, gao=gao, strategy=strategy, cds_backend=backend)
+
+    def instrumented():
+        counters = OpCounters()
+        join(
+            query, gao=gao, strategy=strategy, counters=counters,
+            cds_backend=backend,
+        )
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+def _cds_triangle_query(n: int):
+    from repro.datasets.instances import triangle_hard
+
+    r, s, t, _cert = triangle_hard(n)
+    return lambda: _triangle_query(r, s, t)
+
+
+def _cds_bowtie_query(n: int, seed: int = 3):
+    import random
+
+    from repro.core.query import Query
+    from repro.storage.relation import Relation
+
+    rng = random.Random(seed)
+    r = sorted(rng.sample(range(n), n // 4))
+    t = sorted(rng.sample(range(n), n // 4))
+    s = sorted({(rng.randrange(n), rng.randrange(n)) for _ in range(3 * n)})
+
+    def query():
+        return Query(
+            [
+                Relation("R", ["X"], [(v,) for v in r]),
+                Relation("S", ["X", "Y"], s),
+                Relation("T", ["Y"], [(v,) for v in t]),
+            ]
+        )
+
+    return query
+
+
+def _cds_deep_query(k: int, n: int, seed: int = 11):
+    """Path query R1(A0,A1) ⋈ ... ⋈ Rk(A{k-1},Ak): deep CDS patterns."""
+    import random
+
+    from repro.core.query import Query
+    from repro.storage.relation import Relation
+
+    rng = random.Random(seed)
+    # Sparse relations: most probes discover gaps instead of outputs,
+    # so the run is CDS-bound (deep chains), not enumeration-bound.
+    rels = [
+        sorted(
+            {(rng.randrange(n), rng.randrange(n)) for _ in range(8 * n // 5)}
+        )
+        for _ in range(k)
+    ]
+
+    def query():
+        return Query(
+            [
+                Relation(f"R{i}", [f"A{i}", f"A{i+1}"], rows)
+                for i, rows in enumerate(rels)
+            ]
+        )
+
+    return query
+
+
+def _cds_wide_query(m: int, n: int, seed: int = 13):
+    """Star query ⋈ᵢ Rᵢ(A, Bᵢ): wide equality fanout under the root."""
+    import random
+
+    from repro.core.query import Query
+    from repro.storage.relation import Relation
+
+    rng = random.Random(seed)
+    rels = [
+        sorted({(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)})
+        for _ in range(m)
+    ]
+
+    def query():
+        return Query(
+            [
+                Relation(f"R{i}", ["A", f"B{i}"], rows)
+                for i, rows in enumerate(rels)
+            ]
+        )
+
+    return query
+
+
+def _make_cds_dynamic(backend: str, **params):
+    import repro.core.cds_arena  # noqa: F401
+
+    from repro import dynamic
+    from repro.util.counters import OpCounters
+
+    schemas, initial, batches = dynamic.triangle_stream(**params)
+
+    def run():
+        catalog, view = dynamic.build_catalog(
+            schemas, initial, cds_backend=backend
+        )
+        for batch in batches:
+            catalog.apply_batch(batch)
+        return view
+
+    def instrumented():
+        catalog, view = dynamic.build_catalog(
+            schemas, initial, cds_backend=backend
+        )
+        counters = OpCounters()
+        for batch in batches:
+            catalog.apply_batch(batch)
+        snapshot = view.counters.snapshot()
+        snapshot["seed_findgap"] = view.initial_ops.get("findgap", 0)
+        return snapshot
+
+    return run, instrumented
+
+
+def _make_cds_dyadic(backend: str, n: int):
+    import repro.core.cds_arena  # noqa: F401
+
+    from repro.core.triangle import triangle_join
+    from repro.datasets.instances import triangle_hard
+    from repro.util.counters import OpCounters
+
+    r, s, t, _cert = triangle_hard(n)
+
+    def run():
+        return triangle_join(r, s, t, cds_backend=backend)
+
+    def instrumented():
+        counters = OpCounters()
+        triangle_join(r, s, t, counters, cds_backend=backend)
+        return counters.snapshot()
+
+    return run, instrumented
+
+
+def _cds_workloads(sizes: dict) -> "Dict[str, Callable]":
+    """The ``cds/*`` family: pointer-vs-arena twins per shape.
+
+    Every pair is asserted row- and op-identical by
+    ``benchmarks/bench_cds_backends.py``; the registry carries both so
+    BENCH_*.json records the backend comparison side by side.
+    """
+    out: Dict[str, Callable] = {}
+    shapes = {
+        "triangle/hard/n={n}".format(**sizes): (
+            lambda: _cds_triangle_query(sizes["n"]),
+            ["A", "B", "C"],
+            "general",
+        ),
+        "bowtie/dense/n={bn}".format(**sizes): (
+            lambda: _cds_bowtie_query(sizes["bn"]),
+            ["X", "Y"],
+            "chain",
+        ),
+        "deep/path/k={k}/n={dn}".format(**sizes): (
+            lambda: _cds_deep_query(sizes["k"], sizes["dn"]),
+            [f"A{i}" for i in range(sizes["k"] + 1)],
+            "auto",
+        ),
+        "wide/star/m={m}/n={wn}".format(**sizes): (
+            lambda: _cds_wide_query(sizes["m"], sizes["wn"]),
+            ["A"] + [f"B{i}" for i in range(sizes["m"])],
+            "auto",
+        ),
+    }
+    for shape, (qf, gao, strategy) in shapes.items():
+        for backend in ("pointer", "arena"):
+            out[f"cds/{shape}/{backend}"] = (
+                lambda qf=qf, gao=gao, strategy=strategy, backend=backend: (
+                    _make_cds_join(backend, qf(), gao, strategy)
+                )
+            )
+    for backend in ("pointer", "arena"):
+        out[f"cds/dynamic/triangle/e={sizes['e']}/{backend}"] = (
+            lambda backend=backend: _make_cds_dynamic(
+                backend,
+                n_nodes=sizes["nodes"], n_edges=sizes["e"],
+                n_batches=sizes["batches"], batch_size=8,
+                insert_fraction=0.5, seed=12,
+            )
+        )
+        out[f"cds/dyadic/hard/n={sizes['dy']}/{backend}"] = (
+            lambda backend=backend: _make_cds_dyadic(backend, sizes["dy"])
+        )
+    return out
+
+
 #: name -> zero-argument factory returning (run, instrumented).  Sizes
 #: track the paper-experiment benchmarks (bench_triangle.py /
 #: bench_set_intersection.py) plus one larger hard instance.
@@ -257,6 +467,14 @@ WORKLOADS: Dict[str, Callable] = {
         _make_parallel_intersection(20_000, shards=4, workers=0)
     ),
 }
+WORKLOADS.update(
+    _cds_workloads(
+        {
+            "n": 32, "bn": 2000, "k": 5, "dn": 60, "m": 5, "wn": 40,
+            "e": 200, "nodes": 40, "batches": 6, "dy": 48,
+        }
+    )
+)
 
 #: Small-input substitutes for smoke runs (same shapes, trivial sizes).
 SMOKE_WORKLOADS: Dict[str, Callable] = {
@@ -281,6 +499,14 @@ SMOKE_WORKLOADS: Dict[str, Callable] = {
         _make_parallel_triangle(40, 10, shards=2, workers=2)
     ),
 }
+SMOKE_WORKLOADS.update(
+    _cds_workloads(
+        {
+            "n": 8, "bn": 200, "k": 3, "dn": 12, "m": 3, "wn": 16,
+            "e": 20, "nodes": 10, "batches": 3, "dy": 8,
+        }
+    )
+)
 
 
 def measure(
@@ -295,13 +521,16 @@ def measure(
         try:
             run, instrumented = registry[name]()
         except ModuleNotFoundError as exc:
-            if exc.name not in ("repro.dynamic", "repro.parallel"):
+            if exc.name not in (
+                "repro.dynamic", "repro.parallel", "repro.core.cds_arena"
+            ):
                 raise
             # Workload needs a subsystem this checkout predates
-            # (repro.dynamic arrived in PR 2, repro.parallel in PR 3)
-            # when baselining against an older ref: skip it; perf_report
-            # only diffs names present on both sides.  Anything else
-            # (a broken import in the current tree) still fails the run.
+            # (repro.dynamic arrived in PR 2, repro.parallel in PR 3,
+            # repro.core.cds_arena in PR 4) when baselining against an
+            # older ref: skip it; perf_report only diffs names present
+            # on both sides.  Anything else (a broken import in the
+            # current tree) still fails the run.
             print(f"skipping {name}: {exc}", file=sys.stderr)
             continue
         samples = []
@@ -319,6 +548,43 @@ def measure(
     return out
 
 
+def profile(
+    names: List[str] = None, top: int = 15, smoke: bool = False
+) -> None:
+    """cProfile each workload once; print the top-N functions.
+
+    The ``repro bench --profile`` entry point: makes hot-path claims
+    reproducible from the CLI (sorted by cumulative time, which is what
+    "where does the wall-clock go" questions need).
+    """
+    import cProfile
+    import pstats
+
+    registry = SMOKE_WORKLOADS if smoke else WORKLOADS
+    names = list(registry) if names is None else names
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise SystemExit(
+            f"unknown workloads {unknown}; available: {sorted(registry)}"
+        )
+    for name in names:
+        try:
+            run, _ = registry[name]()
+        except ModuleNotFoundError as exc:
+            if exc.name not in ("repro.dynamic", "repro.parallel"):
+                raise
+            print(f"skipping {name}: {exc}", file=sys.stderr)
+            continue
+        run()  # warm caches/lazy imports outside the profiled run
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run()
+        profiler.disable()
+        print(f"==== {name}")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(top)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeat", type=int, default=5)
@@ -326,8 +592,16 @@ def main(argv=None) -> int:
                         help="tiny-input variants (plumbing check only)")
     parser.add_argument("--json", action="store_true",
                         help="print machine-readable JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each workload once and print the "
+                        "hottest functions instead of timing")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows of cProfile output per workload")
     parser.add_argument("names", nargs="*", help="workload names (default all)")
     args = parser.parse_args(argv)
+    if args.profile:
+        profile(args.names or None, top=args.top, smoke=args.smoke)
+        return 0
     results = measure(args.names or None, repeat=args.repeat, smoke=args.smoke)
     if args.json:
         json.dump(results, sys.stdout, indent=2, sort_keys=True)

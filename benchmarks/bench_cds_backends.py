@@ -1,0 +1,93 @@
+"""CDS backends: pointer ConstraintTree vs arena, identical ops asserted.
+
+For every shape in the ``cds/*`` workload family this runs both
+backends on identical inputs, asserts **byte-identical rows and exact
+operation-count equality** (the arena contract — the backend knob may
+only change wall-clock), and records both timings so the speedup is a
+diffable artifact in ``benchmarks/results/summary.csv`` and the
+pytest-benchmark JSON folded into ``BENCH_*.json``.
+
+The wall-clock ratio is machine-dependent and intentionally *not*
+asserted here (the op-equality contract is the regression gate; CI runs
+this file under ``--smoke`` on shared runners) — the committed
+``BENCH_*.json`` records the measured ratios.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks._util import once, record
+import benchmarks._workloads as workloads
+
+
+def _cds_cases():
+    names = sorted(
+        {
+            name.rsplit("/", 1)[0]
+            for name in workloads.WORKLOADS
+            if name.startswith("cds/")
+        }
+    )
+    return names
+
+
+def _smoke_cases():
+    return sorted(
+        {
+            name.rsplit("/", 1)[0]
+            for name in workloads.SMOKE_WORKLOADS
+            if name.startswith("cds/")
+        }
+    )
+
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+_REGISTRY = workloads.SMOKE_WORKLOADS if _SMOKE else workloads.WORKLOADS
+CASES = _smoke_cases() if _SMOKE else _cds_cases()
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_backends_identical_ops(benchmark, case):
+    """Rows and op counts equal; both backends timed on the same input."""
+    runs = {}
+    ops = {}
+    for backend in ("pointer", "arena"):
+        run, instrumented = _REGISTRY[f"{case}/{backend}"]()
+        t0 = time.perf_counter()
+        run()
+        runs[backend] = time.perf_counter() - t0
+        ops[backend] = instrumented()
+    assert ops["pointer"] == ops["arena"], (
+        f"{case}: op-count drift between CDS backends"
+    )
+    # Rows: the dynamic case's run() returns the view; joins return a
+    # JoinResult; triangle returns rows — compare their row content.
+    rows = {}
+    for backend in ("pointer", "arena"):
+        run, _ = _REGISTRY[f"{case}/{backend}"]()
+        out = run()
+        if hasattr(out, "rows"):
+            rows[backend] = (
+                out.rows() if callable(out.rows) else list(out.rows)
+            )
+        else:
+            rows[backend] = list(out)
+    assert rows["pointer"] == rows["arena"], (
+        f"{case}: row drift between CDS backends"
+    )
+    arena_run, _ = _REGISTRY[f"{case}/arena"]()
+    once(benchmark, arena_run)
+    speedup = runs["pointer"] / runs["arena"] if runs["arena"] else 0.0
+    record(
+        benchmark,
+        "CDS_backends",
+        case,
+        {
+            "pointer_ms": round(runs["pointer"] * 1e3, 3),
+            "arena_ms": round(runs["arena"] * 1e3, 3),
+            "speedup_x1000": int(speedup * 1000),
+            "ops_identical": 1,
+        },
+    )

@@ -1,0 +1,98 @@
+"""Fail CI on operation-count drift against a committed baseline.
+
+Runs every smoke workload's instrumented form and compares the op
+snapshots against ``benchmarks/baselines/smoke_ops.json``.  The paper's
+evaluation currency is operation counts, and the arena CDS's contract
+is *exact* count equality with the pointer tree — so CI runs this under
+both ``REPRO_CDS_BACKEND`` values; any drift (between backends, or
+against history) fails loudly instead of silently shifting the
+perf-trajectory baselines.
+
+Refresh intentionally after an algorithmic change::
+
+    PYTHONPATH=src python benchmarks/check_smoke_ops.py --update
+
+The baseline stores one snapshot per workload; it is backend-invariant
+by construction (that invariance is exactly what the check enforces).
+Timing-dependent keys (none today) must not be added to instrumented
+snapshots — only deterministic op tallies belong here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines", "smoke_ops.json"
+)
+
+
+def collect() -> dict:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from _workloads import SMOKE_WORKLOADS
+
+    out = {}
+    for name in sorted(SMOKE_WORKLOADS):
+        _, instrumented = SMOKE_WORKLOADS[name]()
+        out[name] = instrumented()
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    args = parser.parse_args(argv)
+    current = collect()
+    backend = os.environ.get("REPRO_CDS_BACKEND", "<default>")
+    if args.update:
+        os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
+        with open(BASELINE, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {BASELINE} ({len(current)} workloads)")
+        return 0
+    try:
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read baseline {BASELINE}: {exc}", file=sys.stderr)
+        return 2
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            failures.append(f"{name}: missing from this checkout")
+            continue
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline (run --update)")
+            continue
+        if baseline[name] != current[name]:
+            drift = {
+                key: (baseline[name].get(key), current[name].get(key))
+                for key in set(baseline[name]) | set(current[name])
+                if baseline[name].get(key) != current[name].get(key)
+            }
+            failures.append(f"{name}: {drift}")
+    if failures:
+        print(
+            f"op-count drift vs {os.path.basename(BASELINE)} "
+            f"(cds_backend={backend}):",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"op counts match baseline for {len(current)} smoke workloads "
+        f"(cds_backend={backend})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ DEFAULT_BENCH_FILES = [
     "benchmarks/bench_regression.py",
     "benchmarks/bench_dynamic.py",
     "benchmarks/bench_parallel.py",
+    "benchmarks/bench_cds_backends.py",
 ]
 
 

@@ -137,6 +137,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
             limit=args.limit,
             workers=workers,
             shards=shards,
+            cds_backend=args.cds_backend,
         )
         rows, stats = result.rows, result.stats()
         used_gao = list(result.gao)
@@ -204,7 +205,11 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
         from repro.parallel.certify import certify_sharded
 
         results = certify_sharded(
-            prepared, shards, workers=workers or 0, samples=args.samples
+            prepared,
+            shards,
+            workers=workers or 0,
+            samples=args.samples,
+            cds_backend=args.cds_backend,
         )
         for shard in results:
             verdict = "PASSED" if shard.passed else "REFUTED"
@@ -224,7 +229,9 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
             return 0
         print("# certificate check: REFUTED")
         return 1
-    rows, argument = record_certificate(prepared)
+    rows, argument = record_certificate(
+        prepared, cds_backend=args.cds_backend
+    )
     print(f"# output rows: {len(rows)}")
     print(f"# recorded comparisons: {len(argument)}")
     counterexample = check_certificate(
@@ -288,6 +295,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 gao=gao,
                 shards=shards,
                 workers=workers or 0,
+                cds_backend=args.cds_backend,
             )
         except (KeyError, ValueError) as exc:
             raise SystemExit(f"cannot register view {name!r}: {exc}")
@@ -412,6 +420,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     bench_dir = _find_benchmarks_dir()
     root = os.path.dirname(bench_dir)
+    if args.profile:
+        # cProfile the workload registry in a fresh interpreter (the
+        # driver owns the registry; see benchmarks/_workloads.py), so
+        # hot-path claims in reviews are reproducible from the CLI.
+        env = dict(os.environ)
+        src_dir = os.path.join(root, "src")
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src_dir
+        )
+        cmd = [
+            sys.executable,
+            os.path.join(bench_dir, "_workloads.py"),
+            "--profile",
+            "--top",
+            str(args.top),
+        ]
+        if args.smoke:
+            cmd.append("--smoke")
+        if args.keyword:
+            raise SystemExit(
+                "--profile profiles workload-registry cases; select them "
+                "by name (positional args), not -k"
+            )
+        cmd.extend(args.names)
+        return subprocess.call(cmd, cwd=root, env=env)
+    if args.names:
+        raise SystemExit(
+            "positional workload names apply to --profile only; select "
+            "pytest benchmark files with -k"
+        )
     files = sorted(glob.glob(os.path.join(bench_dir, "bench_*.py")))
     if args.keyword:
         files = [f for f in files if args.keyword in os.path.basename(f)]
@@ -432,6 +472,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         cmd.append("--benchmark-disable")
     return subprocess.call(cmd, cwd=root, env=env)
+
+
+def _add_cds_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cds-backend",
+        choices=["pointer", "arena"],
+        help="ConstraintTree storage backend (default: arena — flat "
+        "integer-indexed arrays; rows and op counts are invariant)",
+    )
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
@@ -490,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
         "op counts then reflect only the consumed part of the certificate)",
     )
     _add_parallel_flags(p_join)
+    _add_cds_backend_flag(p_join)
     p_join.set_defaults(func=_cmd_join)
 
     p_gao = sub.add_parser("gao-search", help="find a cheap attribute order")
@@ -512,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="storage backend for every relation (default: flat)",
     )
     _add_parallel_flags(p_cert)
+    _add_cds_backend_flag(p_cert)
     p_cert.set_defaults(func=_cmd_certificate)
 
     p_stream = sub.add_parser(
@@ -537,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--print-rows", action="store_true",
                           help="print final view rows after the replay")
     _add_parallel_flags(p_stream)
+    _add_cds_backend_flag(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
 
     p_bench = sub.add_parser("bench", help="run the benchmark suite")
@@ -551,6 +603,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--benchmark-json",
         help="write pytest-benchmark JSON here (disables --benchmark-disable)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the workload registry instead of running pytest: "
+        "top-N hot functions per workload (see --top), so perf claims "
+        "are reproducible from the CLI",
+    )
+    p_bench.add_argument(
+        "--top", type=int, default=15,
+        help="rows of cProfile output per workload (with --profile)",
+    )
+    p_bench.add_argument(
+        "names", nargs="*",
+        help="workload-registry names for --profile (default: all)",
     )
     p_bench.set_defaults(func=_cmd_bench)
     return parser

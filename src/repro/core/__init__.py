@@ -1,6 +1,16 @@
 """Core: the Minesweeper join algorithm and its constraint data structure."""
 
 from repro.core.cds import CDSNode, ConstraintTree
+from repro.core.cds_arena import (
+    ArenaChainProbeStrategy,
+    ArenaConstraintTree,
+    ArenaGeneralProbeStrategy,
+    CDS_BACKENDS,
+    DEFAULT_CDS_BACKEND,
+    make_cds,
+    make_probe_strategy,
+    resolve_cds_backend,
+)
 from repro.core.constraints import (
     WILDCARD,
     Constraint,
@@ -32,8 +42,18 @@ from repro.core.probe_acyclic import ChainProbeStrategy, NotAChainError, sort_as
 from repro.core.probe_general import GeneralProbeStrategy
 from repro.core.query import PreparedQuery, Query, naive_join
 from repro.core.triangle import DyadicTree, TriangleMinesweeper, triangle_join
+from repro.core.triangle_arena import ArenaTriangleMinesweeper
 
 __all__ = [
+    "ArenaChainProbeStrategy",
+    "ArenaConstraintTree",
+    "ArenaGeneralProbeStrategy",
+    "ArenaTriangleMinesweeper",
+    "CDS_BACKENDS",
+    "DEFAULT_CDS_BACKEND",
+    "make_cds",
+    "make_probe_strategy",
+    "resolve_cds_backend",
     "CDSNode",
     "ConstraintTree",
     "WILDCARD",

@@ -25,7 +25,11 @@ from repro.core.constraints import (
     Pattern,
     WILDCARD,
 )
-from repro.storage.interval_list import IntervalList, NaiveIntervalList
+from repro.storage.interval_list import (
+    INSERT_DISJOINT,
+    IntervalList,
+    NaiveIntervalList,
+)
 from repro.storage.sorted_list import SortedList
 from repro.util.counters import OpCounters
 from repro.util.sentinels import ExtendedValue
@@ -132,14 +136,41 @@ class ConstraintTree:
             )
         node = self.root
         for component in constraint.prefix:
-            if component is not WILDCARD and node.intervals.covers(component):
-                return False  # subsumed by an existing, more general gap
             child = node.child_for(component)
             if child is None:
+                # The covers probe is needed only on the creation path:
+                # an *existing* equality child is never covered by its
+                # parent's intervals (covered labels' subtrees are pruned
+                # whenever an interval lands, and nodes are only created
+                # for uncovered labels — the module invariant), so the
+                # historical unconditional re-check was redundant there.
+                if component is not WILDCARD and node.intervals.covers(
+                    component
+                ):
+                    return False  # subsumed by an existing, more general gap
                 child = self._make_child(node, component)
             node = child
         self.insert_interval_at(node, constraint.low, constraint.high)
         return True
+
+    def insert_many(self, constraints) -> None:
+        """InsConstraint for a batch (one engine probe's discoveries).
+
+        Semantically ``for c in constraints: self.insert(c)``; the arena
+        backend overlaps this with hot-path local binding, so engines
+        call it for every non-member probe.
+        """
+        for constraint in constraints:
+            self.insert(constraint)
+
+    def insert_point(self, prefix: Tuple[int, ...], value: int) -> bool:
+        """Rule out exactly ``prefix + (value,)`` — the output-tuple gap.
+
+        Semantically ``insert(⟨prefix, (value-1, value+1)⟩)``, which is
+        what engines insert after emitting an output; the arena backend
+        skips the Constraint wrapper on this per-output path.
+        """
+        return self.insert(Constraint.trusted(prefix, value - 1, value + 1))
 
     def insert_interval_at(
         self, node: CDSNode, low: ExtendedValue, high: ExtendedValue
@@ -152,15 +183,15 @@ class ConstraintTree:
         """
         self.counters.interval_ops += 1
         intervals = node.intervals
-        if type(intervals) is IntervalList:
-            was_empty = not intervals._lows
-        else:
-            was_empty = not intervals
-        if not intervals.insert(low, high):
+        code = intervals.insert(low, high)
+        if not code:
             return
-        if was_empty:
-            # The node just entered every principal filter containing its
-            # pattern: cached probe frontiers must be invalidated.
+        if code == INSERT_DISJOINT and len(intervals) == 1:
+            # A disjoint add that left exactly one interval means the list
+            # was empty before: the node just entered every principal
+            # filter containing its pattern, so cached probe frontiers
+            # must be invalidated.  (The insert code replaces the old
+            # pre-insert emptiness read.)
             self.version += 1
         if not node.eq_keys:  # no equality children to prune (common case)
             return
@@ -216,6 +247,14 @@ class ConstraintTree:
                 stack.append((pattern + (label,), node.eq_children[label]))
             if node.star is not None:
                 stack.append((pattern + (WILDCARD,), node.star))
+
+    def node_covers(self, node: CDSNode, value: int) -> bool:
+        """True iff ``node``'s intervals strictly contain ``value``.
+
+        Backend-agnostic introspection: the arena tree exposes the same
+        method over its integer node handles.
+        """
+        return node.intervals.covers(value)
 
     def covers_row(self, row: Tuple[int, ...]) -> bool:
         """True iff some stored gap covers the output-space point ``row``.

@@ -1,0 +1,1719 @@
+"""Arena-backed CDS: the ConstraintTree as integer-indexed flat arrays.
+
+Drop-in backend for :class:`repro.core.cds.ConstraintTree` (paper §3.3 /
+App. E) in which a tree node is an *integer index* into parallel arrays
+rather than a Python object:
+
+* node arrays — depth, star-child index, parent/incoming-label (pattern
+  reconstruction), cached pattern tuple and equality count;
+* one pooled eq-key store — each node's sorted equality labels and child
+  indices are a slice of two shared flat buffers, grown by power-of-two
+  relocation;
+* one pooled interval store — a :class:`repro.storage.interval_pool.
+  IntervalPool` slice per node, with the :mod:`interval_list` int
+  encoding of ±inf so every hot comparison is a C-level int compare.
+
+Subtrees subsumed on insert (the covered-label invariant) return their
+node slots and slabs to free lists instead of churning the GC.
+
+Beyond layout, the arena exploits two structural facts the pointer tree
+cannot express cheaply:
+
+* **Per-depth epochs.**  The principal filter of a length-``d`` prefix
+  changes only when a depth-``d`` node's intervals turn non-empty or a
+  subtree reaching depth ``d`` is pruned — so cached probe chains are
+  keyed on a per-depth epoch instead of the pointer tree's global
+  ``version``, and survive unrelated inserts untouched.  (Chain caching
+  performs no counted operations, so operation counts are unchanged.)
+* **Resumable probe cursors.**  Within one probe-point search the sought
+  value only ascends, so each chain level keeps a cursor into its
+  interval slice that resumes from the previous position instead of
+  re-bisecting from the front; a per-slice epoch detects mid-walk
+  memoization inserts and resets the cursor.  Cursors change how a Next
+  result is *found*, never how many Next operations are tallied.
+
+Counting follows the ``OpCounters`` / ``NullCounters`` protocol: the
+``enabled`` flag is read once per engine and every tally is skipped
+wholesale when nobody will read the numbers.  Under an enabled counter
+the arena tallies exactly what the pointer tree tallies — the property
+suite and ``benchmarks/bench_cds_backends.py`` assert byte-identical
+rows and exact op-count equality across the whole workload registry.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.constraints import (
+    Constraint,
+    Pattern,
+    WILDCARD,
+    equality_count,
+    last_equality_position,
+    meet,
+    specializes,
+)
+from repro.core.probe_acyclic import NotAChainError
+from repro.storage.interval_list import (
+    ENC_POS,
+    _ENC_LIMIT,
+    _encode,
+)
+from repro.storage.interval_pool import IntervalPool
+from repro.util.counters import OpCounters
+from repro.util.sentinels import ExtendedValue
+
+#: Recognized CDS backends: ``"pointer"`` is the per-node-object
+#: ConstraintTree, ``"arena"`` this module's flat tree.
+CDS_BACKENDS = ("pointer", "arena")
+
+#: Default backend for every engine that takes a ``cds_backend`` flag.
+#: Override per process with ``REPRO_CDS_BACKEND=pointer`` (CI runs the
+#: bench smoke under both values).
+DEFAULT_CDS_BACKEND = "arena"
+
+_EQ_MIN_CAP = 4
+
+
+def resolve_cds_backend(name: Optional[str]) -> str:
+    """Map ``None`` / ``"auto"`` to the configured default; validate."""
+    if name is None or name == "auto":
+        name = os.environ.get("REPRO_CDS_BACKEND", DEFAULT_CDS_BACKEND)
+    if name not in CDS_BACKENDS:
+        raise ValueError(
+            f"unknown cds_backend {name!r}; expected one of {CDS_BACKENDS}"
+        )
+    return name
+
+
+class ArenaConstraintTree:
+    """The CDS as flat arrays; nodes are integer indices (root is 0).
+
+    API-compatible with :class:`~repro.core.cds.ConstraintTree` up to
+    the node representation: every method that takes or returns a
+    ``CDSNode`` here takes or returns an ``int``.  Only the merged
+    interval representation is supported — the E13 naive-list ablation
+    keeps using the pointer backend.
+    """
+
+    is_arena = True
+
+    def __init__(
+        self,
+        n_attributes: int,
+        counters: Optional[OpCounters] = None,
+        merge_intervals: bool = True,
+    ) -> None:
+        if n_attributes < 1:
+            raise ValueError("need at least one attribute")
+        if not merge_intervals:
+            raise ValueError(
+                "the arena CDS stores merged intervals only; run the E13 "
+                "naive-list ablation with cds_backend='pointer'"
+            )
+        self.n = n_attributes
+        self.counters = counters if counters is not None else OpCounters()
+        self._counting = self.counters.enabled
+        self.root = 0
+        self.version = 0
+        self.constraints_inserted = 0
+        #: One epoch per prefix length 0..n; the principal filter of a
+        #: length-d prefix can only change when epoch d is bumped.
+        self.depth_epoch: List[int] = [0] * (n_attributes + 1)
+        self.pool = IntervalPool()
+        # --- node arrays -------------------------------------------------
+        self._depth: List[int] = []
+        self._star: List[int] = []  # star-child node index, -1 = none
+        self._parent: List[int] = []
+        self._plabel: List[int] = []  # incoming eq label (star via _star)
+        self._pattern: List[Optional[Pattern]] = []
+        self._eqc: List[int] = []  # equality_count(pattern), the sort key
+        self._ivh: List[int] = []  # interval-pool handle
+        # --- pooled eq-key slices ---------------------------------------
+        self._eq_start: List[int] = []
+        self._eq_len: List[int] = []
+        self._eq_cap: List[int] = []
+        self._ekey: List[int] = []  # shared label buffer
+        self._echild: List[int] = []  # shared child-index buffer
+        self._eq_free: dict = {}  # cap -> reusable slab starts
+        self._free_nodes: List[int] = []
+        self._new_node(0, -1, 0, ())
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+
+    def _new_node(
+        self, depth: int, parent: int, label: int, pattern: Pattern
+    ) -> int:
+        free = self._free_nodes
+        if free:
+            u = free.pop()
+            self._depth[u] = depth
+            self._star[u] = -1
+            self._parent[u] = parent
+            self._plabel[u] = label
+            self._pattern[u] = pattern
+            self._eqc[u] = equality_count(pattern)
+            self._ivh[u] = self.pool.new()
+            return u
+        u = len(self._depth)
+        self._depth.append(depth)
+        self._star.append(-1)
+        self._parent.append(parent)
+        self._plabel.append(label)
+        self._pattern.append(pattern)
+        self._eqc.append(equality_count(pattern))
+        self._ivh.append(self.pool.new())
+        self._eq_start.append(0)
+        self._eq_len.append(0)
+        self._eq_cap.append(0)
+        return u
+
+    def _eq_grow(self, u: int, need: int) -> None:
+        cap = _EQ_MIN_CAP
+        while cap < need:
+            cap <<= 1
+        free = self._eq_free.get(cap)
+        if free:
+            new_start = free.pop()
+        else:
+            new_start = len(self._ekey)
+            self._ekey.extend([0] * cap)
+            self._echild.extend([0] * cap)
+        old_start = self._eq_start[u]
+        old_cap = self._eq_cap[u]
+        m = self._eq_len[u]
+        if m:
+            self._ekey[new_start : new_start + m] = self._ekey[
+                old_start : old_start + m
+            ]
+            self._echild[new_start : new_start + m] = self._echild[
+                old_start : old_start + m
+            ]
+        if old_cap:
+            self._eq_free.setdefault(old_cap, []).append(old_start)
+        self._eq_start[u] = new_start
+        self._eq_cap[u] = cap
+
+    def _eq_child(self, u: int, label: int) -> int:
+        """Child of ``u`` along equality ``label``; -1 when absent."""
+        m = self._eq_len[u]
+        if not m:
+            return -1
+        s = self._eq_start[u]
+        e = s + m
+        ekey = self._ekey
+        i = bisect_left(ekey, label, s, e)
+        if i < e and ekey[i] == label:
+            return self._echild[i]
+        return -1
+
+    def child_for(self, u: int, component) -> int:
+        """The child along an equality label or the wildcard; -1 if none."""
+        if component is WILDCARD:
+            return self._star[u]
+        return self._eq_child(u, component)
+
+    def _make_child(self, u: int, component) -> int:
+        pattern = self._pattern[u] + (component,)
+        if component is WILDCARD:
+            child = self._new_node(self._depth[u] + 1, u, 0, pattern)
+            self._star[u] = child
+        else:
+            child = self._new_node(self._depth[u] + 1, u, component, pattern)
+            m = self._eq_len[u]
+            if m == self._eq_cap[u]:
+                self._eq_grow(u, m + 1)
+            s = self._eq_start[u]
+            e = s + m
+            ekey = self._ekey
+            echild = self._echild
+            i = bisect_left(ekey, component, s, e)
+            if i < e:
+                ekey[i + 1 : e + 1] = ekey[i:e]
+                echild[i + 1 : e + 1] = echild[i:e]
+            ekey[i] = component
+            echild[i] = child
+            self._eq_len[u] = m + 1
+        self.version += 1
+        return child
+
+    def _free_subtree(self, u: int) -> None:
+        """Recycle ``u`` and everything below it (slots and slabs)."""
+        stack = [u]
+        pool = self.pool
+        while stack:
+            v = stack.pop()
+            m = self._eq_len[v]
+            if m:
+                s = self._eq_start[v]
+                stack.extend(self._echild[s : s + m])
+            if self._star[v] >= 0:
+                stack.append(self._star[v])
+            cap = self._eq_cap[v]
+            if cap:
+                self._eq_free.setdefault(cap, []).append(self._eq_start[v])
+            self._eq_start[v] = 0
+            self._eq_len[v] = 0
+            self._eq_cap[v] = 0
+            self._star[v] = -1
+            self._pattern[v] = None  # drop the tuple; slot is recyclable
+            pool.free(self._ivh[v])
+            self._free_nodes.append(v)
+
+    def ensure_node(self, pattern: Pattern) -> int:
+        """Get-or-create the node for ``pattern`` (shadow-node creation)."""
+        u = self.root
+        for component in pattern:
+            child = self.child_for(u, component)
+            if child < 0:
+                child = self._make_child(u, component)
+            u = child
+        return u
+
+    def find_node(self, pattern: Pattern) -> Optional[int]:
+        u = self.root
+        for component in pattern:
+            u = self.child_for(u, component)
+            if u < 0:
+                return None
+        return u
+
+    # ------------------------------------------------------------------
+    # InsConstraint (Algorithm 5)
+    # ------------------------------------------------------------------
+
+    def insert(self, constraint: Constraint) -> bool:
+        """Insert a constraint; returns False when subsumed or empty.
+
+        Mirrors the pointer tree exactly, including the covered-label
+        invariant shortcut: the covers probe runs only on the
+        node-creation path (an existing equality child is never covered
+        by its parent's intervals).
+        """
+        if self._counting:
+            self.counters.constraints += 1
+        self.constraints_inserted += 1
+        if constraint.is_empty():
+            return False
+        if constraint.interval_position >= self.n:
+            raise ValueError(
+                f"constraint dimension {constraint.interval_position} "
+                f"exceeds attribute count {self.n}"
+            )
+        u = self.root
+        pool = self.pool
+        ivh = self._ivh
+        star = self._star
+        eq_start = self._eq_start
+        eq_len = self._eq_len
+        ekey = self._ekey
+        echild = self._echild
+        plows = pool.lows
+        phighs = pool.highs
+        pstart = pool.start
+        plength = pool.length
+        for component in constraint.prefix:
+            if component is WILDCARD:
+                child = star[u]
+            else:
+                m = eq_len[u]
+                if m:
+                    s = eq_start[u]
+                    e = s + m
+                    i = bisect_left(ekey, component, s, e)
+                    if i < e and ekey[i] == component:
+                        child = echild[i]
+                    else:
+                        child = -1
+                else:
+                    child = -1
+            if child < 0:
+                if component is not WILDCARD:
+                    h = ivh[u]
+                    m = plength[h]
+                    if m:
+                        s = pstart[h]
+                        i = bisect_left(plows, component, s, s + m)
+                        if i > s and phighs[i - 1] > component:
+                            # subsumed by an existing, more general gap
+                            return False
+                child = self._make_child(u, component)
+            u = child
+        low = constraint.low
+        high = constraint.high
+        self._insert_interval_encoded(
+            u,
+            low
+            if type(low) is int and -_ENC_LIMIT < low < _ENC_LIMIT
+            else _encode(low),
+            high
+            if type(high) is int and -_ENC_LIMIT < high < _ENC_LIMIT
+            else _encode(high),
+        )
+        return True
+
+    def insert_many(self, constraints) -> None:
+        """InsConstraint for a batch (one engine probe's discoveries).
+
+        Equivalent to ``for c in constraints: self.insert(c)`` — same
+        walk, same tallies, same subsumption answers — with the arena's
+        hot-path locals bound once for the whole batch rather than once
+        per constraint.  Only the per-level lookup arrays are bound; the
+        rare paths (missing child: covers probe + node creation) go
+        through ``self``.
+        """
+        counting = self._counting
+        counters = self.counters
+        n = self.n
+        star = self._star
+        eq_start = self._eq_start
+        eq_len = self._eq_len
+        ekey = self._ekey
+        echild = self._echild
+        insert_encoded = self._insert_interval_encoded
+        for constraint in constraints:
+            if counting:
+                counters.constraints += 1
+            self.constraints_inserted += 1
+            low = constraint.low
+            high = constraint.high
+            if type(low) is int and type(high) is int:
+                # The all-finite hot case: emptiness before any range
+                # check, exactly like Constraint.is_empty().
+                if high - low <= 1:
+                    continue
+                lo = low if -_ENC_LIMIT < low < _ENC_LIMIT else _encode(low)
+                hi = (
+                    high
+                    if -_ENC_LIMIT < high < _ENC_LIMIT
+                    else _encode(high)
+                )
+            else:
+                if constraint.is_empty():
+                    continue
+                lo = _encode(low)
+                hi = _encode(high)
+            prefix = constraint.prefix
+            if len(prefix) >= n:
+                raise ValueError(
+                    f"constraint dimension {len(prefix)} "
+                    f"exceeds attribute count {n}"
+                )
+            u = 0  # root
+            subsumed = False
+            for component in prefix:
+                if component is WILDCARD:
+                    child = star[u]
+                else:
+                    m = eq_len[u]
+                    if m:
+                        s = eq_start[u]
+                        e = s + m
+                        i = bisect_left(ekey, component, s, e)
+                        if i < e and ekey[i] == component:
+                            child = echild[i]
+                        else:
+                            child = -1
+                    else:
+                        child = -1
+                if child < 0:
+                    if component is not WILDCARD:
+                        pool = self.pool
+                        h = self._ivh[u]
+                        m = pool.length[h]
+                        if m:
+                            s = pool.start[h]
+                            i = bisect_left(pool.lows, component, s, s + m)
+                            if i > s and pool.highs[i - 1] > component:
+                                subsumed = True
+                                break
+                    child = self._make_child(u, component)
+                u = child
+            if not subsumed:
+                insert_encoded(u, lo, hi)
+
+    def insert_point(self, prefix: Tuple[int, ...], value: int) -> bool:
+        """Rule out exactly ``prefix + (value,)`` — the output-tuple gap.
+
+        Tally-identical to ``insert(⟨prefix, (value-1, value+1)⟩)`` (the
+        interval is never empty and the prefix is all-equality engine
+        data), without the Constraint wrapper.
+        """
+        if self._counting:
+            self.counters.constraints += 1
+        self.constraints_inserted += 1
+        if len(prefix) >= self.n:
+            raise ValueError(
+                f"constraint dimension {len(prefix)} "
+                f"exceeds attribute count {self.n}"
+            )
+        star = self._star
+        eq_start = self._eq_start
+        eq_len = self._eq_len
+        ekey = self._ekey
+        echild = self._echild
+        u = 0  # root
+        for component in prefix:
+            if component is WILDCARD:
+                child = star[u]
+            else:
+                m = eq_len[u]
+                if m:
+                    s = eq_start[u]
+                    e = s + m
+                    i = bisect_left(ekey, component, s, e)
+                    if i < e and ekey[i] == component:
+                        child = echild[i]
+                    else:
+                        child = -1
+                else:
+                    child = -1
+            if child < 0:
+                if component is not WILDCARD:
+                    pool = self.pool
+                    h = self._ivh[u]
+                    m = pool.length[h]
+                    if m:
+                        s = pool.start[h]
+                        i = bisect_left(pool.lows, component, s, s + m)
+                        if i > s and pool.highs[i - 1] > component:
+                            return False
+                child = self._make_child(u, component)
+            u = child
+        self._insert_interval_encoded(u, value - 1, value + 1)
+        return True
+
+    def insert_interval_at(
+        self, u: int, low: ExtendedValue, high: ExtendedValue
+    ) -> None:
+        """Insert (low, high) at node ``u``, pruning covered eq children."""
+        self._insert_interval_encoded(u, _encode(low), _encode(high))
+
+    def _insert_interval_encoded(self, u: int, lo: int, hi: int) -> None:
+        """The encoded-endpoint core of :meth:`insert_interval_at`.
+
+        Tally placement matches the pointer tree: one interval op per
+        call, counted before the insert is attempted.  The pool insert
+        is inlined (this is the hottest mutation in every engine);
+        semantics are exactly :meth:`IntervalPool.insert_encoded`.
+        """
+        if self._counting:
+            self.counters.interval_ops += 1
+        if hi - lo <= 1:
+            return
+        orig_lo = lo
+        orig_hi = hi
+        pool = self.pool
+        h = self._ivh[u]
+        m = pool.length[h]
+        lows = pool.lows
+        highs = pool.highs
+        s = pool.start[h]
+        e = s + m
+        i = bisect_left(lows, lo, s, e)
+        if i > s and highs[i - 1] > lo:
+            i -= 1
+        j = i
+        while j < e and lows[j] < hi:
+            v = lows[j]
+            if v < lo:
+                lo = v
+            v = highs[j]
+            if v > hi:
+                hi = v
+            j += 1
+        if i == j:
+            # Disjoint insert at position i.
+            if m == pool.cap[h]:
+                off = i - s
+                pool._grow(h, m + 1)
+                s = pool.start[h]
+                i = s + off
+                e = s + m
+            if i < e:
+                lows[i + 1 : e + 1] = lows[i:e]
+                highs[i + 1 : e + 1] = highs[i:e]
+            lows[i] = lo
+            highs[i] = hi
+            pool.length[h] = m + 1
+            pool.epoch[h] += 1
+            if not m:
+                # The node just entered every principal filter containing
+                # its pattern: probe chains cached for this depth go stale.
+                self.depth_epoch[self._depth[u]] += 1
+                self.version += 1
+        else:
+            if j - i == 1 and lows[i] == lo and highs[i] == hi:
+                return  # subsumed by a single stored interval
+            lows[i] = lo
+            highs[i] = hi
+            removed = j - i - 1
+            if removed:
+                lows[i + 1 : e - removed] = lows[j:e]
+                highs[i + 1 : e - removed] = highs[j:e]
+                pool.length[h] = m - removed
+            pool.epoch[h] += 1
+        m = self._eq_len[u]
+        if not m:  # no equality children to prune (common case)
+            return
+        # Prune with the *original* endpoints, like the pointer tree: the
+        # absorbed neighbours pruned their labels when they were inserted.
+        s = self._eq_start[u]
+        e = s + m
+        ekey = self._ekey
+        a = bisect_right(ekey, orig_lo, s, e)
+        b = bisect_left(ekey, orig_hi, s, e)
+        if a >= b:
+            return
+        echild = self._echild
+        removed_children = echild[a:b]
+        width = b - a
+        ekey[a : e - width] = ekey[b:e]
+        echild[a : e - width] = echild[b:e]
+        self._eq_len[u] = m - width
+        for child in removed_children:
+            self._free_subtree(child)
+        # Pruned subtrees start one level below u and may hold interval
+        # nodes at any deeper depth: stale out every deeper chain cache.
+        epochs = self.depth_epoch
+        for d in range(self._depth[u] + 1, self.n + 1):
+            epochs[d] += 1
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Traversal used by probe strategies
+    # ------------------------------------------------------------------
+
+    def _filter_ids(self, prefix: Tuple[int, ...]) -> List[int]:
+        """Node ids of the principal filter G(prefix), frontier order.
+
+        Enumeration order matches the pointer tree's ``frontier`` (at
+        each level: equality child first, then the ``*`` child), so the
+        stable descending-equality-count sort downstream linearizes the
+        two backends' chains identically.
+        """
+        frontier = [self.root]
+        star = self._star
+        for value in prefix:
+            extended: List[int] = []
+            for u in frontier:
+                c = self._eq_child(u, value)
+                if c >= 0:
+                    extended.append(c)
+                if star[u] >= 0:
+                    extended.append(star[u])
+            frontier = extended
+            if not frontier:
+                return frontier
+        pool_length = self.pool.length
+        ivh = self._ivh
+        return [u for u in frontier if pool_length[ivh[u]]]
+
+    def frontier(self, prefix: Tuple[int, ...]) -> List[Tuple[int, Pattern]]:
+        """All nodes whose pattern generalizes the all-equality prefix."""
+        out = [(self.root, ())]
+        star = self._star
+        for value in prefix:
+            extended: List[Tuple[int, Pattern]] = []
+            for u, pattern in out:
+                c = self._eq_child(u, value)
+                if c >= 0:
+                    extended.append((c, pattern + (value,)))
+                if star[u] >= 0:
+                    extended.append((star[u], pattern + (WILDCARD,)))
+            out = extended
+        return out
+
+    def filter_nodes(
+        self, prefix: Tuple[int, ...]
+    ) -> List[Tuple[int, Pattern]]:
+        """The principal filter G(prefix): frontier nodes with intervals."""
+        pool_length = self.pool.length
+        ivh = self._ivh
+        return [
+            (u, pattern)
+            for u, pattern in self.frontier(prefix)
+            if pool_length[ivh[u]]
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, debugging, serialization)
+    # ------------------------------------------------------------------
+
+    def pattern_of(self, u: int) -> Pattern:
+        return self._pattern[u]
+
+    def depth_of(self, u: int) -> int:
+        return self._depth[u]
+
+    def intervals_at(self, u: int):
+        """Decoded (low, high) pairs stored at node ``u``."""
+        return self.pool.intervals(self._ivh[u])
+
+    def node_covers(self, u: int, value: int) -> bool:
+        """True iff node ``u``'s intervals strictly contain ``value``."""
+        return self.pool.covers(self._ivh[u], value)
+
+    def eq_labels(self, u: int) -> List[int]:
+        s = self._eq_start[u]
+        return self._ekey[s : s + self._eq_len[u]]
+
+    def iter_nodes(self) -> Iterator[Tuple[Pattern, int]]:
+        stack: List[Tuple[Pattern, int]] = [((), self.root)]
+        while stack:
+            pattern, u = stack.pop()
+            yield pattern, u
+            s = self._eq_start[u]
+            for i in range(self._eq_len[u]):
+                label = self._ekey[s + i]
+                stack.append((pattern + (label,), self._echild[s + i]))
+            if self._star[u] >= 0:
+                stack.append((pattern + (WILDCARD,), self._star[u]))
+
+    def node_count(self) -> int:
+        """Live nodes (allocated minus recycled) — tests."""
+        return len(self._depth) - len(self._free_nodes)
+
+    def covers_row(self, row: Tuple[int, ...]) -> bool:
+        """True iff some stored gap covers the output-space point ``row``."""
+        pool = self.pool
+        ivh = self._ivh
+        star = self._star
+        frontier = [self.root]
+        for value in row:
+            next_frontier: List[int] = []
+            for u in frontier:
+                if pool.covers(ivh[u], value):
+                    return True
+                c = self._eq_child(u, value)
+                if c >= 0:
+                    next_frontier.append(c)
+                if star[u] >= 0:
+                    next_frontier.append(star[u])
+            frontier = next_frontier
+        return False
+
+    def __getstate__(self) -> dict:
+        """Pickle as plain int arrays (patterns are rebuilt on load).
+
+        Sharded executions ship engines to pool workers; the arena's
+        whole state is flat buffers, which serialize far cheaper than a
+        pointer tree's object graph.
+        """
+        state = {slot: getattr(self, slot) for slot in (
+            "n", "counters", "_counting", "root", "version",
+            "constraints_inserted", "depth_epoch", "_depth", "_star",
+            "_parent", "_plabel", "_eqc", "_ivh", "_eq_start", "_eq_len",
+            "_eq_cap", "_ekey", "_echild", "_eq_free", "_free_nodes",
+        )}
+        state["pool"] = {
+            slot: getattr(self.pool, slot) for slot in IntervalPool.__slots__
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        pool_state = state.pop("pool")
+        for key, value in state.items():
+            setattr(self, key, value)
+        self.pool = IntervalPool()
+        for key, value in pool_state.items():
+            setattr(self.pool, key, value)
+        # Rebuild pattern tuples bottom-up from parent/label arrays.
+        n_nodes = len(self._depth)
+        free = set(self._free_nodes)
+        patterns: List[Optional[Pattern]] = [None] * n_nodes
+        self._pattern = patterns
+        order = sorted(
+            (u for u in range(n_nodes) if u not in free),
+            key=self._depth.__getitem__,
+        )
+        star = self._star
+        for u in order:
+            parent = self._parent[u]
+            if parent < 0:
+                patterns[u] = ()
+            elif star[parent] == u:
+                patterns[u] = patterns[parent] + (WILDCARD,)
+            else:
+                patterns[u] = patterns[parent] + (self._plabel[u],)
+
+
+class _ChainState:
+    """One cached chain of the arena chain strategy.
+
+    ``nodes`` are arena node ids bottom (most specialized) first;
+    ``handles`` their interval-pool handles.  ``base`` / ``end`` are the
+    slice bounds in the pool's shared buffers and ``cur`` the resumable
+    cursor, all held as *absolute* buffer positions.  They are refreshed
+    at each walk entry and after a memoization insert at the level (the
+    only mid-walk mutation), so the per-step path reads no pool
+    metadata at all.
+    """
+
+    __slots__ = ("nodes", "handles", "bottom", "base", "end", "cur")
+
+    def __init__(self, nodes: List[int], handles: List[int], bottom: Pattern):
+        self.nodes = nodes
+        self.handles = handles
+        self.bottom = bottom
+        k = len(nodes)
+        if k > 2:  # one- and two-level chains run on plain locals
+            self.base = [0] * k
+            self.end = [0] * k
+            self.cur = [0] * k
+
+    def refresh(self, pool: IntervalPool, j: int) -> None:
+        h = self.handles[j]
+        s = pool.start[h]
+        self.base[j] = s
+        self.end[j] = s + pool.length[h]
+        self.cur[j] = s
+
+
+class _ShadowState:
+    """One cached shadow chain (Algorithm 6) of the arena general strategy.
+
+    Per level: the shadow node (where inferred gaps are memoized), its
+    interval handle, the original node's handle, two resumable cursors,
+    and the slices' absolute buffer bounds.  ``deg`` marks degenerate
+    levels where the shadow *is* the original.  ``tied[j]`` lists the
+    levels whose slices a memoization insert at level ``j`` can move
+    (the level itself, plus any level sharing its shadow node — suffix
+    meets can coincide), so the walk refreshes exactly those and the
+    per-step path never re-reads pool metadata.
+    """
+
+    __slots__ = (
+        "nodes", "shandles", "ohandles", "deg", "bottom", "tied",
+        "obase", "oend", "ocur", "sbase", "send", "scur",
+    )
+
+    def __init__(self, nodes, shandles, ohandles, deg, bottom):
+        self.nodes = nodes
+        self.shandles = shandles
+        self.ohandles = ohandles
+        self.deg = deg
+        self.bottom = bottom
+        k = len(nodes)
+        if k > 2 or not deg[-1]:  # shallow chains run on plain locals
+            self.obase = [0] * k
+            self.oend = [0] * k
+            self.ocur = [0] * k
+            self.sbase = [0] * k
+            self.send = [0] * k
+            self.scur = [0] * k
+            self.tied = [
+                [
+                    lvl
+                    for lvl in range(k)
+                    if shandles[lvl] == shandles[j]
+                    or ohandles[lvl] == shandles[j]
+                ]
+                for j in range(k)
+            ]
+
+    def refresh(self, pool: IntervalPool, j: int) -> None:
+        starts = pool.start
+        lengths = pool.length
+        h = self.ohandles[j]
+        s = starts[h]
+        self.obase[j] = s
+        self.oend[j] = s + lengths[h]
+        self.ocur[j] = s
+        h = self.shandles[j]
+        s = starts[h]
+        self.sbase[j] = s
+        self.send[j] = s + lengths[h]
+        self.scur[j] = s
+
+
+class ArenaChainProbeStrategy:
+    """Algorithm 3 over the arena tree (beta-acyclic / NEO GAOs).
+
+    Operation tallies mirror :class:`repro.core.probe_acyclic.
+    ChainProbeStrategy` exactly; only the chain-cache keying (per-depth
+    epochs), the Next search (pooled slices + resumable cursors), and
+    the counting gate differ — none of which are counted operations.
+    """
+
+    name = "chain"
+
+    def __init__(self, cds: ArenaConstraintTree, memoize: bool = True) -> None:
+        self.cds = cds
+        self.memoize = memoize
+        self.counters = cds.counters
+        self._counting = self.counters.enabled
+        self._chains: dict = {}  # prefix -> (depth epoch, _ChainState|None)
+
+    def _chain_for(self, prefix: Tuple[int, ...]) -> Optional[_ChainState]:
+        cds = self.cds
+        epoch = cds.depth_epoch[len(prefix)]
+        cached = self._chains.get(prefix)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        ids = cds._filter_ids(prefix)
+        if not ids:
+            state = None
+        elif len(ids) == 1:
+            # Singleton filter: trivially a chain, its own bottom.
+            u = ids[0]
+            state = _ChainState([u], [cds._ivh[u]], cds._pattern[u])
+        else:
+            # Descending equality count; reverse=True keeps the sort
+            # stable on equal keys, so frontier order is preserved
+            # exactly like the pointer strategy's -count key.
+            ids.sort(key=cds._eqc.__getitem__, reverse=True)
+            patterns = cds._pattern
+            for narrow, wide in zip(ids, ids[1:]):
+                if not specializes(patterns[narrow], patterns[wide]):
+                    raise NotAChainError(
+                        f"filter contains incomparable patterns "
+                        f"{patterns[narrow]} / {patterns[wide]}; use the "
+                        "general (shadow-chain) strategy"
+                    )
+            ivh = cds._ivh
+            state = _ChainState(
+                ids, [ivh[u] for u in ids], patterns[ids[0]]
+            )
+        self._chains[prefix] = (epoch, state)
+        return state
+
+    def get_probe_point(self) -> Optional[Tuple[int, ...]]:
+        """Return an active tuple, or None when the gaps cover everything.
+
+        The dominant chain shapes — one or two levels — run fully
+        inlined here: no recursion, no cursor arrays (plain locals), one
+        gallop per Next over the pool's shared buffers.  Longer chains
+        fall back to the generic recursion.  Tally arithmetic in every
+        branch is the pointer strategy's.
+        """
+        cds = self.cds
+        counting = self._counting
+        counters = self.counters
+        memoize = self.memoize
+        pool = cds.pool
+        plows = pool.lows
+        phighs = pool.highs
+        pstart = pool.start
+        plength = pool.length
+        depth_epoch = cds.depth_epoch
+        chains = self._chains
+        chains_get = chains.get
+        n = cds.n
+        t: List[int] = []
+        while len(t) < n:
+            prefix = tuple(t)
+            cached = chains_get(prefix)
+            if cached is not None and cached[0] == depth_epoch[len(t)]:
+                chain = cached[1]
+            else:
+                chain = self._build_chain(prefix)
+            if chain is None:
+                t.append(-1)
+                continue
+            nodes = chain.nodes
+            k = len(nodes)
+            if k == 1:
+                # Degenerate chain {u}: one Next from -1, no memoize.
+                if counting:
+                    counters.interval_ops += 1
+                h = chain.handles[0]
+                m = plength[h]
+                value = -1
+                if m:
+                    s = pstart[h]
+                    e = s + m
+                    i = s
+                    if plows[i] < -1:
+                        i += 1  # single-step advance: skip the gallop
+                    if i < e and plows[i] < -1:
+                        prev = i
+                        step = 1
+                        while i + step < e and plows[i + step] < -1:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            plows, -1, prev + 1, top if top < e else e
+                        )
+                    if i > s:
+                        high = phighs[i - 1]
+                        if high > -1:
+                            value = high
+            elif k == 2:
+                # Two-level chain: the Algorithm 4 alternation unrolled
+                # over the two slices with resuming local cursors.
+                # Tallies: +1 per leaf Next, 1 + steps for the bottom
+                # level, one memoized insert at the bottom node.
+                h0 = chain.handles[0]  # bottom (most specialized)
+                h1 = chain.handles[1]  # leaf (most general)
+                b0 = pstart[h0]
+                e0 = b0 + plength[h0]
+                b1 = pstart[h1]
+                e1 = b1 + plength[h1]
+                i0 = b0
+                i1 = b1
+                y = -1
+                ops = 1
+                leafs = 0
+                while True:
+                    # z = leaf.next(y), resuming cursor i1.
+                    leafs += 1
+                    i = i1
+                    if i < e1 and plows[i] < y:
+                        i += 1
+                    if i < e1 and plows[i] < y:
+                        prev = i
+                        step = 1
+                        while i + step < e1 and plows[i + step] < y:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            plows, y, prev + 1, top if top < e1 else e1
+                        )
+                    i1 = i
+                    if i > b1:
+                        high = phighs[i - 1]
+                        z = high if high > y else y
+                    else:
+                        z = y
+                    if z >= ENC_POS:
+                        y = ENC_POS
+                        break
+                    # y = bottom.next(z), resuming cursor i0.
+                    ops += 1
+                    i = i0
+                    if i < e0 and plows[i] < z:
+                        i += 1
+                    if i < e0 and plows[i] < z:
+                        prev = i
+                        step = 1
+                        while i + step < e0 and plows[i + step] < z:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            plows, z, prev + 1, top if top < e0 else e0
+                        )
+                    i0 = i
+                    if i > b0:
+                        high = phighs[i - 1]
+                        y = high if high > z else z
+                    else:
+                        y = z
+                    if y == z or y >= ENC_POS:
+                        break
+                if counting:
+                    counters.interval_ops += ops + leafs
+                if memoize:
+                    cds._insert_interval_encoded(nodes[0], -2, y)
+                value = y
+            else:
+                for j in range(k):
+                    chain.refresh(pool, j)
+                value = self._next_chain_val(-1, 0, chain)
+            if value < ENC_POS:
+                t.append(value)
+                continue
+            bottom_pattern = chain.bottom
+            i0 = last_equality_position(bottom_pattern)
+            if i0 == 0:
+                return None
+            if counting:
+                counters.backtracks += 1
+            pinned = bottom_pattern[i0 - 1]
+            assert isinstance(pinned, int)
+            cds.insert(
+                Constraint(bottom_pattern[: i0 - 1], pinned - 1, pinned + 1)
+            )
+            del t[i0 - 1 :]
+        return tuple(t)
+
+    def _build_chain(self, prefix: Tuple[int, ...]) -> Optional[_ChainState]:
+        """Rebuild and cache the chain for ``prefix`` (cache-miss path)."""
+        return self._chain_for(prefix)
+
+    def _next_chain_val(self, x: int, j: int, chain: _ChainState) -> int:
+        """Algorithm 4 (smallest y >= x free at level j and above), encoded.
+
+        Structure and tally arithmetic are the pointer strategy's: one
+        op for a leaf call, ``1 + steps`` for an inner call, one
+        memoized insert per completed inner call.  The per-level Next is
+        inlined at both sites with the level's resuming cursor (bounds
+        cached by :meth:`_ChainState.refresh`).
+        """
+        counters = self.counters
+        counting = self._counting
+        pool = self.cds.pool
+        lows = pool.lows
+        highs = pool.highs
+        end = chain.end
+        base = chain.base
+        cur = chain.cur
+        if j == len(chain.nodes) - 1:
+            if counting:
+                counters.interval_ops += 1
+            e = end[j]
+            b = base[j]
+            if b == e:
+                return x
+            i = cur[j]
+            if i < e and lows[i] < x:
+                i += 1  # single-step advance: skip the gallop entirely
+            if i < e and lows[i] < x:
+                prev = i
+                step = 1
+                while i + step < e and lows[i + step] < x:
+                    prev = i + step
+                    step <<= 1
+                top = i + step
+                i = bisect_left(lows, x, prev + 1, top if top < e else e)
+            cur[j] = i
+            if i > b:
+                high = highs[i - 1]
+                return high if high > x else x
+            return x
+        y = x
+        ops = 1  # the entry tally, batched with the loop's per-step tallies
+        e = end[j]
+        b = base[j]
+        while True:
+            z = self._next_chain_val(y, j + 1, chain)
+            if z >= ENC_POS:
+                y = ENC_POS
+                break
+            ops += 1
+            if b == e:
+                y = z
+                break  # empty level: y == z is an immediate fixpoint
+            i = cur[j]
+            if i < e and lows[i] < z:
+                i += 1
+            if i < e and lows[i] < z:
+                prev = i
+                step = 1
+                while i + step < e and lows[i + step] < z:
+                    prev = i + step
+                    step <<= 1
+                top = i + step
+                i = bisect_left(lows, z, prev + 1, top if top < e else e)
+            cur[j] = i
+            if i > b:
+                high = highs[i - 1]
+                y = high if high > z else z
+            else:
+                y = z
+            if y == z or y >= ENC_POS:
+                break
+        if counting:
+            counters.interval_ops += ops
+        if self.memoize:
+            self.cds._insert_interval_encoded(chain.nodes[j], x - 1, y)
+            chain.refresh(pool, j)
+            e = end[j]
+            b = base[j]
+        return y
+
+
+class ArenaGeneralProbeStrategy:
+    """Algorithm 6 (shadow chains) over the arena tree.
+
+    The explicit walk mirrors :class:`repro.core.probe_general.
+    GeneralProbeStrategy` step for step — identical descent/unwind
+    routing, identical op and memoization tallies — while every Next
+    runs over pooled slices with per-level resumable cursors.
+    """
+
+    name = "general"
+
+    def __init__(self, cds: ArenaConstraintTree, memoize: bool = True) -> None:
+        self.cds = cds
+        self.memoize = memoize
+        self.counters = cds.counters
+        self._counting = self.counters.enabled
+        self._chains: dict = {}  # prefix -> (depth epoch, _ShadowState|None)
+
+    def _chain_for(self, prefix: Tuple[int, ...]) -> Optional[_ShadowState]:
+        cds = self.cds
+        epoch = cds.depth_epoch[len(prefix)]
+        cached = self._chains.get(prefix)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        ids = cds._filter_ids(prefix)
+        state = self._build_shadow_chain(ids) if ids else None
+        # Shadow-node creation cannot move this depth's epoch (new nodes
+        # hold no intervals), so the pre-build epoch is still current.
+        self._chains[prefix] = (epoch, state)
+        return state
+
+    def _build_shadow_chain(self, ids: List[int]) -> _ShadowState:
+        """Linearize G and attach suffix-meet shadow nodes (Alg 6 8-14)."""
+        cds = self.cds
+        if len(ids) == 1:
+            # Singleton filter (the dominant cold-build case): it is its
+            # own linearization and its own suffix meet.
+            u = ids[0]
+            h = cds._ivh[u]
+            return _ShadowState([u], [h], [h], [True], cds._pattern[u])
+        # Stable descending sort: frontier order kept on equal counts,
+        # exactly like the pointer strategy's -count key.
+        ids.sort(key=cds._eqc.__getitem__, reverse=True)
+        patterns = cds._pattern
+        suffix_meet: Optional[Pattern] = None
+        meets: List[Pattern] = []
+        for u in reversed(ids):
+            pattern = patterns[u]
+            if suffix_meet is None:
+                suffix_meet = pattern
+            else:
+                merged = meet(suffix_meet, pattern)
+                if merged is None:
+                    raise AssertionError(
+                        "filter patterns conflict; they cannot share a prefix"
+                    )
+                suffix_meet = merged
+            meets.append(suffix_meet)
+        meets.reverse()
+        ivh = cds._ivh
+        nodes: List[int] = []
+        shandles: List[int] = []
+        ohandles: List[int] = []
+        deg: List[bool] = []
+        for u, shadow_pattern in zip(ids, meets):
+            if shadow_pattern == patterns[u]:
+                shadow = u
+            else:
+                shadow = cds.ensure_node(shadow_pattern)
+            nodes.append(shadow)
+            shandles.append(ivh[shadow])
+            ohandles.append(ivh[u])
+            deg.append(shadow == u)
+        return _ShadowState(nodes, shandles, ohandles, deg, meets[0])
+
+    def get_probe_point(self) -> Optional[Tuple[int, ...]]:
+        """Return an active tuple, or None when the gaps cover everything.
+
+        The dominant shadow-chain shapes run fully inlined here with
+        plain-local cursors: one level (single slice or {ū ⪯ u} pair)
+        and two levels (the leaf is always degenerate — the last suffix
+        meet is its own pattern).  Deeper chains take the generic walk.
+        Tally arithmetic in every branch is the pointer walk's.
+        """
+        cds = self.cds
+        counting = self._counting
+        counters = self.counters
+        memoize = self.memoize
+        pool = cds.pool
+        plows = pool.lows
+        phighs = pool.highs
+        pstart = pool.start
+        plength = pool.length
+        depth_epoch = cds.depth_epoch
+        chains_get = self._chains.get
+        n = cds.n
+        t: List[int] = []
+        while len(t) < n:
+            prefix = tuple(t)
+            cached = chains_get(prefix)
+            if cached is not None and cached[0] == depth_epoch[len(t)]:
+                entries = cached[1]
+            else:
+                entries = self._chain_for(prefix)
+            if entries is None:
+                t.append(-1)
+                continue
+            nodes = entries.nodes
+            k = len(nodes)
+            if k == 1:
+                if entries.deg[0]:
+                    # Degenerate chain {u}: one Next from -1, no memoize.
+                    if counting:
+                        counters.interval_ops += 1
+                    h = entries.ohandles[0]
+                    m = plength[h]
+                    value = -1
+                    if m:
+                        s = pstart[h]
+                        e = s + m
+                        i = s
+                        if plows[i] < -1:
+                            i += 1  # single-step advance: skip the gallop
+                        if i < e and plows[i] < -1:
+                            prev = i
+                            step = 1
+                            while i + step < e and plows[i + step] < -1:
+                                prev = i + step
+                                step <<= 1
+                            top = i + step
+                            i = bisect_left(
+                                plows, -1, prev + 1, top if top < e else e
+                            )
+                        if i > s:
+                            high = phighs[i - 1]
+                            if high > -1:
+                                value = high
+                else:
+                    # {ū ⪯ u}: the two-slice alternation, 2 ops per round.
+                    oh = entries.ohandles[0]
+                    sh = entries.shandles[0]
+                    o_s = pstart[oh]
+                    o_e = o_s + plength[oh]
+                    s_s = pstart[sh]
+                    s_e = s_s + plength[sh]
+                    oi = o_s
+                    si = s_s
+                    y = -1
+                    ops = 0
+                    while True:
+                        ops += 2
+                        i = oi
+                        if i < o_e and plows[i] < y:
+                            i += 1
+                        if i < o_e and plows[i] < y:
+                            prev = i
+                            step = 1
+                            while i + step < o_e and plows[i + step] < y:
+                                prev = i + step
+                                step <<= 1
+                            top = i + step
+                            i = bisect_left(
+                                plows, y, prev + 1,
+                                top if top < o_e else o_e,
+                            )
+                        oi = i
+                        if i > o_s:
+                            high = phighs[i - 1]
+                            z = high if high > y else y
+                        else:
+                            z = y
+                        if z >= ENC_POS:
+                            y = ENC_POS
+                            break
+                        i = si
+                        if i < s_e and plows[i] < z:
+                            i += 1
+                        if i < s_e and plows[i] < z:
+                            prev = i
+                            step = 1
+                            while i + step < s_e and plows[i + step] < z:
+                                prev = i + step
+                                step <<= 1
+                            top = i + step
+                            i = bisect_left(
+                                plows, z, prev + 1,
+                                top if top < s_e else s_e,
+                            )
+                        si = i
+                        if i > s_s:
+                            high = phighs[i - 1]
+                            y = high if high > z else z
+                        else:
+                            y = z
+                        if y == z:
+                            break
+                        if y >= ENC_POS:
+                            y = ENC_POS
+                            break
+                    if counting:
+                        counters.interval_ops += ops
+                    value = y
+            elif k == 2 and entries.deg[1]:
+                # Leaf (always degenerate) alternating with level 0,
+                # which is a single slice or a {ū ⪯ u} pair; memoize at
+                # the level-0 shadow on completion.  Tallies: 1 per
+                # single-slice Next, 2 per pair round — the walk's.
+                lh = entries.ohandles[1]
+                l_s = pstart[lh]
+                l_e = l_s + plength[lh]
+                li = l_s
+                deg0 = entries.deg[0]
+                oh = entries.ohandles[0]
+                o_s = pstart[oh]
+                o_e = o_s + plength[oh]
+                oi = o_s
+                if not deg0:
+                    sh = entries.shandles[0]
+                    s_s = pstart[sh]
+                    s_e = s_s + plength[sh]
+                    si = s_s
+                cur = -1
+                total_ops = 0
+                while True:
+                    # z = leaf.next(cur), resuming cursor li.
+                    total_ops += 1
+                    i = li
+                    if i < l_e and plows[i] < cur:
+                        i += 1
+                    if i < l_e and plows[i] < cur:
+                        prev = i
+                        step = 1
+                        while i + step < l_e and plows[i + step] < cur:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            plows, cur, prev + 1, top if top < l_e else l_e
+                        )
+                    li = i
+                    if i > l_s:
+                        high = phighs[i - 1]
+                        z = high if high > cur else cur
+                    else:
+                        z = cur
+                    if z >= ENC_POS:
+                        y = ENC_POS
+                    elif deg0:
+                        # y = level0.next(z), resuming cursor oi.
+                        total_ops += 1
+                        i = oi
+                        if i < o_e and plows[i] < z:
+                            i += 1
+                        if i < o_e and plows[i] < z:
+                            prev = i
+                            step = 1
+                            while i + step < o_e and plows[i + step] < z:
+                                prev = i + step
+                                step <<= 1
+                            top = i + step
+                            i = bisect_left(
+                                plows, z, prev + 1,
+                                top if top < o_e else o_e,
+                            )
+                        oi = i
+                        if i > o_s:
+                            high = phighs[i - 1]
+                            y = high if high > z else z
+                        else:
+                            y = z
+                    else:
+                        # y = pair-next(z) over level 0's two slices.
+                        yy = z
+                        while True:
+                            total_ops += 2
+                            i = oi
+                            if i < o_e and plows[i] < yy:
+                                i += 1
+                            if i < o_e and plows[i] < yy:
+                                prev = i
+                                step = 1
+                                while (
+                                    i + step < o_e and plows[i + step] < yy
+                                ):
+                                    prev = i + step
+                                    step <<= 1
+                                top = i + step
+                                i = bisect_left(
+                                    plows, yy, prev + 1,
+                                    top if top < o_e else o_e,
+                                )
+                            oi = i
+                            if i > o_s:
+                                high = phighs[i - 1]
+                                zz = high if high > yy else yy
+                            else:
+                                zz = yy
+                            if zz >= ENC_POS:
+                                y = ENC_POS
+                                break
+                            i = si
+                            if i < s_e and plows[i] < zz:
+                                i += 1
+                            if i < s_e and plows[i] < zz:
+                                prev = i
+                                step = 1
+                                while (
+                                    i + step < s_e and plows[i + step] < zz
+                                ):
+                                    prev = i + step
+                                    step <<= 1
+                                top = i + step
+                                i = bisect_left(
+                                    plows, zz, prev + 1,
+                                    top if top < s_e else s_e,
+                                )
+                            si = i
+                            if i > s_s:
+                                high = phighs[i - 1]
+                                yy = high if high > zz else zz
+                            else:
+                                yy = zz
+                            if yy == zz:
+                                y = yy
+                                break
+                            if yy >= ENC_POS:
+                                y = ENC_POS
+                                break
+                    if y == z or y >= ENC_POS:
+                        if memoize:
+                            cds._insert_interval_encoded(nodes[0], -2, y)
+                        value = y
+                        break
+                    cur = y  # fixpoint not reached: re-descend to the leaf
+                if counting:
+                    counters.interval_ops += total_ops
+            else:
+                value = self._next_shadow_chain_val(-1, entries)
+            if value < ENC_POS:
+                t.append(value)
+                continue
+            bottom_pattern = entries.bottom  # meet of every filter pattern
+            i0 = last_equality_position(bottom_pattern)
+            if i0 == 0:
+                return None
+            if counting:
+                counters.backtracks += 1
+            pinned = bottom_pattern[i0 - 1]
+            assert isinstance(pinned, int)
+            cds.insert(
+                Constraint(bottom_pattern[: i0 - 1], pinned - 1, pinned + 1)
+            )
+            del t[i0 - 1 :]
+        return tuple(t)
+
+    def _next_shadow_chain_val(self, x: int, entries: _ShadowState) -> int:
+        """Algorithm 7 over the shadow chain, encoded endpoints.
+
+        The walk is the pointer strategy's explicit recursion-as-loop;
+        every level keeps two resumable cursors (original list, shadow
+        list) valid for the whole walk — the sought value only ascends —
+        held as absolute buffer positions alongside cached slice bounds.
+        The only mid-walk mutations are this walk's own memoization
+        inserts, after which exactly the tied levels are refreshed, so
+        the per-step path reads no pool metadata.
+        """
+        counters = self.counters
+        counting = self._counting
+        memoize = self.memoize
+        cds = self.cds
+        pool = cds.pool
+        lows_buf = pool.lows
+        highs_buf = pool.highs
+        nodes = entries.nodes
+        deg = entries.deg
+        obase = entries.obase
+        oend = entries.oend
+        ocur = entries.ocur
+        sbase = entries.sbase
+        send = entries.send
+        scur = entries.scur
+        tied = entries.tied
+        refresh = entries.refresh
+        ohandles = entries.ohandles
+        shandles = entries.shandles
+        pstart = pool.start
+        plength = pool.length
+        last = len(nodes) - 1
+        # Fresh walk: re-read slice bounds, restart cursors (inline).
+        for k in range(last + 1):
+            h = ohandles[k]
+            s = pstart[h]
+            obase[k] = s
+            oend[k] = s + plength[h]
+            ocur[k] = s
+            h = shandles[k]
+            s = pstart[h]
+            sbase[k] = s
+            send[k] = s + plength[h]
+            scur[k] = s
+        total_ops = 0
+        j = 0
+        xs: List[int] = [x] * (last + 1)
+        cur = x
+        z = x
+        down = last > 0
+        if last == 0:
+            step_level = 0
+            v = x
+        while True:
+            if last:
+                if down:
+                    for level in range(j + 1, last + 1):
+                        xs[level] = cur
+                    step_level = last
+                    v = cur
+                elif z < ENC_POS:
+                    step_level = j
+                    v = z
+                else:
+                    y = ENC_POS
+                    if memoize:
+                        cds._insert_interval_encoded(nodes[j], xs[j] - 1, y)
+                        for lvl in tied[j]:
+                            refresh(pool, lvl)
+                    if j == 0:
+                        if counting:
+                            counters.interval_ops += total_ops
+                        return y
+                    z = y
+                    j -= 1
+                    continue
+            # --- the chain step: Next over the level's one or two slices.
+            if deg[step_level]:
+                total_ops += 1
+                e = oend[step_level]
+                base = obase[step_level]
+                if base == e:
+                    out = v
+                else:
+                    i = ocur[step_level]
+                    if i < e and lows_buf[i] < v:
+                        i += 1  # single-step advance: skip the gallop
+                    if i < e and lows_buf[i] < v:
+                        prev = i
+                        step = 1
+                        while i + step < e and lows_buf[i + step] < v:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            lows_buf, v, prev + 1, top if top < e else e
+                        )
+                    ocur[step_level] = i
+                    if i > base:
+                        high = highs_buf[i - 1]
+                        out = high if high > v else v
+                    else:
+                        out = v
+            else:
+                # {ū ⪯ u} alternation over the two slices, both cursors
+                # resuming; op arithmetic (2 per round) as the pointer
+                # strategy tallies it.
+                o_s = obase[step_level]
+                o_e = oend[step_level]
+                s_s = sbase[step_level]
+                s_e = send[step_level]
+                oi = ocur[step_level]
+                si = scur[step_level]
+                yy = v
+                while True:
+                    total_ops += 2
+                    i = oi
+                    if i < o_e and lows_buf[i] < yy:
+                        i += 1
+                    if i < o_e and lows_buf[i] < yy:
+                        prev = i
+                        step = 1
+                        while i + step < o_e and lows_buf[i + step] < yy:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            lows_buf, yy, prev + 1, top if top < o_e else o_e
+                        )
+                    oi = i
+                    if i > o_s:
+                        high = highs_buf[i - 1]
+                        zz = high if high > yy else yy
+                    else:
+                        zz = yy
+                    if zz >= ENC_POS:
+                        out = ENC_POS
+                        break
+                    i = si
+                    if i < s_e and lows_buf[i] < zz:
+                        i += 1
+                    if i < s_e and lows_buf[i] < zz:
+                        prev = i
+                        step = 1
+                        while i + step < s_e and lows_buf[i + step] < zz:
+                            prev = i + step
+                            step <<= 1
+                        top = i + step
+                        i = bisect_left(
+                            lows_buf, zz, prev + 1, top if top < s_e else s_e
+                        )
+                    si = i
+                    if i > s_s:
+                        high = highs_buf[i - 1]
+                        yy = high if high > zz else zz
+                    else:
+                        yy = zz
+                    if yy == zz:
+                        out = yy
+                        break
+                    if yy >= ENC_POS:
+                        out = ENC_POS
+                        break
+                ocur[step_level] = oi
+                scur[step_level] = si
+            if last == 0:
+                if counting:
+                    counters.interval_ops += total_ops
+                return out
+            # --- route the step result (identical to the pointer walk).
+            if down:
+                z = out
+                j = last - 1
+                down = False
+                continue
+            y = out
+            if y != z and y < ENC_POS:
+                cur = y  # fixpoint not reached: re-descend below j
+                down = True
+                continue
+            if memoize:
+                cds._insert_interval_encoded(nodes[j], xs[j] - 1, y)
+                for lvl in tied[j]:
+                    refresh(pool, lvl)
+            if j == 0:
+                if counting:
+                    counters.interval_ops += total_ops
+                return y
+            z = y
+            j -= 1
+
+
+def make_cds(
+    n_attributes: int,
+    counters: Optional[OpCounters] = None,
+    merge_intervals: bool = True,
+    cds_backend: Optional[str] = None,
+):
+    """Construct a CDS of the resolved backend.
+
+    ``merge_intervals=False`` (the E13 naive-list ablation) always pins
+    the pointer tree: the arena stores merged intervals only.
+    """
+    backend = resolve_cds_backend(cds_backend)
+    if backend == "arena" and merge_intervals:
+        return ArenaConstraintTree(n_attributes, counters=counters)
+    from repro.core.cds import ConstraintTree
+
+    return ConstraintTree(
+        n_attributes, counters=counters, merge_intervals=merge_intervals
+    )
+
+
+def make_probe_strategy(cds, strategy: str, memoize: bool = True):
+    """Probe strategy matching ``cds``'s backend and ``strategy`` name."""
+    if isinstance(cds, ArenaConstraintTree):
+        if strategy == "chain":
+            return ArenaChainProbeStrategy(cds, memoize=memoize)
+        if strategy == "general":
+            return ArenaGeneralProbeStrategy(cds, memoize=memoize)
+        raise ValueError(f"unknown strategy {strategy!r}")
+    from repro.core.probe_acyclic import ChainProbeStrategy
+    from repro.core.probe_general import GeneralProbeStrategy
+
+    if strategy == "chain":
+        return ChainProbeStrategy(cds, memoize=memoize)
+    if strategy == "general":
+        return GeneralProbeStrategy(cds, memoize=memoize)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+__all__ = [
+    "ArenaChainProbeStrategy",
+    "ArenaConstraintTree",
+    "ArenaGeneralProbeStrategy",
+    "CDS_BACKENDS",
+    "DEFAULT_CDS_BACKEND",
+    "make_cds",
+    "make_probe_strategy",
+    "resolve_cds_backend",
+]

@@ -70,6 +70,7 @@ def join(
     limit: Optional[int] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    cds_backend: Optional[str] = None,
 ) -> JoinResult:
     """Evaluate a natural join with Minesweeper.
 
@@ -94,6 +95,11 @@ def join(
     byte-identical rows and merged op counts to the pooled run).
     ``workers`` alone implies ``shards=workers``.  Rows and their order
     are invariant in both knobs.
+
+    ``cds_backend`` picks the ConstraintTree storage: ``"arena"`` (flat
+    integer-indexed arrays, the default) or ``"pointer"`` (per-node
+    objects); see :mod:`repro.core.cds_arena`.  Rows and operation
+    counts are invariant in this knob too — only wall-clock changes.
     """
     if limit is not None and limit < 0:
         raise ValueError(f"limit must be non-negative, got {limit}")
@@ -120,6 +126,7 @@ def join(
             counters=counters,
             backend=backend,
             limit=limit,
+            cds_backend=cds_backend,
         ).run()
     if gao is None:
         gao, _ = query.choose_gao()
@@ -135,6 +142,7 @@ def join(
         strategy=strategy,
         memoize=memoize,
         merge_intervals=merge_intervals,
+        cds_backend=cds_backend,
     )
     if limit is None:
         rows = engine.run()

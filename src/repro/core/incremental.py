@@ -30,6 +30,7 @@ import time
 from bisect import insort
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.cds_arena import resolve_cds_backend
 from repro.core.minesweeper import Minesweeper
 from repro.core.query import PreparedQuery, Query
 from repro.storage.relation import Relation
@@ -129,6 +130,9 @@ class LiveJoin:
     strategy:
         Minesweeper probe strategy (``"auto"`` / ``"chain"`` /
         ``"general"``), threaded through to every evaluation.
+    cds_backend:
+        ConstraintTree storage backend for every evaluation (``"arena"``
+        / ``"pointer"``; default arena).  Rows and op counts invariant.
     shards / workers:
         With ``shards`` > 1, every evaluation this view performs — the
         seed, each delta term of a maintenance batch, and recomputes —
@@ -155,6 +159,7 @@ class LiveJoin:
         strategy: str = "auto",
         shards: int = 1,
         workers: int = 0,
+        cds_backend: Optional[str] = None,
     ) -> None:
         self.name = name
         query = Query(list(relations))
@@ -189,6 +194,10 @@ class LiveJoin:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.shards = shards
         self.workers = workers
+        #: CDS backend for every evaluation this view performs (the
+        #: seed, each delta term, recomputes).  Resolved once so pooled
+        #: shard workers agree with in-process runs.
+        self.cds_backend = resolve_cds_backend(cds_backend)
         #: Cumulative maintenance ops (delta terms only, not the seed).
         self.counters = OpCounters()
         self._counts: Dict[Row, int] = {}
@@ -218,10 +227,13 @@ class LiveJoin:
                 workers=self.workers,
                 strategy=self.strategy,
                 counters=counters,
+                cds_backend=self.cds_backend,
             )
             return rows
         return Minesweeper(
-            self._prepared(relations, counters), strategy=self.strategy
+            self._prepared(relations, counters),
+            strategy=self.strategy,
+            cds_backend=self.cds_backend,
         ).run()
 
     def _seed(self) -> Dict[str, int]:

@@ -13,11 +13,14 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.cds import ConstraintTree
+from repro.core.cds_arena import (
+    make_cds,
+    make_probe_strategy,
+    resolve_cds_backend,
+)
 from repro.core.constraints import Constraint, WILDCARD
-from repro.core.probe_acyclic import ChainProbeStrategy
-from repro.core.probe_general import GeneralProbeStrategy
 from repro.core.query import PreparedQuery
+from repro.storage.delta import DeltaRelation, StaleHandleError
 from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.relation import Relation
 from repro.util.counters import OpCounters
@@ -46,6 +49,14 @@ class Minesweeper:
         (ablation E12).
     merge_intervals:
         Pass False to store CDS intervals unmerged (ablation E13).
+        The naive list exists only in the pointer tree, so this pins
+        ``cds_backend="pointer"``.
+    cds_backend:
+        ``"arena"`` (flat array-backed ConstraintTree, the default) or
+        ``"pointer"`` (per-node objects); ``None`` / ``"auto"`` resolve
+        via :data:`repro.core.cds_arena.DEFAULT_CDS_BACKEND` (env
+        override ``REPRO_CDS_BACKEND``).  Rows and operation counts are
+        invariant in this knob — only wall-clock changes.
     """
 
     def __init__(
@@ -55,20 +66,24 @@ class Minesweeper:
         memoize: bool = True,
         merge_intervals: bool = True,
         max_probes: Optional[int] = None,
+        cds_backend: Optional[str] = None,
     ) -> None:
         self.query = query
         self.counters: OpCounters = query.counters
-        self.cds = ConstraintTree(
-            query.n, counters=self.counters, merge_intervals=merge_intervals
+        self.cds_backend = (
+            "pointer" if not merge_intervals else resolve_cds_backend(
+                cds_backend
+            )
+        )
+        self.cds = make_cds(
+            query.n,
+            counters=self.counters,
+            merge_intervals=merge_intervals,
+            cds_backend=self.cds_backend,
         )
         if strategy == "auto":
             strategy = "chain" if query.is_neo_gao() else "general"
-        if strategy == "chain":
-            self.probe = ChainProbeStrategy(self.cds, memoize=memoize)
-        elif strategy == "general":
-            self.probe = GeneralProbeStrategy(self.cds, memoize=memoize)
-        else:
-            raise ValueError(f"unknown strategy {strategy!r}")
+        self.probe = make_probe_strategy(self.cds, strategy, memoize=memoize)
         self.strategy = strategy
         #: Optional observer called as
         #: ``gap_hook(relation, gao_position, chain, target, lo_idx, hi_idx)``
@@ -101,27 +116,20 @@ class Minesweeper:
         paper relates to in §6.3.
         """
         counters = self.counters
-        positions = self.query.gao_positions
         n = self.query.n
         budget = self.max_probes
-        # Per-relation explorer, resolved once: the flat backend gets the
-        # CSR-inlined variant unless a gap_hook observer needs the
-        # index-tuple chains of the generic one.
-        explorers = []
-        for rel in self.query.relations:
-            if self.gap_hook is None and isinstance(
-                rel.index, FlatTrieRelation
-            ):
-                explore = (
-                    self._explore_flat2
-                    if rel.arity == 2
-                    else self._explore_flat
-                )
-            else:
-                explore = self._explore
-            explorers.append((rel, positions[rel.name], explore))
+        # Per-relation explorer closures, resolved once (see
+        # _make_explorer): flat indexes get CSR-inlined variants with
+        # their arrays captured, writable LSM relations are explored
+        # through their merged FlatTrie view, and a gap_hook observer
+        # forces the generic index-tuple formulation.
+        explorers = [self._make_explorer(rel) for rel in self.query.relations]
+        cds = self.cds
+        insert_many = cds.insert_many
+        insert_point = cds.insert_point
+        get_probe_point = self.probe.get_probe_point
         while True:
-            t = self.probe.get_probe_point()
+            t = get_probe_point()
             if t is None:
                 return
             counters.probes += 1
@@ -130,29 +138,171 @@ class Minesweeper:
                     f"probe budget {budget} exhausted at t={t}; "
                     "the CDS is not making progress"
                 )
-            explorations = [
-                explore(rel, pos, t) for rel, pos, explore in explorers
-            ]
-            if all(member for member, _ in explorations):
+            is_member = True
+            discovered: List[Constraint] = []
+            for explore in explorers:
+                member, constraints = explore(t)
+                if not member:
+                    is_member = False
+                if constraints:
+                    discovered.extend(constraints)
+            if is_member:
                 counters.output_tuples += 1
-                self.cds.insert(
-                    Constraint(t[: n - 1], t[n - 1] - 1, t[n - 1] + 1)
-                )
+                insert_point(t[: n - 1], t[n - 1])
                 yield t
             else:
-                inserted_covering = False
-                for _, constraints in explorations:
-                    for constraint in constraints:
-                        self.cds.insert(constraint)
-                        if not inserted_covering and constraint.satisfied_by(t):
-                            inserted_covering = True
-                if not inserted_covering:
+                # Insert order is the per-relation exploration order, as
+                # before; the covering check is order-insensitive (it
+                # reads only the constraint and t), so it runs after the
+                # batch insert — which binds the CDS hot-path locals
+                # once per probe instead of once per constraint.
+                insert_many(discovered)
+                if not any(c.satisfied_by(t) for c in discovered):
                     raise MinesweeperError(
                         f"no discovered gap covers probe point {t}; "
                         "exploration bug"
                     )
 
     # ------------------------------------------------------------------
+
+    def _make_explorer(self, relation: Relation):
+        """One-argument ``explore(t) -> (member, constraints)`` closure.
+
+        Resolved once per run: flat (CSR) indexes of arity 1 and 2 get
+        closures with the value/offset arrays captured (no per-probe
+        attribute walks); other flat arities bind the generic CSR
+        explorer; a writable :class:`~repro.storage.delta.DeltaRelation`
+        is explored through its merged FlatTrie view — probe-for-probe
+        what its handle API answers, with one generation check per
+        explore preserving the mid-run mutation guarantee.  A
+        ``gap_hook`` observer forces the generic index-tuple
+        formulation.  Membership answers, constraint order, and FindGap
+        tallies are identical across all of these forms.
+        """
+        from functools import partial
+
+        positions = self.query.gao_positions[relation.name]
+        index = relation.index
+        if self.gap_hook is None and isinstance(index, DeltaRelation):
+            view = index._view()
+            flat = self._make_flat_closure(view, positions)
+            if flat is not None:
+                generation = index._generation
+
+                def explore_delta(t, _flat=flat, _index=index,
+                                  _generation=generation):
+                    if _index._generation != _generation:
+                        raise StaleHandleError(
+                            f"relation {relation.name!r} mutated while an "
+                            "engine was iterating; Minesweeper explores a "
+                            "fixed snapshot (apply deltas after evaluation, "
+                            "as LiveJoin does)"
+                        )
+                    return _flat(t)
+
+                return explore_delta
+        elif self.gap_hook is None and isinstance(index, FlatTrieRelation):
+            flat = self._make_flat_closure(index, positions)
+            if flat is not None:
+                return flat
+            return partial(self._explore_flat, relation, positions)
+        return partial(self._explore, relation, positions)
+
+    def _make_flat_closure(self, index: FlatTrieRelation, positions):
+        """Arity-specialized closure over a FlatTrie's CSR arrays."""
+        counters = self.counters
+        count = index._count
+        if index.arity == 1:
+            vals0 = index._vals[0]
+            p0 = positions[0]
+            n0 = len(vals0)
+            wild0 = (WILDCARD,) * p0
+            trusted = Constraint.trusted
+
+            def explore1(t):
+                a = t[p0]
+                if count:
+                    counters.findgap += 1
+                i = bisect_left(vals0, a, 0, n0)
+                if i < n0 and vals0[i] == a:
+                    return True, ()
+                low = NEG_INF if i == 0 else vals0[i - 1]
+                high = POS_INF if i == n0 else vals0[i]
+                return False, (trusted(wild0, low, high),)
+
+            return explore1
+        if index.arity == 2:
+            vals0 = index._vals[0]
+            vals1 = index._vals[1]
+            offs1 = index._offs[1]
+            p0, p1 = positions
+            n0 = len(vals0)
+            wild0 = (WILDCARD,) * p0
+            wild1 = [WILDCARD] * p1
+            trusted = Constraint.trusted
+
+            def explore2(t):
+                """Arity-2 CSR exploration, arrays in cells.
+
+                Mirrors the generic chain enumeration exactly: one root
+                FindGap, then one FindGap per in-range {LOW, HIGH} child
+                chain (the two chains coincide when the root value is
+                present — both are still probed and tallied), with
+                constraints emitted in the same v-order.
+                """
+                a = t[p0]
+                b = t[p1]
+                if count:
+                    counters.findgap += 1
+                i = bisect_left(vals0, a, 0, n0)
+                if i < n0 and vals0[i] == a:
+                    lo0 = hi0 = i + 1
+                else:
+                    lo0 = i
+                    hi0 = i + 1
+                member = lo0 == hi0
+                # Level-1 records in v-order: (LOW,) then (HIGH,).
+                records = []
+                for coord in (lo0, hi0):
+                    if 1 <= coord <= n0:
+                        entry = coord - 1
+                        s = offs1[entry]
+                        e = offs1[entry + 1]
+                        if count:
+                            counters.findgap += 1
+                        j = bisect_left(vals1, b, s, e)
+                        if j < e and vals1[j] == b:
+                            lo1 = hi1 = j - s + 1
+                        else:
+                            lo1 = j - s
+                            hi1 = lo1 + 1
+                        records.append((s, e, lo1, hi1, vals0[entry]))
+                    else:
+                        records.append(None)
+                if member:
+                    rec = records[1]  # the all-HIGH chain
+                    if rec is None or rec[2] != rec[3]:
+                        member = False
+                constraints: List[Constraint] = []
+                if lo0 != hi0:
+                    low = NEG_INF if lo0 == 0 else vals0[lo0 - 1]
+                    high = POS_INF if hi0 == n0 + 1 else vals0[hi0 - 1]
+                    constraints.append(trusted(wild0, low, high))
+                for rec in records:
+                    if rec is None:
+                        continue
+                    s, e, lo1, hi1, parent_value = rec
+                    if lo1 == hi1:
+                        continue  # target value present: the gap is empty
+                    low = NEG_INF if lo1 == 0 else vals1[s + lo1 - 1]
+                    high = POS_INF if hi1 == e - s + 1 else vals1[s + hi1 - 1]
+                    prefix = wild1.copy()
+                    prefix[p0] = parent_value
+                    constraints.append(trusted(tuple(prefix), low, high))
+                return member, constraints
+
+            return explore2
+        return None
 
     def _explore(
         self,
@@ -251,81 +401,6 @@ class Minesweeper:
                 )
         return member, constraints
 
-    def _explore_flat2(
-        self,
-        relation: Relation,
-        gao_positions: Sequence[int],
-        t: Tuple[int, ...],
-    ) -> Tuple[bool, List[Constraint]]:
-        """:meth:`_explore_flat` unrolled for arity-2 relations.
-
-        Mirrors the generic chain enumeration exactly: one root FindGap,
-        then one FindGap per in-range {LOW, HIGH} child chain (the two
-        chains coincide when the root value is present — both are still
-        probed and tallied, as in the generic form), with constraints
-        emitted in the same v-order.
-        """
-        index = relation.index
-        counters = self.counters
-        count = index._count
-        vals0 = index._vals[0]
-        vals1 = index._vals[1]
-        offs1 = index._offs[1]
-        p0, p1 = gao_positions
-        a = t[p0]
-        b = t[p1]
-        n0 = len(vals0)
-        if count:
-            counters.findgap += 1
-        i = bisect_left(vals0, a, 0, n0)
-        if i < n0 and vals0[i] == a:
-            lo0 = hi0 = i + 1
-        else:
-            lo0 = i
-            hi0 = i + 1
-        member = lo0 == hi0
-        # Level-1 records in v-order: (LOW,) then (HIGH,).
-        records = []
-        for coord in (lo0, hi0):
-            if 1 <= coord <= n0:
-                entry = coord - 1
-                s = offs1[entry]
-                e = offs1[entry + 1]
-                if count:
-                    counters.findgap += 1
-                j = bisect_left(vals1, b, s, e)
-                if j < e and vals1[j] == b:
-                    lo1 = hi1 = j - s + 1
-                else:
-                    lo1 = j - s
-                    hi1 = lo1 + 1
-                records.append((s, e, lo1, hi1, vals0[entry]))
-            else:
-                records.append(None)
-        if member:
-            rec = records[1]  # the all-HIGH chain
-            if rec is None or rec[2] != rec[3]:
-                member = False
-        constraints: List[Constraint] = []
-        if lo0 != hi0:
-            low = NEG_INF if lo0 == 0 else vals0[lo0 - 1]
-            high = POS_INF if hi0 == n0 + 1 else vals0[hi0 - 1]
-            constraints.append(
-                Constraint.trusted((WILDCARD,) * p0, low, high)
-            )
-        for rec in records:
-            if rec is None:
-                continue
-            s, e, lo1, hi1, parent_value = rec
-            if lo1 == hi1:
-                continue  # target value present: the gap is empty
-            low = NEG_INF if lo1 == 0 else vals1[s + lo1 - 1]
-            high = POS_INF if hi1 == e - s + 1 else vals1[s + hi1 - 1]
-            prefix: List = [WILDCARD] * p1
-            prefix[p0] = parent_value
-            constraints.append(Constraint.trusted(tuple(prefix), low, high))
-        return member, constraints
-
     def _explore_flat(
         self,
         relation: Relation,
@@ -337,13 +412,12 @@ class Minesweeper:
         Chain enumeration order, FindGap tallies, and emitted constraints
         are identical to the generic version; only the per-operation
         dispatch is gone.  Node handles are (level, lo, hi) spans over
-        the index's value arrays.  Binary relations (edges — the dominant
-        shape) take a fully unrolled variant.
+        the index's value arrays.  Relations of arity 1 and 2 (the
+        dominant shapes) take the fully unrolled closures built by
+        :meth:`_make_flat_closure`; this generic form serves arity >= 3.
         """
         index = relation.index
         k = relation.arity
-        if k == 2:
-            return self._explore_flat2(relation, gao_positions, t)
         vals_levels = index._vals
         offs_levels = index._offs
         count = index._count

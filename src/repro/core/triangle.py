@@ -288,6 +288,17 @@ class TriangleMinesweeper:
         self.c_dict = _Dict(
             [c for _, c in s_rows] + [c for _, c in t_rows]
         )
+        # Static domain sizes / rank maps, hoisted off the probe loop.
+        self._n_a = len(self.a_dict)
+        self._n_b = len(self.b_dict)
+        self._n_c = len(self.c_dict)
+        self._a_rank_of = self.a_dict.rank_of
+        self._b_rank_of = self.b_dict.rank_of
+        self._c_rank_of = self.c_dict.rank_of
+        self._init_cds()
+
+    def _init_cds(self) -> None:
+        """Build the specialized CDS state (overridden by the arena twin)."""
         # CDS state, all in rank space.
         self.i_root = IntervalList()  # gaps on A
         self.i_star_b = IntervalList()  # ⟨*, (b1,b2), *⟩
@@ -304,13 +315,6 @@ class TriangleMinesweeper:
         # 2^level + index — so the probe walk never allocates key tuples.
         self._cache: Dict[int, int] = {}
         self._key_shift = self.dyadic.depth + 1
-        # Static domain sizes / rank maps, hoisted off the probe loop.
-        self._n_a = len(self.a_dict)
-        self._n_b = len(self.b_dict)
-        self._n_c = len(self.c_dict)
-        self._a_rank_of = self.a_dict.rank_of
-        self._b_rank_of = self.b_dict.rank_of
-        self._c_rank_of = self.c_dict.rank_of
         # The CDS root lists live for the engine's lifetime and mutate in
         # place; their accessors are prebound for the outer probe loop.
         self._i_root_next = self.i_root.next
@@ -772,15 +776,33 @@ def triangle_join(
     t_edges: Sequence[Edge],
     counters: Optional[OpCounters] = None,
     backend: str = "auto",
+    cds_backend: Optional[str] = None,
 ) -> List[Tuple[int, int, int]]:
     """Enumerate Q△ = R(A,B) ⋈ S(B,C) ⋈ T(A,C) with the dyadic CDS.
 
     With no ``counters`` the engine runs counting-free (the tallies
     would be unreachable through this interface anyway); pass an
     :class:`OpCounters` to collect the Section-5.2 numbers.
+
+    ``cds_backend`` picks the specialized CDS's storage: ``"arena"``
+    (one pooled interval store, the default) or ``"pointer"`` (per-node
+    ``IntervalList`` objects).  Rows and operation counts are invariant
+    in the knob.  The arena variant requires the flat relation backend;
+    ``trie`` / ``btree`` ablations always run the pointer CDS.
     """
+    from repro.core.cds_arena import resolve_cds_backend
+
     if counters is None:
         counters = NullCounters()
-    return TriangleMinesweeper(
-        r_edges, s_edges, t_edges, counters, backend=backend
-    ).run()
+    resolved = resolve_cds_backend(cds_backend)
+    if resolved == "arena" and backend in ("auto", "flat"):
+        from repro.core.triangle_arena import ArenaTriangleMinesweeper
+
+        engine: TriangleMinesweeper = ArenaTriangleMinesweeper(
+            r_edges, s_edges, t_edges, counters, backend=backend
+        )
+    else:
+        engine = TriangleMinesweeper(
+            r_edges, s_edges, t_edges, counters, backend=backend
+        )
+    return engine.run()

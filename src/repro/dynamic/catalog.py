@@ -141,6 +141,7 @@ class Catalog:
         strategy: str = "auto",
         shards: int = 1,
         workers: int = 0,
+        cds_backend: Optional[str] = None,
     ) -> LiveJoin:
         """Register (and immediately materialize) a live join view.
 
@@ -159,6 +160,7 @@ class Catalog:
             [self._relations[n] for n in relation_names],
             gao=gao,
             strategy=strategy,
+            cds_backend=cds_backend,
             shards=shards,
             workers=workers,
         )

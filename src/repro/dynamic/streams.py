@@ -174,12 +174,14 @@ def build_catalog(
     gao: Optional[Sequence[str]] = None,
     memtable_limit: Optional[int] = None,
     strategy: str = "auto",
+    cds_backend: Optional[str] = None,
 ) -> Tuple[Catalog, LiveJoin]:
     """Materialize a stream's initial state into a served catalog."""
     catalog = Catalog(memtable_limit=memtable_limit)
     for name, attributes in schemas.items():
         catalog.create_relation(name, attributes, initial.get(name, ()))
     live = catalog.register_view(
-        view, list(schemas), gao=gao, strategy=strategy
+        view, list(schemas), gao=gao, strategy=strategy,
+        cds_backend=cds_backend,
     )
     return catalog, live

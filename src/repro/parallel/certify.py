@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.certificates.recorder import record_certificate
+from repro.core.cds_arena import resolve_cds_backend
 from repro.certificates.verifier import check_certificate
 from repro.core.query import PreparedQuery
 from repro.parallel.planner import plan_and_slice
@@ -36,12 +37,12 @@ class ShardCertificate:
 
 
 def _certify_shard(payload) -> ShardCertificate:
-    relations, gao, lo, hi, samples = payload
+    relations, gao, lo, hi, samples, cds_backend = payload
     counters = OpCounters()
     for r in relations:
         r.rebind_counters(counters)
     prepared = PreparedQuery(list(relations), gao, counters)
-    rows, argument = record_certificate(prepared)
+    rows, argument = record_certificate(prepared, cds_backend=cds_backend)
     counterexample = check_certificate(prepared, argument, samples=samples)
     return ShardCertificate(
         lo=lo,
@@ -58,6 +59,7 @@ def certify_sharded(
     shards: int,
     workers: int = 0,
     samples: int = 20,
+    cds_backend: str = None,
 ) -> List[ShardCertificate]:
     """Record and check one certificate per shard of the plan.
 
@@ -68,6 +70,8 @@ def certify_sharded(
     plan, slices = plan_and_slice(
         prepared.relations, prepared.gao[0], shards
     )
+    # Resolved on the driver so pool workers agree with in-process runs.
+    cds_backend = resolve_cds_backend(cds_backend)
     payloads = [
         (
             shard_rels,
@@ -75,6 +79,7 @@ def certify_sharded(
             shard.lo,
             shard.hi,
             samples,
+            cds_backend,
         )
         for shard, shard_rels in zip(plan, slices)
     ]

@@ -33,6 +33,7 @@ import itertools
 import multiprocessing
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.cds_arena import resolve_cds_backend
 from repro.core.engine import JoinResult
 from repro.core.minesweeper import Minesweeper
 from repro.core.query import PreparedQuery, Query
@@ -45,7 +46,8 @@ from repro.util.counters import NullCounters, OpCounters
 Row = Tuple[int, ...]
 
 #: What one worker needs to run one shard: (relations, gao, strategy,
-#: memoize, merge_intervals, limit, count) — all plain picklable data.
+#: memoize, merge_intervals, limit, count, cds_backend) — all plain
+#: picklable data.
 ShardPayload = Tuple
 
 
@@ -65,7 +67,10 @@ def resolve_strategy(
 def _run_shard(payload: ShardPayload):
     """Run one shard to completion (executed inside a pool worker, or
     inline for the ``workers=0`` sequential mode)."""
-    relations, gao, strategy, memoize, merge_intervals, limit, count = payload
+    (
+        relations, gao, strategy, memoize, merge_intervals, limit, count,
+        cds_backend,
+    ) = payload
     counters = OpCounters() if count else NullCounters()
     for r in relations:
         r.rebind_counters(counters)
@@ -75,6 +80,7 @@ def _run_shard(payload: ShardPayload):
         strategy=strategy,
         memoize=memoize,
         merge_intervals=merge_intervals,
+        cds_backend=cds_backend,
     )
     if limit is None:
         rows = engine.run()
@@ -93,6 +99,7 @@ def run_sharded(
     merge_intervals: bool = True,
     counters: Optional[OpCounters] = None,
     limit: Optional[int] = None,
+    cds_backend: Optional[str] = None,
 ) -> Tuple[List[Row], OpCounters, int]:
     """Plan, execute, and merge a sharded run over prepared relations.
 
@@ -112,6 +119,9 @@ def run_sharded(
     """
     base = counters if counters is not None else OpCounters()
     strategy = resolve_strategy(relations, gao, strategy)
+    # Resolve the CDS backend once on the driver so every pool worker
+    # builds the same tree kind regardless of its own environment.
+    cds_backend = resolve_cds_backend(cds_backend)
     plan, slices = plan_and_slice(relations, gao[0], shards)
     if limit == 0 or not plan:
         # Nothing to run: limit=0 consumes no certificate at all, and an
@@ -128,6 +138,7 @@ def run_sharded(
             merge_intervals,
             limit,
             count,
+            cds_backend,
         )
         for shard_rels in slices
     ]
@@ -182,6 +193,7 @@ class ShardedExecutor:
         counters: Optional[OpCounters] = None,
         backend: Optional[str] = None,
         limit: Optional[int] = None,
+        cds_backend: Optional[str] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -209,6 +221,7 @@ class ShardedExecutor:
         self.memoize = memoize
         self.merge_intervals = merge_intervals
         self.limit = limit
+        self.cds_backend = resolve_cds_backend(cds_backend)
 
     def run(self) -> JoinResult:
         rows, merged, shards_run = run_sharded(
@@ -221,6 +234,7 @@ class ShardedExecutor:
             merge_intervals=self.merge_intervals,
             counters=self.counters,
             limit=self.limit,
+            cds_backend=self.cds_backend,
         )
         return JoinResult(
             rows,

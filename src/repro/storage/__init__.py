@@ -4,10 +4,14 @@ from repro.storage.btree import BTree
 from repro.storage.delta import DeltaRelation
 from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.interval_list import (
+    INSERT_DISJOINT,
+    INSERT_MERGED,
+    INSERT_NOCHANGE,
     IntervalList,
     NaiveIntervalList,
     interval_is_empty,
 )
+from repro.storage.interval_pool import IntervalPool
 from repro.storage.relation import BACKENDS, DEFAULT_BACKEND, Relation
 from repro.storage.sorted_list import SortedList
 from repro.storage.trie import TrieRelation
@@ -18,7 +22,11 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DeltaRelation",
     "FlatTrieRelation",
+    "INSERT_DISJOINT",
+    "INSERT_MERGED",
+    "INSERT_NOCHANGE",
     "IntervalList",
+    "IntervalPool",
     "NaiveIntervalList",
     "interval_is_empty",
     "Relation",

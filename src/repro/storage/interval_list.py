@@ -32,6 +32,15 @@ from repro.util.sentinels import (
 
 Interval = Tuple[ExtendedValue, ExtendedValue]
 
+#: Return codes of :meth:`IntervalList.insert` (and the arena pool's
+#: insert).  Truthiness-compatible with the historical boolean — 0 iff
+#: the list is unchanged — but additionally saying *how* it changed, so
+#: callers (``InsConstraint``) can skip work that only a merge makes
+#: necessary.
+INSERT_NOCHANGE = 0  # empty interval, or subsumed by a stored interval
+INSERT_DISJOINT = 1  # added as a new interval; nothing existing touched
+INSERT_MERGED = 2  # absorbed/extended at least one stored interval
+
 
 def interval_is_empty(low: ExtendedValue, high: ExtendedValue) -> bool:
     """True iff the open interval (low, high) contains no integer.
@@ -161,12 +170,15 @@ class IntervalList:
             return POS_INF
         return high
 
-    def insert(self, low: ExtendedValue, high: ExtendedValue) -> bool:
-        """Insert (low, high), merging overlaps; return True if changed.
+    def insert(self, low: ExtendedValue, high: ExtendedValue) -> int:
+        """Insert (low, high), merging overlaps; return how the list changed.
 
         Empty intervals are ignored.  Merging is by integer-set overlap: the
         incoming interval absorbs every stored interval (l, r) with
-        l < high and low < r.
+        l < high and low < r.  The return value is one of
+        :data:`INSERT_NOCHANGE` / :data:`INSERT_DISJOINT` /
+        :data:`INSERT_MERGED`; its truthiness ("did the list change")
+        matches the historical boolean return.
         """
         if type(low) is int:
             new_low = low if -_ENC_LIMIT < low < _ENC_LIMIT else _encode(low)
@@ -181,7 +193,7 @@ class IntervalList:
         # In encoded space emptiness is uniform: the open interval holds an
         # integer iff the endpoints are more than 1 apart.
         if new_high - new_low <= 1:
-            return False
+            return INSERT_NOCHANGE
         lows, highs = self._lows, self._highs
         # First stored interval that could overlap: rightmost with l <= low
         # may still reach past low; everything with l >= high cannot overlap.
@@ -199,14 +211,14 @@ class IntervalList:
         if start == stop:
             lows.insert(start, new_low)
             highs.insert(start, new_high)
-            return True
+            return INSERT_DISJOINT
         if stop - start == 1 and lows[start] == new_low and highs[start] == new_high:
-            return False  # already subsumed by a single existing interval
+            return INSERT_NOCHANGE  # subsumed by a single existing interval
         del lows[start:stop]
         del highs[start:stop]
         lows.insert(start, new_low)
         highs.insert(start, new_high)
-        return True
+        return INSERT_MERGED
 
     def covers_all(self, low: int, high: ExtendedValue) -> bool:
         """True iff every integer v with low <= v (< high) is covered."""
@@ -305,11 +317,13 @@ class NaiveIntervalList:
     def covers(self, value: int) -> bool:
         return any(lo < value < hi for lo, hi in self._items)
 
-    def insert(self, low: ExtendedValue, high: ExtendedValue) -> bool:
+    def insert(self, low: ExtendedValue, high: ExtendedValue) -> int:
         if interval_is_empty(low, high):
-            return False
+            return INSERT_NOCHANGE
         self._items.append((low, high))
-        return True
+        # Verbatim storage never merges: every accepted insert is a
+        # disjoint append as far as the caller can observe.
+        return INSERT_DISJOINT
 
     def next(self, value: int) -> ExtendedValue:
         current: ExtendedValue = value

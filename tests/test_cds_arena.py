@@ -1,0 +1,483 @@
+"""Arena CDS backend: property/fuzz equivalence against the pointer tree.
+
+The arena contract is *exact*: byte-identical rows, identical operation
+counts, identical tree contents, identical probe-point sequences under
+every strategy — the backend flag may only change wall-clock.  These
+tests drive randomized interleaved InsConstraint + probe workloads
+through both backends and assert that contract, plus the arena-only
+mechanics (slab recycling, plain-array pickling, per-depth epochs).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.cds import ConstraintTree
+from repro.core.cds_arena import (
+    ArenaChainProbeStrategy,
+    ArenaConstraintTree,
+    ArenaGeneralProbeStrategy,
+    CDS_BACKENDS,
+    make_cds,
+    resolve_cds_backend,
+)
+from repro.core.constraints import Constraint, WILDCARD
+from repro.core.engine import join
+from repro.core.minesweeper import Minesweeper
+from repro.core.probe_acyclic import ChainProbeStrategy, NotAChainError
+from repro.core.probe_general import GeneralProbeStrategy
+from repro.core.query import Query
+from repro.core.triangle import triangle_join
+from repro.datasets.instances import triangle_hard, triangle_with_output
+from repro.storage.interval_pool import IntervalPool
+from repro.storage.interval_list import IntervalList
+from repro.storage.relation import Relation
+from repro.util.counters import NullCounters, OpCounters
+from repro.util.sentinels import NEG_INF, POS_INF
+
+W = WILDCARD
+
+
+def random_constraint(rng, n_attr, domain=9):
+    depth = rng.randrange(n_attr)
+    prefix = tuple(
+        rng.randrange(domain) if rng.random() < 0.6 else W
+        for _ in range(depth)
+    )
+    low = rng.randrange(-1, domain)
+    high = low + rng.randint(0, 5)
+    if rng.random() < 0.05:
+        low = NEG_INF
+    if rng.random() < 0.05:
+        high = POS_INF
+    return Constraint(prefix, low, high)
+
+
+def tree_snapshot(tree):
+    """Backend-agnostic {pattern: (intervals, eq labels, has star)} map."""
+    if isinstance(tree, ArenaConstraintTree):
+        return {
+            pattern: (
+                tree.intervals_at(u),
+                list(tree.eq_labels(u)),
+                tree._star[u] >= 0,
+            )
+            for pattern, u in tree.iter_nodes()
+        }
+    return {
+        pattern: (
+            node.intervals.intervals(),
+            node.eq_keys.as_list(),
+            node.star is not None,
+        )
+        for pattern, node in tree.iter_nodes()
+    }
+
+
+class TestIntervalPool:
+    """The pooled slices against the reference IntervalList."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_interval_list(self, seed):
+        rng = random.Random(seed)
+        pool = IntervalPool()
+        handles = [pool.new() for _ in range(5)]
+        refs = [IntervalList() for _ in range(5)]
+        for _ in range(300):
+            k = rng.randrange(5)
+            low = rng.randrange(-2, 40)
+            high = low + rng.randint(-1, 12)
+            assert pool.insert(handles[k], low, high) == refs[k].insert(
+                low, high
+            )
+            probe = rng.randrange(-2, 45)
+            assert pool.covers(handles[k], probe) == refs[k].covers(probe)
+            nxt = refs[k].next(probe)
+            got = pool.next_encoded(handles[k], probe)
+            assert (POS_INF if got >= 1 << 62 else got) == nxt
+            lo, hi = sorted((rng.randrange(-2, 40), rng.randrange(-2, 40)))
+            assert pool.intervals(handles[k]) == refs[k].intervals()
+            covered = [
+                (a, b)
+                for a, b in refs[k].covered_runs(lo, hi)
+            ]
+            got_runs = [
+                tuple(
+                    POS_INF if v >= 1 << 62 else NEG_INF if v <= -(1 << 62)
+                    else v
+                    for v in run
+                )
+                for run in pool.covered_runs_encoded(handles[k], lo, hi)
+            ]
+            assert got_runs == covered
+            uncov = refs[k].uncovered_runs(lo, hi)
+            got_un = [
+                tuple(
+                    POS_INF if v >= 1 << 62 else NEG_INF if v <= -(1 << 62)
+                    else v
+                    for v in run
+                )
+                for run in pool.uncovered_runs_encoded(handles[k], lo, hi)
+            ]
+            assert got_un == uncov
+
+    def test_free_recycles_slabs_and_handles(self):
+        pool = IntervalPool()
+        h = pool.new()
+        for i in range(10):
+            pool.insert(h, 3 * i, 3 * i + 2)
+        cap = pool.cap[h]
+        start = pool.start[h]
+        pool.free(h)
+        h2 = pool.new()
+        assert h2 == h  # handle slot reused
+        assert pool.length[h2] == 0
+        for i in range(10):
+            pool.insert(h2, 3 * i, 3 * i + 2)
+        # The previously-grown slab is reused rather than re-extended.
+        assert pool.cap[h2] == cap
+        assert pool.start[h2] == start
+
+
+class TestArenaTreeEquivalence:
+    """Randomized InsConstraint sequences: identical trees and answers."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_insert_fuzz(self, seed):
+        rng = random.Random(seed)
+        n_attr = rng.randint(1, 4)
+        c1 = OpCounters()
+        c2 = OpCounters()
+        ptr = ConstraintTree(n_attr, counters=c1)
+        arena = ArenaConstraintTree(n_attr, counters=c2)
+        for _ in range(rng.randint(10, 80)):
+            constraint = random_constraint(rng, n_attr)
+            assert ptr.insert(constraint) == arena.insert(constraint)
+        assert tree_snapshot(ptr) == tree_snapshot(arena)
+        assert c1.snapshot() == c2.snapshot()
+        assert ptr.constraints_inserted == arena.constraints_inserted
+        for _ in range(60):
+            row = tuple(rng.randrange(10) for _ in range(n_attr))
+            assert ptr.covers_row(row) == arena.covers_row(row)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_insert_many_matches_loop(self, seed):
+        rng = random.Random(seed)
+        n_attr = rng.randint(1, 3)
+        batch = [random_constraint(rng, n_attr) for _ in range(30)]
+        one = ArenaConstraintTree(n_attr, counters=OpCounters())
+        for c in batch:
+            one.insert(c)
+        many = ArenaConstraintTree(n_attr, counters=OpCounters())
+        many.insert_many(batch)
+        assert tree_snapshot(one) == tree_snapshot(many)
+        assert one.counters.snapshot() == many.counters.snapshot()
+
+    def test_node_recycling(self):
+        arena = ArenaConstraintTree(3)
+        for label in range(20):
+            arena.insert(Constraint((label,), 0, 5))
+        before = arena.node_count()
+        # A root interval covering every label prunes all 20 subtrees.
+        arena.insert(Constraint((), -1, 100))
+        assert arena.node_count() == 1  # only the root survives
+        for label in range(200, 220):
+            arena.insert(Constraint((label,), 0, 5))
+        # Recycled slots: the arena did not grow past its high-water mark.
+        assert len(arena._depth) <= before + 1
+        assert before > 1
+
+    def test_merge_intervals_false_is_pointer_only(self):
+        with pytest.raises(ValueError):
+            ArenaConstraintTree(2, merge_intervals=False)
+        assert isinstance(
+            make_cds(2, merge_intervals=False, cds_backend="arena"),
+            ConstraintTree,
+        )
+
+    def test_resolve_backend(self, monkeypatch):
+        assert resolve_cds_backend("pointer") == "pointer"
+        assert resolve_cds_backend("arena") == "arena"
+        assert resolve_cds_backend(None) in CDS_BACKENDS
+        monkeypatch.setenv("REPRO_CDS_BACKEND", "pointer")
+        assert resolve_cds_backend(None) == "pointer"
+        monkeypatch.setenv("REPRO_CDS_BACKEND", "bogus")
+        with pytest.raises(ValueError):
+            resolve_cds_backend(None)
+
+    def test_pickle_round_trip_plain_arrays(self):
+        rng = random.Random(7)
+        arena = ArenaConstraintTree(3)
+        for _ in range(60):
+            arena.insert(random_constraint(rng, 3))
+        blob = pickle.dumps(arena)
+        clone = pickle.loads(blob)
+        assert tree_snapshot(clone) == tree_snapshot(arena)
+        assert clone.depth_epoch == arena.depth_epoch
+        # The payload is flat int arrays + the counters object: the
+        # pattern tuples (an object graph in the pointer tree) are
+        # rebuilt on load, not shipped.
+        state = arena.__getstate__()
+        assert "_pattern" not in state
+        assert all(
+            isinstance(v, int) for v in state["_ekey"] + state["_depth"]
+        )
+
+
+def _probe_all(strategy_cls, tree, memoize=True):
+    """Drain probe points, inserting a point gap after each (a run skeleton
+    that exercises get_probe_point + insert interleaving)."""
+    strategy = strategy_cls(tree, memoize=memoize)
+    points = []
+    while len(points) < 200:
+        t = strategy.get_probe_point()
+        if t is None:
+            break
+        points.append(t)
+        tree.insert_point(t[:-1], t[-1])
+    return points
+
+
+class TestProbeEquivalence:
+    """Interleaved probe/insert sequences under both strategies."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("memoize", [True, False])
+    def test_general_probe_sequences(self, seed, memoize):
+        rng = random.Random(seed)
+        n_attr = rng.randint(1, 4)
+        seeded = [random_constraint(rng, n_attr) for _ in range(15)]
+        c1 = OpCounters()
+        ptr = ConstraintTree(n_attr, counters=c1)
+        c2 = OpCounters()
+        arena = ArenaConstraintTree(n_attr, counters=c2)
+        for c in seeded:
+            ptr.insert(c)
+            arena.insert(c)
+        p1 = _probe_all(GeneralProbeStrategy, ptr, memoize=memoize)
+        p2 = _probe_all(ArenaGeneralProbeStrategy, arena, memoize=memoize)
+        assert p1 == p2
+        assert c1.snapshot() == c2.snapshot()
+        assert tree_snapshot(ptr) == tree_snapshot(arena)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_chain_probe_sequences(self, seed):
+        # Chain-safe seeding: constraints whose patterns are all-equality
+        # prefixes or all-wildcard, so every principal filter is a chain.
+        rng = random.Random(seed)
+        n_attr = rng.randint(1, 3)
+        c1 = OpCounters()
+        ptr = ConstraintTree(n_attr, counters=c1)
+        c2 = OpCounters()
+        arena = ArenaConstraintTree(n_attr, counters=c2)
+        for _ in range(15):
+            depth = rng.randrange(n_attr)
+            if rng.random() < 0.5:
+                prefix = tuple(rng.randrange(6) for _ in range(depth))
+            else:
+                prefix = (W,) * depth
+            low = rng.randrange(-1, 8)
+            constraint = Constraint(prefix, low, low + rng.randint(0, 4))
+            ptr.insert(constraint)
+            arena.insert(constraint)
+        try:
+            p1 = _probe_all(ChainProbeStrategy, ptr)
+        except NotAChainError:
+            with pytest.raises(NotAChainError):
+                _probe_all(ArenaChainProbeStrategy, arena)
+            return
+        p2 = _probe_all(ArenaChainProbeStrategy, arena)
+        assert p1 == p2
+        assert c1.snapshot() == c2.snapshot()
+
+    def test_chain_raises_not_a_chain(self):
+        # Patterns (0, *) and (*, 0) both hold intervals and are
+        # incomparable: the principal filter of prefix (0, 0) is not a
+        # chain, exactly like the pointer strategy's error case.
+        tree = ArenaConstraintTree(3)
+        tree.insert(Constraint((0, W), 1, 5))
+        tree.insert(Constraint((W, 0), 1, 5))
+        strategy = ArenaChainProbeStrategy(tree)
+        with pytest.raises(NotAChainError):
+            strategy._chain_for((0, 0))
+
+    def test_counting_free_paths_match_counted_rows(self):
+        r, s, t, _ = triangle_hard(12)
+        q = Query(
+            [
+                Relation("R", ["A", "B"], r),
+                Relation("S", ["B", "C"], s),
+                Relation("T", ["A", "C"], t),
+            ]
+        )
+        rows = {}
+        for counters in (None, NullCounters()):
+            prepared = q.with_gao(["A", "B", "C"], counters=counters)
+            engine = Minesweeper(
+                prepared, strategy="general", cds_backend="arena"
+            )
+            rows[type(counters).__name__] = engine.run()
+        assert rows["NoneType"] == rows["NullCounters"]
+
+
+def _engine_outcome(query, gao, strategy, cds_backend, **kwargs):
+    counters = OpCounters()
+    result = join(
+        query,
+        gao=gao,
+        strategy=strategy,
+        counters=counters,
+        cds_backend=cds_backend,
+        **kwargs,
+    )
+    return result.rows, counters.snapshot()
+
+
+class TestEngineEquivalence:
+    """End-to-end joins: rows and op counts invariant in cds_backend."""
+
+    def _triangle_query(self, r, s, t):
+        return Query(
+            [
+                Relation("R", ["A", "B"], r),
+                Relation("S", ["B", "C"], s),
+                Relation("T", ["A", "C"], t),
+            ]
+        )
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_triangle_hard(self, n):
+        r, s, t, _ = triangle_hard(n)
+        q = self._triangle_query(r, s, t)
+        a = _engine_outcome(q, ["A", "B", "C"], "general", "pointer")
+        b = _engine_outcome(q, ["A", "B", "C"], "general", "arena")
+        assert a == b
+
+    def test_triangle_planted_sharded(self):
+        r, s, t = triangle_with_output(60, 15, seed=5)
+        q = self._triangle_query(r, s, t)
+        a = _engine_outcome(
+            q, ["A", "B", "C"], "general", "pointer", shards=3
+        )
+        b = _engine_outcome(q, ["A", "B", "C"], "general", "arena", shards=3)
+        assert a == b
+
+    def test_bowtie_chain(self):
+        rng = random.Random(1)
+        n = 300
+        rv = sorted(rng.sample(range(n), n // 5))
+        tv = sorted(rng.sample(range(n), n // 5))
+        sv = sorted(
+            {(rng.randrange(n), rng.randrange(n)) for _ in range(3 * n)}
+        )
+        q = Query(
+            [
+                Relation("R", ["X"], [(v,) for v in rv]),
+                Relation("S", ["X", "Y"], sv),
+                Relation("T", ["Y"], [(v,) for v in tv]),
+            ]
+        )
+        for strategy in ("chain", "general"):
+            a = _engine_outcome(q, ["X", "Y"], strategy, "pointer")
+            b = _engine_outcome(q, ["X", "Y"], strategy, "arena")
+            assert a == b
+
+    def test_memoize_off_ablation(self):
+        r, s, t, _ = triangle_hard(8)
+        q = self._triangle_query(r, s, t)
+        a = _engine_outcome(
+            q, ["A", "B", "C"], "general", "pointer", memoize=False
+        )
+        b = _engine_outcome(
+            q, ["A", "B", "C"], "general", "arena", memoize=False
+        )
+        assert a == b
+
+    def test_merge_intervals_off_pins_pointer(self):
+        r, s, t, _ = triangle_hard(8)
+        q = self._triangle_query(r, s, t)
+        prepared = q.with_gao(["A", "B", "C"])
+        engine = Minesweeper(
+            prepared, merge_intervals=False, cds_backend="arena"
+        )
+        assert engine.cds_backend == "pointer"
+        assert isinstance(engine.cds, ConstraintTree)
+
+    @pytest.mark.parametrize("n", [24, 48])
+    def test_dyadic_triangle_backends(self, n):
+        r, s, t, _ = triangle_hard(n)
+        out = {}
+        for backend in ("pointer", "arena"):
+            counters = OpCounters()
+            rows = triangle_join(r, s, t, counters, cds_backend=backend)
+            out[backend] = (rows, counters.snapshot())
+        assert out["pointer"] == out["arena"]
+
+    def test_dyadic_triangle_planted(self):
+        r, s, t = triangle_with_output(120, 30, seed=5)
+        out = {}
+        for backend in ("pointer", "arena"):
+            counters = OpCounters()
+            rows = triangle_join(r, s, t, counters, cds_backend=backend)
+            out[backend] = (rows, counters.snapshot())
+        assert out["pointer"] == out["arena"]
+
+    def test_dynamic_live_join_backends(self):
+        from repro import dynamic
+
+        schemas, initial, batches = dynamic.triangle_stream(
+            n_nodes=12, n_edges=40, n_batches=3, batch_size=5,
+            insert_fraction=0.5, seed=3,
+        )
+        states = {}
+        for backend in ("pointer", "arena"):
+            catalog, view = dynamic.build_catalog(
+                schemas, initial, cds_backend=backend
+            )
+            ops = OpCounters()
+            for batch in batches:
+                catalog.apply_batch(batch)
+            states[backend] = (view.rows(), view.counters.snapshot())
+        assert states["pointer"] == states["arena"]
+
+    def test_hash_seed_invariant(self):
+        """Probe sequences agree across PYTHONHASHSEEDs and backends."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "import json\n"
+            "from repro.core.engine import join\n"
+            "from repro.core.query import Query\n"
+            "from repro.storage.relation import Relation\n"
+            "from repro.datasets.instances import triangle_hard\n"
+            "from repro.util.counters import OpCounters\n"
+            "r, s, t, _ = triangle_hard(8)\n"
+            "q = Query([Relation('R', ['A', 'B'], r),\n"
+            "           Relation('S', ['B', 'C'], s),\n"
+            "           Relation('T', ['A', 'C'], t)])\n"
+            "out = {}\n"
+            "for backend in ('pointer', 'arena'):\n"
+            "    c = OpCounters()\n"
+            "    res = join(q, gao=['A', 'B', 'C'], counters=c,\n"
+            "               cds_backend=backend)\n"
+            "    out[backend] = [res.rows, c.snapshot()]\n"
+            "print(json.dumps(out, sort_keys=True))\n"
+        )
+        outputs = set()
+        for seed in ("0", "7", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+        decoded = json.loads(outputs.pop())
+        assert decoded["pointer"] == decoded["arena"]

@@ -71,7 +71,8 @@ class TestAppendixD1:
         engine.run()
         star_star = engine.cds.find_node((W, W))
         assert star_star is not None
-        assert star_star.intervals.covers(2)  # the (1,3) gap from U
+        # node_covers is backend-agnostic (arena nodes are plain ints).
+        assert engine.cds.node_covers(star_star, 2)  # the (1,3) gap from U
 
 
 class TestExampleB3Certificate:
