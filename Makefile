@@ -5,7 +5,7 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test bench bench-smoke check-ops perf-report
+.PHONY: test bench bench-smoke check-ops perf-report query-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -18,6 +18,18 @@ bench:
 # plumbing (recording, extra_info, summary.csv) without timing noise.
 bench-smoke:
 	$(PY) -m repro.cli bench --smoke
+
+# Query-serving smoke: parse -> plan -> execute over the committed demo
+# script, plus a one-shot `repro query` (CI runs this next to bench-smoke).
+query-smoke:
+	$(PY) -m repro.cli serve --script examples/serving_demo.script
+	printf '1,2\n2,3\n3,1\n' > /tmp/repro-query-smoke.csv
+	$(PY) -m repro.cli query \
+	  --relation R=A,B:/tmp/repro-query-smoke.csv \
+	  --explain "Q(x, y, z) :- R(x, y), R(y, z), R(x, z)"
+	$(PY) -m repro.cli query \
+	  --relation R=A,B:/tmp/repro-query-smoke.csv \
+	  "Q(COUNT) :- R(x, y), R(y, z), R(x, z)"
 
 # Op-count drift gate: every smoke workload's instrumented tallies must
 # match benchmarks/baselines/smoke_ops.json (CI runs this under both

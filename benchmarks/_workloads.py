@@ -376,6 +376,63 @@ def _make_cds_dyadic(backend: str, n: int):
     return run, instrumented
 
 
+def _make_planner(mode: str, n: int, k: int):
+    """The serving layer's plan-cold vs plan-cached pair (ISSUE 5).
+
+    ``cold`` builds a fresh session per run, so every execution pays
+    parse + validate + plan (candidate scoring on the deterministic
+    sample) + execute; ``cached`` warms one session and re-executes the
+    same text, so every run is parse + signature lookup + execute —
+    the amortization the plan cache exists to provide.  The
+    instrumented snapshot carries the planner/cache call counters, so
+    the op-drift gate also locks in "cached means zero planning".
+    """
+    # repro.serve arrived in PR 5; older checkouts skip via the
+    # ModuleNotFoundError probe in measure().
+    import repro.serve  # noqa: F401
+
+    from repro.datasets.instances import triangle_with_output
+    from repro.dynamic import Catalog
+    from repro.serve import Session
+
+    r, s, t = triangle_with_output(n, k, seed=5)
+    text = "Q(x, y, z) :- R(x, y), S(y, z), T(x, z)"
+
+    def fresh_catalog():
+        catalog = Catalog()
+        catalog.create_relation("R", ["A", "B"], r)
+        catalog.create_relation("S", ["B", "C"], s)
+        catalog.create_relation("T", ["A", "C"], t)
+        return catalog
+
+    catalog = fresh_catalog()
+    if mode == "cached":
+        warm = Session(catalog)
+        warm.execute(text)
+
+        def run():
+            return warm.execute(text)
+
+    else:
+
+        def run():
+            return Session(catalog).execute(text)
+
+    def instrumented():
+        session = Session(fresh_catalog())
+        first = session.execute(text)
+        snapshot = dict(
+            (first if mode == "cold" else session.execute(text)).ops
+        )
+        stats = session.stats()
+        snapshot["plans_built"] = stats["planner"]["plans_built"]
+        snapshot["plan_estimate_runs"] = stats["planner"]["estimate_runs"]
+        snapshot["plan_cache_hits"] = stats["plan_cache"]["hits"]
+        return snapshot
+
+    return run, instrumented
+
+
 def _cds_workloads(sizes: dict) -> "Dict[str, Callable]":
     """The ``cds/*`` family: pointer-vs-arena twins per shape.
 
@@ -466,6 +523,12 @@ WORKLOADS: Dict[str, Callable] = {
     "parallel/intersection/interleaved/n=20000/w=0x4": lambda: (
         _make_parallel_intersection(20_000, shards=4, workers=0)
     ),
+    "planner/triangle/plan=cold/n=300": lambda: (
+        _make_planner("cold", 300, 75)
+    ),
+    "planner/triangle/plan=cached/n=300": lambda: (
+        _make_planner("cached", 300, 75)
+    ),
 }
 WORKLOADS.update(
     _cds_workloads(
@@ -498,6 +561,12 @@ SMOKE_WORKLOADS: Dict[str, Callable] = {
     "parallel/triangle/planted/n=40/w=2x2": lambda: (
         _make_parallel_triangle(40, 10, shards=2, workers=2)
     ),
+    "planner/triangle/plan=cold/n=40": lambda: (
+        _make_planner("cold", 40, 10)
+    ),
+    "planner/triangle/plan=cached/n=40": lambda: (
+        _make_planner("cached", 40, 10)
+    ),
 }
 SMOKE_WORKLOADS.update(
     _cds_workloads(
@@ -522,15 +591,17 @@ def measure(
             run, instrumented = registry[name]()
         except ModuleNotFoundError as exc:
             if exc.name not in (
-                "repro.dynamic", "repro.parallel", "repro.core.cds_arena"
+                "repro.dynamic", "repro.parallel", "repro.core.cds_arena",
+                "repro.lang", "repro.planner", "repro.serve",
             ):
                 raise
             # Workload needs a subsystem this checkout predates
             # (repro.dynamic arrived in PR 2, repro.parallel in PR 3,
-            # repro.core.cds_arena in PR 4) when baselining against an
-            # older ref: skip it; perf_report only diffs names present
-            # on both sides.  Anything else (a broken import in the
-            # current tree) still fails the run.
+            # repro.core.cds_arena in PR 4, lang/planner/serve in PR 5)
+            # when baselining against an older ref: skip it;
+            # perf_report only diffs names present on both sides.
+            # Anything else (a broken import in the current tree)
+            # still fails the run.
             print(f"skipping {name}: {exc}", file=sys.stderr)
             continue
         samples = []
@@ -571,7 +642,10 @@ def profile(
         try:
             run, _ = registry[name]()
         except ModuleNotFoundError as exc:
-            if exc.name not in ("repro.dynamic", "repro.parallel"):
+            if exc.name not in (
+                "repro.dynamic", "repro.parallel", "repro.core.cds_arena",
+                "repro.lang", "repro.planner", "repro.serve",
+            ):
                 raise
             print(f"skipping {name}: {exc}", file=sys.stderr)
             continue

@@ -12,6 +12,9 @@ Public API highlights
 ``repro.datasets``            paper instance families and synthetic graphs
 ``repro.dynamic``             writable relations, live views, streaming
 ``repro.parallel``            sharded parallel execution (ShardedExecutor)
+``repro.lang``                conjunctive-query text syntax (parse/lower)
+``repro.planner``             cost-based plans + plan cache
+``repro.serve``               sessions, prepared statements, script replay
 """
 
 from repro.core import (
@@ -29,7 +32,10 @@ from repro.core import (
     naive_join,
 )
 from repro.dynamic import Catalog, Update
+from repro.lang import parse
 from repro.parallel import ShardedExecutor
+from repro.planner import Plan, PlanCache, Planner
+from repro.serve import Session
 from repro.storage import (
     BTree,
     DeltaRelation,
@@ -61,8 +67,13 @@ __all__ = [
     "DeltaRelation",
     "FlatTrieRelation",
     "IntervalList",
+    "Plan",
+    "PlanCache",
+    "Planner",
     "Relation",
+    "Session",
     "ShardedExecutor",
+    "parse",
     "SortedList",
     "TrieRelation",
     "Update",

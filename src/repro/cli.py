@@ -28,6 +28,19 @@ Commands
     via the delta rule, and reports incremental-vs-recompute op counts
     and wall time per batch.
 
+``query --relation ... "Q(x,z) :- R(x,y), S(y,z)"``
+    Parse, plan, and execute a conjunctive query text through the
+    serving layer (:mod:`repro.serve`): the cost-based planner picks
+    the engine (triangle CDS / Yannakakis / Minesweeper), the GAO, and
+    the shard split, and the plan is cached by query signature.
+    ``--explain`` prints the candidate scoreboard instead of rows;
+    ``--repl`` reads statements (queries, ``+R 1,2`` updates,
+    ``commit``, ``CREATE``, ``EXPLAIN``, ``STATS``) from stdin.
+
+``serve --script FILE [--relation ...]``
+    Batch serving: replay a script of mixed DDL / updates / queries
+    against a live catalog and print the transcript.
+
 ``bench [--smoke]``
     Run the benchmark suite under pytest.  ``--smoke`` runs every
     benchmark once with tiny inputs (sets ``REPRO_BENCH_SMOKE=1``) so CI
@@ -244,30 +257,25 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_stream(args: argparse.Namespace) -> int:
-    """Replay an update log against live views (the dynamic subsystem)."""
-    import time
+def _catalog_from_specs(specs, memtable_limit=None):
+    """A live ``Catalog`` with one writable relation per ``--relation``.
 
-    from repro.dynamic import Catalog, read_log
+    Shared by ``stream`` / ``query`` / ``serve``.  Dictionary-encoded
+    CSVs are refused: these commands accept raw-integer updates (and,
+    for queries, print raw values), which cannot address encoded codes
+    — pre-encode the data with one code book instead.
+    """
+    from repro.dynamic import Catalog
 
-    if not args.view:
-        raise SystemExit("at least one --view NAME=R1,R2,... is required")
-    if args.memtable_limit is not None and args.memtable_limit < 1:
-        raise SystemExit("--memtable-limit must be >= 1")
-    if args.compact_every is not None and args.compact_every < 1:
-        raise SystemExit("--compact-every must be >= 1")
-    catalog = Catalog(memtable_limit=args.memtable_limit)
-    for spec in args.relation:
+    catalog = Catalog(memtable_limit=memtable_limit)
+    for spec in specs:
         loaded, dictionaries = _load_relation(spec)
         if dictionaries:
-            # Log updates carry raw integers; they cannot address
-            # dictionary-encoded values, so refuse rather than compare
-            # raw values against codes and serve wrong answers.
             raise SystemExit(
                 f"relation {loaded.name!r} has dictionary-encoded "
-                f"columns {sorted(dictionaries)}; repro stream needs "
-                "integer-only data (pre-encode the CSV and the log "
-                "with the same code book)"
+                f"columns {sorted(dictionaries)}; this command needs "
+                "integer-only data (pre-encode the CSV and the "
+                "updates with the same code book)"
             )
         # Adopt the loader's FlatTrie as the DeltaRelation's first run
         # instead of rebuilding the index from its tuples.
@@ -278,6 +286,24 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             catalog.create_relation(loaded.name, loaded.attributes, index)
         except ValueError as exc:  # e.g. duplicate --relation name
             raise SystemExit(str(exc))
+    return catalog
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay an update log against live views (the dynamic subsystem)."""
+    import time
+
+    from repro.dynamic import read_log
+
+    if not args.view:
+        raise SystemExit("at least one --view NAME=R1,R2,... is required")
+    if args.memtable_limit is not None and args.memtable_limit < 1:
+        raise SystemExit("--memtable-limit must be >= 1")
+    if args.compact_every is not None and args.compact_every < 1:
+        raise SystemExit("--compact-every must be >= 1")
+    catalog = _catalog_from_specs(
+        args.relation, memtable_limit=args.memtable_limit
+    )
     gao = args.gao.split(",") if args.gao else None
     workers, shards = _parallel_args(args)
     for spec in args.view:
@@ -397,6 +423,129 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _planner_config(args: argparse.Namespace):
+    """PlannerConfig from the shared query/serve flags."""
+    from repro.planner import PlannerConfig
+
+    if args.workers is not None and args.workers < 0:
+        raise SystemExit("--workers must be non-negative")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.sample_limit < 1:
+        raise SystemExit("--sample-limit must be >= 1")
+    return PlannerConfig(
+        sample_limit=args.sample_limit,
+        seed=args.seed,
+        workers=args.workers or 0,
+        shards=args.shards or 0,
+        cds_backend=args.cds_backend,
+    )
+
+
+def _print_exec_result(result) -> None:
+    print(f"# columns: {','.join(result.columns)}")
+    for row in result.rows:
+        print(",".join(map(str, row)))
+    if result.statement.is_aggregate():
+        print(f"# value: {result.value}", file=sys.stderr)
+    else:
+        print(f"# {len(result.rows)} rows", file=sys.stderr)
+    origin = "cached plan" if result.cached_plan else "planned"
+    print(f"# plan: {result.plan_summary()} ({origin})", file=sys.stderr)
+    for key, value in result.ops.items():
+        if value:
+            print(f"# {key}: {value}", file=sys.stderr)
+
+
+def _repl(session) -> int:
+    """Read script statements from stdin; print results as they land."""
+    from repro.serve import ScriptError, ScriptRunner
+
+    runner = ScriptRunner(session)
+    interactive = sys.stdin.isatty()
+
+    def prompt() -> None:
+        if interactive:
+            print("repro> ", end="", file=sys.stderr, flush=True)
+
+    def drain() -> None:
+        # Print-and-clear: a long-lived REPL must not retain every
+        # past result line in the runner's output buffer.
+        for line in runner.out:
+            print(line)
+        runner.out.clear()
+
+    prompt()
+    for lineno, raw in enumerate(sys.stdin, 1):
+        stripped = raw.strip()
+        if stripped in ("exit", "quit", r"\q"):
+            break
+        try:
+            runner.run_line(raw, lineno)
+        except ScriptError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+        drain()
+        prompt()
+    runner.finish()
+    drain()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Plan and execute a conjunctive query text (the serving layer)."""
+    from repro.lang import QueryError
+    from repro.serve import Session
+
+    config = _planner_config(args)
+    catalog = _catalog_from_specs(args.relation)
+    session = Session(catalog, config=config)
+    if args.repl:
+        if args.text or args.explain:
+            raise SystemExit(
+                "--repl reads statements from stdin; drop the query "
+                "text / --explain"
+            )
+        return _repl(session)
+    if not args.text:
+        raise SystemExit("a query text is required (or pass --repl)")
+    try:
+        if args.explain:
+            print(session.explain(args.text))
+            return 0
+        result = session.execute(args.text)
+    except QueryError as exc:
+        raise SystemExit(str(exc))
+    _print_exec_result(result)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a script of mixed DDL / updates / queries (batch serving)."""
+    from repro.serve import ScriptError, Session, run_script
+
+    config = _planner_config(args)
+    catalog = _catalog_from_specs(args.relation)
+    session = Session(catalog, config=config)
+    try:
+        lines = run_script(args.script, session)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.script}: {exc}")
+    except ScriptError as exc:
+        raise SystemExit(str(exc))
+    for line in lines:
+        print(line)
+    stats = session.stats()
+    cache = stats["plan_cache"]
+    print(
+        f"# served {stats['queries_executed']} queries: "
+        f"{stats['planner']['plans_built']} planned, "
+        f"{cache['hits']} from cache "
+        f"({cache['invalidated']} invalidated)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _find_benchmarks_dir() -> str:
     """Locate the repo's ``benchmarks/`` directory (cwd, then checkout)."""
     here = os.path.dirname(os.path.abspath(__file__))
@@ -480,6 +629,21 @@ def _add_cds_backend_flag(parser: argparse.ArgumentParser) -> None:
         choices=["pointer", "arena"],
         help="ConstraintTree storage backend (default: arena — flat "
         "integer-indexed arrays; rows and op counts are invariant)",
+    )
+
+
+def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the serving commands (query / serve)."""
+    _add_parallel_flags(parser)
+    _add_cds_backend_flag(parser)
+    parser.add_argument(
+        "--sample-limit", type=int, default=256, metavar="K",
+        help="per-relation row cap for the planner's candidate-scoring "
+        "sample (default 256)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the planner's random GAO candidates (default 0)",
     )
 
 
@@ -590,6 +754,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(p_stream)
     _add_cds_backend_flag(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_query = sub.add_parser(
+        "query",
+        help="plan + execute a conjunctive query text (serving layer)",
+    )
+    p_query.add_argument("text", nargs="?",
+                         help='query text, e.g. "Q(x,z) :- R(x,y), S(y,z)"')
+    p_query.add_argument("--relation", action="append", default=[],
+                         metavar="NAME=A,B:FILE",
+                         help="relation contents (integer CSV)")
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plan scoreboard (candidates + certificate "
+        "estimates + winner rationale) instead of executing",
+    )
+    p_query.add_argument(
+        "--repl",
+        action="store_true",
+        help="read statements (queries, +R/-R updates, commit, CREATE, "
+        "EXPLAIN, STATS) from stdin",
+    )
+    _add_planner_flags(p_query)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="replay a script of mixed DDL/updates/queries (batch serving)",
+    )
+    p_serve.add_argument("--script", required=True,
+                         help="script file (see repro.serve.script)")
+    p_serve.add_argument("--relation", action="append", default=[],
+                         metavar="NAME=A,B:FILE",
+                         help="preloaded relation contents (integer CSV)")
+    _add_planner_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run the benchmark suite")
     p_bench.add_argument(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.minesweeper import Minesweeper
 from repro.core.query import PreparedQuery, Query
@@ -151,3 +151,38 @@ def join(
     return JoinResult(
         rows, prepared.gao, engine.strategy, prepared.counters, limit=limit
     )
+
+
+def iterate_join(
+    query: Query,
+    gao: Optional[Sequence[str]] = None,
+    strategy: str = "auto",
+    counters: Optional[OpCounters] = None,
+    backend: Optional[str] = None,
+    cds_backend: Optional[str] = None,
+) -> Tuple[Iterator[Tuple[int, ...]], PreparedQuery]:
+    """Streaming join: ``(row_iterator, prepared_query)``.
+
+    The iterator yields output tuples in GAO order as the engine
+    discovers them; abandoning it early costs only the part of the
+    certificate actually consumed (the §6.3 top-k property ``join``'s
+    ``limit`` exposes in batch form).  The serving layer drives this
+    for aggregate heads — ``COUNT`` tallies rows without materializing
+    them, and ``MIN`` of the leading GAO attribute stops after the very
+    first output tuple.  Serial only: sharded execution trades the
+    streaming property for range parallelism (use :func:`join` with
+    ``shards``/``workers`` there).
+    """
+    if gao is None:
+        gao, _ = query.choose_gao()
+    prepared = (
+        query
+        if backend is None
+        and isinstance(query, PreparedQuery)
+        and tuple(gao) == query.gao
+        else query.with_gao(gao, counters=counters, backend=backend)
+    )
+    engine = Minesweeper(
+        prepared, strategy=strategy, cds_backend=cds_backend
+    )
+    return engine.iterate(), prepared

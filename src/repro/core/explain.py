@@ -52,9 +52,15 @@ def explain(
     if gao is None:
         gao, kind = query.choose_gao()
     else:
+        # Validate structurally (a permutation of the attributes) —
+        # the with_gao re-index would be O(data) and its result is not
+        # needed here.  Same validity condition with_gao enforces.
         gao = list(gao)
-        if not query.with_gao(gao):
-            raise ValueError("invalid GAO")
+        if set(gao) != set(query.attributes()) or len(set(gao)) != len(gao):
+            raise ValueError(
+                f"invalid GAO {gao}: not a permutation of "
+                f"{query.attributes()}"
+            )
         kind = "user"
     neo = is_nested_elimination_order(hypergraph, gao)
     width = elimination_width(hypergraph, gao)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.engine import join
 from repro.core.query import Query
@@ -41,14 +41,25 @@ def all_nested_elimination_orders(
     The nest-point peeling of Proposition A.6 usually has several valid
     choices at each step; different choices yield different NEOs with
     possibly very different certificate sizes (Example B.7).
+
+    ``limit`` counts *distinct* orders, enforced as orders are produced
+    (before the cutoff).  With the current peeling each recursion path
+    is a distinct choice sequence, so duplicates cannot actually arise;
+    the in-loop dedup pins the "asking for 32 yields up to 32 distinct
+    NEOs" contract structurally rather than leaving it to that
+    argument.
     """
+    seen: set = set()
     results: List[List[str]] = []
 
     def peel(current: Hypergraph, suffix: List[str]) -> None:
         if len(results) >= limit:
             return
         if not current.vertices:
-            results.append(list(reversed(suffix)))
+            order = tuple(reversed(suffix))
+            if order not in seen:
+                seen.add(order)
+                results.append(list(order))
             return
         for v in nest_points(current):
             peel(current.remove_vertex(v), suffix + [v])
@@ -56,15 +67,7 @@ def all_nested_elimination_orders(
                 return
 
     peel(hypergraph, [])
-    # dedupe while keeping order
-    seen = set()
-    unique = []
-    for order in results:
-        key = tuple(order)
-        if key not in seen:
-            seen.add(key)
-            unique.append(order)
-    return unique
+    return results
 
 
 @dataclass
@@ -83,18 +86,22 @@ class GaoSearchResult:
         )
 
 
-def search_gao(
+def candidate_gaos(
     query: Query,
     exhaustive_below: int = 6,
     samples: int = 12,
     neo_limit: int = 16,
     seed: int = 0,
-) -> GaoSearchResult:
-    """Find the GAO minimizing the measured certificate estimate.
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[str, ...]]:
+    """Deduplicated candidate GAOs, in generation order.
 
-    Candidates: every permutation when n < ``exhaustive_below``; otherwise
-    all NEOs (up to ``neo_limit``), the min-fill order, and ``samples``
-    random permutations.  Each candidate costs one full engine run.
+    Every permutation when n < ``exhaustive_below``; otherwise all NEOs
+    (up to ``neo_limit``), the min-fill order, and ``samples`` random
+    permutations.  Random sampling draws from ``rng`` when given, else
+    from a private ``random.Random(seed)`` — never from the global
+    ``random`` module — so two calls with the same arguments produce
+    the same candidate list (and so the same downstream scoreboard).
     """
     attributes = query.attributes()
     n = len(attributes)
@@ -106,17 +113,43 @@ def search_gao(
         for order in all_nested_elimination_orders(hypergraph, neo_limit):
             candidates.append(tuple(order))
         candidates.append(tuple(min_fill_order(hypergraph)))
-        rng = random.Random(seed)
+        generator = rng if rng is not None else random.Random(seed)
         for _ in range(samples):
             perm = attributes[:]
-            rng.shuffle(perm)
+            generator.shuffle(perm)
             candidates.append(tuple(perm))
     seen = set()
-    scoreboard: List[Tuple[Tuple[str, ...], int]] = []
+    unique: List[Tuple[str, ...]] = []
     for candidate in candidates:
-        if candidate in seen:
-            continue
-        seen.add(candidate)
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    return unique
+
+
+def search_gao(
+    query: Query,
+    exhaustive_below: int = 6,
+    samples: int = 12,
+    neo_limit: int = 16,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> GaoSearchResult:
+    """Find the GAO minimizing the measured certificate estimate.
+
+    Candidates come from :func:`candidate_gaos`; each costs one full
+    engine run.  ``seed`` (or an explicit ``rng``) pins the random
+    permutation sample, making the search reproducible run-to-run.
+    """
+    scoreboard: List[Tuple[Tuple[str, ...], int]] = []
+    for candidate in candidate_gaos(
+        query,
+        exhaustive_below=exhaustive_below,
+        samples=samples,
+        neo_limit=neo_limit,
+        seed=seed,
+        rng=rng,
+    ):
         estimate = estimate_certificate(query, list(candidate))
         scoreboard.append((candidate, estimate))
     scoreboard.sort(key=lambda item: item[1])

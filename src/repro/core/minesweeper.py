@@ -67,6 +67,7 @@ class Minesweeper:
         merge_intervals: bool = True,
         max_probes: Optional[int] = None,
         cds_backend: Optional[str] = None,
+        max_ops: Optional[int] = None,
     ) -> None:
         self.query = query
         self.counters: OpCounters = query.counters
@@ -99,6 +100,16 @@ class Minesweeper:
             n = query.total_tuples()
             max_probes = 1000 + 64 * (2**r) * max(r, 1) * m * (n + 1)
         self.max_probes = max_probes
+        #: Optional hard cap on tallied CDS work (interval_ops +
+        #: constraints).  Unlike ``max_probes`` — a safety valve whose
+        #: default is never meant to fire — this is an opt-in abort for
+        #: callers that *measure* candidate configurations (the
+        #: planner's GAO scoring): a pathological GAO can burn
+        #: certificate-quadratic CDS work at a perfectly normal probe
+        #: count.  Requires counting counters; with
+        #: :class:`NullCounters` the tallies stay zero and the cap
+        #: never fires.
+        self.max_ops = max_ops
 
     # ------------------------------------------------------------------
 
@@ -118,6 +129,7 @@ class Minesweeper:
         counters = self.counters
         n = self.query.n
         budget = self.max_probes
+        ops_budget = self.max_ops
         # Per-relation explorer closures, resolved once (see
         # _make_explorer): flat indexes get CSR-inlined variants with
         # their arrays captured, writable LSM relations are explored
@@ -137,6 +149,14 @@ class Minesweeper:
                 raise MinesweeperError(
                     f"probe budget {budget} exhausted at t={t}; "
                     "the CDS is not making progress"
+                )
+            if (
+                ops_budget is not None
+                and counters.interval_ops + counters.constraints
+                > ops_budget
+            ):
+                raise MinesweeperError(
+                    f"op budget {ops_budget} exhausted at t={t}"
                 )
             is_member = True
             discovered: List[Constraint] = []

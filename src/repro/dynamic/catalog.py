@@ -85,6 +85,13 @@ class Catalog:
         self._views: Dict[str, LiveJoin] = {}
         self.memtable_limit = memtable_limit
         self.batches_applied = 0
+        #: Monotone counter bumped by every operation that can change
+        #: what a planner saw — DDL (``create_relation``), data
+        #: (``apply_batch``), and storage-layout maintenance
+        #: (``flush`` / ``compact``).  Cached plans are keyed by query
+        #: signature *plus* this generation, so any of those events
+        #: invalidates them (see :mod:`repro.planner.cache`).
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -118,6 +125,7 @@ class Catalog:
         )
         relation = Relation.from_index(name, attrs, index)
         self._relations[name] = relation
+        self.generation += 1
         return relation
 
     def relation(self, name: str) -> Relation:
@@ -210,6 +218,7 @@ class Catalog:
             for name, (inserts, deletes) in grouped.items()
         }
         self.batches_applied += 1
+        self.generation += 1
         report = BatchReport(batch=self.batches_applied)
         view_counters = {name: OpCounters() for name in self._views}
         view_added = dict.fromkeys(self._views, 0)
@@ -246,11 +255,13 @@ class Catalog:
         """Seal memtables (one relation, or all)."""
         for rel in self._targets(name):
             rel.index.flush()
+        self.generation += 1
 
     def compact(self, name: Optional[str] = None) -> None:
         """Merge run stacks (one relation, or all)."""
         for rel in self._targets(name):
             rel.index.compact()
+        self.generation += 1
 
     def _targets(self, name: Optional[str]) -> List[Relation]:
         return (

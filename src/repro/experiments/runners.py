@@ -314,6 +314,112 @@ def run_constant_certificate(
     return result
 
 
+# ----------------------------------------------------------------------
+# E14 — planner-chosen vs fixed-GAO (ISSUE 5)
+# ----------------------------------------------------------------------
+
+
+def run_planner(seed: int = 7, n: int = 24, m: int = 70) -> ExperimentResult:
+    """Planner-chosen plans vs fixed-GAO runs on the registry shapes.
+
+    For each shape the serving layer plans and executes the query
+    (engine + GAO chosen by measurement); the comparison columns run
+    plain Minesweeper over the same data under (a) the first-appearance
+    attribute order — what a user who never thinks about GAOs gets —
+    and (b) the paper's structural ``choose_gao`` rule.  ``planner_ops``
+    is the executed plan's actual probe cost (FindGap count;
+    comparisons for a Yannakakis plan, marked by ``metric``).
+    """
+    import random as _random
+
+    from repro.core.engine import join as _join
+    from repro.core.query import Query as _Query
+    from repro.dynamic import Catalog
+    from repro.lang import lower, parse
+    from repro.serve import Session
+    from repro.storage.relation import Relation as _Relation
+
+    rng = _random.Random(seed)
+
+    def edges():
+        return sorted(
+            {(rng.randrange(n), rng.randrange(n)) for _ in range(m)}
+        )
+
+    shapes = [
+        (
+            "triangle",
+            {"R": ("A", "B"), "S": ("B", "C"), "T": ("A", "C")},
+            "Q(x, y, z) :- R(x, y), S(y, z), T(x, z)",
+        ),
+        (
+            "bowtie",
+            {"L": ("X",), "M": ("X", "Y"), "N": ("Y",)},
+            "Q(x, y) :- L(x), M(x, y), N(y)",
+        ),
+        (
+            "3-path",
+            {"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "D")},
+            "Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)",
+        ),
+        (
+            "star",
+            {"R": ("A", "B"), "S": ("A", "C"), "T": ("A", "D")},
+            "Q(a, b, c, d) :- R(a, b), S(a, c), T(a, d)",
+        ),
+        (
+            "4-cycle",
+            {"R": ("A", "B"), "S": ("B", "C"),
+             "T": ("C", "D"), "U": ("D", "A")},
+            "Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)",
+        ),
+    ]
+    result = ExperimentResult(
+        "E14: planner-chosen vs fixed-GAO (registry shapes)",
+        columns=[
+            "shape", "engine", "planner_ops", "metric",
+            "fixed_gao_findgap", "paper_gao_findgap", "rows",
+        ],
+    )
+    for shape, schemas, text in shapes:
+        catalog = Catalog()
+        for name, attrs in schemas.items():
+            rows = (
+                edges()
+                if len(attrs) == 2
+                else [(v,) for v in sorted(rng.sample(range(n), n // 2))]
+            )
+            catalog.create_relation(name, list(attrs), rows)
+        session = Session(catalog)
+        res = session.execute(text)
+        lowered = lower(parse(text), catalog)
+        snapshot = _Query(
+            [
+                _Relation(r.name, r.attributes, r.tuples())
+                for r in lowered.query.relations
+            ]
+        )
+        fixed = _join(snapshot, gao=snapshot.attributes())
+        paper = _join(snapshot)
+        is_yannakakis = res.plan.engine == "yannakakis"
+        result.rows.append(
+            {
+                "shape": shape,
+                "engine": res.plan.engine,
+                "planner_ops": (
+                    res.ops["comparisons"]
+                    if is_yannakakis
+                    else res.ops["findgap"]
+                ),
+                "metric": "comparisons" if is_yannakakis else "findgap",
+                "fixed_gao_findgap": fixed.certificate_estimate,
+                "paper_gao_findgap": paper.certificate_estimate,
+                "rows": len(res.rows),
+            }
+        )
+    return result
+
+
 RUNNERS: Dict[str, Callable[[], ExperimentResult]] = {
     "figure2": run_figure2,
     "appendix-j": run_appendix_j,
@@ -322,6 +428,7 @@ RUNNERS: Dict[str, Callable[[], ExperimentResult]] = {
     "triangle": run_triangle,
     "beta-cyclic": run_beta_cyclic,
     "constant-certificate": run_constant_certificate,
+    "planner": run_planner,
 }
 
 

@@ -1,0 +1,36 @@
+"""Query frontend: text syntax -> validated AST -> core ``Query``.
+
+The first layer of the query subsystem (ISSUE 5): :func:`parse` turns
+``Q(x, z) :- R(x, y), S(y, z)`` into a :class:`QueryStatement`,
+:func:`lower` binds it against a catalog (or a plain relation mapping),
+and :meth:`QueryStatement.signature` gives the renaming-invariant key
+the plan cache uses.  See :mod:`repro.planner` for planning and
+:mod:`repro.serve` for the session/serving layer on top.
+"""
+
+from repro.lang.ast import (
+    AGGREGATES,
+    Aggregate,
+    Atom,
+    ParseError,
+    QueryError,
+    QueryStatement,
+    ValidationError,
+)
+from repro.lang.lower import LoweredQuery, lower, validate
+from repro.lang.parser import is_query_text, parse
+
+__all__ = [
+    "AGGREGATES",
+    "Aggregate",
+    "Atom",
+    "LoweredQuery",
+    "ParseError",
+    "QueryError",
+    "QueryStatement",
+    "ValidationError",
+    "is_query_text",
+    "lower",
+    "parse",
+    "validate",
+]

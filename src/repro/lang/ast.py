@@ -1,0 +1,157 @@
+"""AST for the conjunctive-query text syntax.
+
+A statement is a rule-shaped conjunctive query::
+
+    Q(x, z)  :- R(x, y), S(y, z)      # projection head
+    Q(COUNT) :- R(x, y), S(y, z)      # aggregate head
+    Q(MIN(x)) :- R(x, y)              # MIN / MAX over one variable
+
+The head is either a (possibly empty-projection-free) list of distinct
+body variables, or exactly one aggregate term.  The body is a
+conjunction of atoms over catalog relations; repeating a relation name
+is allowed (self-joins) and resolved to distinct atom aliases at
+lowering time.
+
+Two derived forms matter downstream:
+
+* :meth:`QueryStatement.unparse` — the canonical text rendering, which
+  re-parses to an equal AST (round-trip property, tested);
+* :meth:`QueryStatement.signature` — a *renaming-invariant* cache key:
+  statements that differ only in variable names (or head name, or
+  whitespace) share a signature, so the plan cache serves all of them
+  from one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Aggregate function names accepted in heads.
+AGGREGATES = ("COUNT", "MIN", "MAX")
+
+
+class QueryError(ValueError):
+    """Base for everything the frontend can reject."""
+
+
+class ParseError(QueryError):
+    """The text does not parse, or the parsed statement is malformed."""
+
+
+class ValidationError(QueryError):
+    """The statement does not fit the catalog (unknown relation, arity)."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One body conjunct: a relation name applied to variables."""
+
+    relation: str
+    args: Tuple[str, ...]
+
+    def unparse(self) -> str:
+        return f"{self.relation}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate head term: COUNT, or MIN/MAX over one variable."""
+
+    func: str  # one of AGGREGATES
+    var: Optional[str] = None  # None for COUNT
+
+    def unparse(self) -> str:
+        return self.func if self.var is None else f"{self.func}({self.var})"
+
+
+@dataclass(frozen=True)
+class QueryStatement:
+    """A parsed (and shape-validated) conjunctive query."""
+
+    head_name: str
+    head_vars: Tuple[str, ...]  # empty iff aggregate is set
+    aggregate: Optional[Aggregate]
+    body: Tuple[Atom, ...]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def variables(self) -> List[str]:
+        """All body variables, in first-appearance order."""
+        seen: List[str] = []
+        for atom in self.body:
+            for v in atom.args:
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    def is_full_head(self) -> bool:
+        """True iff the head lists every body variable (no projection)."""
+        return (
+            self.aggregate is None
+            and set(self.head_vars) == set(self.variables())
+        )
+
+    # ------------------------------------------------------------------
+    # Text renderings
+    # ------------------------------------------------------------------
+
+    def unparse(self) -> str:
+        """Canonical text form; ``parse(unparse(q)) == q``."""
+        if self.aggregate is not None:
+            head_terms = self.aggregate.unparse()
+        else:
+            head_terms = ", ".join(self.head_vars)
+        body = ", ".join(atom.unparse() for atom in self.body)
+        return f"{self.head_name}({head_terms}) :- {body}"
+
+    def signature(self) -> str:
+        """Renaming-invariant cache key.
+
+        Variables are canonicalized to ``v0, v1, ...`` by first
+        appearance in the body, and the head name to ``_`` — so the
+        signature depends only on the join structure, the projection /
+        aggregate shape, and the relation names.  Atom order is part of
+        the key: it is already canonical in the text, and keeping it
+        significant makes the mapping trivially injective.
+        """
+        renamed = self.canonicalize()
+        return renamed.unparse()
+
+    def canonical_rename(self) -> Dict[str, str]:
+        """Canonical name -> this statement's variable (``v0`` → ``x``).
+
+        The inverse of :meth:`canonicalize`'s renaming.  Load-bearing
+        for the plan cache: plans are stored in canonical variable
+        space and every statement sharing the signature localizes them
+        through this mapping, so it must stay in lock-step with
+        ``canonicalize`` (both key off body first-appearance order).
+        """
+        return {f"v{i}": v for i, v in enumerate(self.variables())}
+
+    def canonicalize(self) -> "QueryStatement":
+        """The statement with canonical variable names and head name."""
+        mapping: Dict[str, str] = {}
+        for v in self.variables():
+            mapping[v] = f"v{len(mapping)}"
+        body = tuple(
+            Atom(atom.relation, tuple(mapping[v] for v in atom.args))
+            for atom in self.body
+        )
+        aggregate = self.aggregate
+        if aggregate is not None and aggregate.var is not None:
+            aggregate = Aggregate(aggregate.func, mapping[aggregate.var])
+        return QueryStatement(
+            head_name="_",
+            head_vars=tuple(mapping[v] for v in self.head_vars),
+            aggregate=aggregate,
+            body=body,
+        )
+
+    def __str__(self) -> str:
+        return self.unparse()

@@ -1,0 +1,273 @@
+"""Parser for the conjunctive-query text syntax.
+
+Grammar (whitespace-insensitive; ``#`` starts a comment)::
+
+    statement :=  head ":-" body
+    head      :=  RELNAME "(" head_terms ")"
+    head_terms:=  aggregate | VAR ("," VAR)*
+    aggregate :=  "COUNT" | ("MIN" | "MAX") "(" VAR ")"
+    body      :=  atom ("," atom)*
+    atom      :=  RELNAME "(" VAR ("," VAR)* ")"
+
+Lexical conventions (Datalog-style): relation names start with an
+uppercase letter (``R``, ``Follows``); variables start with a lowercase
+letter or underscore (``x``, ``_tmp``).  ``COUNT`` / ``MIN`` / ``MAX``
+are reserved head keywords.  Constants are deliberately not part of the
+language (the engines join over dictionary-encoded integers; encode
+selections as unary relations instead), and a variable may not repeat
+within a single atom — both are rejected with a pointed message rather
+than silently mis-evaluated.
+
+Shape validation happens here (no schema needed): distinct head
+variables, head variables bound in the body (safety), aggregate
+variable bound in the body, no duplicate atoms.  Schema validation
+(unknown relation, arity mismatch) happens at lowering against a
+catalog — see :mod:`repro.lang.lower`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.lang.ast import (
+    AGGREGATES,
+    Aggregate,
+    Atom,
+    ParseError,
+    QueryStatement,
+)
+
+
+class _Token(NamedTuple):
+    kind: str  # NAME / VAR / PUNCT
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<implies>:-)
+  | (?P<punct>[(),])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>\d+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        if match.lastgroup == "number":
+            raise ParseError(
+                f"constant {match.group()!r} at position {match.start()}: "
+                "constants are not part of the query language (encode the "
+                "selection as a unary relation)"
+            )
+        kind = "IMPLIES" if match.lastgroup == "implies" else (
+            "PUNCT" if match.lastgroup == "punct" else "NAME"
+        )
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+def _is_relation_name(text: str) -> bool:
+    return text[0].isupper()
+
+
+def _is_variable(text: str) -> bool:
+    return text[0].islower() or text[0] == "_"
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def _next(self, expected: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of query; expected {expected}")
+        self.i += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next(repr(text))
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} at position {token.pos}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def _variable(self, where: str) -> str:
+        token = self._next("a variable")
+        if token.kind != "NAME" or not _is_variable(token.text):
+            raise ParseError(
+                f"expected a variable (lowercase identifier) {where}, "
+                f"got {token.text!r} at position {token.pos}"
+            )
+        if token.text.upper() in AGGREGATES:
+            raise ParseError(
+                f"{token.text!r} at position {token.pos} collides with an "
+                "aggregate keyword"
+            )
+        return token.text
+
+    # -- grammar --------------------------------------------------------
+
+    def statement(self) -> QueryStatement:
+        head_name, head_vars, aggregate = self._head()
+        self._expect(":-")
+        body = self._body()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"trailing input {trailing.text!r} at position "
+                f"{trailing.pos}"
+            )
+        return self._validated(head_name, head_vars, aggregate, body)
+
+    def _head(self) -> Tuple[str, Tuple[str, ...], Optional[Aggregate]]:
+        token = self._next("a head name")
+        if token.kind != "NAME" or not _is_relation_name(token.text):
+            raise ParseError(
+                f"expected a head name (capitalized identifier), got "
+                f"{token.text!r} at position {token.pos}"
+            )
+        head_name = token.text
+        self._expect("(")
+        first = self._peek()
+        if first is not None and first.text in AGGREGATES:
+            aggregate = self._aggregate()
+            self._expect(")")
+            return head_name, (), aggregate
+        head_vars = [self._variable("in the head")]
+        while self._peek() is not None and self._peek().text == ",":
+            self._expect(",")
+            head_vars.append(self._variable("in the head"))
+        self._expect(")")
+        return head_name, tuple(head_vars), None
+
+    def _aggregate(self) -> Aggregate:
+        token = self._next("an aggregate")
+        func = token.text
+        if func == "COUNT":
+            # optional COUNT(*)-less form: bare COUNT
+            return Aggregate("COUNT", None)
+        self._expect("(")
+        var = self._variable(f"inside {func}(...)")
+        self._expect(")")
+        return Aggregate(func, var)
+
+    def _body(self) -> Tuple[Atom, ...]:
+        atoms = [self._atom()]
+        while self._peek() is not None and self._peek().text == ",":
+            self._expect(",")
+            atoms.append(self._atom())
+        return tuple(atoms)
+
+    def _atom(self) -> Atom:
+        token = self._next("a relation name")
+        if token.kind != "NAME" or not _is_relation_name(token.text):
+            raise ParseError(
+                f"expected a relation name (capitalized identifier), got "
+                f"{token.text!r} at position {token.pos}"
+            )
+        if token.text in AGGREGATES:
+            raise ParseError(
+                f"aggregate keyword {token.text!r} cannot be used as a "
+                f"relation name (position {token.pos})"
+            )
+        name = token.text
+        self._expect("(")
+        args = [self._variable(f"in atom {name}")]
+        while self._peek() is not None and self._peek().text == ",":
+            self._expect(",")
+            args.append(self._variable(f"in atom {name}"))
+        self._expect(")")
+        return Atom(name, tuple(args))
+
+    # -- shape validation ----------------------------------------------
+
+    def _validated(
+        self,
+        head_name: str,
+        head_vars: Tuple[str, ...],
+        aggregate: Optional[Aggregate],
+        body: Tuple[Atom, ...],
+    ) -> QueryStatement:
+        seen_atoms = set()
+        for atom in body:
+            if len(set(atom.args)) != len(atom.args):
+                raise ParseError(
+                    f"variable repeated within atom {atom.unparse()}; "
+                    "within-atom equality is not supported (join a "
+                    "renamed copy instead)"
+                )
+            key = (atom.relation, atom.args)
+            if key in seen_atoms:
+                raise ParseError(
+                    f"duplicate atom {atom.unparse()} in the body"
+                )
+            seen_atoms.add(key)
+        statement = QueryStatement(
+            head_name=head_name,
+            head_vars=head_vars,
+            aggregate=aggregate,
+            body=body,
+        )
+        bound = set(statement.variables())
+        if len(set(head_vars)) != len(head_vars):
+            raise ParseError(
+                f"variable repeated in the head {head_name}"
+                f"({', '.join(head_vars)})"
+            )
+        unsafe = [v for v in head_vars if v not in bound]
+        if unsafe:
+            raise ParseError(
+                f"unsafe head variable(s) {unsafe}: every head variable "
+                "must appear in the body"
+            )
+        if aggregate is not None and aggregate.var is not None:
+            if aggregate.var not in bound:
+                raise ParseError(
+                    f"unsafe aggregate variable {aggregate.var!r}: it "
+                    "must appear in the body"
+                )
+        return statement
+
+
+def parse(text: str) -> QueryStatement:
+    """Parse one conjunctive-query statement.
+
+    Raises :class:`~repro.lang.ast.ParseError` (a ``ValueError``) with
+    a position-annotated message on malformed input.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    return _Parser(text).statement()
+
+
+def is_query_text(line: str) -> bool:
+    """Cheap test used by the script runner to route a line: a query
+    statement is the only line kind containing ``:-``."""
+    return ":-" in line

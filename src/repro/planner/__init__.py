@@ -1,0 +1,44 @@
+"""Cost-based planning: classify, enumerate, score, cache.
+
+The second layer of the query subsystem (ISSUE 5): the
+:class:`Planner` turns a lowered query into an executable
+:class:`Plan` — specialized triangle engine, Yannakakis for
+alpha-acyclic inputs, or sharded/serial Minesweeper under the
+cheapest *measured* GAO — and the :class:`PlanCache` amortizes that
+decision across repeated traffic, keyed by the statement's
+renaming-invariant signature plus the catalog generation.
+"""
+
+from repro.planner.cache import PlanCache
+from repro.planner.plan import (
+    ENGINE_MINESWEEPER,
+    ENGINE_TRIANGLE,
+    ENGINE_YANNAKAKIS,
+    CandidatePlan,
+    Plan,
+    TriangleMapping,
+)
+from repro.planner.planner import (
+    Planner,
+    PlannerConfig,
+    detect_triangle,
+    plan_query,
+    sample_query,
+    triangle_edges,
+)
+
+__all__ = [
+    "ENGINE_MINESWEEPER",
+    "ENGINE_TRIANGLE",
+    "ENGINE_YANNAKAKIS",
+    "CandidatePlan",
+    "Plan",
+    "PlanCache",
+    "Planner",
+    "PlannerConfig",
+    "TriangleMapping",
+    "detect_triangle",
+    "plan_query",
+    "sample_query",
+    "triangle_edges",
+]

@@ -1,0 +1,88 @@
+"""The plan cache: signature + catalog generation -> Plan.
+
+Planning costs engine runs (candidate scoring) and possible relation
+re-indexing, so repeated traffic must not pay it twice: the cache keys
+plans by the statement's renaming-invariant signature and validates
+them against the catalog's generation counter.  Any catalog mutation —
+``apply_batch``, ``flush``, ``compact``, DDL — bumps the generation,
+so a stale plan is dropped on its next lookup (lazy invalidation; no
+mutation-time sweep), replanned once, and re-cached.
+
+LRU-bounded; hit/miss/invalidation counters are exposed for the
+serving layer's session stats and asserted by tests and the plan-cache
+benchmark (a second execution of the same query text must skip
+planning entirely).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.planner.plan import Plan
+
+
+class PlanCache:
+    """LRU cache of :class:`Plan` objects keyed by query signature."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Plan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.evicted = 0
+
+    def get(self, signature: str, generation: int) -> Optional[Plan]:
+        """The cached plan, if present and still current.
+
+        A plan built against an older catalog generation is discarded
+        (counted in ``invalidated``) and the lookup reported as a miss.
+        """
+        plan = self._entries.get(signature)
+        if plan is None:
+            self.misses += 1
+            return None
+        if plan.generation != generation:
+            del self._entries[signature]
+            self.invalidated += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        return plan
+
+    def put(self, plan: Plan) -> None:
+        if not plan.signature:
+            raise ValueError("cannot cache a plan with an empty signature")
+        self._entries[plan.signature] = plan
+        self._entries.move_to_end(plan.signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evicted += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._entries
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated": self.invalidated,
+            "evicted": self.evicted,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache({len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

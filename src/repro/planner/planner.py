@@ -1,0 +1,403 @@
+"""The cost-based planner: classify, enumerate, score, pick.
+
+Given a lowered query (or a bare core ``Query``), the planner
+
+1. **classifies** the hypergraph — triangle shape, alpha/beta
+   acyclicity, elimination width (via :mod:`repro.hypergraph`);
+2. **enumerates** candidate plans — the specialized dyadic-tree
+   triangle engine when the shape fits (Theorem 5.4), Yannakakis for
+   alpha-acyclic inputs, and sharded/serial Minesweeper under GAO
+   candidates from :func:`repro.core.gao_search.candidate_gaos` (NEOs,
+   min-fill, seeded random permutations);
+3. **scores** every candidate by *measuring* it on a deterministic
+   stride sample of the data — the paper's Ex. B.6 point is that no
+   structural rule always finds the best GAO, so the planner runs the
+   engine on a sample and reads the certificate estimate (FindGap
+   count) off the counters;
+4. **emits** an executable :class:`~repro.planner.plan.Plan` carrying
+   the winner plus the full scoreboard for ``explain()``.
+
+Engine choice is structural-first (triangle > Yannakakis >
+Minesweeper) because those dominances are theorems, not data accidents;
+*within* the Minesweeper regime the GAO choice is purely cost-based.
+Everything is deterministic: sampling is stride-based, random GAO
+candidates come from a seeded generator, and ties break
+lexicographically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.explain import explain as explain_structure
+from repro.core.gao_search import candidate_gaos
+from repro.core.query import Query
+from repro.lang.lower import LoweredQuery
+from repro.planner.plan import (
+    ENGINE_MINESWEEPER,
+    ENGINE_TRIANGLE,
+    ENGINE_YANNAKAKIS,
+    CandidatePlan,
+    Plan,
+    TriangleMapping,
+)
+from repro.storage.relation import Relation
+from repro.util.counters import OpCounters
+
+Row = Tuple[int, ...]
+
+
+@dataclass
+class PlannerConfig:
+    """Deterministic knobs for planning (not for execution results)."""
+
+    #: Per-relation row cap for the scoring sample (stride-sampled).
+    sample_limit: int = 256
+    #: Below this attribute count, score every GAO permutation.
+    exhaustive_below: int = 5
+    #: Cap on distinct NEO candidates (see all_nested_elimination_orders).
+    neo_limit: int = 8
+    #: Seeded random GAO permutations to score in addition.
+    random_candidates: int = 4
+    #: Seed for the random GAO sample (reproducible planning).
+    seed: int = 0
+    #: Worker-pool size available to plans (0 = serial only).
+    workers: int = 0
+    #: Shard count for parallel plans (0 = same as workers).
+    shards: int = 0
+    #: Minimum input size (total stored tuples) before a plan goes
+    #: parallel; below it, pool overhead dominates.
+    shard_threshold: int = 50_000
+    #: Per-candidate scoring budget: a candidate GAO whose sample run
+    #: exceeds this many probes, output rows, or CDS ops
+    #: (interval_ops + constraints, the dominant cost term) is
+    #: abandoned — its partial estimate is kept as a lower bound and
+    #: it ranks after every fully-scored candidate.  Bad GAOs are
+    #: exactly the ones that blow up (Ex. B.6); without a cap,
+    #: *measuring* them would cost what they were meant to avoid.
+    score_budget: int = 20_000
+    #: The CDS-op multiple of ``score_budget`` allowed per candidate
+    #: (op tallies run far above probe counts even on good GAOs).
+    score_ops_factor: int = 8
+    #: When a *structural* rule already decided the engine (triangle /
+    #: alpha-acyclic), the Minesweeper board is comparison material for
+    #: ``explain()`` rather than the decision input — score at most
+    #: this many GAO candidates there instead of the full set.
+    structural_scoreboard_limit: int = 4
+    #: Forced storage / CDS backends (None = engine defaults).
+    backend: Optional[str] = None
+    cds_backend: Optional[str] = None
+
+
+def detect_triangle(query: Query) -> Optional[TriangleMapping]:
+    """The (A, B, C) role mapping if ``query`` is triangle-shaped.
+
+    Triangle-shaped means: exactly three binary atoms over exactly
+    three variables, every variable in exactly two atoms, every atom
+    pair sharing exactly one variable — the Q△ of Section 5.2 up to
+    attribute renaming and column order.
+    """
+    if len(query.relations) != 3:
+        return None
+    if any(r.arity != 2 for r in query.relations):
+        return None
+    atoms = [(r.name, tuple(r.attributes)) for r in query.relations]
+    variables = query.attributes()
+    if len(variables) != 3:
+        return None
+    sets = [set(args) for _, args in atoms]
+    for i in range(3):
+        if len(sets[i]) != 2:
+            return None
+        for j in range(i + 1, 3):
+            if len(sets[i] & sets[j]) != 1:
+                return None
+    # Roles per triangle_join: atom0 -> (A,B), atom1 -> (B,C),
+    # atom2 -> (A,C).
+    a = (sets[0] & sets[2]).pop()
+    b = (sets[0] & sets[1]).pop()
+    c = (sets[1] & sets[2]).pop()
+    if len({a, b, c}) != 3:
+        return None
+    expected = [(a, b), (b, c), (a, c)]
+    flipped = []
+    for (name, args), want in zip(atoms, expected):
+        if args == want:
+            flipped.append(False)
+        elif args == (want[1], want[0]):
+            flipped.append(True)
+        else:
+            return None
+    return TriangleMapping(
+        vars=(a, b, c),
+        atoms=tuple(name for name, _ in atoms),
+        flipped=tuple(flipped),
+    )
+
+
+def sample_query(query: Query, limit: int) -> Tuple[Query, bool]:
+    """A deterministic stride sample of ``query``, plus a sampled flag.
+
+    Every relation keeps at most ``limit`` rows, taken at a uniform
+    stride over its sorted tuple order (first row always included), so
+    repeated planning runs see the identical sub-instance.  Fresh
+    ``Relation`` copies are always built — scoring runs must never
+    rebind counters on (or permute) the caller's live indexes.
+    """
+    sampled = False
+    relations: List[Relation] = []
+    for r in query.relations:
+        rows = r.tuples()
+        if limit > 0 and len(rows) > limit:
+            stride = -(-len(rows) // limit)  # ceil division
+            rows = rows[::stride]
+            sampled = True
+        relations.append(Relation(r.name, r.attributes, rows))
+    return Query(relations), sampled
+
+
+def triangle_edges(
+    query: Query, mapping: TriangleMapping
+) -> Tuple[List[Row], List[Row], List[Row]]:
+    """Edge lists for ``triangle_join``, oriented per the role mapping."""
+    out: List[List[Row]] = []
+    for name, flip in zip(mapping.atoms, mapping.flipped):
+        rows = query.relation(name).tuples()
+        out.append([(v, u) for u, v in rows] if flip else list(rows))
+    return out[0], out[1], out[2]
+
+
+class Planner:
+    """Stateful planner: owns the config and the op/call counters.
+
+    ``plans_built`` and ``estimate_runs`` exist so callers (tests, the
+    session stats, the plan-cache benchmark) can assert that a cache
+    hit *skipped planning entirely* rather than replanned quickly.
+    """
+
+    def __init__(self, config: Optional[PlannerConfig] = None) -> None:
+        self.config = config if config is not None else PlannerConfig()
+        #: Number of plans actually constructed (cache misses).
+        self.plans_built = 0
+        #: Number of candidate-scoring engine runs performed.
+        self.estimate_runs = 0
+
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        target,
+        signature: str = "",
+        generation: int = 0,
+    ) -> Plan:
+        """Build a plan for a :class:`LoweredQuery` or core ``Query``."""
+        query = target.query if isinstance(target, LoweredQuery) else target
+        if not signature and isinstance(target, LoweredQuery):
+            signature = target.statement.signature()
+        config = self.config
+        mapping = detect_triangle(query)
+        alpha = query.is_alpha_acyclic()
+        sample, sampled = sample_query(query, config.sample_limit)
+
+        scoreboard: List[CandidatePlan] = []
+        best_gao: Optional[Tuple[str, ...]] = None
+        # With a structural winner the Minesweeper board only feeds the
+        # explain() comparison — don't pay a full candidate sweep for
+        # it.
+        structural = mapping is not None or alpha
+        minesweeper_board = self._score_minesweeper(
+            sample,
+            query,
+            limit=(
+                config.structural_scoreboard_limit if structural else None
+            ),
+        )
+        if minesweeper_board:
+            best_gao = minesweeper_board[0].gao
+
+        if mapping is not None:
+            estimate = self._score_triangle(sample, mapping)
+            gao = mapping.vars
+            engine = ENGINE_TRIANGLE
+            rationale = (
+                "triangle-shaped query: the specialized dyadic-tree CDS "
+                "avoids the generic CDS's Θ(|C|²) revisits (Theorem 5.4)"
+            )
+            scoreboard.append(
+                CandidatePlan(
+                    ENGINE_TRIANGLE, gao, estimate, "findgap",
+                    "winner: structural rule",
+                )
+            )
+            scoreboard.extend(minesweeper_board)
+        elif alpha:
+            estimate = self._score_yannakakis(sample, best_gao)
+            gao = best_gao
+            engine = ENGINE_YANNAKAKIS
+            rationale = (
+                "alpha-acyclic query: Yannakakis' full reducer runs in "
+                "O(N + Z) with no cyclic residue to probe around "
+                "(Section 4.4)"
+            )
+            scoreboard.append(
+                CandidatePlan(
+                    ENGINE_YANNAKAKIS, gao, estimate, "comparisons",
+                    "winner: structural rule",
+                )
+            )
+            scoreboard.extend(minesweeper_board)
+        else:
+            engine = ENGINE_MINESWEEPER
+            gao = best_gao
+            rationale = (
+                "cyclic non-triangle query: Minesweeper under the "
+                "cheapest measured GAO (certificate estimates are "
+                "data-dependent — Ex. B.6 — so candidates were run, "
+                "not guessed)"
+            )
+            scoreboard.extend(minesweeper_board)
+
+        shards, workers = self._resources(engine, query)
+        plan = Plan(
+            signature=signature,
+            engine=engine,
+            gao=tuple(gao),
+            strategy="auto",
+            backend=config.backend,
+            cds_backend=config.cds_backend,
+            shards=shards,
+            workers=workers,
+            triangle=mapping,
+            rationale=rationale,
+            scoreboard=scoreboard,
+            explanation=explain_structure(query, gao=list(gao)),
+            generation=generation,
+            sampled=sampled,
+            sample_limit=config.sample_limit,
+        )
+        self.plans_built += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    # Candidate scoring (always on the sample, never on live indexes)
+    # ------------------------------------------------------------------
+
+    def _score_minesweeper(
+        self, sample: Query, full: Query, limit: Optional[int] = None
+    ) -> List[CandidatePlan]:
+        """Score GAO candidates; ranked, ties broken lexicographically.
+
+        Each candidate runs on the sample under a probe/output budget:
+        a GAO that blows it is abandoned mid-run (its partial FindGap
+        tally is a lower bound) and ranked after every fully-scored
+        candidate, so one pathological order cannot make planning cost
+        what the pathological order itself would.  ``limit`` caps how
+        many candidates are scored at all (generation order, which is
+        deterministic) — used when the board is display-only.
+        """
+        import itertools as _it
+
+        from repro.core.minesweeper import Minesweeper, MinesweeperError
+
+        config = self.config
+        budget = config.score_budget
+        candidates = candidate_gaos(
+            full,
+            exhaustive_below=config.exhaustive_below,
+            samples=config.random_candidates,
+            neo_limit=config.neo_limit,
+            seed=config.seed,
+        )
+        if limit is not None:
+            candidates = candidates[:limit]
+        board: List[CandidatePlan] = []
+        for gao in candidates:
+            counters = OpCounters()
+            engine = Minesweeper(
+                sample.with_gao(list(gao), counters=counters),
+                max_probes=budget,
+                max_ops=budget * config.score_ops_factor,
+            )
+            capped = False
+            try:
+                # Consume at most budget output rows: huge-output
+                # candidates (near-cross-products) are as much of a
+                # scoring trap as probe-heavy ones.
+                rows_seen = sum(
+                    1 for _ in _it.islice(engine.iterate(), budget + 1)
+                )
+                capped = rows_seen > budget
+            except MinesweeperError:
+                capped = True
+            self.estimate_runs += 1
+            board.append(
+                CandidatePlan(
+                    ENGINE_MINESWEEPER,
+                    gao,
+                    counters.findgap,
+                    "findgap",
+                    note="aborted at scoring budget" if capped else "",
+                    capped=capped,
+                )
+            )
+        board.sort(key=lambda c: (c.capped, c.estimate, c.gao))
+        return board
+
+    def _score_triangle(self, sample: Query, mapping: TriangleMapping) -> int:
+        from repro.core.triangle import triangle_join
+
+        r, s, t = triangle_edges(sample, mapping)
+        counters = OpCounters()
+        triangle_join(r, s, t, counters)
+        self.estimate_runs += 1
+        return counters.findgap
+
+    def _score_yannakakis(
+        self, sample: Query, gao: Sequence[str]
+    ) -> int:
+        from repro.baselines.yannakakis import yannakakis_join
+
+        counters = OpCounters()
+        yannakakis_join(sample, list(gao), counters)
+        self.estimate_runs += 1
+        return counters.comparisons
+
+    # ------------------------------------------------------------------
+
+    def _resources(self, engine: str, query: Query) -> Tuple[int, int]:
+        """(shards, workers) for the plan — parallel only when it pays.
+
+        ``workers > 0`` requests a pool; ``shards > 0`` with no workers
+        requests deterministic in-process sharding.  Either way the
+        fan-out only engages on Minesweeper plans over inputs large
+        enough to beat the slicing/pool overhead.
+        """
+        config = self.config
+        if (
+            engine != ENGINE_MINESWEEPER
+            or (config.workers <= 0 and config.shards <= 0)
+            or query.total_tuples() < config.shard_threshold
+            or len(query.attributes()) < 2
+        ):
+            return 1, 0
+        shards = config.shards if config.shards > 0 else config.workers
+        return shards, max(config.workers, 0)
+
+    def stats(self) -> dict:
+        return {
+            "plans_built": self.plans_built,
+            "estimate_runs": self.estimate_runs,
+        }
+
+
+def plan_query(
+    target,
+    signature: str = "",
+    generation: int = 0,
+    config: Optional[PlannerConfig] = None,
+) -> Plan:
+    """One-shot convenience wrapper around :class:`Planner`."""
+    return Planner(config).plan(
+        target, signature=signature, generation=generation
+    )

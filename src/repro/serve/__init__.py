@@ -1,0 +1,25 @@
+"""Serving layer: sessions, prepared statements, script replay.
+
+The third layer of the query subsystem (ISSUE 5): a
+:class:`Session` serves parsed queries over a live
+:class:`~repro.dynamic.catalog.Catalog` with plan caching and
+streaming aggregates; :func:`run_script` replays a text file of mixed
+DDL / updates / queries (the ``repro serve --script`` and REPL entry
+point).
+"""
+
+from repro.serve.script import ScriptError, ScriptRunner, run_script
+from repro.serve.session import (
+    ExecResult,
+    PreparedStatement,
+    Session,
+)
+
+__all__ = [
+    "ExecResult",
+    "PreparedStatement",
+    "ScriptError",
+    "ScriptRunner",
+    "Session",
+    "run_script",
+]

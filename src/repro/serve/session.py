@@ -1,0 +1,387 @@
+"""The serving session: prepared statements over a live catalog.
+
+A :class:`Session` wires the three query-subsystem layers together:
+text in (:mod:`repro.lang`), plan resolution through the
+:class:`~repro.planner.cache.PlanCache` (:mod:`repro.planner`), and
+execution against the catalog's live relations.  The session owns
+
+* the plan cache — a second execution of the same query text (or any
+  renaming of it) skips planning entirely, until a catalog mutation
+  bumps the generation and lazily invalidates the entry;
+* per-session stats — queries served, cache hit/miss/invalidation
+  counts, planner call counters, and cumulative engine op counters;
+* aggregate evaluation that avoids materializing the full join output
+  where the plan allows: ``COUNT`` tallies the Minesweeper row stream
+  without storing it, and ``MIN`` of the leading GAO attribute stops
+  after the first streamed row (the §6.3 top-k property) — both
+  certificate-bound, not output-bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.engine import iterate_join, join
+from repro.dynamic.catalog import Catalog
+from repro.lang.ast import Aggregate, QueryStatement
+from repro.lang.lower import LoweredQuery, lower, validate
+from repro.lang.parser import parse
+from repro.planner.cache import PlanCache
+from repro.planner.plan import (
+    ENGINE_TRIANGLE,
+    ENGINE_YANNAKAKIS,
+    Plan,
+    TriangleMapping,
+)
+from repro.planner.planner import Planner, PlannerConfig, triangle_edges
+from repro.util.counters import OpCounters
+
+Row = Tuple[int, ...]
+
+
+@dataclass
+class ExecResult:
+    """One query execution: rows (or an aggregate), plan, and cost."""
+
+    statement: QueryStatement
+    plan: Plan
+    #: Result column names: head variables, or the aggregate label.
+    columns: Tuple[str, ...]
+    #: Result rows, sorted; for aggregates, one row holding the value
+    #: (empty for MIN/MAX over an empty join — the SQL NULL analogue).
+    rows: List[Row] = field(default_factory=list)
+    #: The aggregate value, when the head is an aggregate.
+    value: Optional[int] = None
+    #: True when the plan came from the cache (planning skipped).
+    cached_plan: bool = False
+    #: Op-counter snapshot for this execution only.
+    ops: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def plan_summary(self) -> str:
+        """``plan.knobs()`` rendered in this statement's variable names."""
+        return self.plan.knobs(self.statement.canonical_rename())
+
+    def __repr__(self) -> str:
+        what = (
+            f"{self.columns[0]}={self.value}"
+            if self.statement.is_aggregate()
+            else f"{len(self.rows)} rows"
+        )
+        return (
+            f"ExecResult({what}, plan={self.plan_summary()}, "
+            f"cached={self.cached_plan})"
+        )
+
+
+@dataclass
+class PreparedStatement:
+    """A parsed + schema-validated statement bound to a session."""
+
+    session: "Session"
+    statement: QueryStatement
+    signature: str
+
+    def execute(self) -> ExecResult:
+        return self.session._execute_statement(
+            self.statement, self.signature
+        )
+
+    def plan(self) -> Tuple[Plan, bool]:
+        """(plan, was_cached) against the catalog's current generation."""
+        return self.session._plan_for(self.statement, self.signature)
+
+    def explain(self) -> str:
+        plan, cached = self.plan()
+        origin = "cached" if cached else "planned now"
+        # Render in the statement's own variable names, not the
+        # canonical v0/v1/... the cached plan is stored in.
+        rename = self.statement.canonical_rename()
+        return f"{plan.explain(rename)}\nplan origin      : {origin}"
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.statement.unparse()!r})"
+
+
+class Session:
+    """Prepared-statement serving over a (possibly shared) catalog."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        config: Optional[PlannerConfig] = None,
+        cache_capacity: int = 256,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.planner = Planner(config)
+        self.cache = PlanCache(cache_capacity)
+        #: Cumulative engine ops across every execution in the session.
+        self.counters = OpCounters()
+        self.queries_executed = 0
+        self.statements_prepared = 0
+
+    # ------------------------------------------------------------------
+    # The prepare / execute surface
+    # ------------------------------------------------------------------
+
+    def prepare(self, text: str) -> PreparedStatement:
+        """Parse and schema-validate; planning is deferred to execute
+        time (the catalog generation may move in between)."""
+        statement = parse(text)
+        validate(statement, self.catalog)
+        self.statements_prepared += 1
+        return PreparedStatement(self, statement, statement.signature())
+
+    def execute(
+        self, query: Union[str, PreparedStatement]
+    ) -> ExecResult:
+        """Run a query text (or a prepared statement) to completion."""
+        if isinstance(query, PreparedStatement):
+            return query.execute()
+        statement = parse(query)
+        validate(statement, self.catalog)
+        return self._execute_statement(statement, statement.signature())
+
+    def explain(self, text: str) -> str:
+        """The plan report for a query text (no execution)."""
+        return self.prepare(text).explain()
+
+    # ------------------------------------------------------------------
+    # Plan resolution
+    # ------------------------------------------------------------------
+
+    def _plan_for(
+        self, statement: QueryStatement, signature: str
+    ) -> Tuple[Plan, bool]:
+        generation = self.catalog.generation
+        plan = self.cache.get(signature, generation)
+        if plan is not None:
+            return plan, True
+        # Plan in *canonical* variable space (the signature's v0, v1,
+        # ...): the cached plan is shared by every renaming of the
+        # statement, so its GAO must not be spelled in any one
+        # renaming's variable names.  Execution localizes it back
+        # (see _localize).
+        lowered = lower(statement.canonicalize(), self.catalog)
+        plan = self.planner.plan(
+            lowered, signature=signature, generation=generation
+        )
+        self.cache.put(plan)
+        return plan, False
+
+    @staticmethod
+    def _localize(
+        statement: QueryStatement, plan: Plan
+    ) -> Tuple[Tuple[str, ...], Optional["TriangleMapping"]]:
+        """Translate the plan's canonical variables to the statement's.
+
+        The canonical mapping is by first appearance in the body, which
+        the signature fixes, so any statement sharing the signature
+        inverts it the same way.  Atom aliases need no translation:
+        lowering derives them from relation names and body order alone.
+        """
+        rename = statement.canonical_rename()
+        gao = tuple(rename[v] for v in plan.gao)
+        triangle = plan.triangle
+        if triangle is not None:
+            triangle = TriangleMapping(
+                vars=tuple(rename[v] for v in triangle.vars),
+                atoms=triangle.atoms,
+                flipped=triangle.flipped,
+            )
+        return gao, triangle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute_statement(
+        self, statement: QueryStatement, signature: str
+    ) -> ExecResult:
+        t0 = time.perf_counter()
+        plan, cached = self._plan_for(statement, signature)
+        gao, triangle = self._localize(statement, plan)
+        lowered = lower(statement, self.catalog)
+        counters = OpCounters()
+        aggregate = statement.aggregate
+        if aggregate is not None:
+            result = self._execute_aggregate(
+                lowered, plan, gao, triangle, aggregate, counters
+            )
+        else:
+            result = self._execute_rows(
+                lowered, plan, gao, triangle, counters
+            )
+        result.cached_plan = cached
+        result.ops = counters.snapshot()
+        result.seconds = time.perf_counter() - t0
+        self.counters.merge(counters)
+        self.queries_executed += 1
+        return result
+
+    def _engine_rows(
+        self,
+        lowered: LoweredQuery,
+        plan: Plan,
+        gao: Tuple[str, ...],
+        triangle,
+        counters: OpCounters,
+    ) -> List[Row]:
+        """Full output rows over the localized ``gao`` order, sorted."""
+        if plan.engine == ENGINE_TRIANGLE:
+            from repro.core.triangle import triangle_join
+
+            r, s, t = triangle_edges(lowered.query, triangle)
+            return sorted(
+                triangle_join(
+                    r, s, t, counters, cds_backend=plan.cds_backend
+                )
+            )
+        if plan.engine == ENGINE_YANNAKAKIS:
+            from repro.baselines.yannakakis import yannakakis_join
+
+            return yannakakis_join(lowered.query, list(gao), counters)
+        return join(
+            lowered.query,
+            gao=list(gao),
+            strategy=plan.strategy,
+            counters=counters,
+            backend=plan.backend,
+            workers=plan.workers or None,
+            shards=plan.shards,
+            cds_backend=plan.cds_backend,
+        ).rows
+
+    def _execute_rows(
+        self,
+        lowered: LoweredQuery,
+        plan: Plan,
+        gao: Tuple[str, ...],
+        triangle,
+        counters: OpCounters,
+    ) -> ExecResult:
+        head = lowered.statement.head_vars
+        if tuple(head) == tuple(gao):
+            rows = self._engine_rows(lowered, plan, gao, triangle, counters)
+            return ExecResult(
+                lowered.statement, plan, tuple(head), rows=rows
+            )
+        positions = [gao.index(v) for v in head]
+        dedup_needed = len(head) < len(gao)
+        if (
+            plan.engine not in (ENGINE_TRIANGLE, ENGINE_YANNAKAKIS)
+            and plan.shards == 1
+            and plan.workers == 0
+        ):
+            # Stream the projection: distinct projected rows accumulate
+            # in a set; the full join output is never held as a list.
+            # Only fully-serial plans stream — a workers>=1 plan must
+            # actually run its pool (join() treats workers=1 as a real
+            # 1-process pool, never a silent fall-through).
+            iterator, _ = iterate_join(
+                lowered.query,
+                gao=list(gao),
+                strategy=plan.strategy,
+                counters=counters,
+                backend=plan.backend,
+                cds_backend=plan.cds_backend,
+            )
+            projected = {
+                tuple(row[p] for p in positions) for row in iterator
+            }
+            rows = sorted(projected)
+        else:
+            full = self._engine_rows(lowered, plan, gao, triangle, counters)
+            projected_iter = (
+                tuple(row[p] for p in positions) for row in full
+            )
+            rows = sorted(
+                set(projected_iter) if dedup_needed else projected_iter
+            )
+        return ExecResult(lowered.statement, plan, tuple(head), rows=rows)
+
+    def _execute_aggregate(
+        self,
+        lowered: LoweredQuery,
+        plan: Plan,
+        gao: Tuple[str, ...],
+        triangle,
+        aggregate: Aggregate,
+        counters: OpCounters,
+    ) -> ExecResult:
+        column = aggregate.unparse().replace(" ", "").lower()
+        if (
+            plan.engine in (ENGINE_TRIANGLE, ENGINE_YANNAKAKIS)
+            or plan.shards > 1
+            or plan.workers > 0
+        ):
+            # Batch engines (and sharded/pooled runs) return a full
+            # list; the aggregate folds it.
+            rows = self._engine_rows(lowered, plan, gao, triangle, counters)
+            iterator = iter(rows)
+        else:
+            iterator, _ = iterate_join(
+                lowered.query,
+                gao=list(gao),
+                strategy=plan.strategy,
+                counters=counters,
+                backend=plan.backend,
+                cds_backend=plan.cds_backend,
+            )
+        value = self._fold(aggregate, gao, iterator)
+        rows = [] if value is None else [(value,)]
+        return ExecResult(
+            lowered.statement,
+            plan,
+            (column,),
+            rows=rows,
+            value=value,
+        )
+
+    @staticmethod
+    def _fold(
+        aggregate: Aggregate, gao: Tuple[str, ...], iterator
+    ) -> Optional[int]:
+        """Fold the row stream without materializing it."""
+        if aggregate.func == "COUNT":
+            return sum(1 for _ in iterator)
+        index = gao.index(aggregate.var)
+        if aggregate.func == "MIN" and index == 0:
+            # Rows stream in GAO-lexicographic order, so the first
+            # row's leading value is the global minimum: stop there.
+            first = next(itertools.islice(iterator, 1), None)
+            return None if first is None else first[0]
+        values = (row[index] for row in iterator)
+        if aggregate.func == "MIN":
+            return min(values, default=None)
+        return max(values, default=None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "queries_executed": self.queries_executed,
+            "statements_prepared": self.statements_prepared,
+            "plan_cache": self.cache.stats(),
+            "planner": self.planner.stats(),
+            "ops": self.counters.snapshot(),
+            "catalog_generation": self.catalog.generation,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.queries_executed} queries, "
+            f"cache={self.cache.stats()['entries']} plans, "
+            f"generation={self.catalog.generation})"
+        )

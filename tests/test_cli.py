@@ -339,3 +339,135 @@ class TestParallelFlags:
         )
         assert code == 0  # nonzero would mean a maintained/recompute MISMATCH
         assert "replayed 2 batches" in out
+
+
+class TestQuery:
+    def test_one_shot(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, err = run_cli(
+            ["query", "--relation", r_spec, "--relation", s_spec,
+             "Q(x, z) :- R(x, y), S(y, z)"],
+            capsys,
+        )
+        assert code == 0
+        assert "# columns: x,z" in out
+        assert "1,10" in out and "2,20" in out
+        assert "# 2 rows" in err
+        assert "# plan: engine=" in err
+
+    def test_aggregate_one_shot(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, err = run_cli(
+            ["query", "--relation", r_spec, "--relation", s_spec,
+             "Q(COUNT) :- R(x, y), S(y, z)"],
+            capsys,
+        )
+        assert code == 0
+        assert "# columns: count" in out
+        assert "# value: 2" in err
+
+    def test_explain_prints_scoreboard(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        code, out, _ = run_cli(
+            ["query", "--relation", r_spec, "--relation", s_spec,
+             "--explain", "Q(x, z) :- R(x, y), S(y, z)"],
+            capsys,
+        )
+        assert code == 0
+        assert "candidates" in out
+        assert "rationale" in out
+        assert "findgap" in out
+        assert "plan origin" in out
+
+    def test_bad_query_text_is_clean_error(self, relation_files, capsys):
+        r_spec, s_spec = relation_files
+        with pytest.raises(SystemExit):
+            main(["query", "--relation", r_spec,
+                  "Q(x) :- Missing(x, y)"])
+        with pytest.raises(SystemExit):
+            main(["query", "--relation", r_spec, "syntax garbage"])
+
+    def test_text_required_without_repl(self, relation_files):
+        r_spec, _ = relation_files
+        with pytest.raises(SystemExit):
+            main(["query", "--relation", r_spec])
+
+    def test_repl_session(self, relation_files, capsys, monkeypatch):
+        r_spec, s_spec = relation_files
+        lines = (
+            "Q(x, z) :- R(x, y), S(y, z)\n"
+            "+R 5,2\n"
+            "commit\n"
+            "Q(x, z) :- R(x, y), S(y, z)\n"
+            "STATS\n"
+            "exit\n"
+        )
+        monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+        code, out, err = run_cli(
+            ["query", "--repl", "--relation", r_spec,
+             "--relation", s_spec],
+            capsys,
+        )
+        assert code == 0
+        assert "1,10" in out
+        assert "5,10" in out  # sees the committed update
+        assert "# batch 1 applied: R +1/-0" in out
+        assert "# session:" in out
+
+    def test_repl_error_recovers(self, relation_files, capsys, monkeypatch):
+        r_spec, s_spec = relation_files
+        lines = (
+            "Q(x) :- Missing(x, y)\n"
+            "Q(x, z) :- R(x, y), S(y, z)\n"
+        )
+        monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+        code, out, err = run_cli(
+            ["query", "--repl", "--relation", r_spec,
+             "--relation", s_spec],
+            capsys,
+        )
+        assert code == 0
+        assert "error: line 1" in err
+        assert "1,10" in out
+
+
+class TestServe:
+    def test_script_end_to_end(self, tmp_path, capsys):
+        script = tmp_path / "demo.script"
+        script.write_text(
+            "CREATE E(A, B)\n"
+            "+E 1,2\n+E 2,3\n+E 1,3\n"
+            "commit\n"
+            "T(x, y, z) :- E(x, y), E(y, z), E(x, z)\n"
+            "T(x, y, z) :- E(x, y), E(y, z), E(x, z)\n"
+        )
+        code, out, err = run_cli(["serve", "--script", str(script)], capsys)
+        assert code == 0
+        assert "# created E(A, B)" in out
+        assert "1,2,3" in out
+        assert "cached plan" in out  # second execution hit the cache
+        assert "engine=triangle" in out
+        assert "# served 2 queries: 1 planned, 1 from cache" in err
+
+    def test_script_with_preloaded_relations(self, tmp_path, relation_files,
+                                             capsys):
+        r_spec, s_spec = relation_files
+        script = tmp_path / "q.script"
+        script.write_text("Q(x, z) :- R(x, y), S(y, z)\n")
+        code, out, _ = run_cli(
+            ["serve", "--script", str(script),
+             "--relation", r_spec, "--relation", s_spec],
+            capsys,
+        )
+        assert code == 0
+        assert "1,10" in out
+
+    def test_script_error_reports_line(self, tmp_path, capsys):
+        script = tmp_path / "bad.script"
+        script.write_text("CREATE R(A, B)\nnot a statement\n")
+        with pytest.raises(SystemExit, match="line 2"):
+            main(["serve", "--script", str(script)])
+
+    def test_missing_script_file(self, capsys):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["serve", "--script", "/nonexistent/x.script"])

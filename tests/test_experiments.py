@@ -53,6 +53,7 @@ class TestRunners:
             "triangle",
             "beta-cyclic",
             "constant-certificate",
+            "planner",
         }
 
     def test_figure2_small(self):
@@ -92,3 +93,19 @@ class TestRunners:
         assert result.column("ms_probes") == [2, 2]
         comparisons = result.column("yannakakis_comparisons")
         assert comparisons[1] > 5 * comparisons[0]
+
+    def test_planner(self):
+        from repro.experiments.runners import run_planner
+
+        result = run_planner(n=12, m=30)
+        shapes = result.column("shape")
+        assert shapes == ["triangle", "bowtie", "3-path", "star", "4-cycle"]
+        engines = dict(zip(shapes, result.column("engine")))
+        assert engines["triangle"] == "triangle"
+        assert engines["bowtie"] == "yannakakis"
+        assert engines["4-cycle"] == "minesweeper"
+        # the cyclic shape's measured-GAO plan is no worse than the
+        # naive fixed order
+        by_shape = {row["shape"]: row for row in result.rows}
+        cyc = by_shape["4-cycle"]
+        assert cyc["planner_ops"] <= cyc["fixed_gao_findgap"]

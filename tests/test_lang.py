@@ -1,0 +1,206 @@
+"""Tests for the query frontend: parser, AST, signature, lowering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    Aggregate,
+    Atom,
+    ParseError,
+    QueryStatement,
+    ValidationError,
+    lower,
+    parse,
+    validate,
+)
+from repro.storage.relation import Relation
+
+
+@pytest.fixture()
+def source():
+    return {
+        "R": Relation("R", ["A", "B"], [(1, 2), (2, 3), (3, 1)]),
+        "S": Relation("S", ["B", "C"], [(2, 10), (3, 20)]),
+        "U": Relation("U", ["X"], [(1,), (2,)]),
+    }
+
+
+class TestParse:
+    def test_projection_head(self):
+        q = parse("Q(x, z) :- R(x, y), S(y, z)")
+        assert q.head_name == "Q"
+        assert q.head_vars == ("x", "z")
+        assert q.aggregate is None
+        assert q.body == (
+            Atom("R", ("x", "y")),
+            Atom("S", ("y", "z")),
+        )
+        assert q.variables() == ["x", "y", "z"]
+        assert not q.is_full_head()
+
+    def test_full_head(self):
+        q = parse("Q(x, y, z) :- R(x, y), S(y, z)")
+        assert q.is_full_head()
+
+    def test_whitespace_and_comments_ignored(self):
+        q = parse("Q( x,z )  :-  R(x , y),S(y,z)  # trailing comment")
+        assert q == parse("Q(x, z) :- R(x, y), S(y, z)")
+
+    def test_count_head(self):
+        q = parse("Total(COUNT) :- R(x, y)")
+        assert q.aggregate == Aggregate("COUNT", None)
+        assert q.head_vars == ()
+        assert q.is_aggregate()
+
+    def test_min_max_heads(self):
+        assert parse("Q(MIN(x)) :- R(x, y)").aggregate == Aggregate(
+            "MIN", "x"
+        )
+        assert parse("Q(MAX(y)) :- R(x, y)").aggregate == Aggregate(
+            "MAX", "y"
+        )
+
+    def test_self_join_atoms(self):
+        q = parse("Q(x, z) :- R(x, y), R(y, z)")
+        assert [a.relation for a in q.body] == ["R", "R"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("", "empty query"),
+            ("   ", "empty query"),
+            ("Q(x)", "expected ':-'"),
+            ("Q(x) :- ", "unexpected end"),
+            ("Q(x) :- R(x, 3)", "constants are not part"),
+            ("Q(x) :- R(x, x)", "variable repeated within atom"),
+            ("Q(x) :- R(x, y), R(x, y)", "duplicate atom"),
+            ("Q(w) :- R(x, y)", "unsafe head variable"),
+            ("Q(x, x) :- R(x, y)", "variable repeated in the head"),
+            ("Q(MIN(w)) :- R(x, y)", "unsafe aggregate variable"),
+            ("q(x) :- R(x, y)", "capitalized identifier"),
+            ("Q(x) :- r(x, y)", "relation name"),
+            ("Q(X) :- R(X, y)", "expected a variable"),
+            ("Q(x) :- R(x, y) extra", "trailing input"),
+            ("Q(x) :- COUNT(x, y)", "cannot be used as a relation"),
+            ("Q(x) :- R(x, y); S(y, z)", "unexpected character"),
+        ],
+    )
+    def test_rejected(self, text, fragment):
+        with pytest.raises(ParseError) as excinfo:
+            parse(text)
+        assert fragment in str(excinfo.value)
+
+    def test_parse_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            parse("not a query")
+
+
+class TestUnparseRoundTrip:
+    CASES = [
+        "Q(x, z) :- R(x, y), S(y, z)",
+        "Q(x, y, z) :- R(x, y), R(y, z), R(x, z)",
+        "Total(COUNT) :- R(x, y), S(y, z)",
+        "Q(MIN(x)) :- R(x, y)",
+        "Q(MAX(z)) :- R(x, y), S(y, z)",
+        "Q(a) :- U(a)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        q = parse(text)
+        assert parse(q.unparse()) == q
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_atoms=st.integers(1, 4),
+        data=st.data(),
+    )
+    def test_round_trip_random(self, n_atoms, data):
+        """Randomized round-trip over well-formed statements."""
+        variables = ["x", "y", "z", "w"]
+        body = []
+        for i in range(n_atoms):
+            arity = data.draw(st.integers(1, 3))
+            args = tuple(
+                data.draw(st.sampled_from(variables)) for _ in range(arity)
+            )
+            if len(set(args)) != len(args):
+                args = tuple(dict.fromkeys(args))
+            body.append(Atom(f"R{i}", args))
+        bound = []
+        for atom in body:
+            for v in atom.args:
+                if v not in bound:
+                    bound.append(v)
+        head = tuple(
+            v for v in bound if data.draw(st.booleans())
+        ) or (bound[0],)
+        q = QueryStatement("Q", head, None, tuple(body))
+        assert parse(q.unparse()) == q
+
+
+class TestSignature:
+    def test_renaming_invariant(self):
+        a = parse("Q(x, z) :- R(x, y), S(y, z)")
+        b = parse("Out(foo, baz) :- R(foo, bar), S(bar, baz)")
+        assert a.signature() == b.signature()
+
+    def test_head_name_invariant(self):
+        a = parse("Q(x) :- R(x, y)")
+        b = parse("Zork(x) :- R(x, y)")
+        assert a.signature() == b.signature()
+
+    def test_structure_sensitive(self):
+        a = parse("Q(x, z) :- R(x, y), S(y, z)")
+        # different join structure: z joins back on x's column
+        b = parse("Q(x, z) :- R(x, y), S(z, y)")
+        assert a.signature() != b.signature()
+
+    def test_projection_sensitive(self):
+        a = parse("Q(x) :- R(x, y)")
+        b = parse("Q(y) :- R(x, y)")
+        c = parse("Q(x, y) :- R(x, y)")
+        assert len({a.signature(), b.signature(), c.signature()}) == 3
+
+    def test_aggregate_sensitive(self):
+        texts = [
+            "Q(COUNT) :- R(x, y)",
+            "Q(MIN(x)) :- R(x, y)",
+            "Q(MAX(x)) :- R(x, y)",
+            "Q(MIN(y)) :- R(x, y)",
+        ]
+        signatures = {parse(t).signature() for t in texts}
+        assert len(signatures) == len(texts)
+
+
+class TestValidateAndLower:
+    def test_unknown_relation(self, source):
+        with pytest.raises(ValidationError, match="unknown relation 'T'"):
+            validate(parse("Q(x) :- T(x, y)"), source)
+
+    def test_arity_mismatch(self, source):
+        with pytest.raises(ValidationError, match="arity mismatch"):
+            validate(parse("Q(x) :- R(x, y, z)"), source)
+        with pytest.raises(ValidationError, match="arity mismatch"):
+            validate(parse("Q(x) :- U(x, y)"), source)
+
+    def test_lower_binds_live_index(self, source):
+        lowered = lower(parse("Q(x, z) :- R(x, y), S(y, z)"), source)
+        rel = lowered.query.relation("R")
+        assert rel.attributes == ("x", "y")
+        assert rel.index is source["R"].index  # shared, not copied
+
+    def test_lower_aliases_self_join(self, source):
+        lowered = lower(parse("Q(x, z) :- R(x, y), R(y, z)"), source)
+        names = [r.name for r in lowered.query.relations]
+        assert names == ["R", "R__2"]
+        assert lowered.alias_of == {"R": "R", "R__2": "R"}
+
+    def test_output_variables(self, source):
+        proj = lower(parse("Q(z, x) :- R(x, y), S(y, z)"), source)
+        assert proj.output_variables == ("z", "x")
+        agg = lower(parse("Q(COUNT) :- R(x, y), S(y, z)"), source)
+        assert agg.output_variables == ("x", "y", "z")

@@ -1,0 +1,552 @@
+"""Planner tests: classification, engine choice, row identity, cache.
+
+The acceptance property of ISSUE 5: planner-chosen plans must be
+row-identical to a reference ``join()`` run on every registry shape
+(triangle, bowtie, acyclic path/star, dynamic), and the planner must
+select the specialized engine on triangle and alpha-acyclic inputs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import join
+from repro.core.gao_search import (
+    all_nested_elimination_orders,
+    candidate_gaos,
+    search_gao,
+)
+from repro.core.query import Query
+from repro.dynamic import Catalog, Update
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.lang import lower, parse
+from repro.planner import (
+    ENGINE_MINESWEEPER,
+    ENGINE_TRIANGLE,
+    ENGINE_YANNAKAKIS,
+    Plan,
+    PlanCache,
+    Planner,
+    PlannerConfig,
+    detect_triangle,
+    plan_query,
+    sample_query,
+)
+from repro.serve import Session
+from repro.storage.relation import Relation
+
+
+def triangle_relations(n=40, k=10, seed=5):
+    from repro.datasets.instances import triangle_with_output
+
+    r, s, t = triangle_with_output(n, k, seed=seed)
+    return {
+        "R": Relation("R", ["A", "B"], r),
+        "S": Relation("S", ["B", "C"], s),
+        "T": Relation("T", ["A", "C"], t),
+    }
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+
+
+class TestDetectTriangle:
+    def test_standard_orientation(self):
+        q = Query(
+            [
+                Relation("R", ["a", "b"], [(1, 2)]),
+                Relation("S", ["b", "c"], [(2, 3)]),
+                Relation("T", ["a", "c"], [(1, 3)]),
+            ]
+        )
+        mapping = detect_triangle(q)
+        assert mapping is not None
+        assert mapping.vars == ("a", "b", "c")
+        assert mapping.flipped == (False, False, False)
+
+    def test_flipped_columns(self):
+        q = Query(
+            [
+                Relation("R", ["a", "b"], [(1, 2)]),
+                Relation("S", ["b", "c"], [(2, 3)]),
+                Relation("T", ["c", "a"], [(3, 1)]),
+            ]
+        )
+        mapping = detect_triangle(q)
+        assert mapping is not None
+        assert mapping.flipped == (False, False, True)
+
+    @pytest.mark.parametrize(
+        "schemas",
+        [
+            # path, not a triangle
+            [("R", ["a", "b"]), ("S", ["b", "c"]), ("T", ["c", "d"])],
+            # star: b appears in all three atoms
+            [("R", ["a", "b"]), ("S", ["b", "c"]), ("T", ["b", "d"])],
+            # only two atoms
+            [("R", ["a", "b"]), ("S", ["b", "a"])],
+            # a ternary atom
+            [("R", ["a", "b", "c"]), ("S", ["b", "c"]), ("T", ["a", "c"])],
+        ],
+    )
+    def test_non_triangles(self, schemas):
+        q = Query(
+            [
+                Relation(name, attrs, [tuple(range(len(attrs)))])
+                for name, attrs in schemas
+            ]
+        )
+        assert detect_triangle(q) is None
+
+
+class TestSampleQuery:
+    def test_small_input_not_flagged(self):
+        q = Query([Relation("R", ["A"], [(i,) for i in range(10)])])
+        sampled, flag = sample_query(q, 100)
+        assert not flag
+        assert sampled.relation("R").tuples() == q.relation("R").tuples()
+
+    def test_large_input_capped_and_deterministic(self):
+        rows = [(i, i + 1) for i in range(1000)]
+        q = Query([Relation("R", ["A", "B"], rows)])
+        s1, flag1 = sample_query(q, 64)
+        s2, _ = sample_query(q, 64)
+        assert flag1
+        assert len(s1.relation("R")) <= 64
+        assert s1.relation("R").tuples() == s2.relation("R").tuples()
+        # first row always included
+        assert s1.relation("R").tuples()[0] == rows[0]
+
+    def test_never_shares_indexes(self):
+        q = Query([Relation("R", ["A"], [(1,)])])
+        sampled, _ = sample_query(q, 10)
+        assert sampled.relation("R").index is not q.relation("R").index
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_triangle_selects_triangle_engine(self):
+        lowered = lower(
+            parse("Q(x, y, z) :- R(x, y), S(y, z), T(x, z)"),
+            triangle_relations(),
+        )
+        plan = plan_query(lowered)
+        assert plan.engine == ENGINE_TRIANGLE
+        assert plan.triangle is not None
+        assert plan.scoreboard[0].engine == ENGINE_TRIANGLE
+
+    def test_alpha_acyclic_selects_yannakakis(self):
+        source = {
+            "R": Relation("R", ["A", "B"], [(1, 2), (2, 3)]),
+            "S": Relation("S", ["B", "C"], [(2, 4), (3, 5)]),
+        }
+        plan = plan_query(
+            lower(parse("Q(x, z) :- R(x, y), S(y, z)"), source)
+        )
+        assert plan.engine == ENGINE_YANNAKAKIS
+
+    def test_cyclic_non_triangle_selects_minesweeper(self):
+        rng = random.Random(7)
+        def edges():
+            return sorted(
+                {(rng.randrange(12), rng.randrange(12)) for _ in range(30)}
+            )
+
+        source = {
+            name: Relation(name, ["A", "B"], edges())
+            for name in ("R", "S", "T", "U")
+        }
+        lowered = lower(
+            parse("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)"),
+            source,
+        )
+        plan = plan_query(lowered)
+        assert plan.engine == ENGINE_MINESWEEPER
+        # winner is the cheapest measured candidate, ties broken
+        # lexicographically
+        board = plan.scoreboard
+        assert plan.gao == board[0].gao
+        assert all(
+            board[i].estimate <= board[i + 1].estimate
+            for i in range(len(board) - 1)
+        )
+
+    def test_parallel_resources_only_above_threshold(self):
+        rng = random.Random(3)
+        edges = [
+            (name, sorted({(rng.randrange(50), rng.randrange(50))
+                           for _ in range(120)}))
+            for name in ("R", "S", "T", "U")
+        ]
+        source = {n: Relation(n, ["A", "B"], e) for n, e in edges}
+        lowered = lower(
+            parse("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)"),
+            source,
+        )
+        small = Planner(PlannerConfig(workers=2, shard_threshold=10**6))
+        assert small.plan(lowered).workers == 0
+        big = Planner(PlannerConfig(workers=2, shard_threshold=1))
+        plan = big.plan(lowered)
+        assert plan.workers == 2
+        assert plan.shards == 2
+
+    def test_explain_contains_scoreboard_and_rationale(self):
+        plan = plan_query(
+            lower(
+                parse("Q(x, y, z) :- R(x, y), S(y, z), T(x, z)"),
+                triangle_relations(),
+            )
+        )
+        report = plan.explain()
+        assert "candidates" in report
+        assert "rationale" in report
+        assert "findgap" in report
+        assert "minesweeper" in report  # losers listed too
+        assert "runtime regime" in report  # core explain reused
+
+
+# ----------------------------------------------------------------------
+# Row identity vs the reference engine, across registry shapes
+# ----------------------------------------------------------------------
+
+
+def catalog_from(rows_by_name):
+    catalog = Catalog()
+    for name, (attrs, rows) in rows_by_name.items():
+        catalog.create_relation(name, attrs, rows)
+    return catalog
+
+
+def shape_catalogs():
+    """(name, catalog, query text) per registry shape."""
+    rng = random.Random(11)
+    shapes = []
+
+    tri = triangle_relations(60, 15, seed=5)
+    shapes.append(
+        (
+            "triangle",
+            catalog_from(
+                {
+                    n: (list(r.attributes), r.tuples())
+                    for n, r in tri.items()
+                }
+            ),
+            "Q(x, y, z) :- R(x, y), S(y, z), T(x, z)",
+        )
+    )
+
+    bowtie_edges = sorted(
+        {(rng.randrange(30), rng.randrange(30)) for _ in range(90)}
+    )
+    shapes.append(
+        (
+            "bowtie",
+            catalog_from(
+                {
+                    "L": (["X"], [(v,) for v in range(0, 30, 3)]),
+                    "M": (["X", "Y"], bowtie_edges),
+                    "N": (["Y"], [(v,) for v in range(0, 30, 2)]),
+                }
+            ),
+            "Q(x, y) :- L(x), M(x, y), N(y)",
+        )
+    )
+
+    path_edges = lambda: sorted(
+        {(rng.randrange(25), rng.randrange(25)) for _ in range(60)}
+    )
+    shapes.append(
+        (
+            "acyclic-path",
+            catalog_from(
+                {
+                    "R": (["A", "B"], path_edges()),
+                    "S": (["B", "C"], path_edges()),
+                    "T": (["C", "D"], path_edges()),
+                }
+            ),
+            "Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)",
+        )
+    )
+
+    shapes.append(
+        (
+            "acyclic-star",
+            catalog_from(
+                {
+                    "R": (["A", "B"], path_edges()),
+                    "S": (["A", "C"], path_edges()),
+                    "T": (["A", "D"], path_edges()),
+                }
+            ),
+            "Q(a, b, c, d) :- R(a, b), S(a, c), T(a, d)",
+        )
+    )
+    return shapes
+
+
+def reference_rows(catalog, text):
+    """Reference: plain ``join()`` over the same data, reordered to the
+    statement's head and deduplicated (set semantics)."""
+    statement = parse(text)
+    lowered = lower(statement, catalog)
+    result = join(
+        Query(
+            [
+                Relation(r.name, r.attributes, r.tuples())
+                for r in lowered.query.relations
+            ]
+        )
+    )
+    head = statement.head_vars
+    positions = [result.gao.index(v) for v in head]
+    return sorted({tuple(row[p] for p in positions) for row in result})
+
+
+SHAPES = shape_catalogs()
+
+
+class TestRowIdentity:
+    @pytest.mark.parametrize(
+        "name, catalog, text", SHAPES, ids=[s[0] for s in SHAPES]
+    )
+    def test_planner_rows_match_reference(self, name, catalog, text):
+        session = Session(catalog)
+        result = session.execute(text)
+        assert result.rows == reference_rows(catalog, text)
+
+    def test_dynamic_catalog_rows_match_after_updates(self):
+        rng = random.Random(19)
+        catalog = catalog_from(
+            {
+                "R": (["A", "B"], [(1, 2), (2, 3), (3, 1)]),
+                "S": (["B", "C"], [(2, 5), (3, 6)]),
+            }
+        )
+        session = Session(catalog)
+        text = "Q(x, z) :- R(x, y), S(y, z)"
+        assert session.execute(text).rows == reference_rows(catalog, text)
+        for _ in range(4):
+            batch = [
+                Update(
+                    rng.choice(["R", "S"]),
+                    rng.choice(["+", "-"]),
+                    (rng.randrange(8), rng.randrange(8)),
+                )
+                for _ in range(6)
+            ]
+            catalog.apply_batch(batch)
+            assert (
+                session.execute(text).rows
+                == reference_rows(catalog, text)
+            ), "diverged after batch"
+
+    def test_projection_and_aggregates_match_reference(self):
+        catalog = SHAPES[0][1]  # triangle
+        session = Session(catalog)
+        full = reference_rows(
+            catalog, "Q(x, y, z) :- R(x, y), S(y, z), T(x, z)"
+        )
+        count = session.execute(
+            "Q(COUNT) :- R(x, y), S(y, z), T(x, z)"
+        )
+        assert count.value == len(full)
+        proj = session.execute("Q(y) :- R(x, y), S(y, z), T(x, z)")
+        assert proj.rows == sorted({(row[1],) for row in full})
+        low = session.execute("Q(MIN(x)) :- R(x, y), S(y, z), T(x, z)")
+        assert low.value == min(row[0] for row in full)
+        high = session.execute("Q(MAX(z)) :- R(x, y), S(y, z), T(x, z)")
+        assert high.value == max(row[2] for row in full)
+
+    def test_sharded_plan_rows_match_reference(self):
+        rng = random.Random(23)
+        def edges():
+            return sorted(
+                {(rng.randrange(20), rng.randrange(20)) for _ in range(70)}
+            )
+
+        catalog = catalog_from(
+            {
+                "R": (["A", "B"], edges()),
+                "S": (["B", "C"], edges()),
+                "T": (["C", "D"], edges()),
+                "U": (["D", "A"], edges()),
+            }
+        )
+        text = "Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d), U(d, a)"
+        session = Session(
+            catalog,
+            config=PlannerConfig(workers=2, shard_threshold=1),
+        )
+        result = session.execute(text)
+        assert result.plan.shards == 2
+        assert result.rows == reference_rows(catalog, text)
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+
+def make_plan(signature="sig", generation=0):
+    return Plan(
+        signature=signature,
+        engine=ENGINE_MINESWEEPER,
+        gao=("v0",),
+        generation=generation,
+    )
+
+
+class TestPlanCache:
+    def test_hit_and_miss(self):
+        cache = PlanCache()
+        assert cache.get("sig", 0) is None
+        cache.put(make_plan())
+        assert cache.get("sig", 0) is not None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_generation_mismatch_invalidates(self):
+        cache = PlanCache()
+        cache.put(make_plan(generation=3))
+        assert cache.get("sig", 4) is None
+        assert cache.stats()["invalidated"] == 1
+        assert "sig" not in cache
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put(make_plan("a"))
+        cache.put(make_plan("b"))
+        assert cache.get("a", 0) is not None  # refresh a
+        cache.put(make_plan("c"))  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats()["evicted"] == 1
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache().put(make_plan(signature=""))
+
+
+# ----------------------------------------------------------------------
+# Satellites: seeded GAO search, NEO limit after dedup
+# ----------------------------------------------------------------------
+
+
+class TestSeededGaoSearch:
+    def make_query(self):
+        rng = random.Random(2)
+        rels = [
+            Relation(
+                f"R{i}",
+                [f"A{i}", f"A{i+1}"],
+                sorted({(rng.randrange(9), rng.randrange(9))
+                        for _ in range(20)}),
+            )
+            for i in range(5)
+        ]
+        return Query(rels)
+
+    def test_same_seed_same_scoreboard(self):
+        q = self.make_query()
+        a = search_gao(q, exhaustive_below=2, samples=5, seed=42)
+        b = search_gao(q, exhaustive_below=2, samples=5, seed=42)
+        assert a.scoreboard == b.scoreboard
+        assert a.best_gao == b.best_gao
+
+    def test_different_seeds_differ_in_candidates(self):
+        q = self.make_query()
+        a = candidate_gaos(q, exhaustive_below=2, samples=8, seed=1)
+        b = candidate_gaos(q, exhaustive_below=2, samples=8, seed=2)
+        assert a != b
+
+    def test_explicit_rng_wins_over_seed(self):
+        q = self.make_query()
+        a = candidate_gaos(
+            q, exhaustive_below=2, samples=5, seed=0,
+            rng=random.Random(9),
+        )
+        b = candidate_gaos(
+            q, exhaustive_below=2, samples=5, seed=123,
+            rng=random.Random(9),
+        )
+        assert a == b
+
+    def test_global_random_state_irrelevant(self):
+        q = self.make_query()
+        random.seed(1)
+        a = candidate_gaos(q, exhaustive_below=2, samples=5, seed=7)
+        random.seed(999)
+        b = candidate_gaos(q, exhaustive_below=2, samples=5, seed=7)
+        assert a == b
+
+
+class TestNeoLimitAfterDedup:
+    def test_limit_counts_distinct_orders(self):
+        # A star is beta-acyclic with many NEOs: leaves peel in any
+        # order.  Every produced order must be distinct, and the limit
+        # must be reachable (not eaten by pre-dedup duplicates).
+        h = Hypergraph(
+            {f"E{i}": ["c", f"l{i}"] for i in range(5)}
+        )
+        for limit in (1, 3, 7, 16):
+            orders = all_nested_elimination_orders(h, limit=limit)
+            assert len(orders) == min(limit, len(orders))
+            assert len({tuple(o) for o in orders}) == len(orders)
+        full = all_nested_elimination_orders(h, limit=10**6)
+        capped = all_nested_elimination_orders(h, limit=8)
+        assert len({tuple(o) for o in full}) == len(full)
+        if len(full) >= 8:
+            assert len(capped) == 8
+
+
+class TestScoringBudget:
+    """A pathological candidate GAO must not make planning pay its cost."""
+
+    def cycle_query(self, n=400):
+        rows_r = [(i, i + 1) for i in range(n)]
+        rows_s = [(i + 1, i) for i in range(n)]
+        return Query(
+            [
+                Relation("R", ["x", "y"], rows_r),
+                Relation("S", ["y", "z"], rows_s),
+            ]
+        )
+
+    def test_max_ops_aborts_the_engine(self):
+        from repro.core.minesweeper import Minesweeper, MinesweeperError
+        from repro.util.counters import OpCounters
+
+        q = self.cycle_query()
+        counters = OpCounters()
+        engine = Minesweeper(
+            q.with_gao(["x", "z", "y"], counters=counters), max_ops=500
+        )
+        with pytest.raises(MinesweeperError, match="op budget"):
+            engine.run()
+
+    def test_capped_candidates_rank_after_complete_ones(self):
+        from repro.planner.planner import Planner, PlannerConfig
+
+        # Budget sized so the well-ordered GAOs finish (~24k CDS ops
+        # at n=400) while the pathological ones (>1M) abort.
+        planner = Planner(PlannerConfig(score_budget=5_000))
+        q = self.cycle_query()
+        board = planner._score_minesweeper(q, q)
+        assert any(c.capped for c in board)
+        assert any(not c.capped for c in board)
+        # every complete candidate ranks before every capped one, and
+        # the winner is complete
+        flags = [c.capped for c in board]
+        assert flags == sorted(flags)
+        assert not board[0].capped
+        assert all(
+            "budget" in c.note for c in board if c.capped
+        )

@@ -1,0 +1,247 @@
+"""Serving-layer tests: sessions, plan caching, aggregates, scripts."""
+
+import pytest
+
+from repro.dynamic import Catalog, Update
+from repro.lang import ParseError, ValidationError
+from repro.planner import ENGINE_TRIANGLE
+from repro.serve import ScriptError, ScriptRunner, Session, run_script
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.create_relation("R", ["A", "B"], [(1, 2), (2, 3), (3, 1)])
+    cat.create_relation("S", ["B", "C"], [(2, 10), (3, 20)])
+    return cat
+
+
+@pytest.fixture()
+def session(catalog):
+    return Session(catalog)
+
+
+TEXT = "Q(x, z) :- R(x, y), S(y, z)"
+
+
+class TestSessionBasics:
+    def test_execute_rows(self, session):
+        result = session.execute(TEXT)
+        assert result.columns == ("x", "z")
+        assert result.rows == [(1, 10), (2, 20)]
+        assert not result.cached_plan
+
+    def test_prepare_then_execute(self, session):
+        prepared = session.prepare(TEXT)
+        assert session.statements_prepared == 1
+        result = prepared.execute()
+        assert result.rows == [(1, 10), (2, 20)]
+
+    def test_prepare_rejects_bad_text_and_schema(self, session):
+        with pytest.raises(ParseError):
+            session.prepare("not a query")
+        with pytest.raises(ValidationError):
+            session.prepare("Q(x) :- Missing(x, y)")
+        with pytest.raises(ValidationError):
+            session.prepare("Q(x) :- R(x, y, z)")
+
+    def test_stats_accumulate(self, session):
+        session.execute(TEXT)
+        session.execute(TEXT)
+        stats = session.stats()
+        assert stats["queries_executed"] == 2
+        assert stats["planner"]["plans_built"] == 1
+        assert stats["plan_cache"]["hits"] == 1
+        assert stats["ops"]["output_tuples"] > 0
+
+    def test_explain_mentions_origin(self, session):
+        report = session.explain(TEXT)
+        assert "plan origin" in report
+        assert "candidates" in report
+
+
+class TestPlanCacheBehavior:
+    def test_second_execution_skips_planning(self, session):
+        first = session.execute(TEXT)
+        built = session.planner.plans_built
+        estimates = session.planner.estimate_runs
+        second = session.execute(TEXT)
+        assert not first.cached_plan
+        assert second.cached_plan
+        # planning skipped *entirely*: no new plans, no new scoring runs
+        assert session.planner.plans_built == built
+        assert session.planner.estimate_runs == estimates
+        assert second.rows == first.rows
+
+    def test_renamed_query_hits_cache(self, session):
+        session.execute(TEXT)
+        renamed = session.execute("Other(a, c) :- R(a, b), S(b, c)")
+        assert renamed.cached_plan
+        assert session.planner.plans_built == 1
+
+    @pytest.mark.parametrize("mutation", ["apply_batch", "flush", "compact"])
+    def test_catalog_mutation_invalidates(self, session, mutation):
+        session.execute(TEXT)
+        built = session.planner.plans_built
+        if mutation == "apply_batch":
+            session.catalog.apply_batch([Update("R", "+", (9, 2))])
+        else:
+            getattr(session.catalog, mutation)()
+        result = session.execute(TEXT)
+        assert not result.cached_plan
+        assert session.planner.plans_built == built + 1
+        assert session.cache.stats()["invalidated"] == 1
+
+    def test_update_visible_after_invalidation(self, session):
+        session.execute(TEXT)
+        session.catalog.apply_batch([Update("R", "+", (9, 2))])
+        assert (9, 10) in session.execute(TEXT).rows
+
+
+class TestAggregates:
+    def test_count(self, session):
+        result = session.execute("Q(COUNT) :- R(x, y), S(y, z)")
+        assert result.value == 2
+        assert result.columns == ("count",)
+        assert result.rows == [(2,)]
+
+    def test_min_max(self, session):
+        assert session.execute(
+            "Q(MIN(z)) :- R(x, y), S(y, z)"
+        ).value == 10
+        assert session.execute(
+            "Q(MAX(x)) :- R(x, y), S(y, z)"
+        ).value == 2
+
+    def test_empty_join_aggregates(self, catalog):
+        catalog.create_relation("Empty", ["A", "B"])
+        session = Session(catalog)
+        count = session.execute("Q(COUNT) :- Empty(x, y)")
+        assert count.value == 0
+        assert count.rows == [(0,)]
+        low = session.execute("Q(MIN(x)) :- Empty(x, y)")
+        assert low.value is None
+        assert low.rows == []
+
+    def test_min_leading_attribute_short_circuits(self):
+        # MIN of the first GAO attribute streams one row and stops:
+        # its probe work must be well below the full enumeration's.
+        # A cyclic non-triangle query routes to Minesweeper (the
+        # streaming engine); the symmetric cycle data makes every GAO
+        # tie, so the lexicographic tie-break pins gao = a,b,c,d and
+        # MIN(a) is the leading attribute.
+        catalog = Catalog()
+        n = 60
+        cycle = [(i, (i + 1) % n) for i in range(n)]
+        for name in ("R", "S", "T"):
+            catalog.create_relation(name, ["A", "B"], cycle)
+        # U(d, a) must close d -> a, i.e. hold ((i+3) % n, i), so the
+        # join yields one row (i, i+1, i+2, i+3) per i.
+        catalog.create_relation(
+            "U", ["A", "B"], sorted(((i + 3) % n, i) for i in range(n))
+        )
+        session = Session(catalog)
+        body = "R(a, b), S(b, c), T(c, d), U(d, a)"
+        full = session.execute(f"Q(a, b, c, d) :- {body}")
+        assert full.plan.engine == "minesweeper"
+        # MIN over whichever variable the (deterministic) plan leads
+        # with — that is the short-circuit case.
+        lead_index = int(full.plan.gao[0][1:])  # canonical 'vK' -> K
+        lead = ["a", "b", "c", "d"][lead_index]
+        low = session.execute(f"Q(MIN({lead})) :- {body}")
+        assert low.plan.gao[0] == full.plan.gao[0]
+        assert low.value == min(row[lead_index] for row in full.rows)
+        assert 0 < low.ops["findgap"] < full.ops["findgap"] / 2
+
+
+class TestScriptRunner:
+    def test_full_flow(self):
+        script = """
+        CREATE E(A, B)
+        +E 1,2
+        +E 2,3
+        +E 3,1
+        +E 1,3
+        commit
+        T(x, y, z) :- E(x, y), E(y, z), E(x, z)
+        T(COUNT) :- E(x, y), E(y, z), E(x, z)
+        STATS
+        """
+        out = run_script(line for line in script.strip().splitlines())
+        joined = "\n".join(out)
+        assert "# created E(A, B)" in joined
+        assert "# batch 1 applied: E +4/-0" in joined
+        assert "# columns: x,y,z" in joined
+        assert "value=1" in joined  # exactly the (1,2,3) triangle
+        assert "# session:" in joined
+
+    def test_triangle_engine_selected_in_script(self):
+        script = [
+            "CREATE E(A, B)",
+            "+E 1,2", "+E 2,3", "+E 1,3",
+            "commit",
+            "T(x, y, z) :- E(x, y), E(y, z), E(x, z)",
+        ]
+        runner = ScriptRunner()
+        runner.run(script)
+        assert "1,2,3" in runner.out
+        stats = runner.session.stats()
+        assert stats["queries_executed"] == 1
+        result = runner.session.execute(
+            "T(x, y, z) :- E(x, y), E(y, z), E(x, z)"
+        )
+        assert result.plan.engine == ENGINE_TRIANGLE
+        assert result.cached_plan
+
+    def test_pending_updates_commit_before_query(self):
+        script = [
+            "CREATE R(A, B)",
+            "CREATE S(B, C)",
+            "+R 1,2",
+            "+S 2,9",
+            # no commit: the query must still see both rows
+            "Q(x, z) :- R(x, y), S(y, z)",
+        ]
+        out = run_script(script)
+        assert "1,9" in out
+
+    def test_flush_compact_statements(self, catalog):
+        out = run_script(
+            ["flush R", "compact", "Q(x, z) :- R(x, y), S(y, z)"],
+            Session(catalog),
+        )
+        assert "# flush R" in out
+        assert "# compact all" in out
+        assert "1,10" in out
+
+    def test_explain_statement(self, catalog):
+        out = run_script(
+            ["EXPLAIN Q(x, z) :- R(x, y), S(y, z)"], Session(catalog)
+        )
+        assert any("candidates" in line for line in out)
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(ScriptError, match="line 2"):
+            run_script(["CREATE R(A, B)", "Q(x) :- Missing(x)"])
+        with pytest.raises(ScriptError, match="line 1"):
+            run_script(["hello world"])
+        with pytest.raises(ScriptError, match="line 2"):
+            run_script(["CREATE R(A, B)", "+R 1,2,3", "commit"])
+
+    def test_duplicate_create_fails(self):
+        with pytest.raises(ScriptError, match="already registered"):
+            run_script(["CREATE R(A)", "CREATE R(A)"])
+
+    def test_create_rejects_unqueryable_names(self):
+        # a lowercase relation could be loaded but never referenced by
+        # any query — reject at DDL time instead
+        with pytest.raises(ScriptError, match="uppercase"):
+            run_script(["CREATE follows(A, B)"])
+        with pytest.raises(ScriptError, match="invalid attribute"):
+            run_script(["CREATE R(1x, y)"])
+
+    def test_explain_with_tab_separator(self, catalog):
+        out = run_script(
+            ["EXPLAIN\tQ(x, z) :- R(x, y), S(y, z)"], Session(catalog)
+        )
+        assert any("candidates" in line for line in out)
