@@ -5,7 +5,7 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test bench bench-smoke check-ops perf-report query-smoke
+.PHONY: test bench bench-smoke check-ops perf-report query-smoke recover-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -30,6 +30,18 @@ query-smoke:
 	$(PY) -m repro.cli query \
 	  --relation R=A,B:/tmp/repro-query-smoke.csv \
 	  "Q(COUNT) :- R(x, y), R(y, z), R(x, z)"
+
+# Durability smoke: crash the serving demo at a registered crashpoint
+# (the CLI exits 3 on an injected crash — asserted, not ignored), then
+# recover the directory into a fresh snapshot and verify every Merkle
+# root offline.  CI runs this next to bench-smoke / query-smoke.
+recover-smoke:
+	rm -rf /tmp/repro-recover-smoke
+	REPRO_CRASH_POINT=catalog.apply.mutate $(PY) -m repro.cli serve \
+	  --script examples/serving_demo.script \
+	  --data-dir /tmp/repro-recover-smoke; test $$? -eq 3
+	$(PY) -m repro.cli recover --data-dir /tmp/repro-recover-smoke --snapshot
+	$(PY) -m repro.cli verify-state --data-dir /tmp/repro-recover-smoke
 
 # Op-count drift gate: every smoke workload's instrumented tallies must
 # match benchmarks/baselines/smoke_ops.json (CI runs this under both

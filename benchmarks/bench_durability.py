@@ -1,0 +1,168 @@
+"""Durability benchmark: WAL overhead and recovery cost (ISSUE 6).
+
+Two questions the durable catalog must answer with numbers:
+
+* **Write amplification** — what does journaling every batch cost on
+  the ingest path?  Each case replays the same deterministic triangle
+  update stream with no WAL, then with the WAL under each fsync policy
+  (``off`` / ``batch`` / ``always``), and records wall time plus the
+  overhead ratio vs the non-durable baseline.  ``always`` pays a real
+  fsync per batch and is expected to dominate; ``batch`` is the
+  deployment default.
+
+* **Recovery time vs log length** — how long until a crashed catalog
+  serves again?  Replay N batches durably, drop the catalog, and time
+  ``recover_catalog`` from a cold directory at increasing N — once
+  WAL-only, once from a snapshot + WAL suffix, recording both plus the
+  snapshot's own write cost.  The claim worth guarding: snapshot +
+  suffix recovery does not grow with the *total* history, only with
+  the suffix.
+"""
+
+import shutil
+
+import pytest
+
+from repro.dynamic import recover_catalog, triangle_stream
+from repro.dynamic.durable import open_catalog
+
+from benchmarks._util import once, record, sizes
+
+_FULL = dict(n_nodes=40, n_edges=200, insert_fraction=0.6, seed=21)
+_TINY = dict(n_nodes=10, n_edges=20, insert_fraction=0.6, seed=21)
+
+STREAM = sizes(
+    dict(_FULL, n_batches=40, batch_size=8),
+    dict(_TINY, n_batches=4, batch_size=4),
+)
+
+FSYNC_CASES = ["none", "off", "batch", "always"]
+
+RECOVERY_LENGTHS = sizes([10, 40, 160], [3, 6])
+
+
+def _stream():
+    schemas, initial, batches = triangle_stream(**STREAM)
+    return schemas, initial, batches
+
+
+def _mean_seconds(benchmark):
+    # Smoke runs (`repro bench --smoke`) disable timing collection;
+    # the op-count metrics still record, wall time just reads 0.
+    stats = getattr(benchmark, "stats", None)
+    return stats.stats.mean if stats is not None else 0.0
+
+
+def _build(schemas, initial, data_dir=None, fsync="batch"):
+    """A catalog over the stream's schema, durable when data_dir set."""
+    if data_dir is None:
+        from repro.dynamic import Catalog
+
+        catalog = Catalog()
+    else:
+        catalog, _ = open_catalog(str(data_dir), fsync=fsync)
+    for name, attrs in schemas.items():
+        catalog.create_relation(name, attrs, initial[name])
+    return catalog
+
+
+def _replay(catalog, batches):
+    for batch in batches:
+        catalog.apply_batch(batch)
+    if catalog.wal is not None:
+        catalog.wal.close()
+
+
+@pytest.mark.parametrize("policy", FSYNC_CASES)
+def test_wal_ingest_overhead(benchmark, tmp_path, policy):
+    schemas, initial, batches = _stream()
+
+    def run():
+        target = tmp_path / f"run-{policy}"
+        if target.exists():
+            shutil.rmtree(target)
+        data_dir = None if policy == "none" else target
+        catalog = _build(
+            schemas, initial, data_dir=data_dir,
+            fsync=policy if policy != "none" else "batch",
+        )
+        _replay(catalog, batches)
+        return catalog
+
+    catalog = once(benchmark, run)
+    n_updates = sum(len(b) for b in batches)
+    metrics = {
+        "batches": len(batches),
+        "updates": n_updates,
+        "seconds": _mean_seconds(benchmark),
+    }
+    if policy != "none":
+        stats = catalog.stats()["wal"]
+        metrics["wal_records"] = stats["appended"]
+        metrics["wal_fsyncs"] = stats["fsyncs"]
+    record(benchmark, "durability-ingest", f"fsync-{policy}", metrics)
+
+
+@pytest.mark.parametrize("n_batches", RECOVERY_LENGTHS)
+def test_recovery_wal_only(benchmark, tmp_path, n_batches):
+    schemas, initial, batches = _stream()
+    batches = batches[:n_batches] if len(batches) >= n_batches else (
+        batches * (n_batches // max(len(batches), 1) + 1)
+    )[:n_batches]
+    data_dir = str(tmp_path / "state")
+    catalog = _build(schemas, initial, data_dir=data_dir, fsync="off")
+    _replay(catalog, batches)
+
+    def recover():
+        recovered, report = recover_catalog(data_dir, attach=False)
+        return report
+
+    report = once(benchmark, recover)
+    record(
+        benchmark,
+        "durability-recovery",
+        f"wal-only/{n_batches}-batches",
+        {
+            "batches": n_batches,
+            "records_replayed": report.records_replayed,
+            "seconds": _mean_seconds(benchmark),
+        },
+    )
+
+
+@pytest.mark.parametrize("n_batches", RECOVERY_LENGTHS)
+def test_recovery_snapshot_plus_suffix(benchmark, tmp_path, n_batches):
+    """Snapshot after the bulk, a short WAL suffix after it."""
+    schemas, initial, batches = _stream()
+    batches = batches[:n_batches] if len(batches) >= n_batches else (
+        batches * (n_batches // max(len(batches), 1) + 1)
+    )[:n_batches]
+    suffix = max(1, len(batches) // 10)
+    data_dir = str(tmp_path / "state")
+    catalog = _build(schemas, initial, data_dir=data_dir, fsync="off")
+    for batch in batches[:-suffix]:
+        catalog.apply_batch(batch)
+    info = catalog.snapshot(truncate_wal=True)
+    for batch in batches[-suffix:]:
+        catalog.apply_batch(batch)
+    catalog.wal.close()
+
+    def recover():
+        recovered, report = recover_catalog(data_dir, attach=False)
+        return report
+
+    report = once(benchmark, recover)
+    assert report.snapshot_id == info.snapshot_id
+    assert report.verified
+    record(
+        benchmark,
+        "durability-recovery",
+        f"snapshot+suffix/{n_batches}-batches",
+        {
+            "batches": n_batches,
+            "suffix_batches": suffix,
+            "records_replayed": report.records_replayed,
+            "snapshot_write_seconds": info.seconds,
+            "seconds": _mean_seconds(benchmark),
+        },
+    )

@@ -37,9 +37,27 @@ Commands
     ``--repl`` reads statements (queries, ``+R 1,2`` updates,
     ``commit``, ``CREATE``, ``EXPLAIN``, ``STATS``) from stdin.
 
-``serve --script FILE [--relation ...]``
+``serve --script FILE [--relation ...] [--data-dir DIR]``
     Batch serving: replay a script of mixed DDL / updates / queries
-    against a live catalog and print the transcript.
+    against a live catalog and print the transcript.  With
+    ``--data-dir`` the catalog is durable: state is recovered from the
+    directory (WAL + newest snapshot) before the script runs and every
+    mutation is journaled, so a crash mid-script loses nothing that
+    committed (``--fsync`` picks the sync policy,
+    ``--snapshot-on-exit`` cuts a snapshot and trims the WAL on the
+    way out; the script's ``SNAPSHOT`` statement does it mid-run).
+
+``recover --data-dir DIR [--snapshot]``
+    Rebuild catalog state from a data directory (newest valid snapshot
+    + WAL suffix replay, Merkle-verified) and report what was
+    recovered.  ``--snapshot`` then persists the recovered state as a
+    fresh snapshot and deletes the WAL segments it covers, bounding
+    future recovery time.
+
+``verify-state --data-dir DIR``
+    Audit a data directory offline: manifest checksum, per-file
+    SHA-256 hashes, Merkle relation roots and catalog root, WAL
+    integrity.  Exit 1 if any check fails (tampered or corrupt state).
 
 ``bench [--smoke]``
     Run the benchmark suite under pytest.  ``--smoke`` runs every
@@ -257,17 +275,20 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
     return 1
 
 
-def _catalog_from_specs(specs, memtable_limit=None):
+def _catalog_from_specs(specs, memtable_limit=None, catalog=None):
     """A live ``Catalog`` with one writable relation per ``--relation``.
 
     Shared by ``stream`` / ``query`` / ``serve``.  Dictionary-encoded
     CSVs are refused: these commands accept raw-integer updates (and,
     for queries, print raw values), which cannot address encoded codes
-    — pre-encode the data with one code book instead.
+    — pre-encode the data with one code book instead.  Pass ``catalog``
+    to load into an existing (e.g. durable) catalog instead of a fresh
+    one; a spec colliding with a recovered relation is an error.
     """
     from repro.dynamic import Catalog
 
-    catalog = Catalog(memtable_limit=memtable_limit)
+    if catalog is None:
+        catalog = Catalog(memtable_limit=memtable_limit)
     for spec in specs:
         loaded, dictionaries = _load_relation(spec)
         if dictionaries:
@@ -326,7 +347,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         except (KeyError, ValueError) as exc:
             raise SystemExit(f"cannot register view {name!r}: {exc}")
     try:
-        batches = read_log(args.log)
+        batches = read_log(args.log, require_commit=args.strict)
     except OSError as exc:
         raise SystemExit(f"cannot read {args.log}: {exc}")
     except ValueError as exc:
@@ -524,8 +545,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ScriptError, Session, run_script
 
     config = _planner_config(args)
-    catalog = _catalog_from_specs(args.relation)
-    session = Session(catalog, config=config)
+    if args.data_dir:
+        try:
+            session = Session.durable(
+                args.data_dir, config=config, fsync=args.fsync
+            )
+        except ValueError as exc:  # corrupt WAL / tampered snapshot
+            raise SystemExit(f"cannot recover {args.data_dir}: {exc}")
+        print(f"# {session.recovery.summary()}", file=sys.stderr)
+        _catalog_from_specs(args.relation, catalog=session.catalog)
+    else:
+        if args.snapshot_on_exit:
+            raise SystemExit("--snapshot-on-exit requires --data-dir")
+        session = Session(_catalog_from_specs(args.relation), config=config)
     try:
         lines = run_script(args.script, session)
     except OSError as exc:
@@ -543,7 +575,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({cache['invalidated']} invalidated)",
         file=sys.stderr,
     )
+    if args.data_dir:
+        if args.snapshot_on_exit:
+            info = session.catalog.snapshot(truncate_wal=True)
+            print(
+                f"# snapshot {info.snapshot_id} @ wal lsn {info.wal_lsn}",
+                file=sys.stderr,
+            )
+        session.close()
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild catalog state from a data directory and report it."""
+    from repro.dynamic import recover_catalog
+
+    try:
+        catalog, report = recover_catalog(
+            args.data_dir,
+            fsync=args.fsync,
+            verify=not args.no_verify,
+            attach=True,
+        )
+    except ValueError as exc:  # CorruptWalError / SnapshotError
+        raise SystemExit(f"cannot recover {args.data_dir}: {exc}")
+    print(f"# {report.summary()}")
+    for repair in report.wal_repairs:
+        print(f"# wal repair: {repair}")
+    for name in sorted(report.relations):
+        print(f"# relation {name}: {report.relations[name]} rows")
+    for name in sorted(report.views):
+        print(f"# view {name}: {report.views[name]} rows")
+    print(f"# catalog root: {report.catalog_root}")
+    print(f"# recovery took {report.seconds * 1e3:.1f} ms")
+    if args.snapshot:
+        info = catalog.snapshot(
+            data_dir=args.data_dir, truncate_wal=True
+        )
+        print(
+            f"# snapshot {info.snapshot_id} @ wal lsn {info.wal_lsn} "
+            "(WAL segments it covers removed)"
+        )
+    catalog.wal.close()
+    return 0
+
+
+def _cmd_verify_state(args: argparse.Namespace) -> int:
+    """Audit a data directory: hashes, Merkle roots, WAL integrity."""
+    from repro.dynamic import verify_state
+
+    report = verify_state(args.data_dir)
+    for line in report.lines():
+        print(line)
+    if report.ok:
+        print("# state verification: PASSED")
+        return 0
+    print("# state verification: FAILED", file=sys.stderr)
+    return 1
 
 
 def _find_benchmarks_dir() -> str:
@@ -747,6 +835,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="auto-flush memtables at this many entries")
     p_stream.add_argument("--compact-every", type=int, metavar="N",
                           help="compact all relations every N batches")
+    p_stream.add_argument("--strict", action="store_true",
+                          help="discard (with a warning) a trailing batch "
+                          "with no 'commit' line instead of applying it — "
+                          "the producer may have died mid-batch")
     p_stream.add_argument("--no-recompute", action="store_true",
                           help="skip the per-batch full-recompute comparator")
     p_stream.add_argument("--print-rows", action="store_true",
@@ -788,8 +880,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--relation", action="append", default=[],
                          metavar="NAME=A,B:FILE",
                          help="preloaded relation contents (integer CSV)")
+    p_serve.add_argument("--data-dir", metavar="DIR",
+                         help="durable catalog directory: recover state "
+                         "from it first, journal every mutation to its WAL")
+    p_serve.add_argument("--fsync", default="batch",
+                         choices=["always", "batch", "off"],
+                         help="WAL sync policy with --data-dir: fsync every "
+                         "commit / flush per commit + fsync on rotate and "
+                         "close / flush only (default: batch)")
+    p_serve.add_argument("--snapshot-on-exit", action="store_true",
+                         help="persist a snapshot and trim covered WAL "
+                         "segments after the script finishes")
     _add_planner_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="rebuild catalog state from a data directory (snapshot + WAL)",
+    )
+    p_recover.add_argument("--data-dir", required=True, metavar="DIR")
+    p_recover.add_argument("--fsync", default="batch",
+                           choices=["always", "batch", "off"])
+    p_recover.add_argument(
+        "--snapshot", action="store_true",
+        help="persist the recovered state as a fresh snapshot and delete "
+        "the WAL segments it covers (bounds future recovery time)",
+    )
+    p_recover.add_argument(
+        "--no-verify", action="store_true",
+        help="skip Merkle-root verification of the snapshot being loaded",
+    )
+    p_recover.set_defaults(func=_cmd_recover)
+
+    p_verify = sub.add_parser(
+        "verify-state",
+        help="audit a data directory: hashes, Merkle roots, WAL integrity",
+    )
+    p_verify.add_argument("--data-dir", required=True, metavar="DIR")
+    p_verify.set_defaults(func=_cmd_verify_state)
 
     p_bench = sub.add_parser("bench", help="run the benchmark suite")
     p_bench.add_argument(
@@ -824,9 +952,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.testing.faults import InjectedCrash, install_from_env
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # The recover-smoke arms a crash point via REPRO_CRASH_POINT; the
+    # distinct exit code lets it tell an injected death (expected) from
+    # a real failure.
+    install_from_env()
+    try:
+        return args.func(args)
+    except InjectedCrash as exc:
+        print(f"# {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

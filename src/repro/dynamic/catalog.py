@@ -92,6 +92,43 @@ class Catalog:
         #: signature *plus* this generation, so any of those events
         #: invalidates them (see :mod:`repro.planner.cache`).
         self.generation = 0
+        #: Durability (ISSUE 6): when a write-ahead log is attached,
+        #: every mutation is committed to it *before* touching memory,
+        #: so recovery replays to exactly the pre- or post-op state.
+        self._wal = None
+        self._data_dir: Optional[str] = None
+        #: True while recovery replays WAL records through the normal
+        #: mutation methods — suppresses re-logging them.
+        self._replaying = False
+
+    # ------------------------------------------------------------------
+    # Durability plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.dynamic.wal.WriteAheadLog`."""
+        return self._wal
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        """Data directory this catalog persists to (durable catalogs)."""
+        return self._data_dir
+
+    def attach_wal(self, wal, data_dir: Optional[str] = None) -> None:
+        """Make every subsequent mutation durable through ``wal``.
+
+        Attaching does not replay anything — use :meth:`recover` (or
+        :func:`repro.dynamic.durable.open_catalog`) to build a catalog
+        *from* a data directory.
+        """
+        self._wal = wal
+        if data_dir is not None:
+            self._data_dir = data_dir
+
+    def _log_control(self, kind: str, payload: dict) -> None:
+        if self._wal is not None and not self._replaying:
+            self._wal.append_control(kind, payload)
 
     # ------------------------------------------------------------------
     # Registration
@@ -123,7 +160,32 @@ class Catalog:
                 else self.memtable_limit
             ),
         )
+        # Building the index validated the schema and every initial
+        # row, so nothing after the WAL append can fail: log, then
+        # register (WAL-before-mutate).
+        self._log_control(
+            "create",
+            {
+                "name": name,
+                "attributes": list(attrs),
+                "memtable_limit": memtable_limit,
+                "rows": [list(t) for t in index.tuples()],
+            },
+        )
         relation = Relation.from_index(name, attrs, index)
+        self._relations[name] = relation
+        self.generation += 1
+        return relation
+
+    def _adopt_relation(
+        self, name: str, attributes: Sequence[str], index: DeltaRelation
+    ) -> Relation:
+        """Register an already-restored writable index (recovery path)."""
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already registered")
+        if index.counters is None:
+            index.counters = OpCounters()
+        relation = Relation.from_index(name, tuple(attributes), index)
         self._relations[name] = relation
         self.generation += 1
         return relation
@@ -172,6 +234,21 @@ class Catalog:
             shards=shards,
             workers=workers,
         )
+        # Log the *resolved* configuration (gao / cds_backend picked by
+        # the view), so replaying the record reconstructs this exact
+        # view even if auto-selection heuristics change later.
+        self._log_control(
+            "view",
+            {
+                "name": name,
+                "relations": list(relation_names),
+                "gao": list(view.gao),
+                "strategy": view.strategy,
+                "shards": view.shards,
+                "workers": view.workers,
+                "cds_backend": view.cds_backend,
+            },
+        )
         self._views[name] = view
         return view
 
@@ -217,6 +294,25 @@ class Catalog:
             )
             for name, (inserts, deletes) in grouped.items()
         }
+        if self._wal is not None and not self._replaying and grouped:
+            # The whole batch validated; commit it to the log before
+            # any view or storage mutation.  The netted form is logged
+            # (deletes then inserts per relation, relations in batch
+            # order): replaying it recomputes the same effective
+            # deltas against the same pre-batch state.
+            from repro.testing.faults import crashpoint
+
+            crashpoint("catalog.apply.wal")
+            logged: List[Update] = []
+            for name, (inserts, deletes) in grouped.items():
+                logged.extend(
+                    Update(name, DELETE, row) for row in deletes
+                )
+                logged.extend(
+                    Update(name, INSERT, row) for row in inserts
+                )
+            self._wal.append_batch(logged)
+            crashpoint("catalog.apply.mutate")
         self.batches_applied += 1
         self.generation += 1
         report = BatchReport(batch=self.batches_applied)
@@ -253,13 +349,25 @@ class Catalog:
 
     def flush(self, name: Optional[str] = None) -> None:
         """Seal memtables (one relation, or all)."""
-        for rel in self._targets(name):
+        targets = self._targets(name)  # validates the name first
+        if self._wal is not None and not self._replaying:
+            from repro.testing.faults import crashpoint
+
+            self._log_control("flush", {"name": name})
+            crashpoint("catalog.flush.mutate")
+        for rel in targets:
             rel.index.flush()
         self.generation += 1
 
     def compact(self, name: Optional[str] = None) -> None:
         """Merge run stacks (one relation, or all)."""
-        for rel in self._targets(name):
+        targets = self._targets(name)
+        if self._wal is not None and not self._replaying:
+            from repro.testing.faults import crashpoint
+
+            self._log_control("compact", {"name": name})
+            crashpoint("catalog.compact.mutate")
+        for rel in targets:
             rel.index.compact()
         self.generation += 1
 
@@ -270,8 +378,75 @@ class Catalog:
             else [self.relation(name)]
         )
 
-    def stats(self) -> dict:
+    # ------------------------------------------------------------------
+    # Durability: snapshot / recover / verifiable state
+    # ------------------------------------------------------------------
+
+    def snapshot(self, data_dir: Optional[str] = None,
+                 truncate_wal: bool = False):
+        """Serialize the full catalog state into a new snapshot.
+
+        ``data_dir`` defaults to the directory this catalog was opened
+        from (:func:`repro.dynamic.durable.open_catalog`).  With
+        ``truncate_wal``, WAL segments wholly covered by the snapshot
+        are deleted afterwards.  Returns a
+        :class:`~repro.dynamic.snapshot.SnapshotInfo`.
+        """
+        from repro.dynamic import snapshot as snapshot_mod
+
+        target = data_dir if data_dir is not None else self._data_dir
+        if target is None:
+            raise ValueError(
+                "no data directory: pass data_dir or open the catalog "
+                "durably (repro.dynamic.durable.open_catalog)"
+            )
+        fs = self._wal.fs if self._wal is not None else None
+        info = snapshot_mod.write_snapshot(self, target, fs=fs)
+        if truncate_wal and self._wal is not None:
+            self._wal.truncate_through(info.wal_lsn)
+        return info
+
+    @classmethod
+    def recover(cls, data_dir: str, **kwargs):
+        """Rebuild a catalog: newest valid snapshot + WAL suffix replay.
+
+        Returns ``(catalog, RecoveryReport)``; see
+        :func:`repro.dynamic.durable.recover_catalog` for the knobs
+        (fsync policy, verification, whether to re-attach the WAL).
+        """
+        from repro.dynamic.durable import recover_catalog
+
+        return recover_catalog(data_dir, **kwargs)
+
+    def state_roots(self) -> dict:
+        """Merkle roots over the current live state (hex-encoded)."""
+        from repro.dynamic import merkle
+
+        roots = {
+            name: merkle.relation_root(rel.index.tuples())
+            for name, rel in self._relations.items()
+        }
         return {
+            "relations": {n: r.hex() for n, r in roots.items()},
+            "catalog_root": merkle.catalog_root(roots).hex(),
+        }
+
+    def state_proof(self, name: str, row=None) -> dict:
+        """Compact inclusion proof for a relation (and optionally one
+        row) against the catalog root — checkable offline with
+        :func:`repro.dynamic.merkle.verify_relation_proof`."""
+        from repro.dynamic import merkle
+
+        if name not in self._relations:
+            raise KeyError(f"no relation named {name!r}")
+        rows_by_relation = {
+            rel_name: rel.index.tuples()
+            for rel_name, rel in self._relations.items()
+        }
+        return merkle.relation_proof(name, rows_by_relation, row=row)
+
+    def stats(self) -> dict:
+        stats = {
             "batches_applied": self.batches_applied,
             "relations": {
                 name: rel.index.stats()
@@ -286,6 +461,9 @@ class Catalog:
                 for name, view in self._views.items()
             },
         }
+        if self._wal is not None:
+            stats["wal"] = self._wal.stats()
+        return stats
 
     def __repr__(self) -> str:
         return (

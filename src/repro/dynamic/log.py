@@ -8,18 +8,28 @@ One update per line, batches separated by ``commit``::
     commit          # batch boundary
     +R 4,5
 
-A trailing batch without ``commit`` is still applied.  Values must be
-integers (apply the same dictionary encoding as ``repro.io`` upstream if
-your data is textual).
+A trailing batch without ``commit`` is applied by default; pass
+``require_commit=True`` (what WAL replay and ``repro stream --strict``
+do) to discard it with an :class:`UncommittedTailWarning` instead —
+an uncommitted tail is exactly what a producer crash leaves behind.
+Values must be integers (apply the same dictionary encoding as
+``repro.io`` upstream if your data is textual).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+import warnings
 from typing import IO, Iterable, Iterator, List, Union
 
 from repro.dynamic.catalog import DELETE, INSERT, Update
 
 COMMIT = "commit"
+
+
+class UncommittedTailWarning(UserWarning):
+    """A log ended with updates after its last ``commit`` line."""
 
 
 def parse_update(line: str, lineno: int = 0) -> Update:
@@ -47,8 +57,16 @@ def parse_update(line: str, lineno: int = 0) -> Update:
     return Update(name, op, row)
 
 
-def iter_batches(lines: Iterable[str]) -> Iterator[List[Update]]:
-    """Yield update batches from log lines (see module docstring)."""
+def iter_batches(
+    lines: Iterable[str], require_commit: bool = False
+) -> Iterator[List[Update]]:
+    """Yield update batches from log lines (see module docstring).
+
+    With ``require_commit``, a trailing batch that never saw its
+    ``commit`` line is dropped (with :class:`UncommittedTailWarning`)
+    rather than applied — use this when the log's producer may have
+    crashed mid-batch.
+    """
     batch: List[Update] = []
     for lineno, raw in enumerate(lines, 1):
         line = raw.split("#", 1)[0].strip()
@@ -61,15 +79,25 @@ def iter_batches(lines: Iterable[str]) -> Iterator[List[Update]]:
             continue
         batch.append(parse_update(line, lineno))
     if batch:
-        yield batch
+        if require_commit:
+            warnings.warn(
+                f"discarding uncommitted tail of {len(batch)} "
+                "update(s) (no trailing 'commit')",
+                UncommittedTailWarning,
+                stacklevel=2,
+            )
+        else:
+            yield batch
 
 
-def read_log(source: Union[str, IO[str]]) -> List[List[Update]]:
+def read_log(
+    source: Union[str, IO[str]], require_commit: bool = False
+) -> List[List[Update]]:
     """Read a whole update log (path or open file) into batches."""
     if isinstance(source, str):
         with open(source) as handle:
-            return list(iter_batches(handle))
-    return list(iter_batches(source))
+            return list(iter_batches(handle, require_commit=require_commit))
+    return list(iter_batches(source, require_commit=require_commit))
 
 
 def format_update(update: Update) -> str:
@@ -79,9 +107,29 @@ def format_update(update: Update) -> str:
 
 
 def write_log(path: str, batches: Iterable[Iterable[Update]]) -> None:
-    """Write batches in the replayable text format (commit-terminated)."""
-    with open(path, "w") as handle:
-        for batch in batches:
-            for update in batch:
-                handle.write(format_update(update) + "\n")
-            handle.write(COMMIT + "\n")
+    """Write batches in the replayable text format (commit-terminated).
+
+    The log appears atomically: batches go to a temp file in the target
+    directory which is fsynced and renamed over ``path``, so readers
+    never observe a half-written log and a crash leaves the previous
+    contents intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            for batch in batches:
+                for update in batch:
+                    handle.write(format_update(update) + "\n")
+                handle.write(COMMIT + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise

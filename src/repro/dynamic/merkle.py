@@ -1,0 +1,215 @@
+"""Merkle-hashed catalog state: roots, inclusion proofs, verification.
+
+The paper's certificates prove an *answer* is correct; this module
+extends the same discipline to *state*.  Three hash layers:
+
+* **row leaves** — each live tuple hashes to
+  ``sha256(0x00 || "v1,v2,...")``;
+* **relation roots** — the Merkle root over a relation's live tuples in
+  lexicographic (GAO) order.  Any insert, delete, or tampered value
+  changes the root;
+* **catalog root** — the Merkle root over
+  ``sha256(0x00 || name || 0x00 || relation_root)`` leaves, relations
+  sorted by name.
+
+Interior nodes hash as ``sha256(0x01 || left || right)``; an odd node
+is promoted unchanged (no duplication), so a proof path simply skips
+levels where the node has no sibling.  Domain-separating leaf and node
+hashes (the ``0x00`` / ``0x01`` prefixes) blocks second-preimage
+splices of interior nodes as leaves.
+
+A replica or client holding only a trusted catalog root can check a
+:func:`relation_proof` offline — and, with a ``row`` attached, that a
+specific tuple is part of the committed state — without downloading
+the relation.  ``repro verify-state`` uses the same primitives to
+recompute roots from snapshot files and reject any tampered run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Row = Tuple[int, ...]
+
+_LEAF = b"\x00"
+_NODE = b"\x01"
+
+#: Root of an empty leaf sequence (e.g. a relation with no live rows).
+EMPTY_ROOT = hashlib.sha256(b"repro-merkle-empty").digest()
+
+
+def leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF + data).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE + left + right).digest()
+
+
+def row_leaf(row: Sequence[int]) -> bytes:
+    """The canonical leaf for one tuple (same text as the log format)."""
+    return leaf_hash(",".join(map(str, row)).encode("utf-8"))
+
+
+def relation_leaf(name: str, relation_root: bytes) -> bytes:
+    """The catalog-level leaf binding a relation name to its root."""
+    return leaf_hash(name.encode("utf-8") + b"\x00" + relation_root)
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Fold leaves pairwise to a single root (odd nodes promote)."""
+    if not leaves:
+        return EMPTY_ROOT
+    level = list(leaves)
+    while len(level) > 1:
+        paired = [
+            node_hash(level[i], level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+def merkle_proof(
+    leaves: Sequence[bytes], index: int
+) -> List[Tuple[str, str]]:
+    """Sibling path for ``leaves[index]`` as ``(side, hex)`` pairs.
+
+    ``side`` is which side the *sibling* sits on (``"L"`` or ``"R"``).
+    Levels where the node is promoted without a sibling contribute no
+    entry, matching :func:`merkle_root`'s promote-odd rule.
+    """
+    if not 0 <= index < len(leaves):
+        raise IndexError(
+            f"leaf index {index} out of range for {len(leaves)} leaves"
+        )
+    path: List[Tuple[str, str]] = []
+    level = list(leaves)
+    position = index
+    while len(level) > 1:
+        sibling = position ^ 1
+        if sibling < len(level):
+            side = "L" if sibling < position else "R"
+            path.append((side, level[sibling].hex()))
+        paired = [
+            node_hash(level[i], level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+        position //= 2
+    return path
+
+
+def fold_proof(leaf: bytes, path: Iterable[Tuple[str, str]]) -> bytes:
+    """Recompute the root implied by ``leaf`` and a sibling path."""
+    node = leaf
+    for side, sibling_hex in path:
+        sibling = bytes.fromhex(sibling_hex)
+        if side == "L":
+            node = node_hash(sibling, node)
+        elif side == "R":
+            node = node_hash(node, sibling)
+        else:
+            raise ValueError(f"proof side must be 'L' or 'R', got {side!r}")
+    return node
+
+
+def verify_proof(
+    root_hex: str, leaf: bytes, path: Iterable[Tuple[str, str]]
+) -> bool:
+    return fold_proof(leaf, path).hex() == root_hex
+
+
+# ----------------------------------------------------------------------
+# Catalog state roots and proofs
+# ----------------------------------------------------------------------
+
+
+def relation_root(rows: Sequence[Row]) -> bytes:
+    """Merkle root over a relation's live tuples (must be sorted)."""
+    return merkle_root([row_leaf(row) for row in rows])
+
+
+def catalog_root(relation_roots: Dict[str, bytes]) -> bytes:
+    """Merkle root over per-relation roots, relations sorted by name."""
+    return merkle_root(
+        [
+            relation_leaf(name, relation_roots[name])
+            for name in sorted(relation_roots)
+        ]
+    )
+
+
+def relation_proof(
+    name: str,
+    rows_by_relation: Dict[str, Sequence[Row]],
+    row: Optional[Row] = None,
+) -> dict:
+    """A compact, offline-checkable proof of a relation's state.
+
+    The proof binds ``name``'s relation root into the catalog root; if
+    ``row`` is given it additionally proves that tuple's inclusion in
+    the relation root.  Verify with :func:`verify_relation_proof`
+    against an independently trusted ``catalog_root``.
+    """
+    if name not in rows_by_relation:
+        raise KeyError(f"no relation named {name!r}")
+    roots = {
+        rel: relation_root(rows) for rel, rows in rows_by_relation.items()
+    }
+    names = sorted(roots)
+    catalog_leaves = [relation_leaf(n, roots[n]) for n in names]
+    proof = {
+        "format": "repro-state-proof-v1",
+        "relation": name,
+        "relation_root": roots[name].hex(),
+        "catalog_root": merkle_root(catalog_leaves).hex(),
+        "n_relations": len(names),
+        "path": merkle_proof(catalog_leaves, names.index(name)),
+    }
+    if row is not None:
+        rows = list(rows_by_relation[name])
+        row = tuple(row)
+        try:
+            index = rows.index(row)
+        except ValueError:
+            raise KeyError(
+                f"row {row} is not live in relation {name!r}"
+            ) from None
+        proof["row"] = list(row)
+        proof["row_path"] = merkle_proof(
+            [row_leaf(r) for r in rows], index
+        )
+    return proof
+
+
+def verify_relation_proof(
+    proof: dict, trusted_catalog_root: Optional[str] = None
+) -> bool:
+    """Check a :func:`relation_proof` without any catalog access.
+
+    Verifies the relation-root → catalog-root path, the row → relation
+    root path when present, and (optionally) that the proof's catalog
+    root matches an independently obtained trusted root.
+    """
+    relation_root_hex = proof["relation_root"]
+    leaf = relation_leaf(
+        proof["relation"], bytes.fromhex(relation_root_hex)
+    )
+    if not verify_proof(proof["catalog_root"], leaf, proof["path"]):
+        return False
+    if "row" in proof:
+        if not verify_proof(
+            relation_root_hex,
+            row_leaf(tuple(proof["row"])),
+            proof["row_path"],
+        ):
+            return False
+    if trusted_catalog_root is not None:
+        return proof["catalog_root"] == trusted_catalog_root
+    return True

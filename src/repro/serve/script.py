@@ -10,6 +10,7 @@ both drive it).  One statement per line::
     commit                    -- apply staged updates as one batch
     FLUSH [R]                 -- seal memtables (plan-invalidating)
     COMPACT [R]               -- merge run stacks (plan-invalidating)
+    SNAPSHOT                  -- persist a snapshot (durable sessions)
     Q(x, z) :- R(x, y), S(y, z)   -- execute a query, print rows
     EXPLAIN Q(COUNT) :- R(x, y)   -- print the plan scoreboard
     STATS                     -- print session statistics
@@ -102,6 +103,16 @@ class ScriptRunner:
         if lowered in ("stats",):
             self._emit_stats()
             return
+        if lowered == "snapshot":
+            # Staged updates must be durable (and WAL-positioned)
+            # before the image is cut.
+            self._commit_pending()
+            info = catalog.snapshot()  # raises if not durable
+            self.out.append(
+                f"# snapshot {info.snapshot_id} @ wal lsn "
+                f"{info.wal_lsn} (root {info.catalog_root[:16]}...)"
+            )
+            return
         first_word = lowered.split(None, 1)[0]
         if first_word in ("flush", "compact"):
             self._commit_pending()
@@ -149,7 +160,8 @@ class ScriptRunner:
             return
         raise ValueError(
             f"unrecognized statement {line!r} (expected CREATE, +/-, "
-            "commit, flush, compact, explain, stats, or a query)"
+            "commit, flush, compact, snapshot, explain, stats, or a "
+            "query)"
         )
 
     # ------------------------------------------------------------------

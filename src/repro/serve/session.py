@@ -128,6 +128,47 @@ class Session:
         self.counters = OpCounters()
         self.queries_executed = 0
         self.statements_prepared = 0
+        #: The :class:`~repro.dynamic.durable.RecoveryReport` when the
+        #: session was opened with :meth:`durable`, else ``None``.
+        self.recovery = None
+
+    @classmethod
+    def durable(
+        cls,
+        data_dir: str,
+        config: Optional[PlannerConfig] = None,
+        cache_capacity: int = 256,
+        fsync: str = "batch",
+        memtable_limit: Optional[int] = None,
+        verify: bool = True,
+    ) -> "Session":
+        """A session over a crash-recoverable catalog at ``data_dir``.
+
+        Recovers whatever the directory holds (newest valid snapshot +
+        WAL replay; an empty directory is a fresh catalog) and keeps
+        the WAL attached, so every mutation this session applies is
+        durable.  Inspect ``session.recovery`` for what recovery did;
+        call :meth:`close` (or ``catalog.snapshot()`` first) when done.
+        """
+        from repro.dynamic.durable import open_catalog
+
+        catalog, recovery = open_catalog(
+            data_dir,
+            fsync=fsync,
+            memtable_limit=memtable_limit,
+            verify=verify,
+        )
+        session = cls(
+            catalog, config=config, cache_capacity=cache_capacity
+        )
+        session.recovery = recovery
+        return session
+
+    def close(self) -> None:
+        """Flush and close the attached WAL (no-op when not durable)."""
+        wal = self.catalog.wal
+        if wal is not None:
+            wal.close()
 
     # ------------------------------------------------------------------
     # The prepare / execute surface

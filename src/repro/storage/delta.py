@@ -308,6 +308,52 @@ class DeltaRelation:
         }
 
     # ------------------------------------------------------------------
+    # Persistence (snapshot/restore of the exact LSM layout)
+    # ------------------------------------------------------------------
+
+    def run_states(self) -> List[Tuple[List[Row], List[Row]]]:
+        """Per-run ``(rows, tombstones)``, oldest run first, sorted."""
+        return [
+            (run.trie.tuples(), sorted(run.tombstones))
+            for run in self._runs
+        ]
+
+    def memtable_state(self) -> List[Tuple[Row, bool]]:
+        """Memtable entries as ``(row, live)`` in insertion order."""
+        return list(self._memtable.items())
+
+    @classmethod
+    def restore(
+        cls,
+        arity: int,
+        runs: Iterable[Tuple[Iterable[Row], Iterable[Row]]],
+        memtable: Iterable[Tuple[Row, bool]] = (),
+        counters: Optional[OpCounters] = None,
+        memtable_limit: Optional[int] = None,
+    ) -> "DeltaRelation":
+        """Rebuild a relation from :meth:`run_states` + :meth:`memtable_state`.
+
+        Restores the exact LSM layout (run boundaries, tombstones, and
+        pending memtable entries), not just the merged live tuple set —
+        so a recovered catalog's storage stats and subsequent
+        flush/compact behaviour match the snapshotted original.
+        Restoring never auto-flushes, even past ``memtable_limit``.
+        """
+        self = cls((), arity=arity, counters=counters,
+                   memtable_limit=memtable_limit)
+        for rows, tombstones in runs:
+            self._runs.append(
+                _Run(
+                    FlatTrieRelation(rows, arity=arity),
+                    frozenset(tuple(t) for t in tombstones),
+                )
+            )
+        for row, live in memtable:
+            self._memtable[tuple(row)] = bool(live)
+        self._view_cache = None
+        return self
+
+    # ------------------------------------------------------------------
     # Read path: the merged view
     # ------------------------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Test/ops support code shipped with the library (not under tests/).
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the durability subsystem (ISSUE 6) is proven against: named
+crash points threaded through the WAL / snapshot write paths, plus an
+injectable filesystem shim that simulates torn writes.  It ships in
+the package (not the test tree) so the CLI smoke targets and external
+operators can arm it too (``REPRO_CRASH_POINT``).
+"""
+
+from repro.testing.faults import (
+    CRASH_POINTS,
+    FaultInjector,
+    FileSystem,
+    InjectedCrash,
+    TornWriteFS,
+    crashpoint,
+    injected,
+    install_from_env,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultInjector",
+    "FileSystem",
+    "InjectedCrash",
+    "TornWriteFS",
+    "crashpoint",
+    "injected",
+    "install_from_env",
+]

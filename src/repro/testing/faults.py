@@ -1,0 +1,254 @@
+"""Deterministic fault injection for the durability subsystem.
+
+Two cooperating mechanisms, both inert unless armed:
+
+* **Crash points** — the WAL / snapshot / catalog write paths call
+  :func:`crashpoint` at every state transition that matters for crash
+  recovery (``wal.append.commit``, ``snapshot.rename``, ...).  An
+  installed :class:`FaultInjector` can make the N-th hit of a named
+  point raise :class:`InjectedCrash`, simulating the process dying at
+  exactly that instruction.  All point names live in
+  :data:`CRASH_POINTS`; a typo'd name raises immediately rather than
+  silently never firing.
+
+* **Filesystem shim** — the WAL and snapshot writers do their file I/O
+  through a :class:`FileSystem` object (default: the real calls).  A
+  :class:`TornWriteFS` swaps in a shim whose N-th ``write`` persists
+  only a prefix of the data and then crashes — the torn-write case no
+  crash point can express, because the partial data *does* reach the
+  file.
+
+``tests/test_faults.py`` drives every registered point and proves
+recovery converges to the pre-op or post-op state, never between.  The
+CLI smoke (``make recover-smoke``) arms a point from the environment
+via :func:`install_from_env` (``REPRO_CRASH_POINT`` /
+``REPRO_CRASH_HIT``) so crash-and-recover is exercised end-to-end
+through ``repro serve --data-dir``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Iterator, Optional
+
+#: Every crash point the durability code paths declare.  The
+#: fault-injection suite iterates this registry, so adding a point here
+#: without threading a ``crashpoint`` call through the code (or vice
+#: versa) fails loudly in tests.
+CRASH_POINTS = frozenset(
+    {
+        # --- write-ahead log (repro/dynamic/wal.py) ---
+        "wal.append.begin",    # before any bytes of the record are written
+        "wal.append.body",     # body lines written, commit line not yet
+        "wal.append.commit",   # commit line written + flushed, no fsync yet
+        "wal.fsync",           # after fsync of a committed record
+        "wal.rotate",          # old segment closed, new one not yet opened
+        "wal.truncate",        # before each old segment is removed
+        # --- snapshots (repro/dynamic/snapshot.py) ---
+        "snapshot.begin",      # snapshot directory created, nothing written
+        "snapshot.relation",   # after each relation's files are written
+        "snapshot.manifest.write",  # temp manifest written, not yet renamed
+        "snapshot.rename",     # before the manifest's atomic os.replace
+        # --- catalog mutation ordering (repro/dynamic/catalog.py) ---
+        "catalog.apply.wal",      # before the batch is appended to the WAL
+        "catalog.apply.mutate",   # batch durable in WAL, memory not updated
+        "catalog.flush.mutate",   # flush record durable, flush not yet run
+        "catalog.compact.mutate",  # compact record durable, not yet run
+    }
+)
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death raised at an armed crash point."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+class FaultInjector:
+    """Arms crash points; optionally records which points were hit.
+
+    ``crash_at(point, hit=N)`` makes the N-th :func:`crashpoint` call
+    for ``point`` raise.  With ``record=True`` nothing ever raises; the
+    injector counts hits instead (used by the suite to discover which
+    points a scenario actually traverses before crashing each one).
+    """
+
+    def __init__(self, record: bool = False) -> None:
+        self.record = record
+        self.hits: Dict[str, int] = {}
+        self._armed: Dict[str, int] = {}
+
+    def crash_at(self, point: str, hit: int = 1) -> "FaultInjector":
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        if hit < 1:
+            raise ValueError("hit must be >= 1")
+        self._armed[point] = hit
+        return self
+
+    def fire(self, point: str) -> None:
+        if point not in CRASH_POINTS:
+            raise ValueError(
+                f"code declared unregistered crash point {point!r}; "
+                "add it to repro.testing.faults.CRASH_POINTS"
+            )
+        self.hits[point] = self.hits.get(point, 0) + 1
+        if self.record:
+            return
+        remaining = self._armed.get(point)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._armed[point] = remaining - 1
+            return
+        del self._armed[point]
+        raise InjectedCrash(point)
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def crashpoint(point: str) -> None:
+    """Declare a crash point (no-op unless an injector is installed)."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(point)
+
+
+@contextlib.contextmanager
+def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` for the duration of the block."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def install_from_env(environ=os.environ) -> Optional[FaultInjector]:
+    """Arm a crash point from ``REPRO_CRASH_POINT`` (CLI smoke hook).
+
+    ``REPRO_CRASH_HIT`` (default 1) picks which hit fires, so e.g. the
+    recovery smoke can let a few WAL commits land before dying.  The
+    injector stays installed for the life of the process.
+    """
+    global _ACTIVE
+    point = environ.get("REPRO_CRASH_POINT", "").strip()
+    if not point:
+        return None
+    hit = int(environ.get("REPRO_CRASH_HIT", "1"))
+    injector = FaultInjector().crash_at(point, hit=hit)
+    _ACTIVE = injector
+    return injector
+
+
+# ----------------------------------------------------------------------
+# Filesystem shim
+# ----------------------------------------------------------------------
+
+
+class FileSystem:
+    """The file operations the durability writers go through.
+
+    The default instance is a straight passthrough to the ``os`` /
+    ``open`` builtins; tests substitute subclasses (e.g.
+    :class:`TornWriteFS`) to fault specific operations without
+    monkeypatching the interpreter.
+    """
+
+    def open(self, path: str, mode: str = "r", **kwargs):
+        return open(path, mode, **kwargs)
+
+    def fsync(self, fileobj) -> None:
+        fileobj.flush()
+        os.fsync(fileobj.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def makedirs(self, path: str, exist_ok: bool = True) -> None:
+        os.makedirs(path, exist_ok=exist_ok)
+
+    def truncate(self, path: str, length: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(length)
+
+
+REAL_FS = FileSystem()
+
+
+class _TornFile:
+    """File wrapper whose designated write persists only a prefix."""
+
+    def __init__(self, inner, fs: "TornWriteFS") -> None:
+        self._inner = inner
+        self._fs = fs
+
+    def write(self, data):
+        keep = self._fs._intercept()
+        if keep is None:
+            return self._inner.write(data)
+        torn = data[:keep]
+        if torn:
+            self._inner.write(torn)
+        # The prefix must actually reach the file before the simulated
+        # death — that is the whole point of a torn write.
+        self._inner.flush()
+        raise InjectedCrash("torn write")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __enter__(self):
+        self._inner.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        return self._inner.__exit__(*exc)
+
+    def __iter__(self):
+        return iter(self._inner)
+
+
+class TornWriteFS(FileSystem):
+    """A filesystem whose N-th matching ``write`` call tears.
+
+    Parameters
+    ----------
+    path_substr:
+        Only files whose path contains this substring are wrapped
+        (e.g. ``"wal-"`` to tear WAL segments but not manifests).
+    keep_bytes:
+        How many bytes (or characters, in text mode) of the torn write
+        survive.  0 = the write is lost entirely but the crash still
+        happens after the writer believed it started.
+    write_index:
+        1-based index of the intercepted ``write`` across all wrapped
+        files.  Earlier and later writes pass through untouched.
+    """
+
+    def __init__(
+        self, path_substr: str, keep_bytes: int, write_index: int = 1
+    ) -> None:
+        self.path_substr = path_substr
+        self.keep_bytes = keep_bytes
+        self.write_index = write_index
+        self._writes_seen = 0
+
+    def open(self, path: str, mode: str = "r", **kwargs):
+        inner = open(path, mode, **kwargs)
+        if ("w" in mode or "a" in mode) and self.path_substr in path:
+            return _TornFile(inner, self)
+        return inner
+
+    def _intercept(self) -> Optional[int]:
+        self._writes_seen += 1
+        if self._writes_seen == self.write_index:
+            return self.keep_bytes
+        return None

@@ -471,3 +471,144 @@ class TestServe:
     def test_missing_script_file(self, capsys):
         with pytest.raises(SystemExit, match="cannot read"):
             main(["serve", "--script", "/nonexistent/x.script"])
+
+
+class TestDurableCli:
+    SETUP = (
+        "CREATE R(A, B)\n"
+        "CREATE S(B, C)\n"
+        "+R 1,2\n+S 2,3\n"
+        "commit\n"
+        "Q(a, c) :- R(a, b), S(b, c)\n"
+    )
+
+    def _serve(self, tmp_path, capsys, script_text, extra=()):
+        script = tmp_path / "s.script"
+        script.write_text(script_text)
+        return run_cli(
+            ["serve", "--script", str(script),
+             "--data-dir", str(tmp_path / "state"), *extra],
+            capsys,
+        )
+
+    def test_serve_data_dir_persists_across_runs(self, tmp_path, capsys):
+        code, out, err = self._serve(tmp_path, capsys, self.SETUP)
+        assert code == 0
+        assert "1,3" in out
+        assert "# recovered from no snapshot" in err
+        # Second run: no CREATEs (state recovered), just more data.
+        code, out, err = self._serve(
+            tmp_path, capsys,
+            "+R 5,2\ncommit\nQ(a, c) :- R(a, b), S(b, c)\n",
+        )
+        assert code == 0
+        assert "# recovered from no snapshot + " in err
+        assert "1,3" in out and "5,3" in out
+
+    def test_serve_snapshot_statement_and_on_exit(self, tmp_path, capsys):
+        code, out, err = self._serve(
+            tmp_path, capsys, self.SETUP + "SNAPSHOT\n+R 7,2\ncommit\n"
+        )
+        assert code == 0
+        assert "# snapshot 1 @ wal lsn" in out
+        code, _, err = self._serve(
+            tmp_path, capsys, "+R 8,2\ncommit\n",
+            extra=["--snapshot-on-exit"],
+        )
+        assert code == 0
+        assert "recovered from snapshot 1" in err
+        assert "# snapshot 2 @ wal lsn" in err
+
+    def test_snapshot_on_exit_requires_data_dir(self, tmp_path):
+        script = tmp_path / "s.script"
+        script.write_text("CREATE R(A)\n")
+        with pytest.raises(SystemExit, match="requires --data-dir"):
+            main(["serve", "--script", str(script),
+                  "--snapshot-on-exit"])
+
+    def test_snapshot_statement_needs_durable_session(self, tmp_path):
+        script = tmp_path / "s.script"
+        script.write_text("CREATE R(A)\nSNAPSHOT\n")
+        with pytest.raises(SystemExit, match="no data directory"):
+            main(["serve", "--script", str(script)])
+
+    def test_recover_reports_and_snapshots(self, tmp_path, capsys):
+        self._serve(tmp_path, capsys, self.SETUP)
+        data_dir = str(tmp_path / "state")
+        code, out, _ = run_cli(
+            ["recover", "--data-dir", data_dir], capsys
+        )
+        assert code == 0
+        assert "# relation R: 1 rows" in out
+        assert "# catalog root: " in out
+        code, out, _ = run_cli(
+            ["recover", "--data-dir", data_dir, "--snapshot"], capsys
+        )
+        assert code == 0
+        assert "# snapshot 1 @ wal lsn" in out
+
+    def test_verify_state_passes_then_catches_tampering(
+        self, tmp_path, capsys
+    ):
+        import os
+
+        self._serve(
+            tmp_path, capsys, self.SETUP + "SNAPSHOT\n"
+        )
+        data_dir = str(tmp_path / "state")
+        code, out, _ = run_cli(
+            ["verify-state", "--data-dir", data_dir], capsys
+        )
+        assert code == 0
+        assert "# state verification: PASSED" in out
+        snap = os.path.join(data_dir, "snapshots", "snap-00000001")
+        # Unflushed rows live in the memtable files; tamper one.
+        target = next(
+            os.path.join(snap, f) for f in sorted(os.listdir(snap))
+            if f.endswith(".memtable")
+            and os.path.getsize(os.path.join(snap, f))
+        )
+        text = open(target).read()
+        open(target, "w").write(text.replace("1", "6", 1))
+        code, out, err = run_cli(
+            ["verify-state", "--data-dir", data_dir], capsys
+        )
+        assert code == 1
+        assert "FAIL" in out
+        assert "# state verification: FAILED" in err
+
+    def test_injected_crash_exits_3_and_recovery_converges(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CRASH_POINT", "catalog.apply.mutate")
+        code, _, err = self._serve(tmp_path, capsys, self.SETUP)
+        assert code == 3
+        assert "injected crash" in err
+        monkeypatch.delenv("REPRO_CRASH_POINT")
+        from repro.testing import faults
+
+        faults._ACTIVE = None  # the env hook installs process-wide
+        code, out, _ = run_cli(
+            ["recover", "--data-dir", str(tmp_path / "state")], capsys
+        )
+        assert code == 0
+        # The batch was WAL-committed before the crash: it survives.
+        assert "# relation R: 1 rows" in out
+
+    def test_stream_strict_discards_uncommitted_tail(
+        self, tmp_path, relation_files, capsys
+    ):
+        r_spec, s_spec = relation_files
+        from repro.dynamic import UncommittedTailWarning
+
+        log = tmp_path / "u.log"
+        log.write_text("+R 7,2\ncommit\n+R 9,9\n")  # torn tail
+        with pytest.warns(UncommittedTailWarning):
+            code, out, _ = run_cli(
+                ["stream", "--relation", r_spec, "--relation", s_spec,
+                 "--view", "V=R,S", "--log", str(log), "--strict",
+                 "--no-recompute"],
+                capsys,
+            )
+        assert code == 0
+        assert "# replayed 1 batches" in out

@@ -191,6 +191,117 @@ class TestUpdateLog:
         with pytest.raises(ValueError):
             parse_update("")
 
+    def test_strict_mode_discards_uncommitted_tail(self):
+        from repro.dynamic import UncommittedTailWarning
+
+        with pytest.warns(UncommittedTailWarning):
+            batches = read_log(io.StringIO(self.LOG), require_commit=True)
+        assert batches == [
+            [Update("R", "+", (1, 2)), Update("S", "-", (2, 9))],
+        ]
+
+    def test_strict_mode_silent_when_committed(self, recwarn):
+        batches = read_log(
+            io.StringIO("+R 1,2\ncommit\n"), require_commit=True
+        )
+        assert batches == [[Update("R", "+", (1, 2))]]
+        assert not recwarn.list
+
+    def test_error_attribution_on_large_log(self):
+        # Line numbers must stay exact thousands of lines in: comments,
+        # blank lines, and commits all advance the count.
+        lines = []
+        for k in range(1000):
+            lines.append(f"# batch {k}")
+            lines.append(f"+R {k},{k + 1}")
+            lines.append("")
+            lines.append("commit")
+        bad_lineno = len(lines) + 1
+        lines.append("+R not,a,number")
+        with pytest.raises(ValueError, match=f"line {bad_lineno}: "):
+            read_log(io.StringIO("\n".join(lines)))
+
+    def test_write_log_is_atomic_against_failure(self, tmp_path):
+        path = str(tmp_path / "updates.log")
+        write_log(path, [[Update("R", "+", (1, 2))]])
+        before = open(path).read()
+
+        class Boom(Exception):
+            pass
+
+        def exploding_batches():
+            yield [Update("R", "+", (9, 9))]
+            raise Boom()
+
+        with pytest.raises(Boom):
+            write_log(path, exploding_batches())
+        # The original file is untouched and no temp debris remains.
+        assert open(path).read() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "updates.log"
+        ]
+
+    def test_write_log_replaces_existing(self, tmp_path):
+        path = str(tmp_path / "updates.log")
+        write_log(path, [[Update("R", "+", (1, 2))]])
+        write_log(path, [[Update("S", "-", (3, 4))]])
+        assert read_log(path) == [[Update("S", "-", (3, 4))]]
+
+
+class TestUpdateLogProperties:
+    """Hypothesis round-trips through the text format."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    updates = st.lists(
+        st.builds(
+            Update,
+            relation=st.sampled_from(["R", "S", "Edge_2"]),
+            op=st.sampled_from(["+", "-"]),
+            row=st.tuples(
+                st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+                st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+            ),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+    batches = st.lists(updates, min_size=0, max_size=5)
+
+    @given(batches=batches, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_with_noise(self, batches, data, tmp_path_factory):
+        """write_log -> interleave comments/blanks -> read_log is id."""
+        tmp_path = tmp_path_factory.mktemp("log")
+        path = str(tmp_path / "u.log")
+        write_log(path, batches)
+        lines = open(path).read().splitlines()
+        noisy = []
+        for line in lines:
+            # Interleave the noise a crash-free human editor could
+            # introduce without changing meaning.
+            if data.draw(self.st.booleans()):
+                noisy.append("# noise")
+            if data.draw(self.st.booleans()):
+                noisy.append("   ")
+            noisy.append(line)
+        assert read_log(io.StringIO("\n".join(noisy))) == batches
+        # Strict mode agrees whenever the log is commit-terminated.
+        assert (
+            read_log(io.StringIO("\n".join(noisy)), require_commit=True)
+            == batches
+        )
+
+    @given(batches=batches)
+    @settings(max_examples=40, deadline=None)
+    def test_format_parse_inverse(self, batches):
+        from repro.dynamic import parse_update
+
+        for batch in batches:
+            for update in batch:
+                assert parse_update(format_update(update)) == update
+
 
 class TestStreams:
     def test_impossible_edge_count_fails_fast(self):

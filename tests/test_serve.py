@@ -245,3 +245,53 @@ class TestScriptRunner:
             ["EXPLAIN\tQ(x, z) :- R(x, y), S(y, z)"], Session(catalog)
         )
         assert any("candidates" in line for line in out)
+
+
+class TestDurableSession:
+    def test_durable_session_round_trip(self, tmp_path):
+        data_dir = str(tmp_path / "state")
+        session = Session.durable(data_dir, fsync="off")
+        assert session.recovery.records_replayed == 0
+        run_script(
+            ["CREATE R(A, B)", "CREATE S(B, C)",
+             "+R 1,2", "+S 2,3", "commit"],
+            session,
+        )
+        first = session.execute("Q(a, c) :- R(a, b), S(b, c)")
+        session.close()
+        again = Session.durable(data_dir, fsync="off")
+        assert again.recovery.batches_replayed == 1
+        assert again.execute("Q(a, c) :- R(a, b), S(b, c)").rows == (
+            first.rows
+        )
+        again.close()
+
+    def test_close_without_wal_is_noop(self):
+        Session(Catalog()).close()
+
+    def test_script_snapshot_statement(self, tmp_path):
+        data_dir = str(tmp_path / "state")
+        session = Session.durable(data_dir, fsync="off")
+        out = run_script(
+            ["CREATE R(A)", "+R 1", "commit", "SNAPSHOT"], session
+        )
+        session.close()
+        assert any(line.startswith("# snapshot 1") for line in out)
+        from repro.dynamic.snapshot import list_snapshots
+
+        assert [s[0] for s in list_snapshots(data_dir)] == [1]
+
+    def test_script_snapshot_commits_pending_first(self, tmp_path):
+        data_dir = str(tmp_path / "state")
+        session = Session.durable(data_dir, fsync="off")
+        run_script(["CREATE R(A)", "+R 1", "SNAPSHOT"], session)
+        session.close()
+        from repro.dynamic import recover_catalog
+        from repro.dynamic.snapshot import load_manifest, list_snapshots
+
+        manifest = load_manifest(list_snapshots(data_dir)[0][1])
+        # The staged +R 1 was committed (and WAL-logged) before the
+        # snapshot was cut, so the image includes it.
+        assert manifest["relations"]["R"]["live_rows"] == 1
+        catalog, _ = recover_catalog(data_dir, attach=False)
+        assert catalog.relation("R").index.tuples() == [(1,)]
