@@ -558,31 +558,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.snapshot_on_exit:
             raise SystemExit("--snapshot-on-exit requires --data-dir")
         session = Session(_catalog_from_specs(args.relation), config=config)
+    # Even when the script fails, a durable session must close its WAL
+    # so batch-policy commits get their close-time fsync.  The one
+    # exception is an injected crash: it models a process death, which
+    # never gets a graceful close.
+    from repro.testing.faults import InjectedCrash
+
     try:
-        lines = run_script(args.script, session)
-    except OSError as exc:
-        raise SystemExit(f"cannot read {args.script}: {exc}")
-    except ScriptError as exc:
-        raise SystemExit(str(exc))
-    for line in lines:
-        print(line)
-    stats = session.stats()
-    cache = stats["plan_cache"]
-    print(
-        f"# served {stats['queries_executed']} queries: "
-        f"{stats['planner']['plans_built']} planned, "
-        f"{cache['hits']} from cache "
-        f"({cache['invalidated']} invalidated)",
-        file=sys.stderr,
-    )
-    if args.data_dir:
-        if args.snapshot_on_exit:
+        try:
+            lines = run_script(args.script, session)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.script}: {exc}")
+        except ScriptError as exc:
+            raise SystemExit(str(exc))
+        for line in lines:
+            print(line)
+        stats = session.stats()
+        cache = stats["plan_cache"]
+        print(
+            f"# served {stats['queries_executed']} queries: "
+            f"{stats['planner']['plans_built']} planned, "
+            f"{cache['hits']} from cache "
+            f"({cache['invalidated']} invalidated)",
+            file=sys.stderr,
+        )
+        if args.data_dir and args.snapshot_on_exit:
             info = session.catalog.snapshot(truncate_wal=True)
             print(
                 f"# snapshot {info.snapshot_id} @ wal lsn {info.wal_lsn}",
                 file=sys.stderr,
             )
+    except InjectedCrash:
+        raise
+    except BaseException:
         session.close()
+        raise
+    session.close()
     return 0
 
 

@@ -115,10 +115,20 @@ def write_log(path: str, batches: Iterable[Iterable[Update]]) -> None:
     contents intact.
     """
     directory = os.path.dirname(os.path.abspath(path))
+    # mkstemp creates the temp file 0600 and os.replace keeps that mode;
+    # match what plain open() would have produced — an existing target's
+    # mode, else 0666 under the current umask.
+    try:
+        mode = os.stat(path).st_mode & 0o7777
+    except OSError:
+        umask = os.umask(0)
+        os.umask(umask)
+        mode = 0o666 & ~umask
     fd, tmp_path = tempfile.mkstemp(
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
     try:
+        os.chmod(tmp_path, mode)
         with os.fdopen(fd, "w") as handle:
             for batch in batches:
                 for update in batch:

@@ -238,6 +238,11 @@ def write_snapshot(
     crashpoint("snapshot.manifest.write")
     crashpoint("snapshot.rename")
     fs.replace(tmp_path, manifest_path)
+    # The rename (and every data file created above) is only durable
+    # once the directory entries themselves are synced; without this a
+    # power loss can make the manifest — or the whole snapshot — vanish.
+    fs.fsync_dir(snap_path)
+    fs.fsync_dir(os.path.dirname(snap_path))
     return SnapshotInfo(
         path=snap_path,
         snapshot_id=snap_id,

@@ -163,8 +163,9 @@ def _parse_record(
 class _SegmentScan(NamedTuple):
     header: Optional[Tuple[int, int]]  # (segment_index, start_lsn)
     records: List[WalRecord]
-    #: Byte offset just past the last valid commit record (truncation
-    #: target when the tail is torn).
+    #: Byte offset just past the last valid commit record — or past the
+    #: header line when no record committed yet (truncation target when
+    #: the tail is torn; repairing must never cut a valid header).
     valid_end: int
     #: Human-readable description of a discarded torn tail, if any.
     torn: Optional[str]
@@ -212,6 +213,7 @@ def _scan_segment(path: str, fs: FileSystem) -> _SegmentScan:
         if not line or (line.startswith("#") and not body):
             if line.startswith(_HEADER_PREFIX) and header is None:
                 header = _parse_header(line, path)
+                valid_end = offset
             continue
         if line.split(None, 1)[0] == COMMIT:
             parts = line.split()
@@ -367,6 +369,12 @@ class WriteAheadLog:
                     )
                 if expected_lsn is None:
                     expected_lsn = start_lsn
+                # Seed LSN allocation from the header even when the
+                # segment holds no records yet (e.g. a fresh segment
+                # right after rotation + snapshot truncation): the next
+                # append must continue the sequence the header claims,
+                # not restart from 0.
+                self._last_lsn = max(self._last_lsn, start_lsn - 1)
             for record in scan.records:
                 if expected_lsn is not None and record.lsn != expected_lsn:
                     raise CorruptWalError(
@@ -400,6 +408,12 @@ class WriteAheadLog:
             f"start_lsn={self._last_lsn + 1}\n"
         )
         self._handle.flush()
+        if self.fsync_policy != "off":
+            # The new segment's directory entry must survive a power
+            # loss, or recovery sees a hole in the segment chain.
+            self.fs.fsync(self._handle)
+            self._synced += 1
+            self.fs.fsync_dir(self.directory)
 
     # ------------------------------------------------------------------
     # Appending
@@ -535,6 +549,8 @@ class WriteAheadLog:
             crashpoint("wal.truncate")
             self.fs.remove(path)
             removed.append(os.path.basename(path))
+        if removed and self.fsync_policy != "off":
+            self.fs.fsync_dir(self.directory)
         return removed
 
     def stats(self) -> dict:

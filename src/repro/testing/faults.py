@@ -166,6 +166,19 @@ class FileSystem:
         fileobj.flush()
         os.fsync(fileobj.fileno())
 
+    def fsync_dir(self, path: str) -> None:
+        """Persist the directory *entries* themselves.
+
+        ``fsync`` on a file makes its bytes durable but not the rename
+        / create / unlink that put its name in the directory; a power
+        loss can undo those unless the directory inode is also synced.
+        """
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def replace(self, src: str, dst: str) -> None:
         os.replace(src, dst)
 

@@ -595,6 +595,24 @@ class TestDurableCli:
         # The batch was WAL-committed before the crash: it survives.
         assert "# relation R: 1 rows" in out
 
+    def test_failed_script_still_closes_durable_session(
+        self, tmp_path, capsys
+    ):
+        # A script error exits non-zero, but the durable session must
+        # still be closed (batch-policy close-time fsync): everything
+        # committed before the failure survives recovery.
+        with pytest.raises(SystemExit):
+            self._serve(
+                tmp_path, capsys,
+                self.SETUP + "THIS IS NOT A STATEMENT\n",
+            )
+        capsys.readouterr()
+        code, out, _ = run_cli(
+            ["recover", "--data-dir", str(tmp_path / "state")], capsys
+        )
+        assert code == 0
+        assert "# relation R: 1 rows" in out
+
     def test_stream_strict_discards_uncommitted_tail(
         self, tmp_path, relation_files, capsys
     ):

@@ -1,6 +1,7 @@
 """Catalog / update-log / stream-generator tests (the serving layer)."""
 
 import io
+import os
 
 import pytest
 
@@ -246,6 +247,20 @@ class TestUpdateLog:
         write_log(path, [[Update("R", "+", (1, 2))]])
         write_log(path, [[Update("S", "-", (3, 4))]])
         assert read_log(path) == [[Update("S", "-", (3, 4))]]
+
+    def test_write_log_permissions(self, tmp_path):
+        # The temp-file dance must not leak mkstemp's 0600 mode: a new
+        # log honors the umask, a rewrite keeps the existing mode.
+        path = str(tmp_path / "updates.log")
+        old_umask = os.umask(0o022)
+        try:
+            write_log(path, [[Update("R", "+", (1, 2))]])
+            assert os.stat(path).st_mode & 0o777 == 0o644
+            os.chmod(path, 0o664)
+            write_log(path, [[Update("S", "-", (3, 4))]])
+            assert os.stat(path).st_mode & 0o777 == 0o664
+        finally:
+            os.umask(old_umask)
 
 
 class TestUpdateLogProperties:

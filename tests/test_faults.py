@@ -18,12 +18,15 @@ instead of raising at clean code boundaries, proving the scanner's
 framing survives partially-persisted lines, not just convenient stops.
 """
 
+import os
+
 import pytest
 
 from repro.dynamic import Update, open_catalog, recover_catalog
 from repro.testing.faults import (
     CRASH_POINTS,
     FaultInjector,
+    FileSystem,
     InjectedCrash,
     TornWriteFS,
     injected,
@@ -250,6 +253,51 @@ class TestTornWrites:
         recovered, report = recover_catalog(data_dir, attach=False)
         assert report.snapshot_id is None  # torn manifest never renamed
         assert state_of(recovered) in checkpoints
+
+
+class TestDirectoryFsync:
+    def test_segment_snapshot_and_truncate_sync_directories(
+        self, tmp_path
+    ):
+        # Power-loss safety needs the directory *entries* synced, not
+        # just file contents: new WAL segments, the manifest rename,
+        # and segment removal must each be followed by fsync_dir.
+        synced = []
+
+        class RecordingFS(FileSystem):
+            def fsync_dir(self, path):
+                synced.append(path)
+                super().fsync_dir(path)
+
+        data_dir = str(tmp_path / "data")
+        catalog, _ = open_catalog(
+            data_dir, fsync="always", segment_limit=1, fs=RecordingFS()
+        )
+        wal_directory = os.path.join(data_dir, "wal")
+        assert wal_directory in synced  # segment creation
+        synced.clear()
+        catalog.create_relation("R", ["A"], [(1,)])
+        assert wal_directory in synced  # rotation created a segment
+        synced.clear()
+        info = catalog.snapshot(truncate_wal=True)
+        assert info.path in synced  # manifest rename + data files
+        assert os.path.dirname(info.path) in synced  # snap-N entry
+        assert wal_directory in synced  # covered segments removed
+        catalog.wal.close()
+
+    def test_off_policy_skips_wal_directory_sync(self, tmp_path):
+        synced = []
+
+        class RecordingFS(FileSystem):
+            def fsync_dir(self, path):
+                synced.append(path)
+
+        catalog, _ = open_catalog(
+            str(tmp_path / "data"), fsync="off", fs=RecordingFS()
+        )
+        catalog.create_relation("R", ["A"], [(1,)])
+        assert synced == []  # the benchmark baseline never dir-syncs
+        catalog.wal.close()
 
 
 class TestInjectorMechanics:

@@ -145,6 +145,29 @@ class TestWalTornTails:
         with pytest.raises(CorruptWalError):
             WriteAheadLog(wal_dir(tmp_path), fsync="off")
 
+    def test_torn_first_record_preserves_header(self, tmp_path):
+        wal = WriteAheadLog(wal_dir(tmp_path), fsync="off")
+        wal.append_batch(batch((1, 2)))
+        wal.close()
+        path = self._segment(tmp_path)
+        data = open(path, "rb").read()
+        header_end = data.index(b"\n") + 1
+        # Tear inside the very first record: only the header plus a
+        # few body bytes survive.
+        open(path, "wb").write(data[:header_end + 3])
+        wal = WriteAheadLog(wal_dir(tmp_path), fsync="off")
+        assert wal.repairs
+        assert wal.last_lsn == 0
+        wal.append_batch(batch((5, 5)))
+        wal.close()
+        # Repair truncated the torn body but kept the header line, so
+        # start_lsn / missing-segment checks keep working afterwards.
+        text = open(path).read()
+        assert text.startswith("# repro-wal v1 segment=1 start_lsn=1")
+        wal = WriteAheadLog(wal_dir(tmp_path), fsync="off")
+        assert [r.lsn for r in wal.replay()] == [1]
+        wal.close()
+
     def test_trailing_whitespace_tolerated(self, tmp_path):
         self._write_two(tmp_path)
         path = self._segment(tmp_path)
@@ -181,6 +204,27 @@ class TestWalRotation:
         assert after < before
         # Everything after the truncation point is still replayable.
         assert [r.lsn for r in wal.replay(after_lsn=4)] == [5, 6]
+        wal.close()
+
+    def test_reopen_after_truncate_at_rotation_boundary(self, tmp_path):
+        # An append count that is a multiple of segment_limit leaves a
+        # fresh, record-free active segment; after the covered segments
+        # are truncated away, the header's start_lsn is the only
+        # surviving evidence of the sequence and must seed reopened LSN
+        # allocation (not reset it to 0).
+        wal = WriteAheadLog(
+            wal_dir(tmp_path), fsync="off", segment_limit=2
+        )
+        for k in range(4):
+            wal.append_batch(batch((k, k)))
+        wal.truncate_through(wal.last_lsn)
+        wal.close()
+        wal = WriteAheadLog(wal_dir(tmp_path), fsync="off")
+        assert wal.last_lsn == 4
+        assert wal.append_batch(batch((9, 9))) == 5
+        wal.close()
+        wal = WriteAheadLog(wal_dir(tmp_path), fsync="off")
+        assert [r.lsn for r in wal.replay(after_lsn=4)] == [5]
         wal.close()
 
     def test_missing_segment_in_chain_raises(self, tmp_path):
@@ -331,6 +375,30 @@ class TestDurableRecovery:
             str(tmp_path / "data"), attach=False
         )
         assert state_of(recovered) == want
+
+    def test_snapshot_truncate_at_rotation_boundary_reopens(
+        self, tmp_path
+    ):
+        # snapshot(truncate_wal=True) while the active segment is still
+        # empty (append count a multiple of segment_limit) must not
+        # reset LSN allocation across reopen — the regression wrote
+        # lsn 1 into a segment claiming start_lsn=3, making the data
+        # directory unopenable on the next recovery.
+        data_dir = str(tmp_path / "data")
+        catalog, _ = open_catalog(data_dir, segment_limit=2)
+        catalog.create_relation("R", ["A", "B"], [(1, 2)])
+        catalog.apply_batch(batch((3, 4)))  # record 2 -> rotation
+        catalog.snapshot(truncate_wal=True)
+        catalog.wal.close()
+        catalog, _ = open_catalog(data_dir, segment_limit=2)
+        catalog.apply_batch(batch((5, 6)))
+        want = state_of(catalog)
+        catalog.wal.close()
+        recovered, _ = recover_catalog(data_dir, attach=False)
+        assert state_of(recovered) == want
+        assert sorted(recovered.relation("R").index.tuples()) == [
+            (1, 2), (3, 4), (5, 6)
+        ]
 
     def test_incomplete_snapshot_is_skipped(self, tmp_path):
         catalog = build_durable(tmp_path)
