@@ -5,7 +5,7 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test bench bench-smoke check-ops perf-report query-smoke recover-smoke
+.PHONY: test bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,6 +42,25 @@ recover-smoke:
 	  --data-dir /tmp/repro-recover-smoke; test $$? -eq 3
 	$(PY) -m repro.cli recover --data-dir /tmp/repro-recover-smoke --snapshot
 	$(PY) -m repro.cli verify-state --data-dir /tmp/repro-recover-smoke
+
+# Observability smoke: replay the serving demo traced + durable, dump
+# the metrics artifacts, then schema-check them — span JSONL must
+# round-trip with full lifecycle coverage (query/plan/execute/
+# apply_batch/wal.append/recover) and the Prometheus exposition must be
+# well-formed.  A one-shot traced query exercises the --trace render
+# path too.  CI runs this next to query-smoke / recover-smoke.
+trace-smoke:
+	rm -rf /tmp/repro-trace-smoke
+	$(PY) -m repro.cli serve --script examples/serving_demo.script \
+	  --trace --data-dir /tmp/repro-trace-smoke/data \
+	  --metrics-dir /tmp/repro-trace-smoke/metrics --slow-query-ms 0
+	$(PY) benchmarks/check_obs.py /tmp/repro-trace-smoke/metrics \
+	  --require query --require plan --require execute \
+	  --require apply_batch --require wal.append --require recover
+	printf '1,2\n2,3\n3,1\n' > /tmp/repro-trace-smoke.csv
+	$(PY) -m repro.cli query --trace \
+	  --relation R=A,B:/tmp/repro-trace-smoke.csv \
+	  "Q(COUNT) :- R(x, y), R(y, z), R(x, z)"
 
 # Op-count drift gate: every smoke workload's instrumented tallies must
 # match benchmarks/baselines/smoke_ops.json (CI runs this under both

@@ -171,6 +171,36 @@ def _run_pytest_benchmarks(bench_files) -> Dict[str, dict]:
     return cases
 
 
+def _metrics_section(current: Dict[str, dict]) -> dict:
+    """Fold the workload rows through the obs registry (ISSUE 7).
+
+    Every case's op tallies feed one ``bench_workload_ops`` histogram
+    family (labeled by op counter) and its median wall time feeds
+    ``bench_workload_seconds``, so each BENCH report carries the same
+    op-histogram summaries ``repro serve --metrics-dir`` exports — one
+    schema across serving and benchmarking.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.obs import DEFAULT_OP_BUCKETS, MetricsRegistry
+    finally:
+        sys.path.pop(0)
+    registry = MetricsRegistry(namespace="bench")
+    for row in current.values():
+        registry.histogram(
+            "workload_seconds",
+            "Median wall time per workload case.",
+        ).observe(row["median_s"])
+        for op, value in sorted((row.get("ops") or {}).items()):
+            registry.histogram(
+                "workload_ops",
+                "Per-workload-case op tallies, by counter.",
+                buckets=DEFAULT_OP_BUCKETS,
+                labels={"op": op},
+            ).observe(value)
+    return registry.snapshot()
+
+
 def build_report(
     baseline: Optional[Dict[str, dict]],
     baseline_source: Optional[str],
@@ -202,6 +232,7 @@ def build_report(
         "date": datetime.date.today().isoformat(),
         "baseline_source": baseline_source,
         "workloads": workloads,
+        "metrics": _metrics_section(current),
         "pytest_benchmarks": _run_pytest_benchmarks(bench_files),
     }
     families: Dict[str, list] = {}

@@ -519,7 +519,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     config = _planner_config(args)
     catalog = _catalog_from_specs(args.relation)
-    session = Session(catalog, config=config)
+    obs = None
+    if args.trace:
+        from repro.obs import Observability
+
+        obs = Observability(trace=True)
+    session = Session(catalog, config=config, obs=obs)
     if args.repl:
         if args.text or args.explain:
             raise SystemExit(
@@ -537,7 +542,48 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except QueryError as exc:
         raise SystemExit(str(exc))
     _print_exec_result(result)
+    if result.trace is not None:
+        from repro.obs import render_tree
+
+        print("# trace:", file=sys.stderr)
+        for line in render_tree([result.trace]):
+            print(f"#   {line}", file=sys.stderr)
     return 0
+
+
+def _dump_metrics(session, directory: str) -> None:
+    """Write the observability artifacts for a finished serve run:
+    ``metrics.json`` (registry snapshot + unified stats tree),
+    ``metrics.prom`` (Prometheus text exposition, native instruments
+    plus the ``repro_stat`` tree gauge), ``spans.jsonl`` (every
+    finished span, parents before children), and
+    ``slow_queries.jsonl``."""
+    import json
+
+    from repro.obs import stats_to_prometheus, unified_stats
+
+    os.makedirs(directory, exist_ok=True)
+    obs = session.obs
+    tree = unified_stats(session)
+    with open(os.path.join(directory, "metrics.json"), "w") as handle:
+        json.dump(
+            {"metrics": obs.metrics.snapshot(), "stats": tree},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    with open(os.path.join(directory, "metrics.prom"), "w") as handle:
+        handle.write(obs.metrics.render_prometheus())
+        handle.write(stats_to_prometheus(tree))
+    with open(os.path.join(directory, "spans.jsonl"), "w") as handle:
+        obs.tracer.export_jsonl(handle)
+    with open(
+        os.path.join(directory, "slow_queries.jsonl"), "w"
+    ) as handle:
+        for entry in obs.slow_queries:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"# metrics written to {directory}", file=sys.stderr)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -545,10 +591,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ScriptError, Session, run_script
 
     config = _planner_config(args)
+    if args.slow_query_ms is not None and args.slow_query_ms < 0:
+        raise SystemExit("--slow-query-ms must be non-negative")
+    obs = None
+    if args.trace or args.metrics_dir or args.slow_query_ms is not None:
+        from repro.obs import Observability
+
+        # --metrics-dir implies tracing: spans.jsonl should hold the
+        # run's spans, not be an empty artifact.
+        obs = Observability(
+            trace=bool(args.trace or args.metrics_dir),
+            slow_query_ms=args.slow_query_ms,
+        )
     if args.data_dir:
         try:
             session = Session.durable(
-                args.data_dir, config=config, fsync=args.fsync
+                args.data_dir, config=config, fsync=args.fsync, obs=obs
             )
         except ValueError as exc:  # corrupt WAL / tampered snapshot
             raise SystemExit(f"cannot recover {args.data_dir}: {exc}")
@@ -557,7 +615,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         if args.snapshot_on_exit:
             raise SystemExit("--snapshot-on-exit requires --data-dir")
-        session = Session(_catalog_from_specs(args.relation), config=config)
+        session = Session(
+            _catalog_from_specs(args.relation), config=config, obs=obs
+        )
     # Even when the script fails, a durable session must close its WAL
     # so batch-policy commits get their close-time fsync.  The one
     # exception is an injected crash: it models a process death, which
@@ -588,6 +648,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"# snapshot {info.snapshot_id} @ wal lsn {info.wal_lsn}",
                 file=sys.stderr,
             )
+        if args.metrics_dir:
+            _dump_metrics(session, args.metrics_dir)
     except InjectedCrash:
         raise
     except BaseException:
@@ -877,7 +939,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--repl",
         action="store_true",
         help="read statements (queries, +R/-R updates, commit, CREATE, "
-        "EXPLAIN, STATS) from stdin",
+        "EXPLAIN, STATS, TRACE ON/OFF) from stdin",
+    )
+    p_query.add_argument(
+        "--trace",
+        action="store_true",
+        help="span-trace the execution and print the per-stage tree "
+        "(plan, cache outcome, engine, per-shard) with op counts — "
+        "the EXPLAIN ANALYZE view",
     )
     _add_planner_flags(p_query)
     p_query.set_defaults(func=_cmd_query)
@@ -902,6 +971,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--snapshot-on-exit", action="store_true",
                          help="persist a snapshot and trim covered WAL "
                          "segments after the script finishes")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="span-trace every statement; each query's "
+                         "transcript lines include its stage tree")
+    p_serve.add_argument("--metrics-dir", metavar="DIR",
+                         help="after the script, dump metrics.json, "
+                         "metrics.prom (Prometheus text exposition), "
+                         "spans.jsonl, and slow_queries.jsonl into DIR "
+                         "(implies tracing)")
+    p_serve.add_argument("--slow-query-ms", type=float, metavar="MS",
+                         help="record queries slower than MS in the "
+                         "slow-query log (STATS counts them; "
+                         "--metrics-dir dumps them)")
     _add_planner_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -71,6 +71,7 @@ def join(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     cds_backend: Optional[str] = None,
+    tracer=None,
 ) -> JoinResult:
     """Evaluate a natural join with Minesweeper.
 
@@ -100,6 +101,10 @@ def join(
     integer-indexed arrays, the default) or ``"pointer"`` (per-node
     objects); see :mod:`repro.core.cds_arena`.  Rows and operation
     counts are invariant in this knob too — only wall-clock changes.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records per-shard
+    child spans on the sharded path; rows and op counts are invariant
+    in it (observability only reads the clock).
     """
     if limit is not None and limit < 0:
         raise ValueError(f"limit must be non-negative, got {limit}")
@@ -127,6 +132,7 @@ def join(
             backend=backend,
             limit=limit,
             cds_backend=cds_backend,
+            tracer=tracer,
         ).run()
     if gao is None:
         gao, _ = query.choose_gao()

@@ -100,6 +100,18 @@ class Catalog:
         #: True while recovery replays WAL records through the normal
         #: mutation methods — suppresses re-logging them.
         self._replaying = False
+        #: Observability bundle (ISSUE 7): spans around batch apply /
+        #: flush / compact / snapshot, histograms for their durations.
+        #: NULL_OBS by default — the counting-free disabled path.
+        from repro.obs import NULL_OBS
+
+        self.obs = NULL_OBS
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability bundle (and pass it to the WAL)."""
+        self.obs = obs
+        if self._wal is not None:
+            self._wal.bind_obs(obs)
 
     # ------------------------------------------------------------------
     # Durability plumbing
@@ -125,6 +137,8 @@ class Catalog:
         self._wal = wal
         if data_dir is not None:
             self._data_dir = data_dir
+        if self.obs.enabled and wal is not None:
+            wal.bind_obs(self.obs)
 
     def _log_control(self, kind: str, payload: dict) -> None:
         if self._wal is not None and not self._replaying:
@@ -277,6 +291,7 @@ class Catalog:
         view that references the relation (pre-update state — the delta
         rule's requirement), then apply it to storage.
         """
+        obs = self.obs
         t0 = time.perf_counter()
         grouped = net_updates(updates)
         unknown = [n for n in grouped if n not in self._relations]
@@ -294,53 +309,84 @@ class Catalog:
             )
             for name, (inserts, deletes) in grouped.items()
         }
-        if self._wal is not None and not self._replaying and grouped:
-            # The whole batch validated; commit it to the log before
-            # any view or storage mutation.  The netted form is logged
-            # (deletes then inserts per relation, relations in batch
-            # order): replaying it recomputes the same effective
-            # deltas against the same pre-batch state.
-            from repro.testing.faults import crashpoint
+        with obs.tracer.span(
+            "apply_batch", batch=self.batches_applied + 1
+        ) as bspan:
+            if self._wal is not None and not self._replaying and grouped:
+                # The whole batch validated; commit it to the log before
+                # any view or storage mutation.  The netted form is logged
+                # (deletes then inserts per relation, relations in batch
+                # order): replaying it recomputes the same effective
+                # deltas against the same pre-batch state.
+                from repro.testing.faults import crashpoint
 
-            crashpoint("catalog.apply.wal")
-            logged: List[Update] = []
-            for name, (inserts, deletes) in grouped.items():
-                logged.extend(
-                    Update(name, DELETE, row) for row in deletes
-                )
-                logged.extend(
-                    Update(name, INSERT, row) for row in inserts
-                )
-            self._wal.append_batch(logged)
-            crashpoint("catalog.apply.mutate")
-        self.batches_applied += 1
-        self.generation += 1
-        report = BatchReport(batch=self.batches_applied)
-        view_counters = {name: OpCounters() for name in self._views}
-        view_added = dict.fromkeys(self._views, 0)
-        view_removed = dict.fromkeys(self._views, 0)
-        view_seconds = dict.fromkeys(self._views, 0.0)
-        for name, (eff_ins, eff_del) in effective.items():
-            relation = self._relations[name]
+                crashpoint("catalog.apply.wal")
+                logged: List[Update] = []
+                for name, (inserts, deletes) in grouped.items():
+                    logged.extend(
+                        Update(name, DELETE, row) for row in deletes
+                    )
+                    logged.extend(
+                        Update(name, INSERT, row) for row in inserts
+                    )
+                with obs.tracer.span(
+                    "wal.append", records=len(logged)
+                ) as wspan:
+                    lsn = self._wal.append_batch(logged)
+                    wspan.set("lsn", lsn)
+                crashpoint("catalog.apply.mutate")
+            self.batches_applied += 1
+            self.generation += 1
+            report = BatchReport(batch=self.batches_applied)
+            view_counters = {name: OpCounters() for name in self._views}
+            view_added = dict.fromkeys(self._views, 0)
+            view_removed = dict.fromkeys(self._views, 0)
+            view_seconds = dict.fromkeys(self._views, 0.0)
+            for name, (eff_ins, eff_del) in effective.items():
+                relation = self._relations[name]
+                for view_name, view in self._views.items():
+                    with obs.tracer.span(
+                        "view.maintain", view=view_name, relation=name
+                    ) as vspan:
+                        v0 = time.perf_counter()
+                        added, removed = view.apply_delta(
+                            name, eff_ins, eff_del,
+                            counters=view_counters[view_name],
+                        )
+                        view_seconds[view_name] += (
+                            time.perf_counter() - v0
+                        )
+                        vspan.set("rows_added", added)
+                        vspan.set("rows_removed", removed)
+                    view_added[view_name] += added
+                    view_removed[view_name] += removed
+                with obs.tracer.span(
+                    "storage.apply", relation=name,
+                    inserts=len(eff_ins), deletes=len(eff_del),
+                ):
+                    relation.index.apply_effective(eff_ins, eff_del)
+                report.applied[name] = (len(eff_ins), len(eff_del))
             for view_name, view in self._views.items():
-                v0 = time.perf_counter()
-                added, removed = view.apply_delta(
-                    name, eff_ins, eff_del, counters=view_counters[view_name]
-                )
-                view_seconds[view_name] += time.perf_counter() - v0
-                view_added[view_name] += added
-                view_removed[view_name] += removed
-            relation.index.apply_effective(eff_ins, eff_del)
-            report.applied[name] = (len(eff_ins), len(eff_del))
-        for view_name, view in self._views.items():
-            report.views[view_name] = {
-                "rows_added": view_added[view_name],
-                "rows_removed": view_removed[view_name],
-                "rows": len(view),
-                "ops": view_counters[view_name].snapshot(),
-                "seconds": view_seconds[view_name],
-            }
-        report.seconds = time.perf_counter() - t0
+                report.views[view_name] = {
+                    "rows_added": view_added[view_name],
+                    "rows_removed": view_removed[view_name],
+                    "rows": len(view),
+                    "ops": view_counters[view_name].snapshot(),
+                    "seconds": view_seconds[view_name],
+                }
+            report.seconds = time.perf_counter() - t0
+            bspan.set("updates", report.updates_applied)
+        if obs.enabled:
+            obs.metrics.histogram(
+                "batch_apply_seconds",
+                "Catalog.apply_batch wall time (WAL + views + storage).",
+            ).observe(report.seconds)
+            for view_name, entry in report.views.items():
+                obs.metrics.histogram(
+                    "view_maintain_seconds",
+                    "Per-batch live-view maintenance wall time.",
+                    labels={"view": view_name},
+                ).observe(entry["seconds"])
         return report
 
     # ------------------------------------------------------------------
@@ -350,26 +396,32 @@ class Catalog:
     def flush(self, name: Optional[str] = None) -> None:
         """Seal memtables (one relation, or all)."""
         targets = self._targets(name)  # validates the name first
-        if self._wal is not None and not self._replaying:
-            from repro.testing.faults import crashpoint
+        with self.obs.tracer.span(
+            "flush", relation=name if name is not None else "*"
+        ):
+            if self._wal is not None and not self._replaying:
+                from repro.testing.faults import crashpoint
 
-            self._log_control("flush", {"name": name})
-            crashpoint("catalog.flush.mutate")
-        for rel in targets:
-            rel.index.flush()
-        self.generation += 1
+                self._log_control("flush", {"name": name})
+                crashpoint("catalog.flush.mutate")
+            for rel in targets:
+                rel.index.flush()
+            self.generation += 1
 
     def compact(self, name: Optional[str] = None) -> None:
         """Merge run stacks (one relation, or all)."""
         targets = self._targets(name)
-        if self._wal is not None and not self._replaying:
-            from repro.testing.faults import crashpoint
+        with self.obs.tracer.span(
+            "compact", relation=name if name is not None else "*"
+        ):
+            if self._wal is not None and not self._replaying:
+                from repro.testing.faults import crashpoint
 
-            self._log_control("compact", {"name": name})
-            crashpoint("catalog.compact.mutate")
-        for rel in targets:
-            rel.index.compact()
-        self.generation += 1
+                self._log_control("compact", {"name": name})
+                crashpoint("catalog.compact.mutate")
+            for rel in targets:
+                rel.index.compact()
+            self.generation += 1
 
     def _targets(self, name: Optional[str]) -> List[Relation]:
         return (
@@ -400,10 +452,20 @@ class Catalog:
                 "no data directory: pass data_dir or open the catalog "
                 "durably (repro.dynamic.durable.open_catalog)"
             )
-        fs = self._wal.fs if self._wal is not None else None
-        info = snapshot_mod.write_snapshot(self, target, fs=fs)
-        if truncate_wal and self._wal is not None:
-            self._wal.truncate_through(info.wal_lsn)
+        obs = self.obs
+        t0 = time.perf_counter()
+        with obs.tracer.span("snapshot", truncate_wal=truncate_wal) as span:
+            fs = self._wal.fs if self._wal is not None else None
+            info = snapshot_mod.write_snapshot(self, target, fs=fs)
+            if truncate_wal and self._wal is not None:
+                self._wal.truncate_through(info.wal_lsn)
+            span.set("wal_lsn", info.wal_lsn)
+        if obs.enabled:
+            obs.metrics.histogram(
+                "snapshot_seconds",
+                "Catalog snapshot (serialize + optional WAL truncate) "
+                "wall time.",
+            ).observe(time.perf_counter() - t0)
         return info
 
     @classmethod

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -319,8 +320,33 @@ class WriteAheadLog:
         self._last_lsn = 0
         self._appended = 0
         self._synced = 0
+        # Observability sink: bind_obs swaps in real histograms; until
+        # then appends and fsyncs pay a single ``is None`` check.
+        self._append_hist = None
+        self._fsync_hist = None
         self.fs.makedirs(directory)
         self._open_for_append()
+
+    def bind_obs(self, obs) -> None:
+        """Route append/fsync wall times into an observability sink.
+
+        ``obs`` is a :class:`repro.obs.Observability` (or the null
+        implementation).  Disabled sinks leave the log exactly as
+        constructed — the hot paths keep their no-instrument shape.
+        """
+        if not getattr(obs, "enabled", False):
+            self._append_hist = None
+            self._fsync_hist = None
+            return
+        self._append_hist = obs.metrics.histogram(
+            "wal_append_seconds",
+            "WAL record append wall time (body + commit frame + "
+            "policy fsync).",
+        )
+        self._fsync_hist = obs.metrics.histogram(
+            "wal_fsync_seconds",
+            "Individual WAL fsync wall time.",
+        )
 
     # ------------------------------------------------------------------
     # Opening / scanning
@@ -411,8 +437,7 @@ class WriteAheadLog:
         if self.fsync_policy != "off":
             # The new segment's directory entry must survive a power
             # loss, or recovery sees a hole in the segment chain.
-            self.fs.fsync(self._handle)
-            self._synced += 1
+            self._fsync(self._handle)
             self.fs.fsync_dir(self.directory)
 
     # ------------------------------------------------------------------
@@ -453,7 +478,25 @@ class WriteAheadLog:
         self._records.append(WalRecord(lsn, kind, (), dict(payload)))
         return lsn
 
+    def _fsync(self, handle) -> None:
+        """One timed fsync; every fsync in the log funnels through here."""
+        if self._fsync_hist is None:
+            self.fs.fsync(handle)
+        else:
+            t0 = time.perf_counter()
+            self.fs.fsync(handle)
+            self._fsync_hist.observe(time.perf_counter() - t0)
+        self._synced += 1
+
     def _append(self, lines: List[str]) -> int:
+        if self._append_hist is None:
+            return self._append_now(lines)
+        t0 = time.perf_counter()
+        lsn = self._append_now(lines)
+        self._append_hist.observe(time.perf_counter() - t0)
+        return lsn
+
+    def _append_now(self, lines: List[str]) -> int:
         if self._handle is None:
             raise ValueError("write-ahead log is closed")
         crashpoint("wal.append.begin")
@@ -470,8 +513,7 @@ class WriteAheadLog:
         handle.flush()
         crashpoint("wal.append.commit")
         if self.fsync_policy == "always":
-            self.fs.fsync(handle)
-            self._synced += 1
+            self._fsync(handle)
             crashpoint("wal.fsync")
         self._last_lsn = lsn
         self._appended += 1
@@ -486,16 +528,14 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force an fsync of the active segment (no-op when ``off``)."""
         if self._handle is not None and self.fsync_policy != "off":
-            self.fs.fsync(self._handle)
-            self._synced += 1
+            self._fsync(self._handle)
 
     def rotate(self) -> int:
         """Seal the active segment and start the next one."""
         if self._handle is not None:
             self._handle.flush()
             if self.fsync_policy != "off":
-                self.fs.fsync(self._handle)
-                self._synced += 1
+                self._fsync(self._handle)
             self._handle.close()
             self._handle = None
         crashpoint("wal.rotate")
@@ -506,8 +546,7 @@ class WriteAheadLog:
         if self._handle is not None:
             self._handle.flush()
             if self.fsync_policy != "off":
-                self.fs.fsync(self._handle)
-                self._synced += 1
+                self._fsync(self._handle)
             self._handle.close()
             self._handle = None
 

@@ -1,0 +1,391 @@
+"""The span tracer: nested timing spans over the query lifecycle.
+
+A :class:`Span` brackets one stage of work (plan resolution, an engine
+run, one shard, a WAL append, ...) and records wall time plus arbitrary
+attributes — including bridged :class:`~repro.util.counters.OpCounters`
+snapshots, so the paper's operation-count currency travels with the
+timings.  Spans strictly nest: the tracer keeps an explicit stack, a
+child opened inside a parent becomes that parent's child, and closing
+out of order (or twice) raises :class:`TraceError` instead of silently
+producing a malformed tree.
+
+Mirroring the ``OpCounters`` / ``NullCounters`` protocol, the tracer
+comes in two implementations sharing one interface:
+
+* :class:`Tracer` (``enabled = True``) — the real recorder; and
+* :class:`NullTracer` (``enabled = False``) — every ``span()`` call
+  returns one shared, stateless :data:`NULL_SPAN` whose context
+  protocol and setters are no-ops, so instrumented call sites cost a
+  method call and nothing else when nobody is tracing.
+
+A real ``Tracer`` can also be *disabled at runtime* (``TRACE OFF``):
+``span()`` then hands out :data:`NULL_SPAN` too, keeping the disabled
+path allocation-free without callers swapping tracer objects.
+
+Finished spans export to JSONL (one object per span, parents always
+written before their children) and re-import with :func:`load_jsonl`,
+which rebuilds the identical tree — round-tripping is property-tested.
+:func:`render_tree` is the human surface: the EXPLAIN-ANALYZE-style
+stage tree ``repro query --trace`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Dict, Iterable, List, Optional, Union
+
+
+class TraceError(RuntimeError):
+    """A span was closed twice or out of nesting order."""
+
+
+class Span:
+    """One timed stage.  Use as a context manager via ``Tracer.span``."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start_unix",
+        "_start",
+        "duration_s",
+        "attributes",
+        "children",
+        "_tracer",
+        "_closed",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self.name = name
+        self._tracer = tracer
+        self.attributes: Dict[str, object] = attributes
+        self.children: List[Span] = []
+        self.span_id = 0
+        self.parent_id = 0
+        self.start_unix = 0.0
+        self._start = 0.0
+        self.duration_s: Optional[float] = None
+        self._closed = False
+
+    # -- attribute surface ------------------------------------------------
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one attribute (chainable)."""
+        self.attributes[key] = value
+        return self
+
+    def set_ops(self, snapshot: dict) -> "Span":
+        """Bridge an op-counter snapshot in (zero tallies dropped)."""
+        ops = {k: v for k, v in snapshot.items() if v}
+        if ops:
+            self.attributes["ops"] = ops
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def ops(self) -> dict:
+        return self.attributes.get("ops", {})
+
+    # -- context protocol -------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        parent = stack[-1] if stack else None
+        tracer._next_id += 1
+        self.span_id = tracer._next_id
+        if parent is not None:
+            self.parent_id = parent.span_id
+            parent.children.append(self)
+        else:
+            tracer.roots.append(self)
+        stack.append(self)
+        self.start_unix = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        if self._closed:
+            raise TraceError(f"span {self.name!r} closed twice")
+        tracer = self._tracer
+        if not tracer._stack or tracer._stack[-1] is not self:
+            raise TraceError(
+                f"span {self.name!r} closed out of nesting order"
+            )
+        tracer._stack.pop()
+        self.duration_s = end - self._start
+        self._closed = True
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        tracer.finished.append(self)
+        return False
+
+    def __repr__(self) -> str:
+        ms = (
+            f"{self.duration_s * 1e3:.3f} ms"
+            if self.duration_s is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, {ms}, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """The shared no-op span: context protocol and setters do nothing."""
+
+    __slots__ = ()
+
+    #: Null spans mirror the real attribute surface read-only.
+    name = ""
+    span_id = 0
+    parent_id = 0
+    duration_s = 0.0
+    attributes: dict = {}
+    children: list = []
+    closed = True
+    ops: dict = {}
+
+    def set(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def set_ops(self, snapshot: dict) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: The single stateless no-op span every disabled tracer hands out.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a forest of strictly nested spans.
+
+    ``enabled`` may be toggled at runtime (the script layer's
+    ``TRACE ON`` / ``TRACE OFF``); while off, :meth:`span` returns
+    :data:`NULL_SPAN` so the instrumented path stays allocation-free.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        #: Completed root spans, in completion order.
+        self.roots: List[Span] = []
+        #: Every completed span, in completion order (children first).
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    def span(self, name: str, **attributes) -> Union[Span, _NullSpan]:
+        """A new child span of whatever span is currently open."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    def record_span(
+        self, name: str, seconds: float, **attributes
+    ) -> Union[Span, _NullSpan]:
+        """Record an already-measured stage as a closed span.
+
+        For durations measured before a tracer existed (e.g. the
+        recovery that ran while opening the durable session the tracer
+        belongs to): the span is entered and closed immediately, then
+        its duration is overwritten with the supplied measurement.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(self, name, attributes)
+        with span:
+            pass
+        span.duration_s = seconds
+        span.start_unix -= seconds
+        return span
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        """Drop every finished span (open spans are kept on the stack)."""
+        self.roots = []
+        self.finished = []
+
+    # -- export -----------------------------------------------------------
+
+    def export_jsonl(self, sink: Union[str, IO[str]]) -> int:
+        """Write finished spans as JSONL; returns the span count.
+
+        Spans are written tree-by-tree, parents before children, so a
+        streaming consumer can resolve every ``parent_id`` against
+        already-seen lines.
+        """
+        lines = [
+            json.dumps(_span_dict(span), sort_keys=True)
+            for root in self.roots
+            for span in _preorder(root)
+        ]
+        text = "".join(line + "\n" for line in lines)
+        if isinstance(sink, str):
+            with open(sink, "w") as handle:
+                handle.write(text)
+        else:
+            sink.write(text)
+        return len(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({'on' if self.enabled else 'off'}, "
+            f"{len(self.finished)} spans, depth={self.depth})"
+        )
+
+
+class NullTracer(Tracer):
+    """The no-op half of the tracer protocol (see ``NullCounters``)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+    def record_span(self, name: str, seconds: float, **attributes):
+        return NULL_SPAN
+
+
+#: Shared null tracer for un-instrumented sessions.
+NULL_TRACER = NullTracer()
+
+
+def _preorder(span: Span) -> Iterable[Span]:
+    yield span
+    for child in span.children:
+        yield from _preorder(child)
+
+
+def _span_dict(span: Span) -> dict:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start_unix": span.start_unix,
+        "duration_s": span.duration_s,
+        "attributes": span.attributes,
+    }
+
+
+def load_jsonl(source: Union[str, IO[str], Iterable[str]]) -> List[Span]:
+    """Rebuild span trees from a JSONL export; returns the roots.
+
+    The loader enforces the invariants the exporter guarantees —
+    every ``parent_id`` resolves to an earlier line (or 0), durations
+    are present and non-negative — so a trace file that violates them
+    fails loudly here and in ``benchmarks/check_obs.py``.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_jsonl(list(handle))
+    by_id: Dict[int, Span] = {}
+    roots: List[Span] = []
+    for lineno, raw in enumerate(source, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON ({exc})") from None
+        try:
+            span_id = data["span_id"]
+            parent_id = data["parent_id"]
+            name = data["name"]
+            duration = data["duration_s"]
+        except KeyError as exc:
+            raise ValueError(f"line {lineno}: missing key {exc}") from None
+        if duration is None or duration < 0:
+            raise ValueError(
+                f"line {lineno}: span {name!r} has no valid duration"
+            )
+        span = Span.__new__(Span)
+        span.name = name
+        span._tracer = None
+        span.attributes = data.get("attributes", {})
+        span.children = []
+        span.span_id = span_id
+        span.parent_id = parent_id
+        span.start_unix = data.get("start_unix", 0.0)
+        span._start = 0.0
+        span.duration_s = duration
+        span._closed = True
+        if span_id in by_id:
+            raise ValueError(f"line {lineno}: duplicate span_id {span_id}")
+        by_id[span_id] = span
+        if parent_id == 0:
+            roots.append(span)
+        elif parent_id in by_id:
+            by_id[parent_id].children.append(span)
+        else:
+            raise ValueError(
+                f"line {lineno}: parent_id {parent_id} not seen yet"
+            )
+    return roots
+
+
+def _format_attrs(span: Span) -> str:
+    parts = []
+    for key, value in span.attributes.items():
+        if key == "ops":
+            continue
+        parts.append(f"{key}={value}")
+    ops = span.ops
+    if ops:
+        parts.append(
+            " ".join(f"{k}={v}" for k, v in sorted(ops.items()))
+        )
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def render_tree(
+    roots: Union[Span, List[Span]], indent: str = ""
+) -> List[str]:
+    """The EXPLAIN-ANALYZE-style stage tree, one line per span.
+
+    Each line shows the stage name, its wall time, and its attributes
+    (op counts last) — ``repro query --trace`` and the script layer's
+    ``TRACE ON`` both print exactly this.
+    """
+    if isinstance(roots, Span):
+        roots = [roots]
+    lines: List[str] = []
+    for root in roots:
+        lines.extend(_render_span(root, indent, is_last=True, is_root=True))
+    return lines
+
+
+def _render_span(
+    span: Span, prefix: str, is_last: bool, is_root: bool = False
+) -> List[str]:
+    ms = (span.duration_s or 0.0) * 1e3
+    if is_root:
+        head, child_prefix = prefix, prefix
+    else:
+        branch = "└─ " if is_last else "├─ "
+        head = prefix + branch
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    lines = [f"{head}{span.name}  {ms:.3f} ms{_format_attrs(span)}"]
+    for i, child in enumerate(span.children):
+        lines.extend(
+            _render_span(
+                child, child_prefix, is_last=(i == len(span.children) - 1)
+            )
+        )
+    return lines

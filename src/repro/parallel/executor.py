@@ -100,6 +100,7 @@ def run_sharded(
     counters: Optional[OpCounters] = None,
     limit: Optional[int] = None,
     cds_backend: Optional[str] = None,
+    tracer=None,
 ) -> Tuple[List[Row], OpCounters, int]:
     """Plan, execute, and merge a sharded run over prepared relations.
 
@@ -116,7 +117,19 @@ def run_sharded(
     merged counters reflect only the shards whose certificate was
     actually consumed — in both modes (a pool may have later shards in
     flight when consumption stops; their work is discarded untallied).
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records one child
+    span per shard consumed.  In-process (``workers=0``) the span
+    brackets the shard's actual engine run; pooled, the driver cannot
+    observe the worker's clock, so the span brackets the wait for that
+    shard's result to arrive in plan order (attribute ``mode=pooled``
+    marks the distinction).  Rows and op counts are invariant in the
+    tracer — it only ever reads the clock.
     """
+    from repro.obs.trace import NULL_TRACER
+
+    if tracer is None:
+        tracer = NULL_TRACER
     base = counters if counters is not None else OpCounters()
     strategy = resolve_strategy(relations, gao, strategy)
     # Resolve the CDS backend once on the driver so every pool worker
@@ -144,11 +157,23 @@ def run_sharded(
     ]
     rows: List[Row] = []
 
-    def consume(results) -> bool:
-        """Merge results in plan order; True once ``limit`` is reached."""
-        for shard_rows, shard_counters in results:
-            rows.extend(shard_rows)
-            base.merge(shard_counters)
+    def consume(results, mode: str) -> bool:
+        """Merge results in plan order; True once ``limit`` is reached.
+
+        Each shard is pulled *inside* its span, so in-process mode
+        times the shard's actual engine run (the generator is lazy)
+        and pooled mode times the plan-order wait for that worker.
+        """
+        iterator = iter(results)
+        for index, shard in enumerate(plan):
+            with tracer.span(
+                "shard", index=index, lo=shard.lo, hi=shard.hi, mode=mode
+            ) as span:
+                shard_rows, shard_counters = next(iterator)
+                rows.extend(shard_rows)
+                base.merge(shard_counters)
+                span.set("rows", len(shard_rows))
+                span.set_ops(shard_counters.snapshot())
             if limit is not None and len(rows) >= limit:
                 return True
         return False
@@ -157,9 +182,11 @@ def run_sharded(
         with multiprocessing.get_context().Pool(
             min(workers, len(payloads))
         ) as pool:
-            consume(pool.imap(_run_shard, payloads, chunksize=1))
+            consume(pool.imap(_run_shard, payloads, chunksize=1), "pooled")
     else:
-        consume(_run_shard(payload) for payload in payloads)
+        consume(
+            (_run_shard(payload) for payload in payloads), "in-process"
+        )
     # In-process shard runs rebind the pass-through relations' counters;
     # leave every original relation tallying into the merged object, not
     # a discarded per-shard one.
@@ -194,6 +221,7 @@ class ShardedExecutor:
         backend: Optional[str] = None,
         limit: Optional[int] = None,
         cds_backend: Optional[str] = None,
+        tracer=None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -222,6 +250,7 @@ class ShardedExecutor:
         self.merge_intervals = merge_intervals
         self.limit = limit
         self.cds_backend = resolve_cds_backend(cds_backend)
+        self.tracer = tracer
 
     def run(self) -> JoinResult:
         rows, merged, shards_run = run_sharded(
@@ -235,6 +264,7 @@ class ShardedExecutor:
             counters=self.counters,
             limit=self.limit,
             cds_backend=self.cds_backend,
+            tracer=self.tracer,
         )
         return JoinResult(
             rows,

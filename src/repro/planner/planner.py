@@ -182,6 +182,11 @@ class Planner:
         self.plans_built = 0
         #: Number of candidate-scoring engine runs performed.
         self.estimate_runs = 0
+        #: Span tracer for candidate scoring (the serving session
+        #: attaches its own; default is the free null implementation).
+        from repro.obs.trace import NULL_TRACER
+
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -320,16 +325,20 @@ class Planner:
                 max_ops=budget * config.score_ops_factor,
             )
             capped = False
-            try:
-                # Consume at most budget output rows: huge-output
-                # candidates (near-cross-products) are as much of a
-                # scoring trap as probe-heavy ones.
-                rows_seen = sum(
-                    1 for _ in _it.islice(engine.iterate(), budget + 1)
-                )
-                capped = rows_seen > budget
-            except MinesweeperError:
-                capped = True
+            with self.tracer.span("score", gao=",".join(gao)) as span:
+                try:
+                    # Consume at most budget output rows: huge-output
+                    # candidates (near-cross-products) are as much of a
+                    # scoring trap as probe-heavy ones.
+                    rows_seen = sum(
+                        1 for _ in _it.islice(engine.iterate(), budget + 1)
+                    )
+                    capped = rows_seen > budget
+                except MinesweeperError:
+                    capped = True
+                span.set("estimate", counters.findgap)
+                if capped:
+                    span.set("capped", True)
             self.estimate_runs += 1
             board.append(
                 CandidatePlan(
@@ -349,7 +358,9 @@ class Planner:
 
         r, s, t = triangle_edges(sample, mapping)
         counters = OpCounters()
-        triangle_join(r, s, t, counters)
+        with self.tracer.span("score", engine=ENGINE_TRIANGLE) as span:
+            triangle_join(r, s, t, counters)
+            span.set("estimate", counters.findgap)
         self.estimate_runs += 1
         return counters.findgap
 

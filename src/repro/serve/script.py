@@ -11,9 +11,17 @@ both drive it).  One statement per line::
     FLUSH [R]                 -- seal memtables (plan-invalidating)
     COMPACT [R]               -- merge run stacks (plan-invalidating)
     SNAPSHOT                  -- persist a snapshot (durable sessions)
+    TRACE ON                  -- span-trace queries from here on
+    TRACE OFF                 -- stop tracing
     Q(x, z) :- R(x, y), S(y, z)   -- execute a query, print rows
     EXPLAIN Q(COUNT) :- R(x, y)   -- print the plan scoreboard
     STATS                     -- print session statistics
+
+With tracing on, each query's output is followed by its span tree
+(``# ``-prefixed lines — the ``EXPLAIN ANALYZE`` view), and ``STATS``
+always appends the flattened unified stats tree
+(:mod:`repro.obs.stats`), the same paths the Prometheus exposition
+exports.
 
 Update lines reuse the :mod:`repro.dynamic.log` syntax, so an existing
 update log pastes straight into a script.  Staged updates are
@@ -103,6 +111,9 @@ class ScriptRunner:
         if lowered in ("stats",):
             self._emit_stats()
             return
+        if lowered in ("trace on", "trace off"):
+            self._set_trace(lowered.endswith("on"))
+            return
         if lowered == "snapshot":
             # Staged updates must be durable (and WAL-positioned)
             # before the image is cut.
@@ -160,11 +171,27 @@ class ScriptRunner:
             return
         raise ValueError(
             f"unrecognized statement {line!r} (expected CREATE, +/-, "
-            "commit, flush, compact, snapshot, explain, stats, or a "
-            "query)"
+            "commit, flush, compact, snapshot, trace on/off, explain, "
+            "stats, or a query)"
         )
 
     # ------------------------------------------------------------------
+
+    def _set_trace(self, on: bool) -> None:
+        """``TRACE ON`` / ``TRACE OFF``: toggle span tracing at runtime.
+
+        A session running with the null observability bundle gets a
+        real one attached on the first ``TRACE ON`` — scripts work the
+        same whether or not the CLI passed ``--trace``.
+        """
+        session = self.session
+        if on and not session.obs.enabled:
+            from repro.obs import Observability
+
+            session.attach_obs(Observability(trace=True))
+        elif session.obs.enabled:
+            session.obs.tracer.enabled = on
+        self.out.append(f"# trace {'on' if on else 'off'}")
 
     def _commit_pending(self) -> None:
         if not self._pending:
@@ -192,8 +219,15 @@ class ScriptRunner:
             f"# {summary}  [{result.plan_summary()}; {origin}; "
             f"findgap={result.ops.get('findgap', 0)}]"
         )
+        if result.trace is not None:
+            from repro.obs import render_tree
+
+            for line in render_tree([result.trace]):
+                self.out.append(f"# {line}")
 
     def _emit_stats(self) -> None:
+        from repro.obs import render_stats_tree, unified_stats
+
         stats = self.session.stats()
         cache = stats["plan_cache"]
         planner = stats["planner"]
@@ -206,6 +240,10 @@ class ScriptRunner:
             f"cache_invalidated={cache['invalidated']} "
             f"generation={stats['catalog_generation']}"
         )
+        # The full unified tree, one dotted path per line — the same
+        # paths stats_to_prometheus exports as repro_stat{path=...}.
+        for line in render_stats_tree(unified_stats(self.session)):
+            self.out.append(f"# {line}")
 
 
 def run_script(

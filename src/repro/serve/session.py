@@ -29,6 +29,7 @@ from repro.dynamic.catalog import Catalog
 from repro.lang.ast import Aggregate, QueryStatement
 from repro.lang.lower import LoweredQuery, lower, validate
 from repro.lang.parser import parse
+from repro.obs import NULL_OBS, unified_stats
 from repro.planner.cache import PlanCache
 from repro.planner.plan import (
     ENGINE_TRIANGLE,
@@ -60,6 +61,10 @@ class ExecResult:
     #: Op-counter snapshot for this execution only.
     ops: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    #: The root :class:`~repro.obs.trace.Span` of this execution when
+    #: the session was tracing, else ``None`` (render with
+    #: :func:`repro.obs.render_tree` — the ``--trace`` stage tree).
+    trace: Optional[object] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -120,6 +125,7 @@ class Session:
         catalog: Optional[Catalog] = None,
         config: Optional[PlannerConfig] = None,
         cache_capacity: int = 256,
+        obs=None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.planner = Planner(config)
@@ -131,6 +137,19 @@ class Session:
         #: The :class:`~repro.dynamic.durable.RecoveryReport` when the
         #: session was opened with :meth:`durable`, else ``None``.
         self.recovery = None
+        #: The attached :class:`~repro.obs.Observability` (NULL_OBS
+        #: when un-instrumented — the free path).
+        self.obs = NULL_OBS
+        self.attach_obs(obs if obs is not None else NULL_OBS)
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability bundle to every layer the session
+        owns: the planner (candidate-scoring spans), the catalog
+        (batch/flush/compact/snapshot spans and histograms), and the
+        catalog's WAL when durable (append/fsync timings)."""
+        self.obs = obs
+        self.planner.tracer = obs.tracer
+        self.catalog.bind_obs(obs)
 
     @classmethod
     def durable(
@@ -141,6 +160,7 @@ class Session:
         fsync: str = "batch",
         memtable_limit: Optional[int] = None,
         verify: bool = True,
+        obs=None,
     ) -> "Session":
         """A session over a crash-recoverable catalog at ``data_dir``.
 
@@ -159,9 +179,24 @@ class Session:
             verify=verify,
         )
         session = cls(
-            catalog, config=config, cache_capacity=cache_capacity
+            catalog, config=config, cache_capacity=cache_capacity, obs=obs
         )
         session.recovery = recovery
+        if session.obs.enabled:
+            # Recovery ran before the tracer attached; bridge its
+            # measured duration in as a synthetic closed span plus a
+            # histogram sample, so durable startups are on the books.
+            session.obs.tracer.record_span(
+                "recover",
+                recovery.seconds,
+                records_replayed=recovery.records_replayed,
+                snapshot_id=recovery.snapshot_id,
+                last_lsn=recovery.last_lsn,
+            )
+            session.obs.metrics.histogram(
+                "recovery_seconds",
+                "Durable-catalog recovery wall time.",
+            ).observe(recovery.seconds)
         return session
 
     def close(self) -> None:
@@ -248,26 +283,84 @@ class Session:
     def _execute_statement(
         self, statement: QueryStatement, signature: str
     ) -> ExecResult:
+        obs = self.obs
+        tracer = obs.tracer
         t0 = time.perf_counter()
-        plan, cached = self._plan_for(statement, signature)
-        gao, triangle = self._localize(statement, plan)
-        lowered = lower(statement, self.catalog)
-        counters = OpCounters()
-        aggregate = statement.aggregate
-        if aggregate is not None:
-            result = self._execute_aggregate(
-                lowered, plan, gao, triangle, aggregate, counters
-            )
-        else:
-            result = self._execute_rows(
-                lowered, plan, gao, triangle, counters
-            )
+        with tracer.span("query", text=statement.unparse()) as qspan:
+            with tracer.span("plan", signature=signature) as pspan:
+                plan, cached = self._plan_for(statement, signature)
+                pspan.set("cache", "hit" if cached else "miss")
+                pspan.set("engine", plan.engine)
+                pspan.set("gao", ",".join(plan.gao))
+            gao, triangle = self._localize(statement, plan)
+            lowered = lower(statement, self.catalog)
+            counters = OpCounters()
+            aggregate = statement.aggregate
+            with tracer.span(
+                "execute",
+                engine=plan.engine,
+                shards=plan.shards,
+                workers=plan.workers,
+            ) as espan:
+                if aggregate is not None:
+                    result = self._execute_aggregate(
+                        lowered, plan, gao, triangle, aggregate, counters
+                    )
+                else:
+                    result = self._execute_rows(
+                        lowered, plan, gao, triangle, counters
+                    )
+                espan.set("rows", len(result.rows))
+                espan.set_ops(counters.snapshot())
+            qspan.set("cached_plan", cached)
+            qspan.set_ops(counters.snapshot())
         result.cached_plan = cached
         result.ops = counters.snapshot()
         result.seconds = time.perf_counter() - t0
+        # NULL_SPAN (tracing off) has an empty name; a real query span
+        # becomes the result's renderable trace tree.
+        result.trace = qspan if qspan.name else None
         self.counters.merge(counters)
         self.queries_executed += 1
+        if obs.enabled:
+            self._observe_query(statement, plan, result, cached)
         return result
+
+    def _observe_query(
+        self, statement: QueryStatement, plan: Plan, result: ExecResult,
+        cached: bool,
+    ) -> None:
+        """Metrics + slow-query bookkeeping for one execution."""
+        from repro.obs import DEFAULT_OP_BUCKETS
+
+        metrics = self.obs.metrics
+        metrics.counter(
+            "queries_total",
+            "Queries executed, by plan-cache outcome.",
+            labels={"cache": "hit" if cached else "miss"},
+        ).inc()
+        metrics.histogram(
+            "query_seconds", "End-to-end query execution wall time."
+        ).observe(result.seconds)
+        metrics.histogram(
+            "query_findgap",
+            "FindGap operations per query (the certificate proxy).",
+            buckets=DEFAULT_OP_BUCKETS,
+        ).observe(result.ops.get("findgap", 0))
+        metrics.histogram(
+            "query_output_rows",
+            "Output rows per query.",
+            buckets=DEFAULT_OP_BUCKETS,
+        ).observe(len(result.rows))
+        self.obs.record_query(
+            statement.unparse(),
+            result.seconds,
+            signature=plan.signature,
+            engine=plan.engine,
+            cached_plan=cached,
+            rows=len(result.rows),
+            ops=dict(result.ops),
+        )
 
     def _engine_rows(
         self,
@@ -300,6 +393,7 @@ class Session:
             workers=plan.workers or None,
             shards=plan.shards,
             cds_backend=plan.cds_backend,
+            tracer=self.obs.tracer,
         ).rows
 
     def _execute_rows(
@@ -411,14 +505,24 @@ class Session:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
-            "queries_executed": self.queries_executed,
-            "statements_prepared": self.statements_prepared,
-            "plan_cache": self.cache.stats(),
-            "planner": self.planner.stats(),
-            "ops": self.counters.snapshot(),
-            "catalog_generation": self.catalog.generation,
-        }
+        """The unified stats tree (see :mod:`repro.obs.stats`).
+
+        One schema for every consumer: the script layer's ``STATS``
+        statement, the Prometheus exposition, and programmatic callers
+        all read this tree.  The pre-ISSUE-7 top-level keys
+        (``queries_executed``, ``plan_cache``, ``planner``, ``ops``,
+        ``catalog_generation``) are preserved at their old positions;
+        the catalog's own stats — formerly a disjoint schema with
+        drifting keys — now hang off ``catalog.*``.
+        """
+        tree = unified_stats(self)
+        # Back-compat aliases: flat keys older callers/scripts read.
+        tree["queries_executed"] = tree["session"]["queries_executed"]
+        tree["statements_prepared"] = tree["session"][
+            "statements_prepared"
+        ]
+        tree["catalog_generation"] = tree["catalog"]["generation"]
+        return tree
 
     def __repr__(self) -> str:
         return (
