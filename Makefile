@@ -5,10 +5,22 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke
+.PHONY: test lint bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke
 
 test:
 	$(PY) -m pytest -x -q
+
+# Static analysis: the seven `repro lint` checkers plus the mypy strict
+# ratchet (mypy.ini).  mypy is not baked into the container image, so
+# it runs only where installed (CI pins and installs it); the
+# strict-annotations lint rule is the always-on local mirror.
+lint:
+	$(PY) -m repro lint
+	@if $(PY) -c "import mypy" 2>/dev/null; then \
+	  $(PY) -m mypy --config-file mypy.ini; \
+	else \
+	  echo "mypy not installed; skipped (CI runs it — see mypy.ini)"; \
+	fi
 
 # Full benchmark suite (wall-clock measured; ~minutes).
 bench:

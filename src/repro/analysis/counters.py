@@ -1,0 +1,200 @@
+"""Checker: counter discipline in hot-path modules (rule
+``counter-discipline``).
+
+The paper's experimental currency is operation counts, so every engine
+threads an :class:`~repro.util.counters.OpCounters` /
+:class:`~repro.util.counters.NullCounters` pair through its hot paths.
+Two ways that discipline rots, both caught statically here in the
+hot-path subpackages (``core``, ``storage``, ``baselines``):
+
+1. **Tallying outside the protocol** — incrementing a counter-named
+   field (``findgap``, ``probes``, ...) on a receiver that is not a
+   counters object (e.g. ``self.findgap += 1`` on an engine).  Such a
+   tally is invisible to ``snapshot()``/``merge()`` and silently
+   splits the op-count ledger.  A receiver qualifies as a counters
+   object when its final name component is ``counters`` (or ends with
+   ``counters``: ``self.counters``, ``cds.counters``,
+   ``view_counters[name]``).
+
+2. **Unconditional tally-dict construction** — building a dict literal
+   keyed by counter names outside an ``if <...>.enabled:`` guard.  The
+   NullCounters path must stay allocation-free; op-shaped dicts on an
+   unguarded path charge the counting-free fast path for work nobody
+   reads (``snapshot`` methods are the sanctioned constructors and are
+   exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.framework import Checker, Finding, ModuleInfo
+
+#: The OpCounters tally fields (see repro/util/counters.py).
+COUNTER_FIELDS: Set[str] = {
+    "findgap",
+    "probes",
+    "constraints",
+    "comparisons",
+    "interval_ops",
+    "backtracks",
+    "cache_hits",
+    "cache_misses",
+    "output_tuples",
+}
+
+#: Subpackages where the discipline is enforced.
+HOT_SUBPACKAGES = ("core", "storage", "baselines")
+
+#: A dict literal needs at least this many counter-named keys before it
+#: counts as a tally dict (one shared key like "probes" in an unrelated
+#: mapping should not trip the rule).
+_TALLY_DICT_MIN_KEYS = 2
+
+
+def _is_counters_receiver(node: ast.expr) -> bool:
+    """Does this expression plausibly denote a counters object?"""
+    if isinstance(node, ast.Name):
+        return node.id.endswith("counters")
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("counters")
+    if isinstance(node, ast.Subscript):
+        return _is_counters_receiver(node.value)
+    if isinstance(node, ast.Call):
+        # OpCounters() / o.fork() style factory results
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id.endswith("Counters")
+        if isinstance(func, ast.Attribute):
+            return func.attr.endswith("Counters")
+    return False
+
+
+def _mentions_enabled(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in ("enabled", "count"):
+            return True
+    return False
+
+
+class _HotPathVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "CounterDisciplineChecker",
+                 mod: ModuleInfo) -> None:
+        self.checker = checker
+        self.mod = mod
+        self.findings: List[Finding] = []
+        #: nesting depth of ``if <...>.enabled`` suites
+        self._guard_depth = 0
+        #: nesting depth of functions named ``snapshot``
+        self._snapshot_depth = 0
+
+    # -- guards --------------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        guarded = _mentions_enabled(node.test)
+        if guarded:
+            self._guard_depth += 1
+        for child in node.body:
+            self.visit(child)
+        if guarded:
+            self._guard_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        is_snapshot = node.name in ("snapshot", "stats", "to_json")
+        if is_snapshot:
+            self._snapshot_depth += 1
+        self.generic_visit(node)
+        if is_snapshot:
+            self._snapshot_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- rule 1: counter-field stores off the protocol -----------------
+
+    def _check_target(self, target: ast.expr, lineno: int) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        if target.attr not in COUNTER_FIELDS:
+            return
+        if _is_counters_receiver(target.value):
+            return
+        self.findings.append(
+            Finding(
+                rule=self.checker.rule,
+                path=self.mod.rel,
+                line=lineno,
+                message=(
+                    f"counter field '{target.attr}' mutated on "
+                    f"'{ast.unparse(target.value)}', which is not a "
+                    "counters object"
+                ),
+                hint=(
+                    "tally through the threaded OpCounters/NullCounters "
+                    "(receiver named *counters), or rename the field if "
+                    "it is not an op tally"
+                ),
+            )
+        )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno)
+        self.generic_visit(node)
+
+    # -- rule 2: unguarded tally-dict construction ---------------------
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        tally_keys = [
+            key.value
+            for key in node.keys
+            if isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and key.value in COUNTER_FIELDS
+        ]
+        if (
+            len(tally_keys) >= _TALLY_DICT_MIN_KEYS
+            and self._guard_depth == 0
+            and self._snapshot_depth == 0
+        ):
+            self.findings.append(
+                Finding(
+                    rule=self.checker.rule,
+                    path=self.mod.rel,
+                    line=node.lineno,
+                    message=(
+                        "tally dict "
+                        f"({', '.join(sorted(tally_keys))}) built on an "
+                        "unguarded path"
+                    ),
+                    hint=(
+                        "hot-path modules construct op tallies only "
+                        "under `if counters.enabled:` (or inside "
+                        "snapshot()/stats()); the NullCounters path "
+                        "must stay allocation-free"
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+
+class CounterDisciplineChecker(Checker):
+    rule = "counter-discipline"
+    description = (
+        "hot-path tallying must go through the OpCounters protocol"
+    )
+
+    def visit_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if mod.top_subpackage() not in HOT_SUBPACKAGES:
+            return ()
+        visitor = _HotPathVisitor(self, mod)
+        visitor.visit(mod.tree)
+        return visitor.findings

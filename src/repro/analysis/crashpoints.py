@@ -1,0 +1,162 @@
+"""Checker: crashpoint registry parity (rule ``crashpoint-parity``).
+
+``tests/test_faults.py`` proves recovery converges for every crash
+point a *test run happens to traverse* — a call site a scenario never
+reaches would drift silently.  This checker closes that gap
+statically: the set of string literals passed to ``crashpoint("...")``
+across ``src/`` must equal :data:`repro.testing.faults.CRASH_POINTS`
+exactly, in both directions, and every call must use a literal (a
+computed point name can't be audited or exhaustively crash-tested).
+
+Both sides are read from source — the registry is parsed out of
+``testing/faults.py``'s AST rather than imported — so the check works
+on a checkout without importing the engine, and the fault-test suite
+reuses :func:`scan_crashpoint_literals` /
+:func:`registry_points` to pin the same three-way agreement at
+runtime (registry == static call sites == observed hits).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    LintError,
+    ModuleInfo,
+    Project,
+)
+
+#: The function whose argument literals form the static call-site set.
+CALL_NAME = "crashpoint"
+
+#: Module that declares the registry (and therefore hosts the
+#: ``crashpoint`` definition itself, which is not a call site).
+REGISTRY_MODULE = "repro.testing.faults"
+REGISTRY_NAME = "CRASH_POINTS"
+
+
+def scan_crashpoint_literals(
+    project: Project,
+) -> Tuple[Dict[str, List[Tuple[str, int]]], List[Tuple[str, int]]]:
+    """Collect ``crashpoint(<literal>)`` call sites across the project.
+
+    Returns ``(literals, dynamic_calls)`` where ``literals`` maps each
+    point name to its ``(path, line)`` call sites and ``dynamic_calls``
+    lists calls whose argument is not a plain string literal.
+    """
+    literals: Dict[str, List[Tuple[str, int]]] = {}
+    dynamic: List[Tuple[str, int]] = []
+    for mod in project.modules:
+        if mod.module == REGISTRY_MODULE:
+            continue  # the definition site, not a call site
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != CALL_NAME:
+                continue
+            arg: Optional[ast.expr] = node.args[0] if node.args else None
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                literals.setdefault(arg.value, []).append(
+                    (mod.rel, node.lineno)
+                )
+            else:
+                dynamic.append((mod.rel, node.lineno))
+    return literals, dynamic
+
+
+def registry_points(project: Project) -> Tuple[Set[str], str, int]:
+    """Parse ``CRASH_POINTS`` out of the registry module's AST.
+
+    Returns ``(points, path, line)``; raises :class:`LintError` if the
+    registry or its literal set cannot be found — the parity check is
+    meaningless without it.
+    """
+    mod = project.module(REGISTRY_MODULE)
+    if mod is None:
+        raise LintError(f"registry module {REGISTRY_MODULE} not found")
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == REGISTRY_NAME
+            for t in node.targets
+        ):
+            continue
+        points: Set[str] = set()
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                points.add(sub.value)
+        if not points:
+            raise LintError(
+                f"{REGISTRY_NAME} in {mod.rel} holds no string literals"
+            )
+        return points, mod.rel, node.lineno
+    raise LintError(f"{REGISTRY_NAME} assignment not found in {mod.rel}")
+
+
+class CrashpointParityChecker(Checker):
+    rule = "crashpoint-parity"
+    description = (
+        "crashpoint() literals and CRASH_POINTS must match exactly"
+    )
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        literals, dynamic = scan_crashpoint_literals(project)
+        registered, reg_path, reg_line = registry_points(project)
+        for path, line in dynamic:
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=path,
+                    line=line,
+                    message="crashpoint() called with a non-literal point name",
+                    hint=(
+                        "pass a plain string literal so the fault suite "
+                        "can enumerate every point statically"
+                    ),
+                )
+            )
+        for point in sorted(set(literals) - registered):
+            path, line = literals[point][0]
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"crashpoint {point!r} is not registered in "
+                        f"{REGISTRY_NAME}"
+                    ),
+                    hint=(
+                        f"add it to {REGISTRY_NAME} in {reg_path} so the "
+                        "fault suite crash-tests it"
+                    ),
+                )
+            )
+        for point in sorted(registered - set(literals)):
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=reg_path,
+                    line=reg_line,
+                    message=(
+                        f"registered crashpoint {point!r} has no "
+                        "crashpoint() call site in src/"
+                    ),
+                    hint=(
+                        "thread a crashpoint() call through the code "
+                        f"path or retire the entry from {REGISTRY_NAME}"
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,121 @@
+"""Checker: determinism hygiene (rule ``determinism``).
+
+Reproduction runs must be replayable: identical inputs and seeds must
+produce identical rows, op counts, and logs.  Two classic leaks are
+caught statically:
+
+* **Module-global randomness** — calling ``random.<fn>()`` (or
+  importing the module-level helpers) uses the interpreter-global RNG,
+  whose state depends on import order and whatever ran before.  All
+  randomness is threaded as ``random.Random(seed)`` instances (PR 5
+  made ``search_gao``/``candidate_gaos`` take explicit rng/seed);
+  constructing ``random.Random``/``random.SystemRandom`` is therefore
+  fine, everything else on the module flags.
+
+* **Wall-clock reads** — ``time.time()``/``perf_counter()``/
+  ``datetime.now()`` and friends make behaviour (or artifacts) depend
+  on the host clock.  They are the business of the observability layer
+  (``obs``), the test/fault harness (``testing``), and the experiment
+  harness (``experiments``); anywhere else a timing read must carry a
+  ``# lint: disable=determinism`` pragma stating why it is
+  reporting-only (e.g. a ``seconds`` field on a report object that no
+  control flow reads).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.framework import Checker, Finding, ModuleInfo
+
+#: Subpackages whose whole point is reading the clock.
+CLOCK_ALLOWED_SUBPACKAGES = ("obs", "testing", "experiments")
+
+#: random-module attributes that do NOT use the global RNG.
+_RANDOM_OK: Set[str] = {"Random", "SystemRandom"}
+
+#: Clock calls: module name -> forbidden attributes.
+_CLOCK_CALLS = {
+    "time": {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    },
+    "datetime": {"now", "utcnow", "today"},
+}
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, checker: "DeterminismChecker", mod: ModuleInfo,
+                 clock_allowed: bool) -> None:
+        self.checker = checker
+        self.mod = mod
+        self.clock_allowed = clock_allowed
+        self.findings: List[Finding] = []
+
+    def _flag(self, line: int, message: str, hint: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=self.checker.rule,
+                path=self.mod.rel,
+                line=line,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_OK:
+                    self._flag(
+                        node.lineno,
+                        f"global-RNG import 'from random import "
+                        f"{alias.name}'",
+                        "thread a seeded random.Random instance instead "
+                        "of the module-global RNG",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if isinstance(value, ast.Name):
+            if value.id == "random" and node.attr not in _RANDOM_OK:
+                self._flag(
+                    node.lineno,
+                    f"module-global RNG use 'random.{node.attr}'",
+                    "thread a seeded random.Random instance instead of "
+                    "the module-global RNG",
+                )
+            elif (
+                not self.clock_allowed
+                and node.attr in _CLOCK_CALLS.get(value.id, ())
+            ):
+                self._flag(
+                    node.lineno,
+                    f"wall-clock read '{value.id}.{node.attr}' outside "
+                    f"{'/'.join(CLOCK_ALLOWED_SUBPACKAGES)}",
+                    "move timing into the obs layer, or justify a "
+                    "reporting-only read with "
+                    "`# lint: disable=determinism -- <why>`",
+                )
+        self.generic_visit(node)
+
+
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = (
+        "no global RNG; wall-clock reads only in obs/testing/experiments"
+    )
+
+    def visit_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        clock_allowed = mod.top_subpackage() in CLOCK_ALLOWED_SUBPACKAGES
+        visitor = _DeterminismVisitor(self, mod, clock_allowed)
+        visitor.visit(mod.tree)
+        return visitor.findings

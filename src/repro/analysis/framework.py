@@ -1,0 +1,342 @@
+"""Checker framework for ``repro lint``.
+
+The linter is a small, dependency-free static-analysis harness: it
+parses every module under ``src/repro`` once, hands the AST (plus
+pragma annotations) to a set of :class:`Checker` objects, and collects
+:class:`Finding` records.  Checkers encode *project invariants* — the
+rules PRs 1–7 established informally in review (import layering,
+counter discipline, crashpoint parity, log-before-mutate ordering,
+determinism hygiene, multiprocessing-payload picklability, the
+strict-typing ratchet) — so a change that silently breaks one fails CI
+before any benchmark drifts.
+
+Suppression and ratcheting:
+
+* A finding on a line carrying ``# lint: disable=<rule>`` (comma list,
+  with a trailing justification) is *suppressed* — reported in the
+  summary's ``suppressed`` column, never fatal.
+* ``baselines/lint_baseline.json`` pins grandfathered findings by a
+  line-number-independent key.  New findings fail; *stale* baseline
+  entries (the violation was fixed) also fail until the baseline is
+  ratcheted down with ``repro lint --update-baseline`` — the pin count
+  can only shrink.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Matches ``# lint: disable=rule-a,rule-b -- justification`` anywhere
+#: in a physical source line.  The rule list is mandatory; everything
+#: after it is free-form justification text.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``key`` deliberately omits the line number so baseline pins survive
+    unrelated edits above the finding; the message disambiguates
+    multiple findings in one file.
+    """
+
+    rule: str
+    path: str  # repo-relative, posix-style
+    line: int
+    message: str
+    hint: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "key": self.key,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module plus its pragma map."""
+
+    path: Path  # absolute
+    rel: str  # repo-relative posix path ("src/repro/core/engine.py")
+    module: str  # dotted name ("repro.core.engine")
+    source: str
+    tree: ast.Module
+    #: physical line -> rules disabled on that line
+    pragmas: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """Dotted-name components below the top package."""
+        return tuple(self.module.split("."))
+
+    def top_subpackage(self) -> str:
+        """The layer-granularity name: ``repro.core.engine`` -> ``core``,
+        ``repro.io`` -> ``io``, ``repro`` -> ``""`` (the root)."""
+        parts = self.package_parts
+        return parts[1] if len(parts) > 1 else ""
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.pragmas.get(line)
+        return rules is not None and (rule in rules or "all" in rules)
+
+
+def _parse_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
+    pragmas: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), 1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            rules = frozenset(
+                r.strip() for r in match.group(1).split(",") if r.strip()
+            )
+            if rules:
+                pragmas[lineno] = rules
+    return pragmas
+
+
+class LintError(Exception):
+    """Internal linter failure (unparsable file, broken checker) —
+    distinct from findings: the CLI maps it to exit code 2."""
+
+
+@dataclass
+class Project:
+    """Every parsed module under one source root."""
+
+    root: Path  # repo root (baseline paths are relative to this)
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    def module(self, dotted: str) -> Optional[ModuleInfo]:
+        for mod in self.modules:
+            if mod.module == dotted:
+                return mod
+        return None
+
+
+def load_project(
+    root: Path, src_rel: str = "src", package: str = "repro"
+) -> Project:
+    """Parse every ``.py`` file of ``<root>/<src_rel>/<package>``.
+
+    Files are visited in sorted order so every downstream report is
+    deterministic.  A syntactically broken file raises
+    :class:`LintError` — the linter cannot vouch for what it cannot
+    parse.
+    """
+    root = root.resolve()
+    pkg_dir = root / src_rel / package
+    if not pkg_dir.is_dir():
+        raise LintError(f"package directory not found: {pkg_dir}")
+    project = Project(root=root)
+    for path in sorted(pkg_dir.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        dotted = ".".join(
+            path.relative_to(root / src_rel).with_suffix("").parts
+        )
+        if dotted.endswith(".__init__"):
+            dotted = dotted[: -len(".__init__")]
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {rel}: {exc}") from exc
+        project.modules.append(
+            ModuleInfo(
+                path=path,
+                rel=rel,
+                module=dotted,
+                source=source,
+                tree=tree,
+                pragmas=_parse_pragmas(source),
+            )
+        )
+    return project
+
+
+class Checker:
+    """Base class: one rule id, findings per module and/or cross-file.
+
+    Subclasses override :meth:`visit_module` (called once per parsed
+    module, any order-independent per-file logic) and/or
+    :meth:`finalize` (called once after every module was visited, for
+    cross-file rules such as crashpoint parity).
+    """
+
+    rule: str = ""
+    description: str = ""
+
+    def visit_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class RuleStats:
+    checked_modules: int = 0
+    findings: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, already deterministic."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: keys pinned by the baseline that matched current findings
+    baselined: List[Finding] = field(default_factory=list)
+    #: baseline keys with no current finding (must be ratcheted away)
+    stale_baseline: List[str] = field(default_factory=list)
+    stats: Dict[str, RuleStats] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings or self.stale_baseline)
+
+
+def _sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+    )
+
+
+def run_checkers(
+    project: Project, checkers: Sequence[Checker]
+) -> Tuple[List[Finding], List[Finding], Dict[str, RuleStats]]:
+    """Run every checker; split findings into (active, suppressed).
+
+    Checker exceptions are internal errors, not findings: they escape
+    as :class:`LintError` so the CLI exits 2 rather than green.
+    """
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    stats: Dict[str, RuleStats] = {
+        checker.rule: RuleStats() for checker in checkers
+    }
+    by_rel = {mod.rel: mod for mod in project.modules}
+    for checker in checkers:
+        produced: List[Finding] = []
+        try:
+            for mod in project.modules:
+                stats[checker.rule].checked_modules += 1
+                produced.extend(checker.visit_module(mod))
+            produced.extend(checker.finalize(project))
+        except LintError:
+            raise
+        except Exception as exc:  # pragma: no cover - checker bug path
+            raise LintError(
+                f"checker {checker.rule!r} crashed: {exc!r}"
+            ) from exc
+        for finding in produced:
+            if finding.rule != checker.rule:
+                raise LintError(
+                    f"checker {checker.rule!r} emitted finding for "
+                    f"rule {finding.rule!r}"
+                )
+            mod = by_rel.get(finding.path)
+            if mod is not None and mod.suppressed(
+                finding.line, finding.rule
+            ):
+                suppressed.append(finding)
+                stats[checker.rule].suppressed += 1
+            else:
+                active.append(finding)
+                stats[checker.rule].findings += 1
+    return _sort_findings(active), _sort_findings(suppressed), stats
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file: finding key -> pinned occurrence count."""
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    pins = data.get("findings", {})
+    if not isinstance(pins, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in pins.items()
+    ):
+        raise LintError(f"malformed baseline {path}")
+    return dict(pins)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Pin the given findings (grouped by key) as the new baseline."""
+    pins: Dict[str, int] = {}
+    for finding in findings:
+        pins[finding.key] = pins.get(finding.key, 0) + 1
+    payload = {
+        "comment": (
+            "Grandfathered `repro lint` findings. The ratchet only goes "
+            "down: fix a pinned finding, then run "
+            "`repro lint --update-baseline`."
+        ),
+        "findings": {k: pins[k] for k in sorted(pins)},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Dict[str, int],
+    stats: Dict[str, RuleStats],
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, baselined); report stale pins.
+
+    Per key, the first ``pinned`` occurrences (in deterministic order)
+    are baselined and the rest are new.  Pins exceeding the current
+    occurrence count are stale: the violation was fixed, so the
+    baseline must shrink — that keeps the ratchet one-way.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    pinned: List[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            pinned.append(finding)
+            if finding.rule in stats:
+                stats[finding.rule].baselined += 1
+                stats[finding.rule].findings -= 1
+        else:
+            new.append(finding)
+    stale = sorted(k for k, count in remaining.items() if count > 0)
+    return new, pinned, stale

@@ -1,0 +1,219 @@
+"""Checker: log-before-mutate in Catalog mutation methods (rule
+``wal-order``).
+
+The durability contract (PR 6) is that recovery replays to exactly the
+pre-op or post-op state of every catalog mutation.  That only holds if
+each mutation method commits its record to the write-ahead log before
+touching any in-memory state — the WAL append must *lexically
+dominate* every storage/view mutation on the non-replay path (replay
+itself is re-applying already-logged records and is recognized by the
+``self._replaying`` guard inside the logging helpers).
+
+The check is per method of :data:`MUTATION_METHODS` in
+``dynamic/catalog.py``: the first WAL-append call (``_log_control`` /
+``append_batch`` / ``append_control`` / ``append`` on the wal) must
+appear on an earlier line than the first mutating statement — a store
+into ``self._relations``/``self._views``, a bump of
+``self.generation``/``self.batches_applied``, or a state-changing call
+(``apply_delta``/``apply_effective``/``flush``/``compact``) on a
+relation index.  A configured method that disappears flags too, so the
+method list cannot rot silently when the catalog grows new mutations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import Checker, Finding, ModuleInfo
+
+CATALOG_MODULE = "repro.dynamic.catalog"
+CATALOG_CLASS = "Catalog"
+
+#: Methods that must journal before mutating.
+MUTATION_METHODS: Tuple[str, ...] = (
+    "create_relation",
+    "register_view",
+    "apply_batch",
+    "flush",
+    "compact",
+)
+
+#: Calls that constitute the WAL append.
+_WAL_CALLS: Set[str] = {
+    "_log_control",
+    "append_batch",
+    "append_control",
+    "append",
+}
+
+#: Attribute calls that mutate relation/view state.
+_MUTATING_CALLS: Set[str] = {
+    "apply_delta",
+    "apply_effective",
+    "flush",
+    "compact",
+}
+
+#: ``self.<name>`` containers whose stores are mutations.
+_STATE_FIELDS: Set[str] = {"_relations", "_views"}
+
+#: ``self.<name>`` scalars whose writes are mutations.
+_STATE_SCALARS: Set[str] = {"generation", "batches_applied"}
+
+
+def _is_self_attr(node: ast.expr, names: Set[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in names
+    )
+
+
+def _first_wal_line(method: ast.FunctionDef) -> Optional[int]:
+    best: Optional[int] = None
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WAL_CALLS:
+            if best is None or node.lineno < best:
+                best = node.lineno
+    return best
+
+
+def _first_mutation(method: ast.FunctionDef) -> Optional[Tuple[int, str]]:
+    best: Optional[Tuple[int, str]] = None
+
+    def consider(lineno: int, what: str) -> None:
+        nonlocal best
+        if best is None or lineno < best[0]:
+            best = (lineno, what)
+
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _is_self_attr(
+                    target.value, _STATE_FIELDS
+                ):
+                    consider(
+                        node.lineno, f"store into self.{target.value.attr}"
+                    )
+                elif _is_self_attr(target, _STATE_SCALARS):
+                    consider(node.lineno, f"write to self.{target.attr}")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_CALLS
+                # self.flush()/self.compact() delegate and are checked
+                # themselves; rel.index.flush() is the real mutation.
+                and not (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                )
+            ):
+                consider(
+                    node.lineno,
+                    f"call {ast.unparse(func)}()",
+                )
+    return best
+
+
+class WalOrderChecker(Checker):
+    rule = "wal-order"
+    description = (
+        "Catalog mutations must append to the WAL before mutating state"
+    )
+
+    def visit_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if mod.module != CATALOG_MODULE:
+            return ()
+        findings: List[Finding] = []
+        catalog: Optional[ast.ClassDef] = None
+        for node in mod.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == CATALOG_CLASS:
+                catalog = node
+                break
+        if catalog is None:
+            findings.append(
+                Finding(
+                    rule=self.rule,
+                    path=mod.rel,
+                    line=1,
+                    message=f"class {CATALOG_CLASS} not found",
+                    hint="update repro.analysis.wal_order.CATALOG_CLASS",
+                )
+            )
+            return findings
+        methods = {
+            node.name: node
+            for node in catalog.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        for name in MUTATION_METHODS:
+            method = methods.get(name)
+            if method is None:
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=mod.rel,
+                        line=catalog.lineno,
+                        message=(
+                            f"configured mutation method "
+                            f"{CATALOG_CLASS}.{name} not found"
+                        ),
+                        hint=(
+                            "update repro.analysis.wal_order."
+                            "MUTATION_METHODS when catalog mutations "
+                            "are renamed"
+                        ),
+                    )
+                )
+                continue
+            wal_line = _first_wal_line(method)
+            mutation = _first_mutation(method)
+            if mutation is None:
+                continue
+            mut_line, what = mutation
+            if wal_line is None:
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=mod.rel,
+                        line=mut_line,
+                        message=(
+                            f"{CATALOG_CLASS}.{name} mutates state "
+                            f"({what}) without any WAL append"
+                        ),
+                        hint=(
+                            "journal through _log_control()/"
+                            "wal.append_batch() before mutating"
+                        ),
+                    )
+                )
+            elif wal_line > mut_line:
+                findings.append(
+                    Finding(
+                        rule=self.rule,
+                        path=mod.rel,
+                        line=mut_line,
+                        message=(
+                            f"{CATALOG_CLASS}.{name}: {what} on line "
+                            f"{mut_line} precedes the WAL append on "
+                            f"line {wal_line}"
+                        ),
+                        hint=(
+                            "log-before-mutate: the WAL append must "
+                            "lexically dominate every state mutation "
+                            "so crash recovery lands on an op boundary"
+                        ),
+                    )
+                )
+        return findings

@@ -370,10 +370,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         # is charged to the incremental side rather than silently
         # absorbed by whichever path (comparator or next batch) reads
         # first.
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: disable=determinism -- reporting-only timing; never feeds results
         for name in catalog.relation_names():
             len(catalog.relation(name))
-        refresh_s += time.perf_counter() - t0
+        refresh_s += time.perf_counter() - t0  # lint: disable=determinism -- reporting-only timing; never feeds results
         applied = ", ".join(
             f"{name} +{ins}/-{dels}"
             for name, (ins, dels) in report.applied.items()
@@ -707,6 +707,22 @@ def _cmd_verify_state(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis suite over ``src/repro``."""
+    from pathlib import Path
+
+    from repro.analysis import runner
+
+    root = Path(args.root).resolve()
+    baseline = Path(args.baseline).resolve() if args.baseline else None
+    return runner.main(
+        root,
+        as_json=args.json,
+        update_baseline=args.update_baseline,
+        baseline=baseline,
+    )
+
+
 def _find_benchmarks_dir() -> str:
     """Locate the repo's ``benchmarks/`` directory (cwd, then checkout)."""
     here = os.path.dirname(os.path.abspath(__file__))
@@ -1010,6 +1026,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("--data-dir", required=True, metavar="DIR")
     p_verify.set_defaults(func=_cmd_verify_state)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: layering, counters, crashpoints, WAL "
+        "order, determinism, payloads, typing ratchet",
+    )
+    p_lint.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repo root containing src/repro (default: cwd)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit the full machine-readable report instead of the table",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="pin the current findings as the new baseline (ratchet)",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file "
+        "(default: <root>/benchmarks/baselines/lint_baseline.json)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_bench = sub.add_parser("bench", help="run the benchmark suite")
     p_bench.add_argument(

@@ -118,7 +118,7 @@ def join(
         # workers=1 with a single shard is still a real 1-process pool
         # (the honest baseline of the scaling curve), not a silent
         # fall-through to the plain path.
-        from repro.parallel.executor import ShardedExecutor
+        from repro.parallel.executor import ShardedExecutor  # lint: disable=layering -- deferred import breaking the core->parallel cycle
 
         return ShardedExecutor(
             query,

@@ -218,7 +218,7 @@ class LiveJoin:
         if self.shards > 1 or self.workers >= 1:
             # workers >= 1 with a single shard still runs the one-range
             # plan through a real pool — consistent with join()
-            from repro.parallel.executor import run_sharded
+            from repro.parallel.executor import run_sharded  # lint: disable=layering -- deferred import breaking the core->parallel cycle
 
             rows, _, _ = run_sharded(
                 relations,
@@ -385,9 +385,9 @@ class LiveJoin:
         measured against.
         """
         counters = OpCounters()
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: disable=determinism -- reporting-only timing; never feeds results
         rows = self._evaluate(self.relations, counters)
-        seconds = time.perf_counter() - t0
+        seconds = time.perf_counter() - t0  # lint: disable=determinism -- reporting-only timing; never feeds results
         return rows, counters.snapshot(), seconds
 
     def verify(self) -> bool:

@@ -48,7 +48,7 @@ import json
 import os
 import time
 import zlib
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.dynamic.catalog import Update
 from repro.dynamic.log import COMMIT, format_update, parse_update
@@ -322,12 +322,12 @@ class WriteAheadLog:
         self._synced = 0
         # Observability sink: bind_obs swaps in real histograms; until
         # then appends and fsyncs pay a single ``is None`` check.
-        self._append_hist = None
-        self._fsync_hist = None
+        self._append_hist: Optional[Any] = None
+        self._fsync_hist: Optional[Any] = None
         self.fs.makedirs(directory)
         self._open_for_append()
 
-    def bind_obs(self, obs) -> None:
+    def bind_obs(self, obs: Any) -> None:
         """Route append/fsync wall times into an observability sink.
 
         ``obs`` is a :class:`repro.obs.Observability` (or the null
@@ -463,7 +463,7 @@ class WriteAheadLog:
         self._records.append(WalRecord(lsn, KIND_BATCH, updates, {}))
         return lsn
 
-    def append_control(self, kind: str, payload: dict) -> int:
+    def append_control(self, kind: str, payload: Dict[str, object]) -> int:
         """Durably commit a control record (create/view/flush/compact)."""
         if kind in (KIND_FLUSH, KIND_COMPACT):
             name = payload.get("name")
@@ -478,22 +478,22 @@ class WriteAheadLog:
         self._records.append(WalRecord(lsn, kind, (), dict(payload)))
         return lsn
 
-    def _fsync(self, handle) -> None:
+    def _fsync(self, handle: Any) -> None:
         """One timed fsync; every fsync in the log funnels through here."""
         if self._fsync_hist is None:
             self.fs.fsync(handle)
         else:
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # lint: disable=determinism -- reporting-only timing; never feeds results
             self.fs.fsync(handle)
-            self._fsync_hist.observe(time.perf_counter() - t0)
+            self._fsync_hist.observe(time.perf_counter() - t0)  # lint: disable=determinism -- reporting-only timing; never feeds results
         self._synced += 1
 
     def _append(self, lines: List[str]) -> int:
         if self._append_hist is None:
             return self._append_now(lines)
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: disable=determinism -- reporting-only timing; never feeds results
         lsn = self._append_now(lines)
-        self._append_hist.observe(time.perf_counter() - t0)
+        self._append_hist.observe(time.perf_counter() - t0)  # lint: disable=determinism -- reporting-only timing; never feeds results
         return lsn
 
     def _append_now(self, lines: List[str]) -> int:
@@ -553,7 +553,7 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -592,7 +592,7 @@ class WriteAheadLog:
             self.fs.fsync_dir(self.directory)
         return removed
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, object]:
         return {
             "fsync_policy": self.fsync_policy,
             "last_lsn": self._last_lsn,

@@ -23,7 +23,7 @@ else — op-count parity with the pre-observability code is CI-gated by
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.obs.metrics import (
     DEFAULT_OP_BUCKETS,
@@ -97,16 +97,18 @@ class Observability:
         self.metrics = MetricsRegistry(namespace=namespace)
         self.slow_query_ms = slow_query_ms
         #: Recorded slow executions, oldest first (bounded by caller).
-        self.slow_queries: List[dict] = []
+        self.slow_queries: List[Dict[str, object]] = []
 
-    def record_query(self, text: str, seconds: float, **details) -> None:
+    def record_query(
+        self, text: str, seconds: float, **details: object
+    ) -> None:
         """Feed one execution to the slow-query log (no-op if under
         threshold or the log is disabled)."""
         if self.slow_query_ms is None:
             return
         if seconds * 1e3 < self.slow_query_ms:
             return
-        entry = {"text": text, "seconds": round(seconds, 6)}
+        entry: Dict[str, object] = {"text": text, "seconds": round(seconds, 6)}
         entry.update(details)
         self.slow_queries.append(entry)
 
@@ -125,9 +127,11 @@ class NullObservability:
     tracer = NULL_TRACER
     metrics = NULL_METRICS
     slow_query_ms = None
-    slow_queries: List[dict] = []
+    slow_queries: List[Dict[str, object]] = []
 
-    def record_query(self, text: str, seconds: float, **details) -> None:
+    def record_query(
+        self, text: str, seconds: float, **details: object
+    ) -> None:
         pass
 
     def __repr__(self) -> str:

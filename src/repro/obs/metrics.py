@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -46,10 +46,10 @@ DEFAULT_OP_BUCKETS = (
 LabelSet = Tuple[Tuple[str, str], ...]
 
 
-def _label_set(labels: Optional[dict]) -> LabelSet:
+def _label_set(labels: Optional[Dict[str, object]]) -> LabelSet:
     if not labels:
         return ()
-    out = []
+    out: List[Tuple[str, str]] = []
     for key in sorted(labels):
         if not _LABEL_RE.match(key):
             raise ValueError(f"invalid label name {key!r}")
@@ -93,7 +93,7 @@ class Counter:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
 
-    def snapshot(self):
+    def snapshot(self) -> float:
         return self.value
 
     def expose(self) -> List[str]:
@@ -121,7 +121,7 @@ class Gauge:
     def inc(self, amount: float = 1) -> None:
         self.value += amount
 
-    def snapshot(self):
+    def snapshot(self) -> float:
         return self.value
 
     def expose(self) -> List[str]:
@@ -179,7 +179,7 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         """Compact dict for reports (BENCH_*.json, metrics.json)."""
         return {
             "count": self.count,
@@ -196,18 +196,19 @@ class Histogram:
             },
         }
 
-    def snapshot(self):
+    def snapshot(self) -> Dict[str, object]:
         return self.summary()
 
     def _cumulative(self) -> List[int]:
-        out, running = [], 0
+        out: List[int] = []
+        running = 0
         for c in self.counts:
             running += c
             out.append(running)
         return out
 
     def expose(self) -> List[str]:
-        lines = []
+        lines: List[str] = []
         bounds = list(self.buckets) + [math.inf]
         for bound, cum in zip(bounds, self._cumulative()):
             le = [("le", _format_value(bound))]
@@ -240,11 +241,17 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         return {}
 
 
 NULL_INSTRUMENT = _NullInstrument()
+
+#: What the registry surface returns: the real instrument, or the
+#: shared null when metrics are off (NullMetrics).
+CounterLike = Union[Counter, _NullInstrument]
+GaugeLike = Union[Gauge, _NullInstrument]
+HistogramLike = Union[Histogram, _NullInstrument]
 
 
 class MetricsRegistry:
@@ -268,7 +275,9 @@ class MetricsRegistry:
 
     # -- registration -----------------------------------------------------
 
-    def _family(self, name: str, kind: str, help: str):
+    def _family(
+        self, name: str, kind: str, help: str
+    ) -> "Tuple[str, Dict[LabelSet, object]]":
         if self.namespace:
             name = f"{self.namespace}_{name}"
         if not _NAME_RE.match(name):
@@ -285,8 +294,9 @@ class MetricsRegistry:
         return name, family[2]
 
     def counter(
-        self, name: str, help: str = "", labels: Optional[dict] = None
-    ) -> Counter:
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, object]] = None,
+    ) -> CounterLike:
         full, children = self._family(name, "counter", help)
         key = _label_set(labels)
         if key not in children:
@@ -294,8 +304,9 @@ class MetricsRegistry:
         return children[key]
 
     def gauge(
-        self, name: str, help: str = "", labels: Optional[dict] = None
-    ) -> Gauge:
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, object]] = None,
+    ) -> GaugeLike:
         full, children = self._family(name, "gauge", help)
         key = _label_set(labels)
         if key not in children:
@@ -307,8 +318,8 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
-        labels: Optional[dict] = None,
-    ) -> Histogram:
+        labels: Optional[Dict[str, object]] = None,
+    ) -> HistogramLike:
         full, children = self._family(name, "histogram", help)
         key = _label_set(labels)
         if key not in children:
@@ -329,9 +340,9 @@ class MetricsRegistry:
                 lines.extend(children[key].expose())
         return "".join(line + "\n" for line in lines)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-able view: family -> {labels-key: value/summary}."""
-        out: Dict[str, dict] = {}
+        out: Dict[str, Dict[str, object]] = {}
         for name in sorted(self._families):
             kind, _, children = self._families[name]
             entry: Dict[str, object] = {"kind": kind}
@@ -361,17 +372,26 @@ class NullMetrics(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name, help="", labels=None):
+    def counter(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, object]] = None,
+    ) -> CounterLike:
         return NULL_INSTRUMENT
 
-    def gauge(self, name, help="", labels=None):
+    def gauge(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, object]] = None,
+    ) -> GaugeLike:
         return NULL_INSTRUMENT
 
-    def histogram(self, name, help="", buckets=DEFAULT_TIME_BUCKETS,
-                  labels=None):
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> HistogramLike:
         return NULL_INSTRUMENT
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {}
 
     def render_prometheus(self) -> str:

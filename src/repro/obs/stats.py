@@ -25,13 +25,16 @@ key for key.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
+
+#: A stats (sub)tree: str keys, leaves are scalars / lists / subtrees.
+StatsTree = Dict[str, Any]
 
 
-def unified_stats(session) -> dict:
+def unified_stats(session: Any) -> StatsTree:
     """The one stats tree (see module docstring) for a serving session."""
     catalog = session.catalog
-    tree = {
+    tree: StatsTree = {
         "session": {
             "queries_executed": session.queries_executed,
             "statements_prepared": session.statements_prepared,
@@ -47,14 +50,14 @@ def unified_stats(session) -> dict:
     return tree
 
 
-def catalog_stats(catalog) -> dict:
+def catalog_stats(catalog: Any) -> StatsTree:
     """The catalog subtree: generation + the per-component stats()."""
-    tree = dict(catalog.stats())
+    tree: StatsTree = dict(catalog.stats())
     tree["generation"] = catalog.generation
     return tree
 
 
-def flatten_stats(tree: dict, prefix: str = "") -> "Dict[str, object]":
+def flatten_stats(tree: StatsTree, prefix: str = "") -> Dict[str, object]:
     """Depth-first ``dotted.path -> leaf`` flattening of a stats tree.
 
     Lists flatten to their length (e.g. ``catalog.wal.repairs`` counts
@@ -74,7 +77,7 @@ def flatten_stats(tree: dict, prefix: str = "") -> "Dict[str, object]":
     return out
 
 
-def render_stats_tree(tree: dict, prefix: str = "") -> List[str]:
+def render_stats_tree(tree: StatsTree, prefix: str = "") -> List[str]:
     """``path = value`` lines, sorted — the ``STATS`` statement body."""
     flat = flatten_stats(tree)
     width = max((len(p) for p in flat), default=0)
@@ -84,7 +87,7 @@ def render_stats_tree(tree: dict, prefix: str = "") -> List[str]:
     ]
 
 
-def _numeric_leaves(tree: dict) -> Iterator[Tuple[str, float]]:
+def _numeric_leaves(tree: StatsTree) -> Iterator[Tuple[str, float]]:
     for path, value in sorted(flatten_stats(tree).items()):
         if isinstance(value, bool):
             yield path, int(value)
@@ -92,7 +95,7 @@ def _numeric_leaves(tree: dict) -> Iterator[Tuple[str, float]]:
             yield path, value
 
 
-def stats_to_prometheus(tree: dict, metric: str = "repro_stat") -> str:
+def stats_to_prometheus(tree: StatsTree, metric: str = "repro_stat") -> str:
     """The flattened tree as one labeled gauge family.
 
     Every numeric leaf becomes ``repro_stat{path="a.b.c"} value`` —

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import json
 import time
-from typing import IO, Dict, Iterable, List, Optional, Union
+from types import TracebackType
+from typing import IO, Dict, Iterable, List, Optional, Type, Union
 
 
 class TraceError(RuntimeError):
@@ -56,7 +57,9 @@ class Span:
         "_closed",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+    def __init__(
+        self, tracer: "Tracer", name: str, attributes: Dict[str, object]
+    ) -> None:
         self.name = name
         self._tracer = tracer
         self.attributes: Dict[str, object] = attributes
@@ -70,12 +73,12 @@ class Span:
 
     # -- attribute surface ------------------------------------------------
 
-    def set(self, key: str, value) -> "Span":
+    def set(self, key: str, value: object) -> "Span":
         """Attach one attribute (chainable)."""
         self.attributes[key] = value
         return self
 
-    def set_ops(self, snapshot: dict) -> "Span":
+    def set_ops(self, snapshot: Dict[str, int]) -> "Span":
         """Bridge an op-counter snapshot in (zero tallies dropped)."""
         ops = {k: v for k, v in snapshot.items() if v}
         if ops:
@@ -87,8 +90,9 @@ class Span:
         return self._closed
 
     @property
-    def ops(self) -> dict:
-        return self.attributes.get("ops", {})
+    def ops(self) -> Dict[str, int]:
+        ops = self.attributes.get("ops", {})
+        return ops if isinstance(ops, dict) else {}
 
     # -- context protocol -------------------------------------------------
 
@@ -108,7 +112,12 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         end = time.perf_counter()
         if self._closed:
             raise TraceError(f"span {self.name!r} closed twice")
@@ -144,21 +153,26 @@ class _NullSpan:
     span_id = 0
     parent_id = 0
     duration_s = 0.0
-    attributes: dict = {}
-    children: list = []
+    attributes: Dict[str, object] = {}
+    children: List["Span"] = []
     closed = True
-    ops: dict = {}
+    ops: Dict[str, int] = {}
 
-    def set(self, key: str, value) -> "_NullSpan":
+    def set(self, key: str, value: object) -> "_NullSpan":
         return self
 
-    def set_ops(self, snapshot: dict) -> "_NullSpan":
+    def set_ops(self, snapshot: Dict[str, int]) -> "_NullSpan":
         return self
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
     def __repr__(self) -> str:
@@ -186,14 +200,14 @@ class Tracer:
         self._stack: List[Span] = []
         self._next_id = 0
 
-    def span(self, name: str, **attributes) -> Union[Span, _NullSpan]:
+    def span(self, name: str, **attributes: object) -> Union[Span, _NullSpan]:
         """A new child span of whatever span is currently open."""
         if not self.enabled:
             return NULL_SPAN
         return Span(self, name, attributes)
 
     def record_span(
-        self, name: str, seconds: float, **attributes
+        self, name: str, seconds: float, **attributes: object
     ) -> Union[Span, _NullSpan]:
         """Record an already-measured stage as a closed span.
 
@@ -255,10 +269,12 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(enabled=False)
 
-    def span(self, name: str, **attributes) -> _NullSpan:
+    def span(self, name: str, **attributes: object) -> _NullSpan:
         return NULL_SPAN
 
-    def record_span(self, name: str, seconds: float, **attributes):
+    def record_span(
+        self, name: str, seconds: float, **attributes: object
+    ) -> _NullSpan:
         return NULL_SPAN
 
 
@@ -272,7 +288,7 @@ def _preorder(span: Span) -> Iterable[Span]:
         yield from _preorder(child)
 
 
-def _span_dict(span: Span) -> dict:
+def _span_dict(span: Span) -> Dict[str, object]:
     return {
         "span_id": span.span_id,
         "parent_id": span.parent_id,

@@ -17,7 +17,7 @@ planning entirely).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.planner.plan import Plan
 
@@ -72,7 +72,7 @@ class PlanCache:
     def __contains__(self, signature: str) -> bool:
         return signature in self._entries
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         return {
             "entries": len(self._entries),
             "hits": self.hits,

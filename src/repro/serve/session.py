@@ -285,7 +285,7 @@ class Session:
     ) -> ExecResult:
         obs = self.obs
         tracer = obs.tracer
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: disable=determinism -- reporting-only timing; never feeds results
         with tracer.span("query", text=statement.unparse()) as qspan:
             with tracer.span("plan", signature=signature) as pspan:
                 plan, cached = self._plan_for(statement, signature)
@@ -316,7 +316,7 @@ class Session:
             qspan.set_ops(counters.snapshot())
         result.cached_plan = cached
         result.ops = counters.snapshot()
-        result.seconds = time.perf_counter() - t0
+        result.seconds = time.perf_counter() - t0  # lint: disable=determinism -- reporting-only timing; never feeds results
         # NULL_SPAN (tracing off) has an empty name; a real query span
         # becomes the result's renderable trace tree.
         result.trace = qspan if qspan.name else None

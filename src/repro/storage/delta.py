@@ -43,7 +43,7 @@ handle-API-equivalent to a ``FlatTrieRelation`` built from scratch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.storage.flat_trie import FlatTrieRelation, NodeHandle
 from repro.util.counters import OpCounters
@@ -51,6 +51,9 @@ from repro.util.sentinels import ExtendedValue
 
 IndexTuple = Tuple[int, ...]
 Row = Tuple[int, ...]
+#: A DeltaRelation node handle: the inner FlatTrie handle stamped with
+#: the generation it was issued at (see the node-handle API below).
+DeltaHandle = Tuple[int, NodeHandle]
 
 
 class StaleHandleError(RuntimeError):
@@ -62,7 +65,9 @@ class _Run:
 
     __slots__ = ("trie", "tombstones")
 
-    def __init__(self, trie: FlatTrieRelation, tombstones: frozenset) -> None:
+    def __init__(
+        self, trie: FlatTrieRelation, tombstones: FrozenSet[Row]
+    ) -> None:
         self.trie = trie
         self.tombstones = tombstones
 
@@ -441,10 +446,12 @@ class DeltaRelation:
     # logical contents AND the cached view object, so they do not
     # invalidate handles.
 
-    def _wrap(self, inner):
+    def _wrap(
+        self, inner: Optional[NodeHandle]
+    ) -> Optional[DeltaHandle]:
         return None if inner is None else (self._generation, inner)
 
-    def _unwrap(self, node):
+    def _unwrap(self, node: DeltaHandle) -> NodeHandle:
         generation, inner = node
         if generation != self._generation:
             raise StaleHandleError(
@@ -454,30 +461,34 @@ class DeltaRelation:
             )
         return inner
 
-    def root_node(self) -> NodeHandle:
-        return self._wrap(self._view().root_node())
+    def root_node(self) -> DeltaHandle:
+        return (self._generation, self._view().root_node())
 
-    def node_keys(self, node: NodeHandle) -> List[int]:
+    def node_keys(self, node: DeltaHandle) -> List[int]:
         return self._view().node_keys(self._unwrap(node))
 
-    def node_child(self, node: NodeHandle, position: int):
+    def node_child(
+        self, node: DeltaHandle, position: int
+    ) -> Optional[DeltaHandle]:
         return self._wrap(self._view().node_child(self._unwrap(node), position))
 
     # Probe fast path (Minesweeper exploration)
 
-    def root_handle(self) -> NodeHandle:
-        return self._wrap(self._view().root_handle())
+    def root_handle(self) -> DeltaHandle:
+        return (self._generation, self._view().root_handle())
 
-    def fanout_at(self, node: NodeHandle) -> int:
+    def fanout_at(self, node: DeltaHandle) -> int:
         return self._view().fanout_at(self._unwrap(node))
 
-    def value_at(self, node: NodeHandle, position: int) -> ExtendedValue:
+    def value_at(self, node: DeltaHandle, position: int) -> ExtendedValue:
         return self._view().value_at(self._unwrap(node), position)
 
-    def child_at(self, node: NodeHandle, position: int):
+    def child_at(
+        self, node: DeltaHandle, position: int
+    ) -> Optional[DeltaHandle]:
         return self._wrap(self._view().child_at(self._unwrap(node), position))
 
-    def gap_at(self, node: NodeHandle, a: int) -> Tuple[int, int]:
+    def gap_at(self, node: DeltaHandle, a: int) -> Tuple[int, int]:
         return self._view().gap_at(self._unwrap(node), a)
 
     def __repr__(self) -> str:

@@ -27,7 +27,7 @@ Backends (the ``backend`` flag; ``"auto"`` is the default):
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.storage.btree import BTree
 from repro.storage.flat_trie import FlatTrieRelation
@@ -98,7 +98,9 @@ class Relation:
         cls,
         name: str,
         attributes: Sequence[str],
-        index,
+        # Any index exposing the trie interface (typically a live
+        # DeltaRelation; importing it here would cycle the layer).
+        index: Any,
         counters: Optional[OpCounters] = None,
         backend: str = "delta",
     ) -> "Relation":

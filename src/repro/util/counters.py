@@ -11,6 +11,7 @@ paths so experiments can compare shapes across engines deterministically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 
 @dataclass
@@ -58,7 +59,7 @@ class OpCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     output_tuples: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: Dict[str, int] = field(default_factory=dict)
 
     def add_extra(self, key: str, amount: int = 1) -> None:
         """Increment an ad-hoc named counter."""
@@ -74,7 +75,7 @@ class OpCounters:
             + self.interval_ops
         )
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, int]:
         """Return an immutable dict view (for reports and assertions)."""
         data = {
             "findgap": self.findgap,
@@ -130,6 +131,6 @@ class NullCounters(OpCounters):
 
     enabled = False
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, int]:
         """Null counters never accumulated anything meaningful."""
         return {}

@@ -16,10 +16,12 @@ These helpers mirror :func:`bisect.bisect_left` / ``bisect_right`` exactly
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Sequence
+from typing import Optional, Sequence
 
 
-def gallop_left(a: Sequence, x, lo: int = 0, hi: int = None) -> int:
+def gallop_left(
+    a: Sequence[int], x: int, lo: int = 0, hi: Optional[int] = None
+) -> int:
     """``bisect_left(a, x, lo, hi)`` via exponential probing from ``lo``.
 
     Returns the leftmost insertion point for ``x`` in ``a[lo:hi]``,
@@ -38,7 +40,9 @@ def gallop_left(a: Sequence, x, lo: int = 0, hi: int = None) -> int:
     return bisect_left(a, x, lo + prev + 1, min(lo + step, hi))
 
 
-def gallop_right(a: Sequence, x, lo: int = 0, hi: int = None) -> int:
+def gallop_right(
+    a: Sequence[int], x: int, lo: int = 0, hi: Optional[int] = None
+) -> int:
     """``bisect_right(a, x, lo, hi)`` via exponential probing from ``lo``."""
     if hi is None:
         hi = len(a)

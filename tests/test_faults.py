@@ -127,6 +127,29 @@ class TestScenarioBaseline:
         hits = discover_hits(tmp_path)
         assert set(hits) == CRASH_POINTS
 
+    def test_static_scan_matches_registry_and_runtime(self, tmp_path):
+        # Three-way parity: the crashpoint literals the static scanner
+        # finds in src/ must equal the CRASH_POINTS registry, which in
+        # turn must equal the points the runtime scenario actually
+        # fires.  A point added in code without registration (or
+        # registered without a call site, or registered-and-called but
+        # not traversed by the scenario) fails here with a named diff.
+        from pathlib import Path
+
+        from repro.analysis.crashpoints import (
+            registry_points,
+            scan_crashpoint_literals,
+        )
+        from repro.analysis.framework import load_project
+
+        project = load_project(Path(__file__).resolve().parent.parent)
+        literals, dynamic = scan_crashpoint_literals(project)
+        assert not dynamic, f"non-literal crashpoint() calls: {dynamic}"
+        registered, _path, _line = registry_points(project)
+        assert set(literals) == registered
+        assert set(literals) == CRASH_POINTS
+        assert set(literals) == set(discover_hits(tmp_path))
+
     def test_checkpoints_are_distinct_where_state_changes(self, tmp_path):
         # Guards the harness itself: if consecutive checkpoints
         # collapsed, "pre or post" would be vacuous for that op.
