@@ -5,7 +5,7 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test lint bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke
+.PHONY: test lint bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke chaos-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -73,6 +73,36 @@ trace-smoke:
 	$(PY) -m repro.cli query --trace \
 	  --relation R=A,B:/tmp/repro-trace-smoke.csv \
 	  "Q(COUNT) :- R(x, y), R(y, z), R(x, z)"
+
+# Chaos smoke: arm a worker-targeted crash fault in the environment
+# (the supervisor retries the killed attempt) and require the pooled
+# sharded join's stdout to be byte-identical to the fault-free
+# in-process (workers=0) run; then arm a hang and require the
+# --deadline-ms admission deadline to surface as a typed QueryTimeout
+# (CLI exit 4) instead of a stuck pool.  CI runs this next to
+# recover-smoke / trace-smoke.
+chaos-smoke:
+	printf '1,2\n2,1\n2,3\n3,2\n3,1\n1,3\n1,4\n4,1\n2,4\n4,2\n3,4\n4,3\n' \
+	  > /tmp/repro-chaos-smoke.csv
+	$(PY) -m repro.cli join \
+	  --relation R=A,B:/tmp/repro-chaos-smoke.csv \
+	  --relation S=B,C:/tmp/repro-chaos-smoke.csv \
+	  --relation T=A,C:/tmp/repro-chaos-smoke.csv \
+	  --workers 0 > /tmp/repro-chaos-smoke.expected
+	REPRO_WORKER_FAULT=crash REPRO_WORKER_FAULT_TIMES=1 \
+	  $(PY) -m repro.cli join \
+	  --relation R=A,B:/tmp/repro-chaos-smoke.csv \
+	  --relation S=B,C:/tmp/repro-chaos-smoke.csv \
+	  --relation T=A,C:/tmp/repro-chaos-smoke.csv \
+	  --workers 2 --shards 2 > /tmp/repro-chaos-smoke.got
+	diff /tmp/repro-chaos-smoke.expected /tmp/repro-chaos-smoke.got
+	REPRO_WORKER_FAULT=hang REPRO_WORKER_FAULT_TIMES=99 \
+	  REPRO_WORKER_FAULT_SECONDS=30 \
+	  $(PY) -m repro.cli join \
+	  --relation R=A,B:/tmp/repro-chaos-smoke.csv \
+	  --relation S=B,C:/tmp/repro-chaos-smoke.csv \
+	  --relation T=A,C:/tmp/repro-chaos-smoke.csv \
+	  --workers 2 --shards 2 --deadline-ms 500; test $$? -eq 4
 
 # Op-count drift gate: every smoke workload's instrumented tallies must
 # match benchmarks/baselines/smoke_ops.json (CI runs this under both

@@ -28,6 +28,8 @@ STRICT_SET: Tuple[str, ...] = (
     "src/repro/storage/",
     "src/repro/obs/",
     "src/repro/analysis/",
+    "src/repro/parallel/",
+    "src/repro/core/resilience.py",
     "src/repro/planner/cache.py",
     "src/repro/dynamic/wal.py",
 )

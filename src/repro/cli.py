@@ -149,10 +149,40 @@ def _parallel_args(args: argparse.Namespace):
     return workers, shards
 
 
+def _resilience_args(args: argparse.Namespace):
+    """Validated ``(budget, retry_policy)`` from the shared flags.
+
+    Either may be ``None`` — an unbounded budget / the default policy.
+    """
+    from repro.core.resilience import QueryBudget, RetryPolicy
+
+    budget = None
+    if (
+        args.max_ops is not None
+        or args.deadline_ms is not None
+        or args.max_rows is not None
+    ):
+        try:
+            budget = QueryBudget(
+                max_ops=args.max_ops,
+                deadline_ms=args.deadline_ms,
+                max_rows=args.max_rows,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    policy = None
+    if args.retries is not None:
+        if args.retries < 0:
+            raise SystemExit("--retries must be non-negative")
+        policy = RetryPolicy(retries=args.retries)
+    return budget, policy
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     if args.limit is not None and args.limit < 0:
         raise SystemExit("--limit must be non-negative")
     workers, shards = _parallel_args(args)
+    budget, retry_policy = _resilience_args(args)
     query = _build_query(args.relation)
     gao = args.gao.split(",") if args.gao else None
     if args.explain:
@@ -161,6 +191,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(format_explanation(explain(query, gao=gao, dry_run=True)))
         return 0
     if args.engine == "minesweeper":
+        from repro.core.resilience import admit
+
         result = join(
             query,
             gao=gao,
@@ -169,6 +201,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
             workers=workers,
             shards=shards,
             cds_backend=args.cds_backend,
+            admission=admit(budget),
+            retry_policy=retry_policy,
         )
         rows, stats = result.rows, result.stats()
         used_gao = list(result.gao)
@@ -182,6 +216,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "--workers/--shards are Minesweeper-only (the baselines "
                 "have no sharded execution path)"
+            )
+        if budget is not None or retry_policy is not None:
+            raise SystemExit(
+                "--max-ops/--deadline-ms/--max-rows/--retries are "
+                "Minesweeper-only (the baselines have no cooperative "
+                "admission checkpoints)"
             )
         if gao is None:
             gao, _ = query.choose_gao()
@@ -445,7 +485,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _planner_config(args: argparse.Namespace):
-    """PlannerConfig from the shared query/serve flags."""
+    """``(PlannerConfig, RetryPolicy | None)`` from the query/serve flags.
+
+    The admission budget rides on the config (``PlannerConfig.budget``)
+    so the session picks it up as its per-statement default; the retry
+    policy is a session-level knob and returned separately.
+    """
     from repro.planner import PlannerConfig
 
     if args.workers is not None and args.workers < 0:
@@ -454,13 +499,15 @@ def _planner_config(args: argparse.Namespace):
         raise SystemExit("--shards must be >= 1")
     if args.sample_limit < 1:
         raise SystemExit("--sample-limit must be >= 1")
+    budget, retry_policy = _resilience_args(args)
     return PlannerConfig(
         sample_limit=args.sample_limit,
         seed=args.seed,
         workers=args.workers or 0,
         shards=args.shards or 0,
         cds_backend=args.cds_backend,
-    )
+        budget=budget,
+    ), retry_policy
 
 
 def _print_exec_result(result) -> None:
@@ -517,14 +564,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.lang import QueryError
     from repro.serve import Session
 
-    config = _planner_config(args)
+    config, retry_policy = _planner_config(args)
     catalog = _catalog_from_specs(args.relation)
     obs = None
     if args.trace:
         from repro.obs import Observability
 
         obs = Observability(trace=True)
-    session = Session(catalog, config=config, obs=obs)
+    session = Session(
+        catalog, config=config, obs=obs, retry_policy=retry_policy
+    )
     if args.repl:
         if args.text or args.explain:
             raise SystemExit(
@@ -590,7 +639,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay a script of mixed DDL / updates / queries (batch serving)."""
     from repro.serve import ScriptError, Session, run_script
 
-    config = _planner_config(args)
+    config, retry_policy = _planner_config(args)
     if args.slow_query_ms is not None and args.slow_query_ms < 0:
         raise SystemExit("--slow-query-ms must be non-negative")
     obs = None
@@ -606,7 +655,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.data_dir:
         try:
             session = Session.durable(
-                args.data_dir, config=config, fsync=args.fsync, obs=obs
+                args.data_dir, config=config, fsync=args.fsync, obs=obs,
+                retry_policy=retry_policy,
             )
         except ValueError as exc:  # corrupt WAL / tampered snapshot
             raise SystemExit(f"cannot recover {args.data_dir}: {exc}")
@@ -616,7 +666,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.snapshot_on_exit:
             raise SystemExit("--snapshot-on-exit requires --data-dir")
         session = Session(
-            _catalog_from_specs(args.relation), config=config, obs=obs
+            _catalog_from_specs(args.relation), config=config, obs=obs,
+            retry_policy=retry_policy,
         )
     # Even when the script fails, a durable session must close its WAL
     # so batch-policy commits get their close-time fsync.  The one
@@ -813,6 +864,7 @@ def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
     """Flags shared by the serving commands (query / serve)."""
     _add_parallel_flags(parser)
     _add_cds_backend_flag(parser)
+    _add_resilience_flags(parser)
     parser.add_argument(
         "--sample-limit", type=int, default=256, metavar="K",
         help="per-relation row cap for the planner's candidate-scoring "
@@ -821,6 +873,29 @@ def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=0,
         help="seed for the planner's random GAO candidates (default 0)",
+    )
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Admission-control / retry flags shared by join, query, serve."""
+    parser.add_argument(
+        "--max-ops", type=int, metavar="N",
+        help="abort with a typed BudgetExceeded (exit 4) once the query "
+        "has tallied N CDS operations (interval_ops + constraints)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=int, metavar="MS",
+        help="wall-clock deadline per query; pool workers cancel "
+        "cooperatively and the driver aborts with QueryTimeout (exit 4)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, metavar="N",
+        help="abort with BudgetExceeded once the output exceeds N rows",
+    )
+    parser.add_argument(
+        "--retries", type=int, metavar="K",
+        help="retry a failed pooled shard attempt up to K times with "
+        "exponential backoff before the in-process fallback (default 2)",
     )
 
 
@@ -881,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_flags(p_join)
     _add_cds_backend_flag(p_join)
+    _add_resilience_flags(p_join)
     p_join.set_defaults(func=_cmd_join)
 
     p_gao = sub.add_parser("gao-search", help="find a cheap attribute order")
@@ -1084,6 +1160,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.core.resilience import ExecutionError
     from repro.testing.faults import InjectedCrash, install_from_env
 
     parser = build_parser()
@@ -1097,6 +1174,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except InjectedCrash as exc:
         print(f"# {exc}", file=sys.stderr)
         return 3
+    except ExecutionError as exc:
+        # Typed policy aborts (BudgetExceeded / QueryTimeout /
+        # ShardFailure) get their own exit code so harnesses can tell
+        # "the budget fired as designed" from a real failure.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 4
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ class JoinResult:
         limit: Optional[int] = None,
         shards: Optional[int] = None,
         workers: Optional[int] = None,
+        shards_discarded: int = 0,
     ) -> None:
         self.rows = rows
         self.gao = tuple(gao)
@@ -37,6 +38,10 @@ class JoinResult:
         #: ``counters`` is then the merged per-shard tally.
         self.shards = shards
         self.workers = workers
+        #: Planned shards whose results were never merged because an
+        #: early ``limit`` exit stopped consumption first (their work
+        #: is discarded untallied; pooled runs terminate them).
+        self.shards_discarded = shards_discarded
 
     def __iter__(self):
         return iter(self.rows)
@@ -72,6 +77,10 @@ def join(
     shards: Optional[int] = None,
     cds_backend: Optional[str] = None,
     tracer=None,
+    admission=None,
+    retry_policy=None,
+    breaker=None,
+    resilience=None,
 ) -> JoinResult:
     """Evaluate a natural join with Minesweeper.
 
@@ -105,6 +114,14 @@ def join(
     ``tracer`` (a :class:`repro.obs.trace.Tracer`) records per-shard
     child spans on the sharded path; rows and op counts are invariant
     in it (observability only reads the clock).
+
+    ``admission`` (an :class:`~repro.core.resilience.AdmittedQuery`)
+    enforces the query budget cooperatively — ops/rows/deadline checks
+    in the engine loop and after every shard merge; ``retry_policy`` /
+    ``breaker`` / ``resilience`` steer the sharded path's supervisor
+    (see :mod:`repro.core.resilience`).  None of the four changes rows
+    or op counts unless a limit actually fires (then a typed
+    :class:`~repro.core.resilience.ExecutionError` aborts the run).
     """
     if limit is not None and limit < 0:
         raise ValueError(f"limit must be non-negative, got {limit}")
@@ -133,6 +150,10 @@ def join(
             limit=limit,
             cds_backend=cds_backend,
             tracer=tracer,
+            admission=admission,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            resilience=resilience,
         ).run()
     if gao is None:
         gao, _ = query.choose_gao()
@@ -149,6 +170,7 @@ def join(
         memoize=memoize,
         merge_intervals=merge_intervals,
         cds_backend=cds_backend,
+        admission=admission,
     )
     if limit is None:
         rows = engine.run()
@@ -166,6 +188,7 @@ def iterate_join(
     counters: Optional[OpCounters] = None,
     backend: Optional[str] = None,
     cds_backend: Optional[str] = None,
+    admission=None,
 ) -> Tuple[Iterator[Tuple[int, ...]], PreparedQuery]:
     """Streaming join: ``(row_iterator, prepared_query)``.
 
@@ -189,6 +212,7 @@ def iterate_join(
         else query.with_gao(gao, counters=counters, backend=backend)
     )
     engine = Minesweeper(
-        prepared, strategy=strategy, cds_backend=cds_backend
+        prepared, strategy=strategy, cds_backend=cds_backend,
+        admission=admission,
     )
     return engine.iterate(), prepared

@@ -220,7 +220,7 @@ class LiveJoin:
             # plan through a real pool — consistent with join()
             from repro.parallel.executor import run_sharded  # lint: disable=layering -- deferred import breaking the core->parallel cycle
 
-            rows, _, _ = run_sharded(
+            rows = run_sharded(
                 relations,
                 self.gao,
                 shards=self.shards,
@@ -228,7 +228,7 @@ class LiveJoin:
                 strategy=self.strategy,
                 counters=counters,
                 cds_backend=self.cds_backend,
-            )
+            ).rows
             return rows
         return Minesweeper(
             self._prepared(relations, counters),

@@ -20,6 +20,7 @@ from repro.core.cds_arena import (
 )
 from repro.core.constraints import Constraint, WILDCARD
 from repro.core.query import PreparedQuery
+from repro.core.resilience import AdmittedQuery
 from repro.storage.delta import DeltaRelation, StaleHandleError
 from repro.storage.flat_trie import FlatTrieRelation
 from repro.storage.relation import Relation
@@ -68,6 +69,7 @@ class Minesweeper:
         max_probes: Optional[int] = None,
         cds_backend: Optional[str] = None,
         max_ops: Optional[int] = None,
+        admission: Optional["AdmittedQuery"] = None,
     ) -> None:
         self.query = query
         self.counters: OpCounters = query.counters
@@ -110,6 +112,15 @@ class Minesweeper:
         #: :class:`NullCounters` the tallies stay zero and the cap
         #: never fires.
         self.max_ops = max_ops
+        #: Optional :class:`~repro.core.resilience.AdmittedQuery` — the
+        #: serving layer's admission control.  Unlike ``max_ops`` (an
+        #: internal measurement abort that raises
+        #: :class:`MinesweeperError`), admission raises the *typed*
+        #: taxonomy (``BudgetExceeded`` / ``QueryTimeout``) that
+        #: surfaces through sessions, scripts, and the CLI.  Checked
+        #: cooperatively once per probe; the deadline is only read
+        #: every ``AdmittedQuery.DEADLINE_STRIDE`` ticks.
+        self.admission = admission
 
     # ------------------------------------------------------------------
 
@@ -130,6 +141,7 @@ class Minesweeper:
         n = self.query.n
         budget = self.max_probes
         ops_budget = self.max_ops
+        admission = self.admission
         # Per-relation explorer closures, resolved once (see
         # _make_explorer): flat indexes get CSR-inlined variants with
         # their arrays captured, writable LSM relations are explored
@@ -157,6 +169,11 @@ class Minesweeper:
             ):
                 raise MinesweeperError(
                     f"op budget {ops_budget} exhausted at t={t}"
+                )
+            if admission is not None:
+                admission.tick(
+                    counters.interval_ops + counters.constraints,
+                    counters.output_tuples,
                 )
             is_member = True
             discovered: List[Constraint] = []

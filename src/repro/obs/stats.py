@@ -15,6 +15,8 @@ nested schema everything renders from::
     catalog.relations.<name>.<lsm key>  (DeltaRelation.stats)
     catalog.views.<name>.rows / ...     (LiveJoin bookkeeping)
     catalog.wal.<key>                   (durable catalogs only)
+    execution.resilience.<counter>      (supervisor retry/fault tallies)
+    execution.breaker.<key>             (pool circuit-breaker state)
 
 ``repro serve``'s ``STATS`` statement prints the flattened tree, and
 :func:`stats_to_prometheus` exports the *same* flattened paths as one
@@ -44,6 +46,13 @@ def unified_stats(session: Any) -> StatsTree:
         "ops": session.counters.snapshot(),
         "catalog": catalog_stats(catalog),
     }
+    resilience = getattr(session, "resilience", None)
+    breaker = getattr(session, "breaker", None)
+    if resilience is not None and breaker is not None:
+        tree["execution"] = {
+            "resilience": resilience.snapshot(),
+            "breaker": breaker.stats(),
+        }
     slow = getattr(session.obs, "slow_queries", None)
     if slow is not None and session.obs.enabled:
         tree["session"]["slow_queries"] = len(slow)

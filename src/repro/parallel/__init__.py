@@ -19,6 +19,11 @@ Layers:
   ``multiprocessing`` pool (``workers >= 1``) or in-process
   (``workers=0``, the deterministic sequential mode tests and op-count
   parity checks rely on), and merge rows + counters;
+* :mod:`repro.parallel.supervisor` — the resilient pooled path: one
+  supervised process per shard attempt with death detection, per-shard
+  timeouts, bounded retries with backoff, and a deterministic
+  in-process fallback (see :mod:`repro.core.resilience` for the policy
+  vocabulary);
 * :mod:`repro.parallel.certify` — the same fan-out for the
   Proposition-2.5 certificate recorder/checker.
 
@@ -28,12 +33,19 @@ and the ``--workers/--shards`` CLI flags on ``join`` / ``certificate`` /
 ``stream``.
 """
 
-from repro.parallel.executor import ShardedExecutor, run_sharded
+from repro.parallel.executor import (
+    ShardedExecutor,
+    ShardedRun,
+    run_sharded,
+)
 from repro.parallel.planner import Shard, plan_shards, shard_relations
+from repro.parallel.supervisor import ShardSupervisor
 
 __all__ = [
     "Shard",
+    "ShardSupervisor",
     "ShardedExecutor",
+    "ShardedRun",
     "plan_shards",
     "run_sharded",
     "shard_relations",

@@ -14,14 +14,20 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.certificates.recorder import record_certificate
 from repro.core.cds_arena import resolve_cds_backend
 from repro.certificates.verifier import check_certificate
 from repro.core.query import PreparedQuery
 from repro.parallel.planner import plan_and_slice
+from repro.storage.relation import Relation
 from repro.util.counters import OpCounters
+
+#: (relations, gao, lo, hi, samples, cds_backend) shipped to a worker.
+CertifyPayload = Tuple[
+    List[Relation], List[str], int, int, int, Optional[str]
+]
 
 
 @dataclass
@@ -36,7 +42,7 @@ class ShardCertificate:
     passed: bool
 
 
-def _certify_shard(payload) -> ShardCertificate:
+def _certify_shard(payload: CertifyPayload) -> ShardCertificate:
     relations, gao, lo, hi, samples, cds_backend = payload
     counters = OpCounters()
     for r in relations:
@@ -59,7 +65,7 @@ def certify_sharded(
     shards: int,
     workers: int = 0,
     samples: int = 20,
-    cds_backend: str = None,
+    cds_backend: Optional[str] = None,
 ) -> List[ShardCertificate]:
     """Record and check one certificate per shard of the plan.
 

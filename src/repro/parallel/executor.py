@@ -8,10 +8,14 @@ executor runs them either
   shards run one after another on this interpreter, byte-identical to
   the pooled run (same plan, same per-shard engines), so tests can
   assert op-count parity without multiprocessing in the loop; or
-* **pooled** (``workers >= 1``) — a ``multiprocessing`` pool of that
-  many processes.  Payloads are the sliced relations themselves: the
-  FlatTrie CSR arrays are plain lists and pickle cheaply, so workers
-  deserialize ready-built indexes instead of rebuilding tries.
+* **pooled** (``workers >= 1``) — one supervised ``multiprocessing``
+  process per shard attempt (see
+  :class:`~repro.parallel.supervisor.ShardSupervisor`: death
+  detection, per-attempt timeouts, bounded retries with backoff, and a
+  deterministic in-process fallback).  Payloads are the sliced
+  relations themselves: the FlatTrie CSR arrays are plain lists and
+  pickle cheaply, so workers deserialize ready-built indexes instead
+  of rebuilding tries.
 
 Per-shard :class:`~repro.util.counters.OpCounters` tallies are merged
 with ``OpCounters.merge``; the merged tally is identical between the
@@ -25,30 +29,55 @@ run: each shard pays a couple of boundary probes, and gaps discovered
 in relations that do not contain the leading attribute (shared across
 the whole domain in a single sequential run) are rediscovered once per
 shard.  ``benchmarks/bench_parallel.py`` tracks both numbers.
+
+Admission control (:class:`~repro.core.resilience.QueryBudget`)
+threads through here: the driver checks ops/rows/deadline after every
+shard merge, and each payload ships the remaining deadline fraction so
+pool workers cancel themselves cooperatively mid-shard.
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.cds_arena import resolve_cds_backend
 from repro.core.engine import JoinResult
 from repro.core.minesweeper import Minesweeper
 from repro.core.query import PreparedQuery, Query
+from repro.core.resilience import (
+    AdmittedQuery,
+    CircuitBreaker,
+    QueryBudget,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.hypergraph.elimination import is_nested_elimination_order
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.planner import plan_and_slice
+from repro.parallel.supervisor import (
+    ShardPayload,
+    ShardResult,
+    ShardSupervisor,
+)
 from repro.storage.relation import Relation
 from repro.util.counters import NullCounters, OpCounters
 
 Row = Tuple[int, ...]
 
-#: What one worker needs to run one shard: (relations, gao, strategy,
-#: memoize, merge_intervals, limit, count, cds_backend) — all plain
-#: picklable data.
-ShardPayload = Tuple
+
+class ShardedRun(NamedTuple):
+    """What :func:`run_sharded` returns (unpacks like the old tuple,
+    plus the early-exit discard count)."""
+
+    rows: List[Row]
+    counters: OpCounters
+    shards_run: int
+    #: Planned shards whose results were never merged because an early
+    #: ``limit`` exit stopped consumption first (pooled: possibly
+    #: in-flight and terminated; in-process: never started).
+    shards_discarded: int
 
 
 def resolve_strategy(
@@ -64,23 +93,32 @@ def resolve_strategy(
     return "chain" if is_nested_elimination_order(h, gao) else "general"
 
 
-def _run_shard(payload: ShardPayload):
-    """Run one shard to completion (executed inside a pool worker, or
-    inline for the ``workers=0`` sequential mode)."""
+def _run_shard(payload: ShardPayload) -> ShardResult:
+    """Run one shard to completion (executed inside a supervised pool
+    worker, or inline for the ``workers=0`` sequential mode and the
+    supervisor's deterministic fallback)."""
     (
         relations, gao, strategy, memoize, merge_intervals, limit, count,
-        cds_backend,
+        cds_backend, _lo, _hi, deadline_s,
     ) = payload
     counters = OpCounters() if count else NullCounters()
     for r in relations:
         r.rebind_counters(counters)
     prepared = PreparedQuery(list(relations), gao, counters)
+    admission = None
+    if deadline_s is not None:
+        # Re-pin the shipped deadline fraction to this process's clock:
+        # the worker cancels itself cooperatively from the engine loop.
+        admission = QueryBudget(
+            deadline_ms=max(1, int(deadline_s * 1000))
+        ).admit()
     engine = Minesweeper(
         prepared,
         strategy=strategy,
         memoize=memoize,
         merge_intervals=merge_intervals,
         cds_backend=cds_backend,
+        admission=admission,
     )
     if limit is None:
         rows = engine.run()
@@ -100,23 +138,28 @@ def run_sharded(
     counters: Optional[OpCounters] = None,
     limit: Optional[int] = None,
     cds_backend: Optional[str] = None,
-    tracer=None,
-) -> Tuple[List[Row], OpCounters, int]:
+    tracer: Optional[Tracer] = None,
+    admission: Optional[AdmittedQuery] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    resilience: Optional[ResilienceStats] = None,
+) -> ShardedRun:
     """Plan, execute, and merge a sharded run over prepared relations.
 
     ``relations`` must already be indexed consistently with ``gao``
-    (the caller — ``join`` or ``LiveJoin`` — guarantees it).  Returns
-    ``(rows, merged_counters, shards_run)``; ``rows`` are in global GAO
-    order and ``merged_counters`` is the provided ``counters`` object
-    (or a fresh one) with every shard's tally merged in.  ``workers=0``
-    runs the shards sequentially in-process; the merged rows and
-    counters are identical either way.
+    (the caller — ``join`` or ``LiveJoin`` — guarantees it).  Returns a
+    :class:`ShardedRun`; ``rows`` are in global GAO order and
+    ``counters`` is the provided counters object (or a fresh one) with
+    every shard's tally merged in.  ``workers=0`` runs the shards
+    sequentially in-process; the merged rows and counters are identical
+    either way.
 
     Under ``limit``, shard results are consumed in plan (range) order
     and consumption stops as soon as the global prefix is full, so the
     merged counters reflect only the shards whose certificate was
     actually consumed — in both modes (a pool may have later shards in
-    flight when consumption stops; their work is discarded untallied).
+    flight when consumption stops; their work is terminated, discarded
+    untallied, and counted in ``shards_discarded``).
 
     ``tracer`` (a :class:`repro.obs.trace.Tracer`) records one child
     span per shard consumed.  In-process (``workers=0``) the span
@@ -125,9 +168,13 @@ def run_sharded(
     shard's result to arrive in plan order (attribute ``mode=pooled``
     marks the distinction).  Rows and op counts are invariant in the
     tracer — it only ever reads the clock.
-    """
-    from repro.obs.trace import NULL_TRACER
 
+    ``admission`` / ``retry_policy`` / ``breaker`` / ``resilience``
+    are the resilience plumbing (see :mod:`repro.core.resilience`):
+    budget checks run after every shard merge, the retry policy
+    governs failed pooled attempts, and attempt outcomes feed the
+    breaker and the stats object.
+    """
     if tracer is None:
         tracer = NULL_TRACER
     base = counters if counters is not None else OpCounters()
@@ -140,9 +187,10 @@ def run_sharded(
         # Nothing to run: limit=0 consumes no certificate at all, and an
         # empty leading domain proves emptiness from the stored tries
         # alone (an output value must occur in some leading relation).
-        return [], base, len(plan)
+        return ShardedRun([], base, len(plan), 0)
     count = base.enabled
-    payloads = [
+    deadline_s = admission.remaining_s() if admission is not None else None
+    payloads: List[ShardPayload] = [
         (
             shard_rels,
             list(gao),
@@ -152,40 +200,62 @@ def run_sharded(
             limit,
             count,
             cds_backend,
+            shard.lo,
+            shard.hi,
+            deadline_s,
         )
-        for shard_rels in slices
+        for shard, shard_rels in zip(plan, slices)
     ]
     rows: List[Row] = []
+    stats = resilience if resilience is not None else ResilienceStats()
+    supervisor = ShardSupervisor(
+        _run_shard,
+        payloads,
+        plan,
+        workers,
+        policy=retry_policy,
+        admission=admission,
+        stats=stats,
+        breaker=breaker,
+        tracer=tracer,
+    )
+    mode = "pooled" if workers else "in-process"
 
-    def consume(results, mode: str) -> bool:
+    def consume(results: Iterator[ShardResult]) -> bool:
         """Merge results in plan order; True once ``limit`` is reached.
 
         Each shard is pulled *inside* its span, so in-process mode
         times the shard's actual engine run (the generator is lazy)
         and pooled mode times the plan-order wait for that worker.
         """
-        iterator = iter(results)
         for index, shard in enumerate(plan):
             with tracer.span(
                 "shard", index=index, lo=shard.lo, hi=shard.hi, mode=mode
             ) as span:
-                shard_rows, shard_counters = next(iterator)
+                shard_rows, shard_counters = next(results)
                 rows.extend(shard_rows)
                 base.merge(shard_counters)
                 span.set("rows", len(shard_rows))
                 span.set_ops(shard_counters.snapshot())
+            if admission is not None:
+                admission.check_ops(
+                    base.interval_ops + base.constraints
+                )
+                admission.check_rows(len(rows))
+                admission.check_deadline("driver")
             if limit is not None and len(rows) >= limit:
                 return True
         return False
 
-    if workers:
-        with multiprocessing.get_context().Pool(
-            min(workers, len(payloads))
-        ) as pool:
-            consume(pool.imap(_run_shard, payloads, chunksize=1), "pooled")
-    else:
-        consume(
-            (_run_shard(payload) for payload in payloads), "in-process"
+    try:
+        consume(supervisor.results())
+    finally:
+        supervisor.shutdown()
+    discarded = len(payloads) - supervisor.consumed
+    if discarded:
+        stats.shards_discarded += discarded
+        tracer.record_span(
+            "shard.early_exit", 0.0, shards_discarded=discarded
         )
     # In-process shard runs rebind the pass-through relations' counters;
     # leave every original relation tallying into the merged object, not
@@ -194,7 +264,7 @@ def run_sharded(
         r.rebind_counters(base)
     if limit is not None:
         rows = rows[:limit]
-    return rows, base, len(payloads)
+    return ShardedRun(rows, base, len(payloads), discarded)
 
 
 class ShardedExecutor:
@@ -221,7 +291,11 @@ class ShardedExecutor:
         backend: Optional[str] = None,
         limit: Optional[int] = None,
         cds_backend: Optional[str] = None,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
+        admission: Optional[AdmittedQuery] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        resilience: Optional[ResilienceStats] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -240,7 +314,7 @@ class ShardedExecutor:
             else query.with_gao(gao, backend=backend)
         )
         self.prepared = prepared
-        self.gao = tuple(gao)
+        self.gao: Tuple[str, ...] = tuple(gao)
         self.shards = shards
         self.workers = workers
         self.strategy = resolve_strategy(
@@ -251,9 +325,13 @@ class ShardedExecutor:
         self.limit = limit
         self.cds_backend = resolve_cds_backend(cds_backend)
         self.tracer = tracer
+        self.admission = admission
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.resilience = resilience
 
     def run(self) -> JoinResult:
-        rows, merged, shards_run = run_sharded(
+        run = run_sharded(
             self.prepared.relations,
             self.gao,
             shards=self.shards,
@@ -265,13 +343,30 @@ class ShardedExecutor:
             limit=self.limit,
             cds_backend=self.cds_backend,
             tracer=self.tracer,
+            admission=self.admission,
+            retry_policy=self.retry_policy,
+            breaker=self.breaker,
+            resilience=self.resilience,
         )
         return JoinResult(
-            rows,
+            run.rows,
             self.gao,
             self.strategy,
-            merged,
+            run.counters,
             limit=self.limit,
-            shards=shards_run,
+            shards=run.shards_run,
             workers=self.workers,
+            shards_discarded=run.shards_discarded,
         )
+
+
+#: Re-exported for payload-shape introspection (see
+#: :mod:`repro.analysis.payloads` and the supervisor, where it is
+#: defined).
+__all__ = [
+    "ShardPayload",
+    "ShardedExecutor",
+    "ShardedRun",
+    "resolve_strategy",
+    "run_sharded",
+]

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.explain import explain as explain_structure
 from repro.core.gao_search import candidate_gaos
 from repro.core.query import Query
+from repro.core.resilience import QueryBudget
 from repro.lang.lower import LoweredQuery
 from repro.planner.plan import (
     ENGINE_MINESWEEPER,
@@ -88,6 +89,12 @@ class PlannerConfig:
     #: Forced storage / CDS backends (None = engine defaults).
     backend: Optional[str] = None
     cds_backend: Optional[str] = None
+    #: Default per-statement admission budget for sessions planned
+    #: under this config (None = unbounded).  The planner itself never
+    #: consults it — admission is an execution-time concern — but
+    #: carrying it here lets one config object configure a whole
+    #: serving stack (see ``Session.__init__``).
+    budget: Optional["QueryBudget"] = None
 
 
 def detect_triangle(query: Query) -> Optional[TriangleMapping]:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import re
 from typing import IO, Iterable, List, Optional, Union
 
+from repro.core.resilience import ExecutionError
 from repro.dynamic.log import parse_update
 from repro.lang.ast import QueryError
 from repro.lang.parser import is_query_text
@@ -84,6 +85,12 @@ class ScriptRunner:
         try:
             self._dispatch(line)
         except QueryError as exc:
+            raise ScriptError(lineno, str(exc)) from exc
+        except ExecutionError as exc:
+            # Typed admission/resilience aborts (BudgetExceeded,
+            # QueryTimeout, ShardFailure) keep per-statement
+            # attribution: the line number names the query that blew
+            # its budget, and the cause chain keeps the typed error.
             raise ScriptError(lineno, str(exc)) from exc
         except (KeyError, ValueError) as exc:
             raise ScriptError(lineno, str(exc)) from exc

@@ -25,6 +25,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import iterate_join, join
+from repro.core.resilience import (
+    AdmittedQuery,
+    CircuitBreaker,
+    QueryBudget,
+    ResilienceStats,
+    RetryPolicy,
+    admit,
+)
 from repro.dynamic.catalog import Catalog
 from repro.lang.ast import Aggregate, QueryStatement
 from repro.lang.lower import LoweredQuery, lower, validate
@@ -126,6 +134,8 @@ class Session:
         config: Optional[PlannerConfig] = None,
         cache_capacity: int = 256,
         obs=None,
+        budget: Optional[QueryBudget] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.planner = Planner(config)
@@ -134,6 +144,22 @@ class Session:
         self.counters = OpCounters()
         self.queries_executed = 0
         self.statements_prepared = 0
+        #: Per-statement admission budget — every execute() admits the
+        #: statement against a fresh :class:`AdmittedQuery` carved from
+        #: this budget (None / unbounded = no admission checks).  A
+        #: budget on the :class:`PlannerConfig` is the fallback.
+        self.budget = budget if budget is not None else (
+            config.budget if config is not None else None
+        )
+        #: Retry/timeout/backoff policy the sharded supervisor runs
+        #: under (None = :data:`DEFAULT_RETRY_POLICY`).
+        self.retry_policy = retry_policy
+        #: Pool-health circuit breaker: repeated pooled shard failures
+        #: trip it and the session downgrades to ``workers=0``.
+        self.breaker = CircuitBreaker()
+        #: Cumulative supervisor counters (attempts, retries, deaths,
+        #: timeouts, fallbacks, downgrades ...) across the session.
+        self.resilience = ResilienceStats()
         #: The :class:`~repro.dynamic.durable.RecoveryReport` when the
         #: session was opened with :meth:`durable`, else ``None``.
         self.recovery = None
@@ -161,6 +187,8 @@ class Session:
         memtable_limit: Optional[int] = None,
         verify: bool = True,
         obs=None,
+        budget: Optional[QueryBudget] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "Session":
         """A session over a crash-recoverable catalog at ``data_dir``.
 
@@ -179,7 +207,8 @@ class Session:
             verify=verify,
         )
         session = cls(
-            catalog, config=config, cache_capacity=cache_capacity, obs=obs
+            catalog, config=config, cache_capacity=cache_capacity, obs=obs,
+            budget=budget, retry_policy=retry_policy,
         )
         session.recovery = recovery
         if session.obs.enabled:
@@ -296,6 +325,13 @@ class Session:
             lowered = lower(statement, self.catalog)
             counters = OpCounters()
             aggregate = statement.aggregate
+            # Admission: each statement gets a fresh AdmittedQuery
+            # carved from the session budget (the deadline clock starts
+            # here, after planning).  Typed ExecutionErrors propagate
+            # to the caller with this statement on the stack — the
+            # script/CLI layers attach line/statement attribution.
+            admission = admit(self.budget)
+            resilience_before = self.resilience.snapshot()
             with tracer.span(
                 "execute",
                 engine=plan.engine,
@@ -304,11 +340,12 @@ class Session:
             ) as espan:
                 if aggregate is not None:
                     result = self._execute_aggregate(
-                        lowered, plan, gao, triangle, aggregate, counters
+                        lowered, plan, gao, triangle, aggregate, counters,
+                        admission,
                     )
                 else:
                     result = self._execute_rows(
-                        lowered, plan, gao, triangle, counters
+                        lowered, plan, gao, triangle, counters, admission
                     )
                 espan.set("rows", len(result.rows))
                 espan.set_ops(counters.snapshot())
@@ -324,6 +361,7 @@ class Session:
         self.queries_executed += 1
         if obs.enabled:
             self._observe_query(statement, plan, result, cached)
+            self._observe_resilience(resilience_before)
         return result
 
     def _observe_query(
@@ -362,6 +400,26 @@ class Session:
             ops=dict(result.ops),
         )
 
+    def _observe_resilience(self, before: Dict[str, int]) -> None:
+        """Export per-query supervisor-counter deltas as metrics."""
+        after = self.resilience.snapshot()
+        metrics = self.obs.metrics
+        for key in (
+            "retries", "worker_deaths", "timeouts", "fallbacks",
+            "shards_discarded", "downgrades",
+        ):
+            delta = after.get(key, 0) - before.get(key, 0)
+            if delta:
+                metrics.counter(
+                    f"execution_{key}_total",
+                    f"Supervisor {key.replace('_', ' ')} across queries.",
+                ).inc(delta)
+        metrics.gauge(
+            "execution_breaker_open",
+            "1 when the pool circuit breaker is open (pooled plans "
+            "downgraded to workers=0).",
+        ).set(1 if self.breaker.open else 0)
+
     def _engine_rows(
         self,
         lowered: LoweredQuery,
@@ -369,32 +427,76 @@ class Session:
         gao: Tuple[str, ...],
         triangle,
         counters: OpCounters,
+        admission: Optional[AdmittedQuery] = None,
     ) -> List[Row]:
         """Full output rows over the localized ``gao`` order, sorted."""
         if plan.engine == ENGINE_TRIANGLE:
             from repro.core.triangle import triangle_join
 
             r, s, t = triangle_edges(lowered.query, triangle)
-            return sorted(
+            rows = sorted(
                 triangle_join(
                     r, s, t, counters, cds_backend=plan.cds_backend
                 )
             )
+            self._post_check(admission, counters, len(rows), "triangle")
+            return rows
         if plan.engine == ENGINE_YANNAKAKIS:
             from repro.baselines.yannakakis import yannakakis_join
 
-            return yannakakis_join(lowered.query, list(gao), counters)
+            rows = yannakakis_join(lowered.query, list(gao), counters)
+            self._post_check(admission, counters, len(rows), "yannakakis")
+            return rows
+        workers = plan.workers or None
+        if workers and not self.breaker.allow_pool():
+            # Breaker open: repeated pooled shard failures downgraded
+            # the session to in-process execution (byte-identical rows;
+            # only the pool is bypassed).  Reason is kept on the
+            # breaker and exported through stats()/metrics.
+            self.resilience.downgrades += 1
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.record_span(
+                    "pool.downgrade", 0.0,
+                    reason=self.breaker.reason or "breaker open",
+                )
+            workers = None
         return join(
             lowered.query,
             gao=list(gao),
             strategy=plan.strategy,
             counters=counters,
             backend=plan.backend,
-            workers=plan.workers or None,
+            workers=workers,
             shards=plan.shards,
             cds_backend=plan.cds_backend,
             tracer=self.obs.tracer,
+            admission=admission,
+            retry_policy=self.retry_policy,
+            breaker=self.breaker,
+            resilience=self.resilience,
         ).rows
+
+    @staticmethod
+    def _post_check(
+        admission: Optional[AdmittedQuery],
+        counters: OpCounters,
+        rows: int,
+        where: str,
+    ) -> None:
+        """Post-hoc admission check for batch engines that don't run
+        Minesweeper's cooperative in-loop tick (triangle/Yannakakis):
+        the budget is still enforced, just at engine granularity.
+        ``comparisons`` joins the ops measure because it is the tallied
+        cost unit of those engines (CDS ops stay zero there)."""
+        if admission is not None:
+            admission.tick(
+                counters.interval_ops
+                + counters.constraints
+                + counters.comparisons,
+                rows,
+                where=where,
+            )
 
     def _execute_rows(
         self,
@@ -403,10 +505,13 @@ class Session:
         gao: Tuple[str, ...],
         triangle,
         counters: OpCounters,
+        admission: Optional[AdmittedQuery] = None,
     ) -> ExecResult:
         head = lowered.statement.head_vars
         if tuple(head) == tuple(gao):
-            rows = self._engine_rows(lowered, plan, gao, triangle, counters)
+            rows = self._engine_rows(
+                lowered, plan, gao, triangle, counters, admission
+            )
             return ExecResult(
                 lowered.statement, plan, tuple(head), rows=rows
             )
@@ -429,13 +534,16 @@ class Session:
                 counters=counters,
                 backend=plan.backend,
                 cds_backend=plan.cds_backend,
+                admission=admission,
             )
             projected = {
                 tuple(row[p] for p in positions) for row in iterator
             }
             rows = sorted(projected)
         else:
-            full = self._engine_rows(lowered, plan, gao, triangle, counters)
+            full = self._engine_rows(
+                lowered, plan, gao, triangle, counters, admission
+            )
             projected_iter = (
                 tuple(row[p] for p in positions) for row in full
             )
@@ -452,6 +560,7 @@ class Session:
         triangle,
         aggregate: Aggregate,
         counters: OpCounters,
+        admission: Optional[AdmittedQuery] = None,
     ) -> ExecResult:
         column = aggregate.unparse().replace(" ", "").lower()
         if (
@@ -461,7 +570,9 @@ class Session:
         ):
             # Batch engines (and sharded/pooled runs) return a full
             # list; the aggregate folds it.
-            rows = self._engine_rows(lowered, plan, gao, triangle, counters)
+            rows = self._engine_rows(
+                lowered, plan, gao, triangle, counters, admission
+            )
             iterator = iter(rows)
         else:
             iterator, _ = iterate_join(
@@ -471,6 +582,7 @@ class Session:
                 counters=counters,
                 backend=plan.backend,
                 cds_backend=plan.cds_backend,
+                admission=admission,
             )
         value = self._fold(aggregate, gao, iterator)
         rows = [] if value is None else [(value,)]

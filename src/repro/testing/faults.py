@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Dict, Iterator, Optional
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Every crash point the durability code paths declare.  The
 #: fault-injection suite iterates this registry, so adding a point here
@@ -55,6 +56,11 @@ CRASH_POINTS = frozenset(
         "catalog.apply.mutate",   # batch durable in WAL, memory not updated
         "catalog.flush.mutate",   # flush record durable, flush not yet run
         "catalog.compact.mutate",  # compact record durable, not yet run
+        # --- sharded execution (repro/parallel/supervisor.py) ---
+        "shard.dispatch",   # before a shard attempt is launched
+        "shard.merge",      # before a shard's rows/counters are merged
+        "shard.retry",      # before a failed shard attempt is retried
+        "shard.fallback",   # before the in-process fallback runs
     }
 )
 
@@ -65,6 +71,12 @@ class InjectedCrash(RuntimeError):
     def __init__(self, point: str) -> None:
         super().__init__(f"injected crash at {point!r}")
         self.point = point
+
+    def __reduce__(self):
+        # Default exception pickling re-calls __init__ with the
+        # formatted message, mangling ``point``; shard workers ship
+        # exceptions through a Pipe, so round-trip the real field.
+        return (InjectedCrash, (self.point,))
 
 
 class FaultInjector:
@@ -129,13 +141,26 @@ def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
 
 
 def install_from_env(environ=os.environ) -> Optional[FaultInjector]:
-    """Arm a crash point from ``REPRO_CRASH_POINT`` (CLI smoke hook).
+    """Arm fault hooks from the environment (CLI smoke entry point).
 
-    ``REPRO_CRASH_HIT`` (default 1) picks which hit fires, so e.g. the
-    recovery smoke can let a few WAL commits land before dying.  The
-    injector stays installed for the life of the process.
+    ``REPRO_CRASH_POINT`` / ``REPRO_CRASH_HIT`` (default 1) arm a crash
+    point, so e.g. the recovery smoke can let a few WAL commits land
+    before dying.  ``REPRO_WORKER_FAULT`` / ``REPRO_WORKER_FAULT_TIMES``
+    / ``REPRO_WORKER_FAULT_SECONDS`` arm a worker-targeted execution
+    fault (see :class:`WorkerFaultPlan`) — the chaos smoke's hook.
+    Everything installed stays armed for the life of the process.
     """
-    global _ACTIVE
+    global _ACTIVE, _WORKER_FAULTS
+    kind = environ.get("REPRO_WORKER_FAULT", "").strip()
+    if kind:
+        _WORKER_FAULTS = WorkerFaultPlan(
+            kind,
+            times=int(environ.get("REPRO_WORKER_FAULT_TIMES", "1")),
+            seconds=float(
+                environ.get("REPRO_WORKER_FAULT_SECONDS", "3600")
+            ),
+            scope=environ.get("REPRO_WORKER_FAULT_SCOPE", "pool"),
+        )
     point = environ.get("REPRO_CRASH_POINT", "").strip()
     if not point:
         return None
@@ -143,6 +168,180 @@ def install_from_env(environ=os.environ) -> Optional[FaultInjector]:
     injector = FaultInjector().crash_at(point, hit=hit)
     _ACTIVE = injector
     return injector
+
+
+# ----------------------------------------------------------------------
+# Worker-targeted execution faults
+# ----------------------------------------------------------------------
+
+#: Fault kinds a shard attempt can be hit with.  ``crash`` models an
+#: abrupt worker death (``os._exit`` inside a pool process; a raised
+#: :class:`InjectedWorkerFault` for in-process attempts, which cannot
+#: exit the driver); ``hang`` sleeps until killed (pool attempts only —
+#: inline it degrades to ``slow``); ``slow`` sleeps briefly and then
+#: completes normally; ``poison`` lets the attempt finish and corrupts
+#: its result detectably (an out-of-range leading value); ``raise``
+#: throws a plain RuntimeError from the attempt (the worker-exception
+#: propagation case).
+WORKER_FAULT_KINDS = frozenset(
+    {"crash", "hang", "slow", "poison", "raise"}
+)
+
+
+class InjectedWorkerFault(RuntimeError):
+    """An injected in-process shard-attempt failure (simulated death)."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(f"injected worker fault: {kind}")
+        self.kind = kind
+
+    def __reduce__(self):
+        return (InjectedWorkerFault, (self.kind,))
+
+
+class WorkerFaultPlan:
+    """Arms the first ``times`` qualifying shard attempts with a fault.
+
+    The *driver* claims a fault per attempt (:func:`claim_worker_fault`)
+    before dispatching, so the budget is counted exactly once per
+    attempt regardless of the multiprocessing start method — a forked
+    child decrementing an inherited counter would reset it on every
+    fork.  The claimed descriptor is shipped to the worker, where it
+    actually fires (:func:`apply_worker_fault`).
+
+    ``scope`` is ``"pool"`` (default: only pooled attempts fault — the
+    in-process fallback stays clean, so retried queries converge) or
+    ``"all"`` (in-process attempts fault too — exhausting the policy
+    without any multiprocessing, which the fault-injection suite uses
+    to traverse the retry/fallback crash points cheaply).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        times: int = 1,
+        seconds: float = 3600.0,
+        scope: str = "pool",
+    ) -> None:
+        if kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker fault {kind!r}; "
+                f"expected one of {sorted(WORKER_FAULT_KINDS)}"
+            )
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if scope not in ("pool", "all"):
+            raise ValueError(f"scope must be 'pool' or 'all', got {scope!r}")
+        self.kind = kind
+        self.times = times
+        self.seconds = seconds
+        self.scope = scope
+        self.claimed = 0
+
+    def claim(self, pooled: bool) -> Optional["WorkerFault"]:
+        """The fault for the next attempt, or None (budget spent or
+        out of scope)."""
+        if not pooled and self.scope != "all":
+            return None
+        if self.claimed >= self.times:
+            return None
+        self.claimed += 1
+        return WorkerFault(self.kind, self.seconds)
+
+
+class WorkerFault:
+    """One claimed fault descriptor, shipped into the shard attempt."""
+
+    def __init__(self, kind: str, seconds: float) -> None:
+        self.kind = kind
+        self.seconds = seconds
+
+    def __reduce__(self):
+        return (WorkerFault, (self.kind, self.seconds))
+
+    def __repr__(self) -> str:
+        return f"WorkerFault({self.kind!r}, seconds={self.seconds})"
+
+
+_WORKER_FAULTS: Optional[WorkerFaultPlan] = None
+
+
+def claim_worker_fault(pooled: bool) -> Optional[WorkerFault]:
+    """Driver-side: the fault (if any) armed for the next attempt."""
+    if _WORKER_FAULTS is None:
+        return None
+    return _WORKER_FAULTS.claim(pooled)
+
+
+@contextlib.contextmanager
+def worker_faults(
+    kind: str,
+    times: int = 1,
+    seconds: float = 3600.0,
+    scope: str = "pool",
+) -> Iterator[WorkerFaultPlan]:
+    """Arm a :class:`WorkerFaultPlan` for the duration of the block."""
+    global _WORKER_FAULTS
+    plan = WorkerFaultPlan(kind, times=times, seconds=seconds, scope=scope)
+    previous, _WORKER_FAULTS = _WORKER_FAULTS, plan
+    try:
+        yield plan
+    finally:
+        _WORKER_FAULTS = previous
+
+
+def apply_worker_fault(
+    fault: Optional[WorkerFault], in_pool_worker: bool
+) -> None:
+    """Fire a claimed fault at the start of a shard attempt.
+
+    Called by the shard worker entry (pooled) and the in-process
+    attempt runner.  ``crash`` in a pool worker is a hard ``os._exit``
+    — no exception, no pipe message, exactly what a segfault or OOM
+    kill looks like to the supervisor; in-process it raises instead
+    (the driver must survive).  ``hang``/``slow`` sleep (a pooled hang
+    holds until the supervisor kills it); ``raise`` throws a plain
+    RuntimeError.  ``poison`` does nothing here — it corrupts the
+    *result*, see :func:`poison_result`.
+    """
+    if fault is None:
+        return
+    if fault.kind == "crash":
+        if in_pool_worker:
+            os._exit(3)
+        raise InjectedWorkerFault("crash")
+    if fault.kind == "hang":
+        if in_pool_worker:
+            time.sleep(fault.seconds)
+            return
+        # An in-process attempt cannot be preempted; a real inline
+        # hang would hang the suite, so degrade to a bounded pause.
+        time.sleep(min(fault.seconds, 0.05))
+        return
+    if fault.kind == "slow":
+        time.sleep(min(fault.seconds, 0.05))
+        return
+    if fault.kind == "raise":
+        raise RuntimeError("injected worker exception")
+    # "poison": handled at result time.
+
+
+def poison_result(
+    fault: Optional[WorkerFault],
+    rows: List[Tuple[int, ...]],
+    lo: int,
+    arity: int,
+) -> List[Tuple[int, ...]]:
+    """Corrupt a shard result detectably (``poison`` fault kind).
+
+    Prepends a row whose leading value lies below the shard's range —
+    exactly what the supervisor's result validation checks for.
+    """
+    if fault is None or fault.kind != "poison":
+        return rows
+    return [tuple([lo - 1] * arity)] + list(rows)
 
 
 # ----------------------------------------------------------------------

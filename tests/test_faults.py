@@ -37,6 +37,45 @@ FSYNC = "always"  # traverses wal.fsync on every append
 SEGMENT_LIMIT = 3  # forces rotations (wal.rotate) mid-scenario
 
 
+def _catalog_query(catalog):
+    """The catalog's R ⋈ S as a core Query (snapshot of current rows)."""
+    from repro.core.query import Query
+    from repro.storage.relation import Relation
+
+    return Query([
+        Relation("R", ["A", "B"], catalog.relation("R").index.tuples()),
+        Relation("S", ["B", "C"], catalog.relation("S").index.tuples()),
+    ])
+
+
+def _query_sharded(catalog):
+    """A 2-shard in-process join: traverses shard.dispatch/shard.merge."""
+    from repro.core.engine import join
+
+    join(_catalog_query(catalog), shards=2, workers=0)
+
+
+def _query_resilient(catalog):
+    """A join whose every attempt is injected to fail: traverses
+    shard.retry (bounded retries) and shard.fallback (the in-process
+    fallback, which the armed fault also kills → typed ShardFailure).
+    Read-only: the catalog state is untouched either way."""
+    from repro.core.engine import join
+    from repro.core.resilience import ExecutionError, RetryPolicy
+    from repro.testing.faults import worker_faults
+
+    try:
+        with worker_faults(kind="crash", times=64, scope="all"):
+            join(
+                _catalog_query(catalog),
+                shards=2,
+                workers=0,
+                retry_policy=RetryPolicy(retries=1, backoff_s=0.0),
+            )
+    except ExecutionError:
+        pass  # the expected typed abort — never a hang or bad rows
+
+
 def _ops():
     """The scenario: one durability-relevant operation per entry."""
     return [
@@ -45,6 +84,8 @@ def _ops():
         ("create-S", lambda c: c.create_relation(
             "S", ["B", "C"], [(2, 9), (3, 7)])),
         ("view-V", lambda c: c.register_view("V", ["R", "S"])),
+        ("query-sharded", _query_sharded),
+        ("query-resilient", _query_resilient),
         ("batch-1", lambda c: c.apply_batch([
             Update("R", "+", (5, 2)),
             Update("S", "-", (3, 7)),
@@ -157,7 +198,8 @@ class TestScenarioBaseline:
         labels = ["start"] + [label for label, _ in _ops()]
         for i, label in enumerate(labels[1:], 1):
             if label in ("flush", "compact", "snapshot",
-                         "snapshot-truncate"):
+                         "snapshot-truncate", "query-sharded",
+                         "query-resilient"):
                 continue  # logical state is unchanged by design
             assert checkpoints[i] != checkpoints[i - 1], label
 
@@ -209,8 +251,8 @@ class TestCrashEveryPoint:
             with pytest.raises(InjectedCrash):
                 run_crashing(data_dir)
         recovered, _ = recover_catalog(data_dir, attach=False)
-        # batch-1 is the first apply_batch: checkpoint index 4.
-        assert state_of(recovered) == checkpoints[4]
+        # batch-1 is the first apply_batch: checkpoint index 6.
+        assert state_of(recovered) == checkpoints[6]
 
     def test_crash_before_wal_append_loses_batch(self, tmp_path):
         checkpoints = run_clean(str(tmp_path / "clean"))
@@ -220,7 +262,7 @@ class TestCrashEveryPoint:
             with pytest.raises(InjectedCrash):
                 run_crashing(data_dir)
         recovered, _ = recover_catalog(data_dir, attach=False)
-        assert state_of(recovered) == checkpoints[3]  # pre-batch-1
+        assert state_of(recovered) == checkpoints[5]  # pre-batch-1
 
     def test_crash_during_snapshot_loses_no_data(self, tmp_path):
         checkpoints = run_clean(str(tmp_path / "clean"))
@@ -232,7 +274,7 @@ class TestCrashEveryPoint:
         recovered, report = recover_catalog(data_dir, attach=False)
         # The half-written snapshot is skipped; the WAL has everything.
         assert report.snapshot_id is None
-        assert state_of(recovered) == checkpoints[7]
+        assert state_of(recovered) == checkpoints[9]
 
 
 class TestTornWrites:
