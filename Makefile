@@ -5,7 +5,7 @@ PY := python
 SRC := src
 export PYTHONPATH := $(SRC)
 
-.PHONY: test lint bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke chaos-smoke
+.PHONY: test lint bench bench-smoke check-ops perf-report query-smoke recover-smoke trace-smoke chaos-smoke http-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -103,6 +103,22 @@ chaos-smoke:
 	  --relation S=B,C:/tmp/repro-chaos-smoke.csv \
 	  --relation T=A,C:/tmp/repro-chaos-smoke.csv \
 	  --workers 2 --shards 2 --deadline-ms 500; test $$? -eq 4
+
+# Serving smoke: the demo driver launches `repro serve --http` with
+# two durable tenants on an ephemeral port, loads per-tenant data over
+# HTTP, asserts concurrent responses byte-identical to sequential
+# references, drains an async ingest batch, provokes a typed HTTP 429
+# (BudgetExceeded), scrapes /metrics, and shuts down cleanly; then the
+# scraped exposition is schema-checked, the clean-shutdown snapshots
+# verified offline, and the op-count baseline asserted untouched.
+http-smoke:
+	rm -rf /tmp/repro-http-smoke
+	$(PY) examples/http_demo.py --data-dir /tmp/repro-http-smoke \
+	  --out-prom /tmp/repro-http-smoke/metrics.prom
+	$(PY) benchmarks/check_obs.py --prom /tmp/repro-http-smoke/metrics.prom
+	$(PY) -m repro.cli verify-state --data-dir /tmp/repro-http-smoke/alpha
+	$(PY) -m repro.cli verify-state --data-dir /tmp/repro-http-smoke/beta
+	git diff --exit-code -- benchmarks/baselines/smoke_ops.json
 
 # Op-count drift gate: every smoke workload's instrumented tallies must
 # match benchmarks/baselines/smoke_ops.json (CI runs this under both

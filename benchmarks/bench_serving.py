@@ -1,0 +1,177 @@
+"""Closed-loop serving throughput over the multi-tenant HTTP front door.
+
+Launches ``serve_http`` in-process on an ephemeral port and drives it
+with closed-loop client threads (each thread issues its next query the
+moment the previous response lands):
+
+* **rows** — every HTTP response must be byte-identical to executing
+  the same query on a direct in-process :class:`~repro.serve.Session`
+  over the same data: the network layer (pooling, tenant locks, the
+  shared plan cache) must not perturb results;
+* **throughput** — queries/second at 1/2/4/8 client threads, against
+  one tenant and spread across N tenants, recorded into
+  ``summary.csv`` (EXPERIMENTS.md's serving table reads these rows);
+* **baseline hygiene** — the committed op-count baseline
+  ``benchmarks/baselines/smoke_ops.json`` must be untouched after the
+  run: serving is a new surface, not a change to engine work.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.dynamic import Catalog
+from repro.net import Client, TenantRegistry, TenantSpec, serve_http
+from repro.serve import Session
+
+from benchmarks._util import record, sizes
+
+#: Closed-loop client thread counts (the ISSUE's 1/2/4/8 ladder).
+THREAD_COUNTS = sizes([1, 2, 4, 8], [1, 2])
+#: Queries each client thread issues per measured loop.
+REQUESTS_PER_THREAD = sizes(40, 4)
+#: Single-tenant vs. spread-across-N-tenants contention.
+TENANT_COUNTS = sizes([1, 4], [1, 2])
+
+PAIRS = "Q(x, z) :- E(x, y), E(y, z)"
+N_NODES = sizes(60, 12)
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "baselines",
+    "smoke_ops.json",
+)
+
+
+def _edges(tenant_index, nodes=None):
+    """A deterministic ring-with-chords graph, offset per tenant so
+    tenants hold (and must keep returning) different rows."""
+    n = nodes if nodes is not None else N_NODES
+    base = tenant_index * 1000
+    out = []
+    for i in range(n):
+        out.append((base + i, base + (i + 1) % n))
+        out.append((base + i, base + (i * 7 + 3) % n))
+    return sorted(set(out))
+
+
+def _direct_rows(edges):
+    catalog = Catalog()
+    catalog.create_relation("E", ["A", "B"], list(edges))
+    session = Session(catalog)
+    try:
+        return session.execute(PAIRS).rows
+    finally:
+        session.close()
+
+
+def _closed_loop(url, tenant_ids, threads, requests, reference):
+    """``threads`` closed-loop clients, round-robin over tenants;
+    returns (elapsed_s, error list)."""
+    errors = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(index):
+        client = Client(url)
+        tenant = tenant_ids[index % len(tenant_ids)]
+        barrier.wait()
+        for _ in range(requests):
+            rows = client.rows(PAIRS, tenant=tenant)
+            if rows != reference[tenant]:
+                errors.append(
+                    f"{tenant}: {len(rows)} rows != reference "
+                    f"{len(reference[tenant])}"
+                )
+                return
+
+    pool = [
+        threading.Thread(target=worker, args=(i,)) for i in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in pool:
+        t.join()
+    return time.perf_counter() - t0, errors
+
+
+def test_serving_throughput(benchmark):
+    with open(BASELINE, "rb") as handle:
+        baseline_before = handle.read()
+
+    tenant_count = max(TENANT_COUNTS)
+    registry = TenantRegistry(
+        [TenantSpec(f"t{i}") for i in range(tenant_count)]
+    )
+    for index in range(tenant_count):
+        tenant = registry.get(f"t{index}")
+        tenant.catalog.create_relation(
+            "E", ["A", "B"], _edges(index)
+        )
+    server = serve_http(registry)
+    serve_thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    serve_thread.start()
+
+    try:
+        # --- parity gate: HTTP rows == direct Session rows, bytewise ---
+        client = Client(server.url)
+        reference = {}
+        for index in range(tenant_count):
+            want = _direct_rows(_edges(index))
+            got = client.rows(PAIRS, tenant=f"t{index}")
+            assert got == want, (
+                f"t{index}: HTTP rows diverge from direct execution"
+            )
+            reference[f"t{index}"] = want
+
+        # --- throughput ladder: thread counts x tenant spread ---
+        metrics = {"rows_per_query": len(reference["t0"])}
+        for tenants in TENANT_COUNTS:
+            ids = [f"t{i}" for i in range(tenants)]
+            for threads in THREAD_COUNTS:
+                elapsed, errors = _closed_loop(
+                    server.url, ids, threads, REQUESTS_PER_THREAD,
+                    reference,
+                )
+                assert not errors, errors[:3]
+                total = threads * REQUESTS_PER_THREAD
+                metrics[f"qps_threads={threads}_tenants={tenants}"] = (
+                    round(total / elapsed, 1) if elapsed > 0 else 0.0
+                )
+
+        benchmark.pedantic(
+            lambda: _closed_loop(
+                server.url,
+                ["t0"],
+                THREAD_COUNTS[-1],
+                REQUESTS_PER_THREAD,
+                reference,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        case = (
+            f"pairs/n={N_NODES}/threads={THREAD_COUNTS[-1]}"
+            f"/tenants={max(TENANT_COUNTS)}"
+        )
+        record(benchmark, "SERVING_throughput", case, metrics)
+    finally:
+        server.shutdown()
+        server.server_close()
+        registry.close()
+        serve_thread.join(timeout=5.0)
+
+    with open(BASELINE, "rb") as handle:
+        assert handle.read() == baseline_before, (
+            "serving bench must not touch smoke_ops.json"
+        )
+    # The recorded plan-cache counters come from the shared registry
+    # cache — sanity: repeated traffic planned each query text once
+    # per tenant.
+    stats = registry.plan_cache.stats()
+    assert stats["hits"] > 0
+    json.dumps(stats)  # summary-safe (plain ints)

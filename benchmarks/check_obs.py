@@ -208,7 +208,8 @@ def check_slow_queries(path: str) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "metrics_dir", help="directory written by serve --metrics-dir"
+        "metrics_dir", nargs="?",
+        help="directory written by serve --metrics-dir",
     )
     parser.add_argument(
         "--require",
@@ -218,10 +219,30 @@ def main(argv=None) -> int:
         help="span name that must appear in spans.jsonl (repeatable; "
         f"default: {', '.join(DEFAULT_REQUIRED_SPANS)})",
     )
+    parser.add_argument(
+        "--prom",
+        metavar="FILE",
+        help="check a single Prometheus exposition file instead of a "
+        "metrics dump directory (e.g. a scraped /metrics page from "
+        "`repro serve --http`)",
+    )
     args = parser.parse_args(argv)
+    if (args.metrics_dir is None) == (args.prom is None):
+        parser.error("pass exactly one of metrics_dir or --prom")
     required = (
         tuple(args.require) if args.require else DEFAULT_REQUIRED_SPANS
     )
+    if args.prom:
+        try:
+            if not os.path.exists(args.prom):
+                raise CheckFailure(f"{args.prom}: no such file")
+            count = check_prometheus(args.prom)
+            print(f"ok {args.prom}: {count} metric families")
+        except CheckFailure as exc:
+            print(f"obs schema check failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"exposition at {args.prom} passes the schema check")
+        return 0
     checks = [
         ("spans.jsonl", lambda p: check_spans(p, required), "root spans"),
         ("metrics.prom", check_prometheus, "metric families"),

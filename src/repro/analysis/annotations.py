@@ -32,6 +32,7 @@ STRICT_SET: Tuple[str, ...] = (
     "src/repro/core/resilience.py",
     "src/repro/planner/cache.py",
     "src/repro/dynamic/wal.py",
+    "src/repro/net/",
 )
 
 #: Builtin containers that need element types in annotations.

@@ -46,6 +46,7 @@ LAYER_RANKS: Dict[str, int] = {
     "lang": 40,
     "planner": 42,
     "serve": 50,
+    "net": 52,
     "experiments": 55,
     "analysis": 58,
     "cli": 60,

@@ -636,9 +636,16 @@ def _dump_metrics(session, directory: str) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Replay a script of mixed DDL / updates / queries (batch serving)."""
+    """Replay a script of mixed DDL / updates / queries (batch serving),
+    or host the multi-tenant HTTP server (``--http``)."""
     from repro.serve import ScriptError, Session, run_script
 
+    if args.http:
+        if args.script:
+            raise SystemExit("--http and --script are mutually exclusive")
+        return _cmd_serve_http(args)
+    if not args.script:
+        raise SystemExit("serve requires --script (or --http)")
     config, retry_policy = _planner_config(args)
     if args.slow_query_ms is not None and args.slow_query_ms < 0:
         raise SystemExit("--slow-query-ms must be non-negative")
@@ -707,6 +714,200 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session.close()
         raise
     session.close()
+    return 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """Host the multi-tenant HTTP server (see :mod:`repro.net`)."""
+    import dataclasses
+    import json
+    import signal
+    import threading
+
+    from repro.net import TenantRegistry, TenantSpec, serve_http
+
+    config, retry_policy = _planner_config(args)
+    if args.slow_query_ms is not None and args.slow_query_ms < 0:
+        raise SystemExit("--slow-query-ms must be non-negative")
+    if args.snapshot_on_exit and not args.data_dir:
+        raise SystemExit("--snapshot-on-exit requires --data-dir")
+    if args.relation:
+        raise SystemExit(
+            "--relation is a script-mode flag; load data over HTTP "
+            "(/v1/update or /v1/script)"
+        )
+    specs = []
+    try:
+        for text in (args.tenants or ["default"]):
+            spec = TenantSpec.parse(text)
+            # CLI-level QoS/pool flags fill knobs the per-tenant
+            # override string left unset; the override always wins.
+            fills = {}
+            for knob, flag in (
+                ("max_ops", args.max_ops),
+                ("deadline_ms", args.deadline_ms),
+                ("max_rows", args.max_rows),
+            ):
+                if getattr(spec, knob) is None and flag is not None:
+                    fills[knob] = flag
+            if spec.pool_size == 4 and args.pool_size != 4:
+                fills["pool_size"] = args.pool_size
+            if spec.queue_depth == 64 and args.queue_depth != 64:
+                fills["queue_depth"] = args.queue_depth
+            if fills:
+                spec = dataclasses.replace(spec, **fills)
+            specs.append(spec)
+    except ValueError as exc:
+        raise SystemExit(f"bad --tenant: {exc}")
+    try:
+        registry = TenantRegistry(
+            specs,
+            data_dir=args.data_dir,
+            config=config,
+            retry_policy=retry_policy,
+            fsync=args.fsync,
+            cache_capacity=args.cache_capacity,
+            trace=bool(args.trace),
+            slow_query_ms=args.slow_query_ms,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for tid, tenant in registry.tenants():
+        if tenant.recovery is not None:
+            print(f"# [{tid}] {tenant.recovery.summary()}",
+                  file=sys.stderr)
+    server = serve_http(registry, host=args.host, port=args.port)
+    # The demo/smoke harness parses this line to find an ephemeral
+    # port, so it goes to stdout and is flushed before serve_forever.
+    print(f"# listening on http://{args.host}:{server.port}",
+          flush=True)
+    print(
+        f"# tenants: {', '.join(registry.tenant_ids())}",
+        file=sys.stderr,
+    )
+
+    def _graceful(signum, frame) -> None:
+        # shutdown() blocks until serve_forever exits — which runs on
+        # this very thread — so it must fire from another one.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        registry.close(snapshot=args.snapshot_on_exit)
+        if args.metrics_dir:
+            os.makedirs(args.metrics_dir, exist_ok=True)
+            prom_path = os.path.join(args.metrics_dir, "metrics.prom")
+            with open(prom_path, "w") as handle:
+                handle.write(server.gateway.render_metrics())
+            with open(
+                os.path.join(args.metrics_dir, "metrics.json"), "w"
+            ) as handle:
+                json.dump(
+                    {
+                        "metrics": registry.metrics.snapshot(),
+                        "stats": registry.stats(),
+                    },
+                    handle, indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"# metrics written to {args.metrics_dir}",
+                  file=sys.stderr)
+        print("# server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Scripted round-trips against ``repro serve --http``."""
+    import json
+    import urllib.error
+
+    from repro.net import Client, ClientError
+
+    client = Client(args.url, tenant=args.tenant,
+                    timeout_s=args.timeout)
+
+    def _need_arg(what: str) -> str:
+        if not args.arg:
+            raise SystemExit(f"client {args.action} needs {what}")
+        return args.arg
+
+    try:
+        if args.action == "query":
+            budget = {
+                k: v for k, v in (
+                    ("max_ops", args.max_ops),
+                    ("deadline_ms", args.deadline_ms),
+                    ("max_rows", args.max_rows),
+                ) if v is not None
+            }
+            result = client.query(
+                _need_arg("a query text"), budget=budget or None
+            )
+            columns = result.get("columns", [])
+            print(f"# columns: {','.join(map(str, columns))}")
+            for row in result.get("rows", []):
+                print(",".join(str(v) for v in row))
+            if "value" in result:
+                print(f"# value: {result['value']}", file=sys.stderr)
+            print(
+                f"# {len(result.get('rows', []))} rows, engine "
+                f"{result.get('engine')}, "
+                f"{'cached plan' if result.get('cached_plan') else 'planned'}, "
+                f"{result.get('elapsed_ms')} ms",
+                file=sys.stderr,
+            )
+        elif args.action == "prepare":
+            result = client.prepare(_need_arg("a query text"))
+            print(json.dumps(result, indent=2, sort_keys=True))
+        elif args.action == "update":
+            raw = _need_arg("update lines (';'-separated or @FILE)")
+            if raw.startswith("@"):
+                try:
+                    with open(raw[1:]) as handle:
+                        lines = [
+                            ln.strip() for ln in handle
+                            if ln.strip()
+                            and not ln.lstrip().startswith("#")
+                        ]
+                except OSError as exc:
+                    raise SystemExit(f"cannot read {raw[1:]}: {exc}")
+            else:
+                lines = [p.strip() for p in raw.split(";") if p.strip()]
+            result = client.update(lines, sync=args.sync)
+            print(json.dumps(result, indent=2, sort_keys=True))
+        elif args.action == "script":
+            path = _need_arg("a script path")
+            try:
+                with open(path) as handle:
+                    text = handle.read()
+            except OSError as exc:
+                raise SystemExit(f"cannot read {path}: {exc}")
+            result = client.script(text)
+            for line in result.get("output", []):
+                print(line)
+        elif args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.action == "metrics":
+            sys.stdout.write(client.metrics())
+        elif args.action == "health":
+            print(json.dumps(client.healthz(), sort_keys=True))
+        else:  # shutdown
+            print(json.dumps(client.shutdown(), sort_keys=True))
+    except ClientError as exc:
+        print(
+            f"error: {json.dumps(exc.payload, sort_keys=True)}",
+            file=sys.stderr,
+        )
+        # Policy aborts (429 budget/backpressure, 504 deadline) mirror
+        # the in-process ExecutionError exit code.
+        return 4 if exc.is_policy_abort else 1
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc.reason}")
     return 0
 
 
@@ -1045,10 +1246,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="replay a script of mixed DDL/updates/queries (batch serving)",
+        help="replay a script of mixed DDL/updates/queries (batch "
+        "serving), or host the multi-tenant HTTP server (--http)",
     )
-    p_serve.add_argument("--script", required=True,
-                         help="script file (see repro.serve.script)")
+    p_serve.add_argument("--script",
+                         help="script file (see repro.serve.script); "
+                         "required unless --http")
+    p_serve.add_argument("--http", action="store_true",
+                         help="serve HTTP instead of replaying a script "
+                         "(see repro.net: /v1/query|prepare|update|"
+                         "script, /healthz, /stats, /metrics)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address with --http (default "
+                         "127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0, metavar="P",
+                         help="TCP port with --http (default 0 = "
+                         "ephemeral; the bound port is printed)")
+    p_serve.add_argument("--tenant", action="append", default=[],
+                         metavar="ID[,k=v...]", dest="tenants",
+                         help="tenant to host (repeatable; default one "
+                         "tenant 'default'); per-tenant QoS overrides "
+                         "as key=value pairs: max_ops, deadline_ms, "
+                         "max_rows, pool_size, queue_depth")
+    p_serve.add_argument("--pool-size", type=int, default=4, metavar="N",
+                         help="sessions per tenant pool with --http "
+                         "(default 4; per-tenant override wins)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         metavar="N",
+                         help="ingest queue capacity per tenant with "
+                         "--http; a full queue rejects updates with "
+                         "HTTP 429 (default 64)")
+    p_serve.add_argument("--cache-capacity", type=int, default=512,
+                         metavar="N",
+                         help="process-wide shared plan-cache entries "
+                         "with --http (default 512)")
     p_serve.add_argument("--relation", action="append", default=[],
                          metavar="NAME=A,B:FILE",
                          help="preloaded relation contents (integer CSV)")
@@ -1077,6 +1308,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "--metrics-dir dumps them)")
     _add_planner_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="HTTP client for `repro serve --http` (scripted "
+        "round-trips; policy aborts exit 4 like the in-process CLI)",
+    )
+    p_client.add_argument(
+        "action",
+        choices=["query", "prepare", "update", "script", "stats",
+                 "metrics", "health", "shutdown"],
+        help="what to do against the server",
+    )
+    p_client.add_argument(
+        "arg", nargs="?",
+        help="query text (query/prepare), update lines — "
+        "';'-separated or @FILE (update), or script path (script)",
+    )
+    p_client.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="server base URL (default "
+                          "http://127.0.0.1:8765)")
+    p_client.add_argument("--tenant", default="default",
+                          help="tenant id (default 'default')")
+    p_client.add_argument("--timeout", type=float, default=30.0,
+                          metavar="S", help="request timeout seconds")
+    p_client.add_argument("--sync", action="store_true",
+                          help="apply updates synchronously instead of "
+                          "enqueueing (update)")
+    p_client.add_argument("--max-ops", type=int, metavar="N",
+                          help="per-request budget override (query; "
+                          "can only tighten the tenant QoS)")
+    p_client.add_argument("--deadline-ms", type=int, metavar="MS",
+                          help="per-request deadline override (query)")
+    p_client.add_argument("--max-rows", type=int, metavar="N",
+                          help="per-request row-cap override (query)")
+    p_client.set_defaults(func=_cmd_client)
 
     p_recover = sub.add_parser(
         "recover",

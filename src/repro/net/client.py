@@ -1,0 +1,198 @@
+"""A stdlib-only HTTP client for the serving subsystem.
+
+``urllib.request`` round-trips against :mod:`repro.net.server`; JSON
+in, JSON out.  Non-2xx responses raise :class:`ClientError` carrying
+the HTTP status and the server's typed error payload
+(``{"error": "BudgetExceeded", ...}``), so callers branch on real
+fields instead of parsing message strings — and the ``repro client``
+CLI can translate policy aborts (429/504) to exit code 4, matching
+the in-process CLI contract for :class:`ExecutionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+JsonDict = Dict[str, object]
+
+
+class ClientError(RuntimeError):
+    """A non-2xx response, with the server's typed payload attached."""
+
+    def __init__(self, status: int, payload: JsonDict) -> None:
+        error = payload.get("error", "error")
+        message = payload.get("message", "")
+        super().__init__(f"HTTP {status} {error}: {message}")
+        self.status = status
+        self.payload = payload
+
+    @property
+    def error(self) -> str:
+        return str(self.payload.get("error", ""))
+
+    @property
+    def is_policy_abort(self) -> bool:
+        """True for admission/QoS aborts (429 budget/backpressure,
+        504 deadline) — the HTTP face of ``ExecutionError``."""
+        return self.status in (429, 504)
+
+
+class Client:
+    """One server endpoint, optionally pinned to a default tenant."""
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: Optional[str] = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[JsonDict] = None,
+    ) -> Tuple[int, bytes]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                parsed = {"error": "HTTPError", "message": str(exc)}
+            if not isinstance(parsed, dict):
+                parsed = {"error": "HTTPError", "message": str(exc)}
+            raise ClientError(exc.code, parsed) from None
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[JsonDict] = None,
+    ) -> JsonDict:
+        _, body = self._request(method, path, payload)
+        parsed = json.loads(body.decode("utf-8"))
+        if not isinstance(parsed, dict):
+            raise ClientError(0, {"error": "BadResponse"})
+        return parsed
+
+    def _with_tenant(
+        self, payload: JsonDict, tenant: Optional[str]
+    ) -> JsonDict:
+        tenant_id = tenant if tenant is not None else self.tenant
+        if not tenant_id:
+            raise ValueError(
+                "no tenant: pass tenant=... or set a client default"
+            )
+        payload["tenant"] = tenant_id
+        return payload
+
+    # -- the API surface -----------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        tenant: Optional[str] = None,
+        budget: Optional[Dict[str, int]] = None,
+    ) -> JsonDict:
+        payload: JsonDict = {"query": text}
+        if budget:
+            payload["budget"] = dict(budget)
+        return self._json(
+            "POST", "/v1/query", self._with_tenant(payload, tenant)
+        )
+
+    def rows(
+        self,
+        text: str,
+        tenant: Optional[str] = None,
+        budget: Optional[Dict[str, int]] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Query and return rows as tuples (the Session-shaped view)."""
+        result = self.query(text, tenant=tenant, budget=budget)
+        raw = result.get("rows")
+        assert isinstance(raw, list)
+        return [tuple(int(v) for v in row) for row in raw]
+
+    def prepare(
+        self, text: str, tenant: Optional[str] = None
+    ) -> JsonDict:
+        return self._json(
+            "POST", "/v1/prepare",
+            self._with_tenant({"query": text}, tenant),
+        )
+
+    def update(
+        self,
+        updates: Union[str, Sequence[str]],
+        tenant: Optional[str] = None,
+        sync: bool = False,
+    ) -> JsonDict:
+        lines = (
+            [u for u in updates.splitlines() if u.strip()]
+            if isinstance(updates, str) else list(updates)
+        )
+        payload: JsonDict = {"updates": lines}
+        if sync:
+            payload["sync"] = True
+        return self._json(
+            "POST", "/v1/update", self._with_tenant(payload, tenant)
+        )
+
+    def script(
+        self, text: str, tenant: Optional[str] = None
+    ) -> JsonDict:
+        return self._json(
+            "POST", "/v1/script",
+            self._with_tenant({"script": text}, tenant),
+        )
+
+    def healthz(self) -> JsonDict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> JsonDict:
+        return self._json("GET", "/stats")
+
+    def metrics(self) -> str:
+        _, body = self._request("GET", "/metrics")
+        return body.decode("utf-8")
+
+    def shutdown(self) -> JsonDict:
+        return self._json("POST", "/v1/admin/shutdown", {})
+
+    def wait_healthy(self, timeout_s: float = 10.0) -> bool:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout_s  # lint: disable=determinism -- startup polling only; never feeds results
+        while True:
+            try:
+                self.healthz()
+                return True
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() > deadline:  # lint: disable=determinism -- startup polling only; never feeds results
+                    return False
+                time.sleep(0.05)
+
+    def __repr__(self) -> str:
+        return f"Client({self.base_url!r}, tenant={self.tenant!r})"

@@ -1,0 +1,427 @@
+"""The HTTP front door: stdlib ``ThreadingHTTPServer`` over tenants.
+
+Request handling is split in two so everything interesting is testable
+without sockets: :class:`Gateway` maps ``(method, path, body)`` to
+``(status, payload)`` using only the tenant registry, and the thin
+``BaseHTTPRequestHandler`` subclass does I/O.  One handler thread per
+in-flight request (``ThreadingHTTPServer``); per-tenant session pools
+bound how many of those threads actually execute concurrently.
+
+Routes::
+
+    POST /v1/query    {"tenant", "query", "budget"?: {max_ops, deadline_ms, max_rows}}
+    POST /v1/prepare  {"tenant", "query"}
+    POST /v1/update   {"tenant", "updates": ["+R 1,2", ...], "sync"?: bool}
+    POST /v1/script   {"tenant", "script": "..."}
+    POST /v1/admin/shutdown
+    GET  /healthz     liveness + tenant ids
+    GET  /stats       the registry stats tree (JSON)
+    GET  /metrics     Prometheus exposition 0.0.4 (shared registry +
+                      the stats tree as ``repro_stat`` gauges)
+
+Failures map to the PR 9 resilience taxonomy as structured HTTP codes,
+each with a typed JSON payload (``{"error": <class>, ...fields}``):
+429 ``BudgetExceeded`` / ``IngestBackpressure``, 504 ``QueryTimeout``,
+503 ``ShardFailure`` (breaker state attached) / ``PoolSaturated``,
+404 ``UnknownTenantError``, 400 parse/validation/script errors.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.resilience import (
+    BudgetExceeded,
+    ExecutionError,
+    QueryTimeout,
+    ShardFailure,
+)
+from repro.dynamic.log import Update, parse_update
+from repro.lang.ast import QueryError
+from repro.net.ingest import IngestBackpressure
+from repro.net.pool import PoolSaturated
+from repro.net.tenants import Tenant, TenantRegistry, UnknownTenantError
+from repro.obs import stats_to_prometheus
+from repro.serve.script import ScriptError, ScriptRunner
+from repro.serve.session import ExecResult
+
+JSON_CONTENT = "application/json"
+PROM_CONTENT = "text/plain; version=0.0.4; charset=utf-8"
+
+Response = Tuple[int, bytes, str]
+
+
+def error_payload(exc: BaseException) -> Tuple[int, Dict[str, object]]:
+    """Map an exception to ``(http_status, typed JSON payload)``."""
+    name = type(exc).__name__
+    if isinstance(exc, BudgetExceeded):
+        return 429, {
+            "error": name,
+            "message": str(exc),
+            "resource": exc.resource,
+            "limit": exc.limit,
+            "used": exc.used,
+        }
+    if isinstance(exc, IngestBackpressure):
+        return 429, {
+            "error": name,
+            "message": str(exc),
+            "tenant": exc.tenant,
+            "depth": exc.depth,
+            "limit": exc.limit,
+        }
+    if isinstance(exc, QueryTimeout):
+        return 504, {
+            "error": name,
+            "message": str(exc),
+            "deadline_ms": int(exc.deadline_s * 1000),
+            "where": exc.where,
+        }
+    if isinstance(exc, ShardFailure):
+        return 503, {
+            "error": name,
+            "message": str(exc),
+            "shard": exc.index,
+            "attempts": exc.attempts,
+            "faults": exc.faults,
+        }
+    if isinstance(exc, PoolSaturated):
+        return 503, {
+            "error": name,
+            "message": str(exc),
+            "tenant": exc.tenant,
+        }
+    if isinstance(exc, UnknownTenantError):
+        return 404, {"error": name, "tenant": exc.tenant_id,
+                     "message": str(exc)}
+    if isinstance(exc, ScriptError):
+        return 400, {"error": name, "line": exc.lineno,
+                     "message": str(exc)}
+    if isinstance(exc, (QueryError, KeyError, ValueError)):
+        return 400, {"error": name, "message": str(exc)}
+    if isinstance(exc, ExecutionError):
+        return 500, {"error": name, "message": str(exc)}
+    return 500, {"error": "InternalError", "message": str(exc)}
+
+
+def _result_payload(
+    tenant_id: str, result: ExecResult
+) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "tenant": tenant_id,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "cached_plan": result.cached_plan,
+        "engine": result.plan.engine,
+        "ops": dict(result.ops),
+        "elapsed_ms": round(result.seconds * 1000.0, 3),
+    }
+    if result.statement.is_aggregate():
+        payload["value"] = result.value
+    return payload
+
+
+class Gateway:
+    """Transport-free request handling over a tenant registry."""
+
+    def __init__(self, registry: TenantRegistry) -> None:
+        self.registry = registry
+        self._shutdown_cb: Optional[Any] = None
+        self._metrics = registry.metrics
+
+    def on_shutdown(self, callback: Any) -> None:
+        """Register what ``POST /v1/admin/shutdown`` triggers."""
+        self._shutdown_cb = callback
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Response:
+        """Route one request; never raises (errors become payloads)."""
+        try:
+            status, payload, content = self._route(method, path, body)
+        except Exception as exc:  # noqa: BLE001 — edge of the process
+            status, error = error_payload(exc)
+            payload, content = error, JSON_CONTENT
+        self._metrics.counter(
+            "http_requests_total",
+            "HTTP requests served, by route and status code.",
+            labels={"route": _route_label(method, path),
+                    "code": status},
+        ).inc()
+        if isinstance(payload, (bytes, bytearray)):
+            raw = bytes(payload)
+        else:
+            raw = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return status, raw, content
+
+    def _route(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, object, str]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {
+                    "status": "ok",
+                    "tenants": self.registry.tenant_ids(),
+                }, JSON_CONTENT
+            if path == "/stats":
+                return 200, self.registry.stats(), JSON_CONTENT
+            if path == "/metrics":
+                return 200, self.render_metrics().encode(), PROM_CONTENT
+            return 404, {"error": "NotFound", "path": path}, JSON_CONTENT
+        if method == "POST":
+            request = self._parse_body(body)
+            if path == "/v1/query":
+                return (*self._query(request), JSON_CONTENT)
+            if path == "/v1/prepare":
+                return (*self._prepare(request), JSON_CONTENT)
+            if path == "/v1/update":
+                return (*self._update(request), JSON_CONTENT)
+            if path == "/v1/script":
+                return (*self._script(request), JSON_CONTENT)
+            if path == "/v1/admin/shutdown":
+                return (*self._shutdown(), JSON_CONTENT)
+            return 404, {"error": "NotFound", "path": path}, JSON_CONTENT
+        return 405, {"error": "MethodNotAllowed", "method": method}, \
+            JSON_CONTENT
+
+    @staticmethod
+    def _parse_body(body: Optional[bytes]) -> Dict[str, object]:
+        if not body:
+            return {}
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+        if not isinstance(parsed, dict):
+            raise ValueError("request body must be a JSON object")
+        return parsed
+
+    def _tenant(self, request: Dict[str, object]) -> Tenant:
+        tenant_id = request.get("tenant")
+        if not isinstance(tenant_id, str) or not tenant_id:
+            raise ValueError("request needs a string 'tenant' field")
+        return self.registry.get(tenant_id)
+
+    @staticmethod
+    def _text_field(
+        request: Dict[str, object], field: str
+    ) -> str:
+        value = request.get(field)
+        if not isinstance(value, str) or not value.strip():
+            raise ValueError(f"request needs a string {field!r} field")
+        return value
+
+    # -- routes --------------------------------------------------------
+
+    def _query(
+        self, request: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        tenant = self._tenant(request)
+        text = self._text_field(request, "query")
+        override = request.get("budget")
+        if override is not None and not isinstance(override, dict):
+            raise ValueError("'budget' must be a JSON object")
+        with tenant.pool.lease() as session:
+            previous = session.budget
+            if override:
+                session.budget = tenant.spec.effective_budget(
+                    max_ops=_opt_int(override, "max_ops"),
+                    deadline_ms=_opt_int(override, "deadline_ms"),
+                    max_rows=_opt_int(override, "max_rows"),
+                )
+            try:
+                with session.obs.tracer.span(
+                    "request",
+                    tenant=tenant.spec.tenant_id,
+                    path="/v1/query",
+                ):
+                    with tenant.lock.read():
+                        result = session.execute(text)
+            finally:
+                session.budget = previous
+        return 200, _result_payload(tenant.spec.tenant_id, result)
+
+    def _prepare(
+        self, request: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        tenant = self._tenant(request)
+        text = self._text_field(request, "query")
+        with tenant.pool.lease() as session:
+            with session.obs.tracer.span(
+                "request",
+                tenant=tenant.spec.tenant_id,
+                path="/v1/prepare",
+            ):
+                with tenant.lock.read():
+                    prepared = session.prepare(text)
+                    plan, cached = prepared.plan()
+        return 200, {
+            "tenant": tenant.spec.tenant_id,
+            "signature": prepared.signature,
+            "engine": plan.engine,
+            "cached_plan": cached,
+        }
+
+    def _update(
+        self, request: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        tenant = self._tenant(request)
+        lines = request.get("updates")
+        if not isinstance(lines, list) or not lines:
+            raise ValueError(
+                "request needs a non-empty 'updates' list of "
+                "'+R v1,v2' / '-R v1,v2' strings"
+            )
+        updates: List[Update] = []
+        for lineno, line in enumerate(lines, 1):
+            if not isinstance(line, str):
+                raise ValueError(f"update {lineno} is not a string")
+            updates.append(parse_update(line.strip(), lineno))
+        tenant.validate_updates(updates)
+        if request.get("sync"):
+            report = tenant.apply_sync(updates)
+            return 200, {
+                "tenant": tenant.spec.tenant_id,
+                "applied": report.updates_applied,
+                "generation": tenant.catalog.generation,
+            }
+        ticket = tenant.ingest.submit(updates)
+        return 202, {
+            "tenant": tenant.spec.tenant_id,
+            "ticket": ticket,
+            "queued": tenant.ingest.stats()["depth"],
+        }
+
+    def _script(
+        self, request: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        tenant = self._tenant(request)
+        text = self._text_field(request, "script")
+        with tenant.pool.lease() as session:
+            with session.obs.tracer.span(
+                "request",
+                tenant=tenant.spec.tenant_id,
+                path="/v1/script",
+            ):
+                # Scripts mix reads and mutations; run the whole thing
+                # under the exclusive lock (they are admin/batch tools,
+                # not the hot path).
+                with tenant.lock.write():
+                    output = ScriptRunner(session).run(
+                        text.splitlines()
+                    )
+        return 200, {
+            "tenant": tenant.spec.tenant_id,
+            "output": output,
+        }
+
+    def _shutdown(self) -> Tuple[int, Dict[str, object]]:
+        callback = self._shutdown_cb
+        if callback is None:
+            return 501, {
+                "error": "NotImplemented",
+                "message": "no shutdown callback registered",
+            }
+        # Respond first, then shut down: the callback runs off-thread
+        # so this handler can finish writing its response.
+        threading.Thread(
+            target=callback, name="shutdown", daemon=True
+        ).start()
+        return 200, {"status": "shutting-down"}
+
+    # -- exposition ----------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The shared registry + the stats tree as one exposition."""
+        return (
+            self._metrics.render_prometheus()
+            + stats_to_prometheus(self.registry.stats())
+        )
+
+
+def _route_label(method: str, path: str) -> str:
+    known = {
+        "/healthz", "/stats", "/metrics", "/v1/query", "/v1/prepare",
+        "/v1/update", "/v1/script", "/v1/admin/shutdown",
+    }
+    return f"{method} {path if path in known else 'other'}"
+
+
+def _opt_int(payload: Dict[str, object], key: str) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"budget field {key!r} must be an integer")
+    return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin I/O shim: everything interesting lives in the Gateway."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self, method: str) -> None:
+        body: Optional[bytes] = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+        server = self.server
+        assert isinstance(server, QueryServer)
+        status, raw, content = server.gateway.handle(
+            method, self.path, body
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Per-request stderr chatter off; /stats and the request
+        # counter are the observable surface.
+        pass
+
+
+class QueryServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer + the gateway and registry it serves."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: Tuple[str, int], gateway: Gateway
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.gateway = gateway
+        gateway.on_shutdown(self.shutdown)
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = str(self.server_address[0])
+        return f"http://{host}:{self.port}"
+
+
+def serve_http(
+    registry: TenantRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> QueryServer:
+    """Bind (``port=0`` = ephemeral) — call ``serve_forever()`` next."""
+    return QueryServer((host, port), Gateway(registry))

@@ -20,12 +20,22 @@ format version 0.0.4 that Prometheus and its ecosystem scrape.
 Mirroring ``OpCounters`` / ``NullCounters``, :class:`NullMetrics`
 shares the interface but hands every caller one stateless no-op
 instrument, so un-instrumented runs pay a method call and nothing else.
+
+Thread safety: the serving layer (``repro.net``) shares one registry
+across every HTTP handler thread, so registration (get-or-create in
+``_family``) takes a registry-level lock and each instrument guards
+its mutable state with its own lock.  Unguarded ``+=`` would tear
+under concurrency — a histogram whose ``count`` disagrees with its
+``+Inf`` bucket fails the exposition checker
+(``benchmarks/check_obs.py``), which treats that equality as a
+correctness invariant, not a formality.
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -79,7 +89,7 @@ def _format_value(value: float) -> str:
 class Counter:
     """A monotone total."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     kind = "counter"
 
@@ -87,11 +97,13 @@ class Counter:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
@@ -106,7 +118,7 @@ class Counter:
 class Gauge:
     """A last-write-wins level."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     kind = "gauge"
 
@@ -114,12 +126,15 @@ class Gauge:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
@@ -136,7 +151,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "buckets", "counts", "count", "sum",
-        "min", "max",
+        "min", "max", "_lock",
     )
 
     kind = "histogram"
@@ -162,6 +177,7 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         lo, hi = 0, len(self.buckets)
@@ -171,30 +187,34 @@ class Histogram:
                 hi = mid
             else:
                 lo = mid + 1
-        self.counts[lo] += 1
-        self.count += 1
-        self.sum += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[lo] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     def summary(self) -> Dict[str, object]:
         """Compact dict for reports (BENCH_*.json, metrics.json)."""
-        return {
-            "count": self.count,
-            "sum": round(self.sum, 9),
-            "min": self.min,
-            "max": self.max,
-            "mean": round(self.sum / self.count, 9) if self.count else None,
-            "buckets": {
-                _format_value(bound): cum
-                for bound, cum in zip(
-                    list(self.buckets) + [math.inf],
-                    self._cumulative(),
-                )
-            },
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": round(self.sum, 9),
+                "min": self.min,
+                "max": self.max,
+                "mean": (
+                    round(self.sum / self.count, 9) if self.count else None
+                ),
+                "buckets": {
+                    _format_value(bound): cum
+                    for bound, cum in zip(
+                        list(self.buckets) + [math.inf],
+                        self._cumulative(),
+                    )
+                },
+            }
 
     def snapshot(self) -> Dict[str, object]:
         return self.summary()
@@ -210,15 +230,18 @@ class Histogram:
     def expose(self) -> List[str]:
         lines: List[str] = []
         bounds = list(self.buckets) + [math.inf]
-        for bound, cum in zip(bounds, self._cumulative()):
+        with self._lock:
+            cumulative = self._cumulative()
+            total, seen = self.count, self.sum
+        for bound, cum in zip(bounds, cumulative):
             le = [("le", _format_value(bound))]
             lines.append(
                 f"{self.name}_bucket"
                 f"{_render_labels(self.labels, le)} {cum}"
             )
         base = _render_labels(self.labels)
-        lines.append(f"{self.name}_sum{base} {_format_value(self.sum)}")
-        lines.append(f"{self.name}_count{base} {self.count}")
+        lines.append(f"{self.name}_sum{base} {_format_value(seen)}")
+        lines.append(f"{self.name}_count{base} {total}")
         return lines
 
 
@@ -272,6 +295,7 @@ class MetricsRegistry:
         self.namespace = namespace
         #: family name -> (kind, help, {label_set: instrument})
         self._families: "Dict[str, Tuple[str, str, Dict[LabelSet, object]]]" = {}
+        self._lock = threading.RLock()
 
     # -- registration -----------------------------------------------------
 
@@ -282,15 +306,16 @@ class MetricsRegistry:
             name = f"{self.namespace}_{name}"
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
-        family = self._families.get(name)
-        if family is None:
-            family = (kind, help, {})
-            self._families[name] = family
-        elif family[0] != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {family[0]}, "
-                f"not {kind}"
-            )
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family[0]}, "
+                    f"not {kind}"
+                )
         return name, family[2]
 
     def counter(
@@ -299,9 +324,10 @@ class MetricsRegistry:
     ) -> CounterLike:
         full, children = self._family(name, "counter", help)
         key = _label_set(labels)
-        if key not in children:
-            children[key] = Counter(full, key)
-        return children[key]
+        with self._lock:
+            if key not in children:
+                children[key] = Counter(full, key)
+            return children[key]
 
     def gauge(
         self, name: str, help: str = "",
@@ -309,9 +335,10 @@ class MetricsRegistry:
     ) -> GaugeLike:
         full, children = self._family(name, "gauge", help)
         key = _label_set(labels)
-        if key not in children:
-            children[key] = Gauge(full, key)
-        return children[key]
+        with self._lock:
+            if key not in children:
+                children[key] = Gauge(full, key)
+            return children[key]
 
     def histogram(
         self,
@@ -322,17 +349,23 @@ class MetricsRegistry:
     ) -> HistogramLike:
         full, children = self._family(name, "histogram", help)
         key = _label_set(labels)
-        if key not in children:
-            children[key] = Histogram(full, buckets, key)
-        return children[key]
+        with self._lock:
+            if key not in children:
+                children[key] = Histogram(full, buckets, key)
+            return children[key]
 
     # -- export -----------------------------------------------------------
 
     def render_prometheus(self) -> str:
         """The text exposition (version 0.0.4), families sorted by name."""
         lines: List[str] = []
-        for name in sorted(self._families):
-            kind, help, children = self._families[name]
+        with self._lock:
+            families = {
+                name: (kind, help, dict(children))
+                for name, (kind, help, children) in self._families.items()
+            }
+        for name in sorted(families):
+            kind, help, children = families[name]
             if help:
                 lines.append(f"# HELP {name} {help}")
             lines.append(f"# TYPE {name} {kind}")
@@ -343,8 +376,13 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-able view: family -> {labels-key: value/summary}."""
         out: Dict[str, Dict[str, object]] = {}
-        for name in sorted(self._families):
-            kind, _, children = self._families[name]
+        with self._lock:
+            families = {
+                name: (kind, dict(children))
+                for name, (kind, _, children) in self._families.items()
+            }
+        for name in sorted(families):
+            kind, children = families[name]
             entry: Dict[str, object] = {"kind": kind}
             for key in sorted(children):
                 label_key = (

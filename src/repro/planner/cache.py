@@ -12,10 +12,21 @@ LRU-bounded; hit/miss/invalidation counters are exposed for the
 serving layer's session stats and asserted by tests and the plan-cache
 benchmark (a second execution of the same query text must skip
 planning entirely).
+
+Thread safety: every public method takes one ``RLock`` around the
+``OrderedDict`` and the counters, so the cache can be shared across
+the serving layer's concurrent sessions (``repro.net``).  ``get`` may
+mutate (stale-entry eviction, LRU reordering), so readers need the
+same lock as writers — a reader/writer split would buy nothing here.
+The optional ``key`` argument to :meth:`put` lets a wrapper store a
+plan under a namespaced key (e.g. tenant-scoped: two tenants' catalogs
+have unrelated generation counters, so their plans must not collide on
+an identical signature).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -30,6 +41,7 @@ class PlanCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[str, Plan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidated = 0
@@ -41,48 +53,56 @@ class PlanCache:
         A plan built against an older catalog generation is discarded
         (counted in ``invalidated``) and the lookup reported as a miss.
         """
-        plan = self._entries.get(signature)
-        if plan is None:
-            self.misses += 1
-            return None
-        if plan.generation != generation:
-            del self._entries[signature]
-            self.invalidated += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(signature)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._entries.get(signature)
+            if plan is None:
+                self.misses += 1
+                return None
+            if plan.generation != generation:
+                del self._entries[signature]
+                self.invalidated += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            return plan
 
-    def put(self, plan: Plan) -> None:
+    def put(self, plan: Plan, key: Optional[str] = None) -> None:
         if not plan.signature:
             raise ValueError("cannot cache a plan with an empty signature")
-        self._entries[plan.signature] = plan
-        self._entries.move_to_end(plan.signature)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evicted += 1
+        entry_key = key if key is not None else plan.signature
+        with self._lock:
+            self._entries[entry_key] = plan
+            self._entries.move_to_end(entry_key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, signature: str) -> bool:
-        return signature in self._entries
+        with self._lock:
+            return signature in self._entries
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidated": self.invalidated,
-            "evicted": self.evicted,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidated": self.invalidated,
+                "evicted": self.evicted,
+            }
 
     def __repr__(self) -> str:
-        return (
-            f"PlanCache({len(self._entries)}/{self.capacity} entries, "
-            f"{self.hits} hits, {self.misses} misses)"
-        )
+        with self._lock:
+            return (
+                f"PlanCache({len(self._entries)}/{self.capacity} entries, "
+                f"{self.hits} hits, {self.misses} misses)"
+            )

@@ -136,10 +136,19 @@ class Session:
         obs=None,
         budget: Optional[QueryBudget] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        plan_cache: Optional[PlanCache] = None,
+        owns_wal: bool = True,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.planner = Planner(config)
-        self.cache = PlanCache(cache_capacity)
+        #: The plan cache — private by default; the serving layer
+        #: (``repro.net``) injects a shared, tenant-scoped view of one
+        #: process-wide cache instead (PlanCache is lock-guarded, so
+        #: sharing across sessions is sound).
+        self.cache = (
+            plan_cache if plan_cache is not None
+            else PlanCache(cache_capacity)
+        )
         #: Cumulative engine ops across every execution in the session.
         self.counters = OpCounters()
         self.queries_executed = 0
@@ -166,6 +175,10 @@ class Session:
         #: The attached :class:`~repro.obs.Observability` (NULL_OBS
         #: when un-instrumented — the free path).
         self.obs = NULL_OBS
+        #: False for pooled sessions over a tenant-owned catalog: the
+        #: tenant (not any one session) closes the shared WAL.
+        self._owns_wal = owns_wal
+        self._closed = False
         self.attach_obs(obs if obs is not None else NULL_OBS)
 
     def attach_obs(self, obs) -> None:
@@ -228,11 +241,34 @@ class Session:
             ).observe(recovery.seconds)
         return session
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush and close the attached WAL (no-op when not durable)."""
+        """Flush and close the attached WAL (no-op when not durable).
+
+        Idempotent: a second ``close()`` does nothing, so the serving
+        pool can discard a session on request failure without tracking
+        whether anything closed it first.  Sessions constructed with
+        ``owns_wal=False`` (pooled sessions over a tenant-owned
+        catalog) never close the shared WAL — the tenant does.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._owns_wal:
+            return
         wal = self.catalog.wal
         if wal is not None:
             wal.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # The prepare / execute surface

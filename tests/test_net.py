@@ -1,0 +1,772 @@
+"""Network serving tests: shared plan cache, pools, ingest, tenants,
+the HTTP gateway, and concurrent multi-tenant isolation."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.resilience import (
+    BudgetExceeded,
+    QueryBudget,
+    QueryTimeout,
+    ShardFailure,
+)
+from repro.dynamic import Catalog
+from repro.dynamic.log import parse_update
+from repro.net import (
+    Client,
+    ClientError,
+    Gateway,
+    IngestBackpressure,
+    IngestQueue,
+    PoolSaturated,
+    ReadWriteLock,
+    ScopedPlanCache,
+    SessionPool,
+    TenantRegistry,
+    TenantSpec,
+    UnknownTenantError,
+    serve_http,
+)
+from repro.net.server import error_payload
+from repro.planner.cache import PlanCache
+from repro.serve import Session
+
+TEXT = "Q(x, z) :- R(x, y), S(y, z)"
+PAIRS = "Q(x, z) :- E(x, y), E(y, z)"
+
+
+def small_catalog():
+    cat = Catalog()
+    cat.create_relation("R", ["A", "B"], [(1, 2), (2, 3), (3, 1)])
+    cat.create_relation("S", ["B", "C"], [(2, 10), (3, 20)])
+    return cat
+
+
+@pytest.fixture()
+def plan():
+    session = Session(small_catalog())
+    built, _ = session.prepare(TEXT).plan()
+    return built
+
+
+class TestPlanCacheThreadSafety:
+    """Satellite: the shared cache under a multi-threaded hammer."""
+
+    def test_hammer_preserves_counter_and_capacity_invariants(self, plan):
+        cache = PlanCache(capacity=8)
+        threads, iterations, keyspace = 8, 300, 24
+        barrier = threading.Barrier(threads)
+        failures = []
+
+        def worker(seed):
+            barrier.wait()
+            try:
+                for i in range(iterations):
+                    key = f"k{(seed * 7 + i) % keyspace}"
+                    if i % 10 == 9:
+                        # Stale-generation lookups exercise the
+                        # eviction-inside-get path concurrently.
+                        got = cache.get(key, plan.generation + 1)
+                        assert got is None
+                        continue
+                    if cache.get(key, plan.generation) is None:
+                        cache.put(plan, key=key)
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(repr(exc))
+
+        pool = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert not failures, failures
+
+        stats = cache.stats()
+        # Every get() increments exactly one of hits/misses — torn
+        # counter updates would break this total.
+        assert stats["hits"] + stats["misses"] == threads * iterations
+        assert len(cache) <= cache.capacity
+        assert stats["entries"] == len(cache)
+        for counter in stats.values():
+            assert counter >= 0
+        # Deterministic stale-generation eviction after the hammer
+        # (concurrently the LRU usually evicts stale keys first).
+        cache.put(plan, key="stale-probe")
+        assert cache.get("stale-probe", plan.generation + 1) is None
+        after = cache.stats()
+        assert after["invalidated"] >= 1
+        assert after["hits"] + after["misses"] == threads * iterations + 1
+
+    def test_put_with_explicit_key_and_lru_eviction(self, plan):
+        cache = PlanCache(capacity=2)
+        cache.put(plan, key="a")
+        cache.put(plan, key="b")
+        cache.put(plan, key="c")
+        assert len(cache) == 2
+        assert cache.stats()["evicted"] == 1
+        assert "a" not in cache  # oldest out first
+        assert "b" in cache and "c" in cache
+
+
+class TestScopedPlanCache:
+    def test_scopes_share_storage_but_never_collide(self, plan):
+        shared = PlanCache(capacity=32)
+        alpha = ScopedPlanCache(shared, "alpha")
+        beta = ScopedPlanCache(shared, "beta")
+
+        alpha.put(plan)
+        assert alpha.get(plan.signature, plan.generation) is plan
+        assert beta.get(plan.signature, plan.generation) is None
+        assert plan.signature in alpha
+        assert plan.signature not in beta
+        assert len(alpha) == 1 and len(beta) == 0 and len(shared) == 1
+
+        beta.put(plan)
+        assert len(shared) == 2
+        assert beta.stats()["entries"] == 1
+        assert beta.stats()["shared_entries"] == 2
+
+        alpha.clear()
+        assert len(alpha) == 0
+        assert beta.get(plan.signature, plan.generation) is plan
+
+    def test_scoped_capacity_is_the_shared_capacity(self, plan):
+        shared = PlanCache(capacity=3)
+        alpha = ScopedPlanCache(shared, "alpha")
+        beta = ScopedPlanCache(shared, "beta")
+        for key in ("q1", "q2"):
+            alpha.put(plan, key=key)
+            beta.put(plan, key=key)
+        # One LRU, one capacity knob: four puts into capacity 3.
+        assert len(shared) == 3
+        assert shared.stats()["evicted"] == 1
+
+
+class TestSessionPool:
+    def make_pool(self, size=2, **kwargs):
+        catalog = small_catalog()
+        return SessionPool(
+            lambda: Session(catalog, owns_wal=False),
+            size,
+            name="t",
+            **kwargs,
+        )
+
+    def test_lease_recycles_on_success(self):
+        pool = self.make_pool()
+        with pool.lease() as first:
+            assert first.execute(TEXT).rows == [(1, 10), (2, 20)]
+        with pool.lease() as second:
+            assert second is first
+        assert pool.stats()["created"] == 1
+        assert pool.stats()["leases"] == 2
+
+    def test_policy_abort_recycles_the_session(self):
+        pool = self.make_pool()
+        with pytest.raises(BudgetExceeded):
+            with pool.lease() as session:
+                raise BudgetExceeded("ops", 1, 2)
+        stats = pool.stats()
+        assert stats["discards"] == 0
+        assert stats["idle"] == 1
+        with pool.lease() as again:
+            assert again is session and not again.closed
+
+    def test_unexpected_error_discards_the_session(self):
+        pool = self.make_pool()
+        with pytest.raises(RuntimeError):
+            with pool.lease() as session:
+                raise RuntimeError("boom")
+        assert session.closed
+        stats = pool.stats()
+        assert stats["discards"] == 1
+        assert stats["created"] == 0  # slot freed for a lazy replacement
+        with pool.lease() as fresh:
+            assert fresh is not session
+
+    def test_saturation_is_a_typed_error(self):
+        pool = self.make_pool(size=1)
+        with pool.lease():
+            with pytest.raises(PoolSaturated) as exc:
+                with pool.lease(timeout_s=0.05):
+                    pass
+        assert exc.value.tenant == "t"
+        assert exc.value.size == 1
+        assert pool.stats()["waits"] == 1
+
+    def test_close_refuses_leases_and_closes_idle(self):
+        pool = self.make_pool()
+        with pool.lease() as session:
+            pass
+        pool.close()
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            with pool.lease():
+                pass
+
+
+class TestReadWriteLock:
+    def wait_for(self, predicate, timeout_s=5.0):
+        deadline = time.monotonic() + timeout_s
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise AssertionError("condition never held")
+            time.sleep(0.005)
+
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.acquire_read()
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        entered = threading.Event()
+
+        def reader():
+            with lock.read():
+                entered.set()
+
+        with lock.write():
+            t = threading.Thread(target=reader)
+            t.start()
+            assert not entered.wait(0.1)
+        assert entered.wait(5.0)
+        t.join(timeout=5.0)
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        order = []
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read():
+                order.append("reader")
+
+        lock.acquire_read()
+        w = threading.Thread(target=writer)
+        w.start()
+        self.wait_for(lambda: lock._writers_waiting == 1)
+        r = threading.Thread(target=late_reader)
+        r.start()
+        # Writer preference: the late reader must not sneak in while
+        # the writer waits on the original reader.
+        time.sleep(0.05)
+        assert order == []
+        lock.release_read()
+        w.join(timeout=5.0)
+        r.join(timeout=5.0)
+        assert order == ["writer", "reader"]
+
+
+class TestIngestQueue:
+    @pytest.fixture()
+    def setup(self):
+        catalog = Catalog()
+        catalog.create_relation("E", ["A", "B"], [(1, 2)])
+        lock = ReadWriteLock()
+        queue = IngestQueue("t", catalog, lock, maxsize=4)
+        yield catalog, lock, queue
+        queue.close(timeout_s=5.0)
+
+    def batch(self, *lines):
+        return [parse_update(line, n) for n, line in enumerate(lines, 1)]
+
+    def test_async_apply_in_submission_order(self, setup):
+        catalog, _, queue = setup
+        t1 = queue.submit(self.batch("+E 2,3"))
+        t2 = queue.submit(self.batch("+E 3,4", "-E 1,2"))
+        assert (t1, t2) == (1, 2)
+        assert queue.wait(t2, timeout_s=5.0)
+        assert queue.error(t1) is None and queue.error(t2) is None
+        session = Session(catalog, owns_wal=False)
+        assert session.execute("Q(x, y) :- E(x, y)").rows == [
+            (2, 3), (3, 4),
+        ]
+        stats = queue.stats()
+        assert stats["applied"] == 2
+        assert stats["updates_applied"] == 3
+        assert stats["failed"] == 0
+
+    def test_backpressure_is_typed_and_counted(self, setup):
+        catalog, lock, _ = setup
+        queue = IngestQueue("t", catalog, lock, maxsize=1)
+        try:
+            lock.acquire_write()  # pin the writer thread mid-batch
+            try:
+                queue.submit(self.batch("+E 5,6"))
+                # Wait for the writer to pop it (then block on the
+                # write lock) so the queue depth is deterministic.
+                deadline = time.monotonic() + 5.0
+                while queue.stats()["depth"] > 0:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                queue.submit(self.batch("+E 6,7"))
+                with pytest.raises(IngestBackpressure) as exc:
+                    queue.submit(self.batch("+E 7,8"))
+                assert exc.value.tenant == "t"
+                assert exc.value.limit == 1
+                assert queue.stats()["rejected"] == 1
+            finally:
+                lock.release_write()
+            assert queue.drain(timeout_s=5.0)
+            assert queue.stats()["applied"] == 2
+        finally:
+            queue.close(timeout_s=5.0)
+
+    def test_failed_batch_recorded_but_writer_survives(self, setup):
+        catalog, _, queue = setup
+        bad = queue.submit(self.batch("+Missing 1,2"))
+        good = queue.submit(self.batch("+E 9,9"))
+        assert queue.wait(good, timeout_s=5.0)
+        assert queue.error(bad) is not None
+        assert queue.error(good) is None
+        stats = queue.stats()
+        assert stats["failed"] == 1 and stats["applied"] == 1
+        session = Session(catalog, owns_wal=False)
+        rows = session.execute("Q(x, y) :- E(x, y)").rows
+        assert (9, 9) in rows
+
+    def test_closed_queue_refuses_submissions(self, setup):
+        _, _, queue = setup
+        queue.close(timeout_s=5.0)
+        with pytest.raises(RuntimeError):
+            queue.submit(self.batch("+E 1,1"))
+
+
+class TestTenantSpec:
+    def test_parse_defaults_and_overrides(self):
+        spec = TenantSpec.parse("alpha")
+        assert spec == TenantSpec("alpha")
+        spec = TenantSpec.parse(
+            "beta,max_ops=100,deadline_ms=50,max_rows=10,"
+            "pool_size=2,queue_depth=8"
+        )
+        assert spec.max_ops == 100
+        assert spec.deadline_ms == 50
+        assert spec.max_rows == 10
+        assert spec.pool_size == 2
+        assert spec.queue_depth == 8
+
+    def test_parse_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            TenantSpec.parse("alpha,bogus=1")
+        with pytest.raises(ValueError):
+            TenantSpec.parse("alpha,max_ops=lots")
+        with pytest.raises(ValueError):
+            TenantSpec.parse("../escape")
+        with pytest.raises(ValueError):
+            TenantSpec("ok", pool_size=0)
+        with pytest.raises(ValueError):
+            TenantSpec("ok", queue_depth=0)
+
+    def test_budget_none_when_unbounded(self):
+        assert TenantSpec("a").budget() is None
+        assert TenantSpec("a", max_rows=5).budget() == QueryBudget(
+            max_ops=None, deadline_ms=None, max_rows=5
+        )
+
+    def test_effective_budget_only_tightens(self):
+        spec = TenantSpec("a", max_ops=100)
+        # A request cannot loosen the tenant cap...
+        assert spec.effective_budget(max_ops=5000) == QueryBudget(
+            max_ops=100, deadline_ms=None, max_rows=None
+        )
+        # ...but can tighten any knob, including unset ones.
+        assert spec.effective_budget(max_ops=10, max_rows=3) == (
+            QueryBudget(max_ops=10, deadline_ms=None, max_rows=3)
+        )
+        assert TenantSpec("a").effective_budget() is None
+
+
+class TestErrorPayloads:
+    """The HTTP face of the resilience taxonomy, one class per code."""
+
+    def test_budget_exceeded_is_429(self):
+        status, payload = error_payload(BudgetExceeded("rows", 10, 11))
+        assert status == 429
+        assert payload["error"] == "BudgetExceeded"
+        assert payload["resource"] == "rows"
+        assert payload["limit"] == 10 and payload["used"] == 11
+
+    def test_backpressure_is_429(self):
+        status, payload = error_payload(IngestBackpressure("t", 8, 8))
+        assert status == 429
+        assert payload["error"] == "IngestBackpressure"
+        assert payload["tenant"] == "t"
+
+    def test_query_timeout_is_504(self):
+        status, payload = error_payload(QueryTimeout(0.25, "driver"))
+        assert status == 504
+        assert payload["error"] == "QueryTimeout"
+        assert payload["deadline_ms"] == 250
+        assert payload["where"] == "driver"
+
+    def test_shard_failure_is_503(self):
+        exc = ShardFailure(2, 0, 7, 3, ["crash", "timeout"], "dead")
+        status, payload = error_payload(exc)
+        assert status == 503
+        assert payload["error"] == "ShardFailure"
+        assert payload["shard"] == 2 and payload["attempts"] == 3
+        assert payload["faults"] == ["crash", "timeout"]
+
+    def test_pool_saturated_is_503(self):
+        status, payload = error_payload(PoolSaturated("t", 4, 1.0))
+        assert status == 503
+        assert payload["error"] == "PoolSaturated"
+
+    def test_unknown_tenant_is_404(self):
+        status, payload = error_payload(UnknownTenantError("ghost"))
+        assert status == 404
+        assert payload["tenant"] == "ghost"
+
+    def test_validation_is_400_and_unknown_is_500(self):
+        assert error_payload(ValueError("nope"))[0] == 400
+        status, payload = error_payload(ZeroDivisionError("1/0"))
+        assert status == 500
+        assert payload["error"] == "InternalError"
+
+
+class TestGateway:
+    """Transport-free request handling: no sockets, full routing."""
+
+    @pytest.fixture()
+    def gateway(self):
+        registry = TenantRegistry(
+            [TenantSpec("alpha"), TenantSpec("beta")]
+        )
+        yield Gateway(registry)
+        registry.close()
+
+    def post(self, gateway, path, payload):
+        status, raw, _ = gateway.handle(
+            "POST", path, json.dumps(payload).encode()
+        )
+        return status, json.loads(raw)
+
+    def load(self, gateway, tenant, edges):
+        status, _ = self.post(
+            gateway, "/v1/script",
+            {"tenant": tenant, "script": "CREATE E(A, B)"},
+        )
+        assert status == 200
+        status, body = self.post(
+            gateway, "/v1/update",
+            {
+                "tenant": tenant,
+                "updates": [f"+E {a},{b}" for a, b in edges],
+                "sync": True,
+            },
+        )
+        assert status == 200, body
+        return body
+
+    def test_query_roundtrip(self, gateway):
+        report = self.load(gateway, "alpha", [(1, 2), (2, 3)])
+        assert report["applied"] == 2
+        status, body = self.post(
+            gateway, "/v1/query", {"tenant": "alpha", "query": PAIRS}
+        )
+        assert status == 200
+        assert body["columns"] == ["x", "z"]
+        assert body["rows"] == [[1, 3]]
+        assert body["tenant"] == "alpha"
+        assert "elapsed_ms" in body and "ops" in body
+
+    def test_prepare_warms_the_shared_cache(self, gateway):
+        self.load(gateway, "alpha", [(1, 2), (2, 3)])
+        status, body = self.post(
+            gateway, "/v1/prepare", {"tenant": "alpha", "query": PAIRS}
+        )
+        assert status == 200 and not body["cached_plan"]
+        status, body = self.post(
+            gateway, "/v1/query", {"tenant": "alpha", "query": PAIRS}
+        )
+        assert status == 200 and body["cached_plan"]
+
+    def test_budget_override_maps_to_429(self, gateway):
+        self.load(gateway, "alpha", [(1, 2), (2, 3)])
+        status, body = self.post(
+            gateway, "/v1/query",
+            {
+                "tenant": "alpha",
+                "query": PAIRS,
+                "budget": {"max_rows": 0},
+            },
+        )
+        assert status == 429
+        assert body["error"] == "BudgetExceeded"
+        assert body["resource"] == "rows"
+        # The tightened budget must not stick to the pooled session.
+        status, body = self.post(
+            gateway, "/v1/query", {"tenant": "alpha", "query": PAIRS}
+        )
+        assert status == 200 and body["rows"] == [[1, 3]]
+
+    def test_async_update_returns_ticket(self, gateway):
+        self.load(gateway, "alpha", [(1, 2)])
+        status, body = self.post(
+            gateway, "/v1/update",
+            {"tenant": "alpha", "updates": ["+E 2,3"]},
+        )
+        assert status == 202
+        assert body["ticket"] == 1
+        tenant = gateway.registry.get("alpha")
+        assert tenant.ingest.drain(timeout_s=5.0)
+        status, body = self.post(
+            gateway, "/v1/query", {"tenant": "alpha", "query": PAIRS}
+        )
+        assert body["rows"] == [[1, 3]]
+
+    def test_error_routes(self, gateway):
+        status, body = self.post(
+            gateway, "/v1/query", {"tenant": "ghost", "query": PAIRS}
+        )
+        assert (status, body["error"]) == (404, "UnknownTenantError")
+        status, body = self.post(
+            gateway, "/v1/query",
+            {"tenant": "alpha", "query": "not a query"},
+        )
+        assert status == 400
+        status, body = self.post(gateway, "/v1/query", {"query": PAIRS})
+        assert (status, body["error"]) == (400, "ValueError")
+        status, raw, _ = gateway.handle("POST", "/v1/query", b"{nope")
+        assert status == 400
+        status, body = self.post(gateway, "/v1/nope", {})
+        assert status == 404
+        status, raw, _ = gateway.handle("DELETE", "/v1/query", None)
+        assert status == 405
+
+    def test_observability_endpoints(self, gateway):
+        self.load(gateway, "alpha", [(1, 2)])
+        status, raw, content = gateway.handle("GET", "/healthz", None)
+        assert status == 200
+        assert json.loads(raw)["tenants"] == ["alpha", "beta"]
+        status, raw, _ = gateway.handle("GET", "/stats", None)
+        stats = json.loads(raw)
+        assert "alpha" in stats["tenants"]
+        assert stats["tenants"]["alpha"]["catalog"]["relations"] == 1
+        status, raw, content = gateway.handle("GET", "/metrics", None)
+        assert status == 200
+        assert content.startswith("text/plain")
+        exposition = raw.decode()
+        assert "repro_stat" in exposition
+        assert "repro_http_requests_total" in exposition
+
+
+class TestTenantRegistryDurability:
+    def test_durable_roundtrip_per_tenant_dirs(self, tmp_path):
+        registry = TenantRegistry(
+            [TenantSpec("alpha"), TenantSpec("beta")],
+            data_dir=str(tmp_path),
+            fsync="off",
+        )
+        gateway = Gateway(registry)
+        status, _, _ = gateway.handle(
+            "POST", "/v1/script",
+            json.dumps(
+                {"tenant": "alpha", "script": "CREATE E(A, B)"}
+            ).encode(),
+        )
+        assert status == 200
+        registry.get("alpha").apply_sync(
+            [parse_update("+E 1,2", 1), parse_update("+E 2,3", 2)]
+        )
+        assert (tmp_path / "alpha").is_dir()
+        assert (tmp_path / "beta").is_dir()
+        registry.close(snapshot=True)
+
+        reopened = TenantRegistry(
+            [TenantSpec("alpha")], data_dir=str(tmp_path), fsync="off"
+        )
+        try:
+            tenant = reopened.get("alpha")
+            assert tenant.recovery is not None
+            status, raw, _ = Gateway(reopened).handle(
+                "POST", "/v1/query",
+                json.dumps(
+                    {"tenant": "alpha", "query": PAIRS}
+                ).encode(),
+            )
+            assert status == 200
+            assert json.loads(raw)["rows"] == [[1, 3]]
+        finally:
+            reopened.close()
+
+    def test_duplicate_and_unknown_tenants(self):
+        registry = TenantRegistry([TenantSpec("alpha")])
+        try:
+            with pytest.raises(ValueError):
+                registry.add(TenantSpec("alpha"))
+            with pytest.raises(UnknownTenantError):
+                registry.get("ghost")
+        finally:
+            registry.close()
+
+
+ALPHA_EDGES = [(1, 2), (2, 3), (3, 1), (1, 3), (3, 2)]
+BETA_EDGES = [(10, 20), (20, 30), (30, 10), (20, 40)]
+
+
+def expected_pairs(edges):
+    return sorted(
+        {(a, c) for a, b in edges for b2, c in edges if b == b2}
+    )
+
+
+class TestHTTPEndToEnd:
+    """Real sockets: serve_http on an ephemeral port, stdlib client."""
+
+    @pytest.fixture()
+    def served(self):
+        registry = TenantRegistry(
+            [TenantSpec("alpha"), TenantSpec("beta", queue_depth=4)]
+        )
+        server = serve_http(registry)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            yield server.url, registry
+        finally:
+            server.shutdown()
+            server.server_close()
+            registry.close()
+            thread.join(timeout=5.0)
+
+    def load(self, url):
+        client = Client(url)
+        for tenant, edges in (
+            ("alpha", ALPHA_EDGES), ("beta", BETA_EDGES),
+        ):
+            client.script("CREATE E(A, B)", tenant=tenant)
+            client.update(
+                [f"+E {a},{b}" for a, b in edges],
+                tenant=tenant,
+                sync=True,
+            )
+        return client
+
+    def test_rows_match_direct_session_execution(self, served):
+        url, _ = served
+        client = self.load(url)
+        direct = Catalog()
+        direct.create_relation("E", ["A", "B"], list(ALPHA_EDGES))
+        want = Session(direct).execute(PAIRS).rows
+        assert client.rows(PAIRS, tenant="alpha") == want
+        assert want == expected_pairs(ALPHA_EDGES)
+
+    def test_concurrent_tenants_isolated_and_byte_identical(self, served):
+        """Satellite: N threads x M tenants; per-tenant rows identical
+        to a sequential replay; alpha's 429s never leak into beta."""
+        url, registry = served
+        client = self.load(url)
+        reference = {
+            "alpha": client.rows(PAIRS, tenant="alpha"),
+            "beta": client.rows(PAIRS, tenant="beta"),
+        }
+        assert reference["alpha"] == expected_pairs(ALPHA_EDGES)
+        assert reference["beta"] == expected_pairs(BETA_EDGES)
+
+        requests_per_thread = 8
+        mismatches, errors, rejections = [], [], []
+        lock = threading.Lock()
+
+        def worker(index):
+            mine = Client(url)
+            tenant = ("alpha", "beta")[index % 2]
+            for turn in range(requests_per_thread):
+                # Odd alpha turns deliberately exhaust the budget.
+                starved = tenant == "alpha" and turn % 2 == 1
+                try:
+                    rows = mine.rows(
+                        PAIRS,
+                        tenant=tenant,
+                        budget={"max_rows": 0} if starved else None,
+                    )
+                except ClientError as exc:
+                    with lock:
+                        if starved and exc.status == 429:
+                            rejections.append(exc.payload)
+                        else:
+                            errors.append(f"{tenant}: {exc}")
+                    continue
+                with lock:
+                    if starved:
+                        errors.append(f"{tenant}: starved query passed")
+                    elif rows != reference[tenant]:
+                        mismatches.append((tenant, rows))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors, errors[:3]
+        assert not mismatches, mismatches[:3]
+        # Every starved alpha request got the typed rejection...
+        assert len(rejections) == 3 * (requests_per_thread // 2)
+        assert all(
+            r["error"] == "BudgetExceeded" for r in rejections
+        )
+        # ...and the serving state is still pristine for both tenants.
+        assert client.rows(PAIRS, tenant="alpha") == reference["alpha"]
+        assert client.rows(PAIRS, tenant="beta") == reference["beta"]
+        stats = client.stats()["tenants"]
+        assert stats["beta"]["ingest"]["failed"] == 0
+        assert stats["beta"]["sessions"]["queries_executed"] >= (
+            3 * requests_per_thread
+        )
+
+    def test_backpressure_over_http(self, served, monkeypatch):
+        url, registry = served
+        client = self.load(url)
+        tenant = registry.get("beta")
+        # Admission validation takes the tenant read lock, which the
+        # pinned writer (below, via the write lock) would block — skip
+        # it so this test isolates the queue-full path.
+        monkeypatch.setattr(
+            tenant, "validate_updates", lambda updates: None
+        )
+        tenant.lock.acquire_write()  # pin the ingest writer
+        try:
+            # First batch is popped by the (blocked) writer; the next
+            # queue_depth batches fill the queue; one more must shed.
+            client.update(["+E 100,1"], tenant="beta")
+            deadline = time.monotonic() + 5.0
+            while tenant.ingest.stats()["depth"] > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            for n in range(tenant.spec.queue_depth):
+                client.update([f"+E {101 + n},1"], tenant="beta")
+            with pytest.raises(ClientError) as exc:
+                client.update(["+E 120,1"], tenant="beta")
+            assert exc.value.status == 429
+            assert exc.value.error == "IngestBackpressure"
+            assert exc.value.is_policy_abort
+        finally:
+            tenant.lock.release_write()
+        assert tenant.ingest.drain(timeout_s=10.0)
+        assert tenant.ingest.stats()["rejected"] == 1
+
+    def test_healthz_and_metrics_over_http(self, served):
+        url, _ = served
+        client = self.load(url)
+        assert client.healthz()["status"] == "ok"
+        exposition = client.metrics()
+        assert "repro_stat" in exposition
+        assert "repro_http_requests_total" in exposition

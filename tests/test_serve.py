@@ -269,6 +269,41 @@ class TestDurableSession:
     def test_close_without_wal_is_noop(self):
         Session(Catalog()).close()
 
+    def test_close_is_idempotent(self, tmp_path):
+        session = Session.durable(str(tmp_path / "state"), fsync="off")
+        assert not session.closed
+        session.close()
+        assert session.closed
+        # A second close (pool discard after an explicit close, say)
+        # must not blow up on the already-closed WAL.
+        session.close()
+        assert session.closed
+
+    def test_session_context_manager_closes(self, tmp_path):
+        with Session.durable(str(tmp_path / "state"), fsync="off") as s:
+            run_script(["CREATE R(A)", "+R 1", "commit"], s)
+            assert not s.closed
+        assert s.closed
+        # And the WAL really closed: a fresh recovery sees the batch.
+        again = Session.durable(str(tmp_path / "state"), fsync="off")
+        assert again.recovery.batches_replayed == 1
+        again.close()
+
+    def test_context_manager_closes_on_error(self):
+        with pytest.raises(RuntimeError):
+            with Session(Catalog()) as s:
+                raise RuntimeError("boom")
+        assert s.closed
+
+    def test_disowned_wal_survives_session_close(self, tmp_path):
+        owner = Session.durable(str(tmp_path / "state"), fsync="off")
+        pooled = Session(owner.catalog, owns_wal=False)
+        pooled.close()
+        assert pooled.closed
+        # The shared WAL is still usable by the owning session.
+        run_script(["CREATE R(A)", "+R 1", "commit"], owner)
+        owner.close()
+
     def test_script_snapshot_statement(self, tmp_path):
         data_dir = str(tmp_path / "state")
         session = Session.durable(data_dir, fsync="off")
